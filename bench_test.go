@@ -1,0 +1,201 @@
+// Benchmarks regenerating every table and figure of the paper plus
+// the quantitative experiments E1-E14 (see DESIGN.md §5 and
+// EXPERIMENTS.md). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks double as the experiment harness: each iteration
+// regenerates the artifact, and key quantities are reported as custom
+// metrics so `go test -bench` output records the measured values.
+package cachesync_test
+
+import (
+	"testing"
+
+	"cachesync"
+	"cachesync/internal/aquarius"
+	"cachesync/internal/report"
+	"cachesync/internal/sim"
+	"cachesync/internal/stats"
+	"cachesync/internal/syncprim"
+	"cachesync/internal/workload"
+)
+
+// --- Table reproductions -------------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := report.Table1()
+		if t.NumRows() == 0 {
+			b.Fatal("empty table")
+		}
+		if diffs := report.VerifyTable1(); len(diffs) != 0 {
+			b.Fatalf("Table 1 diverges from the paper: %v", diffs)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(report.Table2()) == 0 {
+			b.Fatal("empty table 2")
+		}
+	}
+}
+
+// --- Figure reproductions ------------------------------------------------
+
+func benchFigure(b *testing.B, f func() report.FigureResult) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := f()
+		if !r.Pass {
+			b.Fatalf("%s diverges from the paper:\n%s", r.Name, r.Render())
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) { benchFigure(b, report.Figure1) }
+func BenchmarkFigure2(b *testing.B) { benchFigure(b, report.Figure2and3) }
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, report.Figure2and3) }
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, report.Figure4) }
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, report.Figure5) }
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, report.Figure6) }
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, report.Figure7) }
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, report.Figure8) }
+func BenchmarkFigure9(b *testing.B) { benchFigure(b, report.Figure9) }
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if diffs := report.VerifyFigure10(); len(diffs) != 0 {
+			b.Fatalf("Figure 10 diverges: %v", diffs)
+		}
+		if report.Figure10Processor().NumRows() != 8 || report.Figure10Bus().NumRows() != 8 {
+			b.Fatal("figure 10 tables incomplete")
+		}
+	}
+}
+
+// BenchmarkFigure11 runs the two-tier Aquarius system (Figure 11)
+// under the Prolog service-queue pattern.
+func BenchmarkFigure11(b *testing.B) {
+	const procs = 4
+	var syncCycles, xbarAccesses int64
+	for i := 0; i < b.N; i++ {
+		a := aquarius.New(aquarius.DefaultConfig(procs))
+		l := workload.Layout{G: a.Sync.Geometry()}
+		ws := make([]func(*sim.Proc), procs)
+		for p := 0; p < procs; p++ {
+			p := p
+			ws[p] = func(pr *sim.Proc) {
+				for k := 0; k < 20; k++ {
+					a.InstrFetch(pr, l.G.Base(l.PrivateBlock(p, k%8)))
+					lock := l.LockAddr(2 + (p+1)%procs)
+					syncprim.Acquire(pr, syncprim.CacheLock, lock)
+					pr.Write(l.G.Base(l.SharedBlock(1+(p+1)%procs)), uint64(k))
+					syncprim.Release(pr, syncprim.CacheLock, lock)
+				}
+			}
+		}
+		if err := a.Run(ws); err != nil {
+			b.Fatal(err)
+		}
+		syncCycles = a.Sync.Counts.Get("bus.cycles")
+		xbarAccesses = a.Counts.Get("xbar.access")
+	}
+	b.ReportMetric(float64(syncCycles), "syncbus-cycles")
+	b.ReportMetric(float64(xbarAccesses), "xbar-accesses")
+}
+
+// --- Experiments E1-E14 --------------------------------------------------
+
+func benchExperiment(b *testing.B, f func() *stats.Table) {
+	b.Helper()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t := f()
+		rows = t.NumRows()
+		if rows == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkE1LockCost(b *testing.B)          { benchExperiment(b, report.E1LockCost) }
+func BenchmarkE2BusyWait(b *testing.B)          { benchExperiment(b, report.E2BusyWait) }
+func BenchmarkE3SharedData(b *testing.B)        { benchExperiment(b, report.E3SharedData) }
+func BenchmarkE4TransferUnits(b *testing.B)     { benchExperiment(b, report.E4TransferUnits) }
+func BenchmarkE5InvalidateSignal(b *testing.B)  { benchExperiment(b, report.E5InvalidateSignal) }
+func BenchmarkE6ReadForWrite(b *testing.B)      { benchExperiment(b, report.E6ReadForWrite) }
+func BenchmarkE7SourcePolicy(b *testing.B)      { benchExperiment(b, report.E7SourcePolicy) }
+func BenchmarkE8WriteNoFetch(b *testing.B)      { benchExperiment(b, report.E8WriteNoFetch) }
+func BenchmarkE9Protocols(b *testing.B)         { benchExperiment(b, report.E9Protocols) }
+func BenchmarkE10RudolphSegall(b *testing.B)    { benchExperiment(b, report.E10RudolphSegall) }
+func BenchmarkE11Directory(b *testing.B)        { benchExperiment(b, report.E11Directory) }
+func BenchmarkE12RMWMethods(b *testing.B)       { benchExperiment(b, report.E12RMWMethods) }
+func BenchmarkE13IO(b *testing.B)               { benchExperiment(b, report.E13IO) }
+func BenchmarkE14LockPurge(b *testing.B)        { benchExperiment(b, report.E14LockPurge) }
+func BenchmarkE15Broadcast(b *testing.B)        { benchExperiment(b, report.E15Broadcast) }
+func BenchmarkE16WorkWhileWaiting(b *testing.B) { benchExperiment(b, report.E16WorkWhileWaiting) }
+func BenchmarkE17SleepWait(b *testing.B)        { benchExperiment(b, report.E17SleepWait) }
+func BenchmarkE18DualBus(b *testing.B)          { benchExperiment(b, report.E18DualBus) }
+func BenchmarkE19Aquarius(b *testing.B)         { benchExperiment(b, report.E19Aquarius) }
+
+// Ablations of the proposal's individual design choices.
+func BenchmarkAblationWaiterPriority(b *testing.B)  { benchExperiment(b, report.A1WaiterPriority) }
+func BenchmarkAblationConcurrentFlush(b *testing.B) { benchExperiment(b, report.A2ConcurrentFlush) }
+func BenchmarkAblationSourceRetention(b *testing.B) { benchExperiment(b, report.A3SourceRetention) }
+func BenchmarkAblationTransferUnits(b *testing.B)   { benchExperiment(b, report.A4UnitState) }
+func BenchmarkAblationReplacement(b *testing.B)     { benchExperiment(b, report.A5Replacement) }
+
+// --- Raw engine throughput benchmarks -------------------------------------
+
+// BenchmarkEngineLockHandoff measures raw simulated lock handoffs per
+// real second under the paper's protocol.
+func BenchmarkEngineLockHandoff(b *testing.B) {
+	m, err := cachesync.New(cachesync.Config{Protocol: "bitar", Procs: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = m
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := cachesync.New(cachesync.Config{Protocol: "bitar", Procs: 4})
+		l := m.Layout()
+		ws := make([]cachesync.Workload, 4)
+		for j := range ws {
+			ws[j] = func(p *cachesync.Proc) {
+				for k := 0; k < 25; k++ {
+					cachesync.Acquire(p, cachesync.CacheLock, l.LockAddr(0))
+					cachesync.Release(p, cachesync.CacheLock, l.LockAddr(0))
+				}
+			}
+		}
+		if err := m.Run(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineMixedReferences measures simulated memory references
+// per real second across protocols.
+func BenchmarkEngineMixedReferences(b *testing.B) {
+	for _, proto := range []string{"bitar", "illinois", "dragon", "writethrough"} {
+		b.Run(proto, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := cachesync.New(cachesync.Config{Protocol: proto, Procs: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				l := m.Layout()
+				ws := workload.Mixed{Ops: 500, SharedBlocks: 8, PrivBlocks: 16,
+					SharedFrac: 0.3, WriteFrac: 0.35, Seed: 1}.Build(l, 4)
+				if err := m.Run(ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(4*500*b.N)/b.Elapsed().Seconds(), "refs/s")
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package cachesync
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewDefaults(t *testing.T) {
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ProtocolName() != "bitar" {
+		t.Errorf("default protocol = %q", m.ProtocolName())
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Config{Protocol: "nope"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := New(Config{Procs: -1}); err == nil {
+		t.Error("negative procs accepted")
+	}
+	if _, err := New(Config{BlockWords: 3}); err == nil {
+		t.Error("non-power-of-two block accepted")
+	}
+}
+
+func TestProtocolsList(t *testing.T) {
+	ps := Protocols()
+	if len(ps) != 12 {
+		t.Fatalf("Protocols() = %v", ps)
+	}
+	for _, name := range ps {
+		if _, err := New(Config{Protocol: name, Procs: 2}); err != nil {
+			t.Errorf("New(%q): %v", name, err)
+		}
+	}
+}
+
+func TestRudolphForcesOneWordBlocks(t *testing.T) {
+	m, err := New(Config{Protocol: "rudolph", BlockWords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := m.Layout().G; g.BlockWords != 1 {
+		t.Errorf("rudolph geometry = %v, want one-word blocks", g)
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	m, err := New(Config{Protocol: "bitar", Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	err = m.Run([]Workload{
+		func(p *Proc) { p.Write(0, 42) },
+		func(p *Proc) {
+			p.Compute(100)
+			got = p.Read(0)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("read %d, want 42", got)
+	}
+	if m.Clock() <= 0 {
+		t.Error("clock did not advance")
+	}
+	st := m.Stats()
+	if st["bus.read"] == 0 && st["bus.readx"] == 0 {
+		t.Errorf("no fetches recorded: %v", st)
+	}
+}
+
+func TestAcquireReleaseFacade(t *testing.T) {
+	m, err := New(Config{Protocol: "bitar", Procs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := m.Layout()
+	lock := l.LockAddr(0)
+	counter := l.G.Base(l.SharedBlock(0))
+	ws := make([]Workload, 3)
+	for i := range ws {
+		ws[i] = func(p *Proc) {
+			for k := 0; k < 10; k++ {
+				Acquire(p, CacheLock, lock)
+				p.Write(counter, p.Read(counter)+1)
+				Release(p, CacheLock, lock)
+			}
+		}
+	}
+	if err := m.Run(ws); err != nil {
+		t.Fatal(err)
+	}
+	count, mean, max := m.LockStats()
+	if count != 30 {
+		t.Errorf("lock acquisitions = %d, want 30", count)
+	}
+	if mean <= 0 || max <= 0 {
+		t.Errorf("lock latency stats empty: mean=%v max=%v", mean, max)
+	}
+}
+
+func TestBestScheme(t *testing.T) {
+	s, err := BestScheme("bitar")
+	if err != nil || s != CacheLock {
+		t.Errorf("BestScheme(bitar) = %v, %v", s, err)
+	}
+	s, err = BestScheme("illinois")
+	if err != nil || s != TTAS {
+		t.Errorf("BestScheme(illinois) = %v, %v", s, err)
+	}
+	if _, err := BestScheme("nope"); err == nil {
+		t.Error("BestScheme(nope) should fail")
+	}
+}
+
+func TestRenderStats(t *testing.T) {
+	out := RenderStats(map[string]int64{"b": 2, "a": 1})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "counter") {
+		t.Errorf("RenderStats output:\n%s", out)
+	}
+	ai := strings.Index(out, "\na  ")
+	bi := strings.Index(out, "\nb  ")
+	if ai == -1 || bi == -1 || ai > bi {
+		t.Errorf("keys not sorted:\n%s", out)
+	}
+}
+
+func TestBlockStateRendering(t *testing.T) {
+	m, _ := New(Config{Protocol: "bitar", Procs: 1})
+	if err := m.Run([]Workload{func(p *Proc) { p.Write(0, 1) }}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BlockState(0, 0); got != "W.S.D" {
+		t.Errorf("BlockState = %q, want W.S.D", got)
+	}
+}
+
+func TestFacadeDualBusAndUnitMode(t *testing.T) {
+	m, err := New(Config{Protocol: "bitar", Procs: 4, Buses: 2, BlockWords: 8, TransferWords: 2, UnitMode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := m.Layout()
+	ws := make([]Workload, 4)
+	for i := range ws {
+		i := i
+		ws[i] = func(p *Proc) {
+			for k := 0; k < 20; k++ {
+				p.Write(l.G.Base(l.SharedBlock((k+i)%6)), uint64(k))
+				p.Read(l.G.Base(l.SharedBlock((k + i + 1) % 6)))
+			}
+		}
+	}
+	if err := m.Run(ws); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats()["bus.cycles"] == 0 {
+		t.Error("no bus activity")
+	}
+	if _, err := New(Config{Buses: 3}); err == nil {
+		t.Error("Buses=3 accepted")
+	}
+}
+
+func TestMachineRunsOnce(t *testing.T) {
+	m, _ := New(Config{Procs: 1})
+	if err := m.Run([]Workload{func(p *Proc) { p.Read(0) }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run([]Workload{func(p *Proc) { p.Read(0) }}); err == nil {
+		t.Error("second Run accepted; machines are single-run")
+	}
+}
+
+func TestReadWordFacade(t *testing.T) {
+	m, _ := New(Config{Protocol: "bitar", Procs: 1})
+	if err := m.Run([]Workload{func(p *Proc) { p.Write(9, 77) }}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadWord(9); got != 77 {
+		t.Errorf("ReadWord = %d, want 77 (dirty cached copy)", got)
+	}
+	if got := m.ReadWord(100); got != 0 {
+		t.Errorf("untouched word = %d", got)
+	}
+}

@@ -1,0 +1,122 @@
+// Command cachesim runs one workload on one protocol and prints the
+// full statistics — the general-purpose driver for exploring the
+// simulator.
+//
+//	go run ./cmd/cachesim -protocol bitar -procs 8 -workload lock -iters 50
+//	go run ./cmd/cachesim -protocol illinois -workload mixed -ops 2000
+//	go run ./cmd/cachesim -workload trace -trace ref.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cachesync"
+	"cachesync/internal/sim"
+	"cachesync/internal/syncprim"
+	"cachesync/internal/trace"
+	"cachesync/internal/workload"
+)
+
+var (
+	protoName = flag.String("protocol", "bitar", "protocol name (see -list)")
+	list      = flag.Bool("list", false, "list protocols and exit")
+	procs     = flag.Int("procs", 4, "processor count")
+	ways      = flag.Int("ways", 64, "cache ways (1 set, fully associative)")
+	blockW    = flag.Int("block", 4, "block size in words")
+	unitW     = flag.Int("unit", 0, "transfer unit in words (0 = whole block)")
+	unitMode  = flag.Bool("unitmode", false, "enable transfer-unit cost accounting")
+	wname     = flag.String("workload", "mixed", "workload: mixed | lock | pc | queues | statesave | trace")
+	ops       = flag.Int("ops", 500, "operations per processor (mixed)")
+	iters     = flag.Int("iters", 25, "iterations (lock, pc, queues)")
+	hold      = flag.Int64("hold", 20, "critical-section cycles (lock)")
+	seed      = flag.Int64("seed", 1, "workload seed")
+	traceFile = flag.String("trace", "", "trace file to replay (workload=trace)")
+	schemeStr = flag.String("scheme", "", "lock scheme: cachelock | tas | ttas | tasmemory (default: best for protocol)")
+	buses     = flag.Int("buses", 1, "broadcast buses (1 or 2, Section A.2)")
+	logN      = flag.Int("log", 0, "print the first N bus transactions (0 = off)")
+)
+
+func main() {
+	flag.Parse()
+	if *list {
+		for _, n := range cachesync.Protocols() {
+			fmt.Println(n)
+		}
+		return
+	}
+	unit := *unitW
+	if unit == 0 {
+		unit = *blockW
+	}
+	m, err := cachesync.New(cachesync.Config{
+		Protocol: *protoName, Procs: *procs,
+		BlockWords: *blockW, TransferWords: unit,
+		Ways: *ways, UnitMode: *unitMode, Buses: *buses,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scheme, err := cachesync.BestScheme(*protoName)
+	if err == nil && *schemeStr != "" {
+		for s := syncprim.CacheLock; s <= syncprim.TASMemory; s++ {
+			if s.String() == *schemeStr {
+				scheme = s
+			}
+		}
+	}
+
+	l := m.Layout()
+	var ws []func(*sim.Proc)
+	switch *wname {
+	case "mixed":
+		ws = workload.Mixed{Ops: *ops, SharedBlocks: 8, PrivBlocks: 24,
+			SharedFrac: 0.3, WriteFrac: 0.35, Seed: *seed}.Build(l, *procs)
+	case "lock":
+		ws = workload.LockContention{Locks: 1, Iters: *iters, HoldCycles: *hold,
+			ThinkCycles: 10, CSWrites: 2, Scheme: scheme, Seed: *seed}.Build(l, *procs)
+	case "pc":
+		ws = workload.ProducerConsumer{Items: *iters, WritesPerItem: 4, Scheme: scheme}.Build(l, *procs)
+	case "queues":
+		ws = workload.ServiceQueues{Requests: *iters, Scheme: scheme, Seed: *seed}.Build(l, *procs)
+	case "statesave":
+		ws = workload.StateSave{Switches: *iters, StateBlocks: 4}.Build(l, *procs)
+	case "trace":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		tr, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ws = tr.Workloads(*procs)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wname)
+		os.Exit(2)
+	}
+
+	var evlog *sim.EventLog
+	if *logN > 0 {
+		evlog = m.System().AttachLog(*logN)
+	}
+	if err := m.Run(ws); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if evlog != nil {
+		_ = evlog.Dump(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Printf("protocol=%s procs=%d workload=%s scheme=%v\n", m.ProtocolName(), *procs, *wname, scheme)
+	fmt.Printf("finished at cycle %d\n\n", m.Clock())
+	if n, mean, max := m.LockStats(); n > 0 {
+		fmt.Printf("hardware lock acquisitions: %d (mean %.1f cycles, max %d)\n\n", n, mean, max)
+	}
+	fmt.Println(cachesync.RenderStats(m.Stats()))
+}

@@ -1,0 +1,90 @@
+// Command tables regenerates the paper's Table 1 (the protocol
+// evolution matrix, cross-checked against the published values) and
+// Table 2 (the innovation summary), and runs the quantitative
+// experiment sweeps E1-E14 that ground the paper's qualitative
+// claims.
+//
+//	go run ./cmd/tables            # everything
+//	go run ./cmd/tables -only E3   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cachesync/internal/report"
+	"cachesync/internal/stats"
+)
+
+var (
+	only = flag.String("only", "", "run only the named experiment (E1..E17), 'ablations', or 'tables'")
+	csv  = flag.Bool("csv", false, "emit experiment tables as CSV")
+)
+
+func emit(t *stats.Table) {
+	if *csv {
+		fmt.Println(t.Title)
+		fmt.Print(t.CSV())
+		fmt.Println()
+		return
+	}
+	fmt.Println(t.Render())
+}
+
+func main() {
+	flag.Parse()
+
+	experiments := map[string]func() *stats.Table{
+		"E1": report.E1LockCost, "E2": report.E2BusyWait,
+		"E3": report.E3SharedData, "E4": report.E4TransferUnits,
+		"E5": report.E5InvalidateSignal, "E6": report.E6ReadForWrite,
+		"E7": report.E7SourcePolicy, "E8": report.E8WriteNoFetch,
+		"E9": report.E9Protocols, "E10": report.E10RudolphSegall,
+		"E11": report.E11Directory, "E12": report.E12RMWMethods,
+		"E13": report.E13IO, "E14": report.E14LockPurge,
+		"E15": report.E15Broadcast, "E16": report.E16WorkWhileWaiting,
+		"E17": report.E17SleepWait, "E18": report.E18DualBus,
+		"E19": report.E19Aquarius,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+
+	if strings.EqualFold(*only, "ablations") {
+		for _, tb := range report.Ablations() {
+			emit(tb)
+		}
+		return
+	}
+	if *only != "" && !strings.EqualFold(*only, "tables") {
+		f, ok := experiments[strings.ToUpper(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have E1..E17)\n", *only)
+			os.Exit(2)
+		}
+		emit(f())
+		return
+	}
+
+	fmt.Println(report.Table1().Render())
+	if diffs := report.VerifyTable1(); len(diffs) > 0 {
+		fmt.Println("Table 1 mismatches against the paper:")
+		for _, d := range diffs {
+			fmt.Println("  " + d)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("Table 1 matches the matrix transcribed from the paper.")
+	fmt.Println()
+	fmt.Println(report.Table2())
+
+	if strings.EqualFold(*only, "tables") {
+		return
+	}
+	for _, id := range order {
+		emit(experiments[id]())
+	}
+	for _, tb := range report.Ablations() {
+		emit(tb)
+	}
+}

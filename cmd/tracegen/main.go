@@ -1,0 +1,74 @@
+// Command tracegen emits a synthetic reference trace in the text
+// format of internal/trace, for replay with
+// `cachesim -workload trace`.
+//
+//	go run ./cmd/tracegen -procs 4 -ops 200 -pattern mixed > ref.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/trace"
+)
+
+var (
+	procs   = flag.Int("procs", 4, "processor count")
+	ops     = flag.Int("ops", 200, "events per processor")
+	pattern = flag.String("pattern", "mixed", "pattern: mixed | lock | private")
+	seed    = flag.Int64("seed", 1, "generator seed")
+	blockW  = flag.Int("block", 4, "block size in words (address layout)")
+)
+
+func main() {
+	flag.Parse()
+	g := addr.MustGeometry(*blockW, *blockW)
+	rng := rand.New(rand.NewSource(*seed))
+	t := &trace.Trace{}
+	add := func(e trace.Event) { t.Events = append(t.Events, e) }
+
+	for p := 0; p < *procs; p++ {
+		switch *pattern {
+		case "mixed":
+			for k := 0; k < *ops; k++ {
+				var a addr.Addr
+				if rng.Float64() < 0.3 {
+					a = g.Base(addr.Block(64 + rng.Intn(8)))
+				} else {
+					a = g.Base(addr.Block(64 + 4096 + p*4096 + rng.Intn(16)))
+				}
+				a += addr.Addr(rng.Intn(g.BlockWords))
+				if rng.Float64() < 0.35 {
+					add(trace.Event{Proc: p, Kind: trace.Write, Addr: a, Value: uint64(k)})
+				} else {
+					add(trace.Event{Proc: p, Kind: trace.Read, Addr: a})
+				}
+			}
+		case "lock":
+			lock := g.Base(0)
+			for k := 0; k < *ops/4; k++ {
+				add(trace.Event{Proc: p, Kind: trace.Lock, Addr: lock})
+				add(trace.Event{Proc: p, Kind: trace.Write, Addr: lock + 1, Value: uint64(k)})
+				add(trace.Event{Proc: p, Kind: trace.Unlock, Addr: lock, Value: uint64(k)})
+				add(trace.Event{Proc: p, Kind: trace.Compute, Cycles: int64(rng.Intn(30))})
+			}
+		case "private":
+			for k := 0; k < *ops; k++ {
+				a := g.Base(addr.Block(64+4096+p*4096+k%32)) + addr.Addr(rng.Intn(g.BlockWords))
+				add(trace.Event{Proc: p, Kind: trace.Read, Addr: a})
+				add(trace.Event{Proc: p, Kind: trace.Write, Addr: a, Value: uint64(k)})
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("# tracegen pattern=%s procs=%d ops=%d seed=%d\n", *pattern, *procs, *ops, *seed)
+	if err := t.Encode(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

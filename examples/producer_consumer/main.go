@@ -1,0 +1,74 @@
+// Producer/consumer: the Prolog/dataflow sharing pattern of the
+// paper's Section B.1 — one process produces variable bindings,
+// another consumes them and reports back — run over every protocol so
+// the handling of actively shared data (Section D) can be compared.
+// Run with:
+//
+//	go run ./examples/producer_consumer
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cachesync"
+)
+
+const items = 50
+
+func run(proto string) (cycles int64, busCycles int64, err error) {
+	m, err := cachesync.New(cachesync.Config{Protocol: proto, Procs: 2})
+	if err != nil {
+		return 0, 0, err
+	}
+	scheme, err := cachesync.BestScheme(proto)
+	if err != nil {
+		return 0, 0, err
+	}
+	l := m.Layout()
+	lock := l.LockAddr(0)
+	binding := l.G.Base(l.SharedBlock(0)) // the produced variable binding
+	flag := l.LockAddr(1)                 // handoff flag on its own block
+
+	producer := func(p *cachesync.Proc) {
+		for i := uint64(1); i <= items; i++ {
+			cachesync.Acquire(p, scheme, lock)
+			p.Write(binding, i*i) // bind the variable
+			cachesync.Release(p, scheme, lock)
+			p.Write(flag, i) // signal the consumer
+			for p.Read(flag) != 0 {
+				p.Compute(4) // wait for the report-back
+			}
+		}
+	}
+	consumer := func(p *cachesync.Proc) {
+		for i := uint64(1); i <= items; i++ {
+			for p.Read(flag) != i {
+				p.Compute(4)
+			}
+			cachesync.Acquire(p, scheme, lock)
+			if v := p.Read(binding); v != i*i {
+				panic(fmt.Sprintf("%s: consumed %d, want %d", proto, v, i*i))
+			}
+			cachesync.Release(p, scheme, lock)
+			p.Write(flag, 0) // report back (Section B.1)
+		}
+	}
+	if err := m.Run([]cachesync.Workload{producer, consumer}); err != nil {
+		return 0, 0, err
+	}
+	return m.Clock(), m.Stats()["bus.cycles"], nil
+}
+
+func main() {
+	fmt.Printf("%-14s %12s %12s\n", "protocol", "total cycles", "bus cycles")
+	for _, proto := range cachesync.Protocols() {
+		cycles, busCycles, err := run(proto)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", proto, err)
+			continue
+		}
+		fmt.Printf("%-14s %12d %12d\n", proto, cycles, busCycles)
+	}
+	fmt.Println("\nall values were passed intact on every protocol")
+}

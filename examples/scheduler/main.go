@@ -1,0 +1,77 @@
+// Scheduler: Section B.2's software sleep wait. When the hardware has
+// no queues, sleep wait is built from busy-wait-protected software
+// queues — and the global ready queue becomes the hottest atom in the
+// system. This example runs the same multiprocessor scheduler under
+// the paper's cache-state lock and under test-and-set spinning, and
+// shows the scheduler throughput difference. Run with:
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+
+	"cachesync/internal/protocol"
+	_ "cachesync/internal/protocol/all"
+	"cachesync/internal/schedqueue"
+	"cachesync/internal/sim"
+	"cachesync/internal/syncprim"
+)
+
+const (
+	workers    = 4
+	processes  = 8
+	dispatches = 15
+)
+
+func run(protoName string, scheme syncprim.Scheme) (clock int64, busTxns int64) {
+	cfg := sim.DefaultConfig(protocol.MustNew(protoName))
+	cfg.Procs = workers
+	s := sim.New(cfg)
+	sched := schedqueue.NewScheduler(schedqueue.SchedulerConfig{
+		Geometry:  s.Geometry(),
+		LockBlock: 0, DescBlock: 2,
+		Capacity:  processes + 2,
+		StateBase: 200, StateBlocks: 2,
+		Quantum: 30,
+		Scheme:  scheme,
+	})
+	ws := make([]func(*sim.Proc), workers)
+	ws[0] = func(p *sim.Proc) {
+		sched.Seed(p, processes)
+		sched.Worker(dispatches)(p)
+	}
+	for i := 1; i < workers; i++ {
+		ws[i] = func(p *sim.Proc) {
+			p.Compute(80)
+			sched.Worker(dispatches)(p)
+		}
+	}
+	if err := s.Run(ws); err != nil {
+		panic(err)
+	}
+	return s.Clock(), s.Bus.Counts.Total("bus.")
+}
+
+func main() {
+	fmt.Printf("%d workers scheduling %d lightweight processes, %d dispatches each\n\n",
+		workers, processes, dispatches)
+	fmt.Printf("%-34s %14s %16s %12s\n", "ready-queue lock", "total cycles", "cycles/dispatch", "bus txns")
+	cases := []struct {
+		label  string
+		proto  string
+		scheme syncprim.Scheme
+	}{
+		{"cache-state lock (the paper)", "bitar", syncprim.CacheLock},
+		{"test-and-test-and-set", "bitar", syncprim.TTAS},
+		{"raw test-and-set", "illinois", syncprim.TAS},
+	}
+	for _, c := range cases {
+		clock, txns := run(c.proto, c.scheme)
+		fmt.Printf("%-34s %14d %16.1f %12d\n", c.label, clock,
+			float64(clock)/float64(workers*dispatches), txns)
+	}
+	fmt.Println("\nthe queue descriptor costs several block fetches per operation (Section B.2),")
+	fmt.Println("so the ready-queue lock dominates scheduler throughput — the paper's argument")
+	fmt.Println("for putting lock privilege in the cache states")
+}

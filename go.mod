@@ -1,0 +1,3 @@
+module cachesync
+
+go 1.22

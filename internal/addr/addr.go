@@ -1,0 +1,86 @@
+// Package addr provides word-addressed memory geometry: the mapping
+// between word addresses, cache blocks, and sub-block transfer units.
+//
+// The simulated machine is word addressed, matching the bus-wide-word
+// granularity the paper uses when it reasons about traffic ("blocks
+// having n bus-wide words"). A Geometry fixes the block size and the
+// transfer-unit size (Section D.3 of the paper discusses transfer
+// units smaller than a block to fight internal fragmentation).
+package addr
+
+import "fmt"
+
+// Addr is the address of a single bus-wide word.
+type Addr uint64
+
+// Block identifies a cache block (an aligned group of words).
+type Block uint64
+
+// Geometry describes the block and transfer-unit sizes of a memory
+// system. Both sizes are in words and must be powers of two, with
+// TransferWords dividing BlockWords.
+type Geometry struct {
+	BlockWords    int // words per cache block
+	TransferWords int // words per transfer unit (== BlockWords when whole blocks transfer)
+
+	blockShift uint
+	blockMask  uint64
+}
+
+// NewGeometry validates the sizes and returns a ready-to-use Geometry.
+func NewGeometry(blockWords, transferWords int) (Geometry, error) {
+	if blockWords <= 0 || blockWords&(blockWords-1) != 0 {
+		return Geometry{}, fmt.Errorf("addr: block size %d words is not a positive power of two", blockWords)
+	}
+	if transferWords <= 0 || transferWords&(transferWords-1) != 0 {
+		return Geometry{}, fmt.Errorf("addr: transfer unit %d words is not a positive power of two", transferWords)
+	}
+	if transferWords > blockWords || blockWords%transferWords != 0 {
+		return Geometry{}, fmt.Errorf("addr: transfer unit %d must divide block size %d", transferWords, blockWords)
+	}
+	g := Geometry{BlockWords: blockWords, TransferWords: transferWords}
+	for s := blockWords; s > 1; s >>= 1 {
+		g.blockShift++
+	}
+	g.blockMask = uint64(blockWords - 1)
+	return g, nil
+}
+
+// MustGeometry is NewGeometry for static configuration; it panics on error.
+func MustGeometry(blockWords, transferWords int) Geometry {
+	g, err := NewGeometry(blockWords, transferWords)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BlockOf returns the block containing a.
+func (g Geometry) BlockOf(a Addr) Block { return Block(uint64(a) >> g.blockShift) }
+
+// Base returns the address of the first word of block b.
+func (g Geometry) Base(b Block) Addr { return Addr(uint64(b) << g.blockShift) }
+
+// Offset returns a's word offset within its block.
+func (g Geometry) Offset(a Addr) int { return int(uint64(a) & g.blockMask) }
+
+// UnitOf returns the index of the transfer unit within the block that
+// contains a.
+func (g Geometry) UnitOf(a Addr) int { return g.Offset(a) / g.TransferWords }
+
+// Units returns the number of transfer units per block.
+func (g Geometry) Units() int { return g.BlockWords / g.TransferWords }
+
+// UnitBase returns the address of the first word of transfer unit u of
+// block b.
+func (g Geometry) UnitBase(b Block, u int) Addr {
+	return g.Base(b) + Addr(u*g.TransferWords)
+}
+
+// SameBlock reports whether two addresses fall in the same block.
+func (g Geometry) SameBlock(a, b Addr) bool { return g.BlockOf(a) == g.BlockOf(b) }
+
+// String implements fmt.Stringer.
+func (g Geometry) String() string {
+	return fmt.Sprintf("block=%dw unit=%dw", g.BlockWords, g.TransferWords)
+}

@@ -1,0 +1,146 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryValid(t *testing.T) {
+	cases := []struct{ block, unit int }{
+		{1, 1}, {2, 1}, {2, 2}, {4, 1}, {4, 2}, {4, 4}, {8, 8}, {16, 4}, {64, 16},
+	}
+	for _, c := range cases {
+		g, err := NewGeometry(c.block, c.unit)
+		if err != nil {
+			t.Fatalf("NewGeometry(%d,%d): %v", c.block, c.unit, err)
+		}
+		if g.BlockWords != c.block || g.TransferWords != c.unit {
+			t.Errorf("NewGeometry(%d,%d) = %v", c.block, c.unit, g)
+		}
+		if got := g.Units(); got != c.block/c.unit {
+			t.Errorf("Units() = %d, want %d", got, c.block/c.unit)
+		}
+	}
+}
+
+func TestNewGeometryInvalid(t *testing.T) {
+	cases := []struct{ block, unit int }{
+		{0, 1}, {-4, 1}, {3, 1}, {6, 2}, {4, 3}, {4, 8}, {4, 0}, {8, -2},
+	}
+	for _, c := range cases {
+		if _, err := NewGeometry(c.block, c.unit); err == nil {
+			t.Errorf("NewGeometry(%d,%d): want error, got nil", c.block, c.unit)
+		}
+	}
+}
+
+func TestMustGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGeometry(3,1) did not panic")
+		}
+	}()
+	MustGeometry(3, 1)
+}
+
+func TestBlockMapping(t *testing.T) {
+	g := MustGeometry(4, 2)
+	for a := Addr(0); a < 64; a++ {
+		wantBlock := Block(a / 4)
+		if got := g.BlockOf(a); got != wantBlock {
+			t.Fatalf("BlockOf(%d) = %d, want %d", a, got, wantBlock)
+		}
+		if got := g.Offset(a); got != int(a%4) {
+			t.Fatalf("Offset(%d) = %d, want %d", a, got, a%4)
+		}
+		if got := g.UnitOf(a); got != int(a%4)/2 {
+			t.Fatalf("UnitOf(%d) = %d, want %d", a, got, int(a%4)/2)
+		}
+	}
+}
+
+func TestBaseAndUnitBase(t *testing.T) {
+	g := MustGeometry(8, 4)
+	if got := g.Base(3); got != 24 {
+		t.Errorf("Base(3) = %d, want 24", got)
+	}
+	if got := g.UnitBase(3, 1); got != 28 {
+		t.Errorf("UnitBase(3,1) = %d, want 28", got)
+	}
+	if got := g.UnitBase(0, 0); got != 0 {
+		t.Errorf("UnitBase(0,0) = %d, want 0", got)
+	}
+}
+
+func TestSameBlock(t *testing.T) {
+	g := MustGeometry(4, 4)
+	if !g.SameBlock(0, 3) {
+		t.Error("SameBlock(0,3) = false, want true")
+	}
+	if g.SameBlock(3, 4) {
+		t.Error("SameBlock(3,4) = true, want false")
+	}
+}
+
+func TestSingleWordBlocks(t *testing.T) {
+	// Rudolph-Segall limits block size to one word (Section E.4).
+	g := MustGeometry(1, 1)
+	for a := Addr(0); a < 16; a++ {
+		if got := g.BlockOf(a); got != Block(a) {
+			t.Fatalf("BlockOf(%d) = %d, want %d", a, got, a)
+		}
+		if got := g.Offset(a); got != 0 {
+			t.Fatalf("Offset(%d) = %d, want 0", a, got)
+		}
+	}
+}
+
+// Property: Base(BlockOf(a)) + Offset(a) == a, for any geometry and address.
+func TestRoundTripProperty(t *testing.T) {
+	geoms := []Geometry{
+		MustGeometry(1, 1), MustGeometry(2, 1), MustGeometry(4, 2),
+		MustGeometry(8, 8), MustGeometry(16, 4), MustGeometry(64, 16),
+	}
+	f := func(raw uint64, pick uint8) bool {
+		g := geoms[int(pick)%len(geoms)]
+		a := Addr(raw >> 8) // keep well clear of overflow when shifted back
+		return g.Base(g.BlockOf(a))+Addr(g.Offset(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UnitBase covers the block exactly: unit u spans
+// [UnitBase(b,u), UnitBase(b,u)+TransferWords) and UnitOf maps each
+// word of the span back to u.
+func TestUnitCoverProperty(t *testing.T) {
+	f := func(rawBlock uint32, blockPow, unitPow uint8) bool {
+		bw := 1 << (blockPow % 7) // 1..64
+		uw := 1 << (unitPow % 7)
+		if uw > bw {
+			uw = bw
+		}
+		g := MustGeometry(bw, uw)
+		b := Block(rawBlock)
+		for u := 0; u < g.Units(); u++ {
+			base := g.UnitBase(b, u)
+			for w := 0; w < g.TransferWords; w++ {
+				a := base + Addr(w)
+				if g.BlockOf(a) != b || g.UnitOf(a) != u {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometryString(t *testing.T) {
+	if got := MustGeometry(8, 2).String(); got != "block=8w unit=2w" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,150 @@
+// Package aquarius models Figure 11's two-tier Aquarius memory
+// architecture: an upper switch-memory system — a single bus running
+// the full-broadcast synchronization protocol, holding all hard atoms
+// and program synchronization data — and a lower system — a crossbar
+// to interleaved memory banks for instructions and non-synchronization
+// data, which "will not need to serialize accesses to a block, but
+// will only need to provide the latest version of each block"
+// (Section G.1).
+//
+// The upper tier is a full sim.System. The lower tier is modeled as a
+// contention-costed crossbar: each access queues on its bank and
+// advances the issuing processor's clock via Compute, composing the
+// two tiers on one timeline. Latest-version delivery in the lower
+// tier is trivially exact because every access reaches its bank (a
+// small per-processor instruction buffer captures the read-only
+// instruction stream).
+package aquarius
+
+import (
+	"fmt"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/core"
+	"cachesync/internal/sim"
+	"cachesync/internal/stats"
+)
+
+// Config sizes the two-tier system.
+type Config struct {
+	Procs int
+	// Upper (synchronization) tier.
+	Sync sim.Config
+	// Lower (crossbar) tier.
+	Banks       int
+	BankCycles  int // bank service time per access
+	WireCycles  int // crossbar traversal
+	IBufEntries int // per-processor instruction-buffer entries (read-only stream)
+}
+
+// DefaultConfig returns a machine shaped like Figure 11: PPs on a
+// synchronization bus plus a crossbar over interleaved banks.
+func DefaultConfig(procs int) Config {
+	sc := sim.DefaultConfig(core.Protocol{})
+	sc.Procs = procs
+	return Config{
+		Procs:       procs,
+		Sync:        sc,
+		Banks:       8,
+		BankCycles:  4,
+		WireCycles:  1,
+		IBufEntries: 16,
+	}
+}
+
+// System is the two-tier Aquarius machine.
+type System struct {
+	cfg Config
+	// Sync is the upper tier: the broadcast bus with the paper's
+	// protocol, where all hard atoms live.
+	Sync *sim.System
+
+	bankFree []int64
+	ibuf     []map[addr.Addr]bool
+	mem      map[addr.Addr]uint64 // lower-tier storage
+
+	Counts stats.Counters
+}
+
+// New builds the two-tier system.
+func New(cfg Config) *System {
+	if cfg.Banks <= 0 {
+		panic("aquarius: need at least one bank")
+	}
+	s := &System{
+		cfg:      cfg,
+		Sync:     sim.New(cfg.Sync),
+		bankFree: make([]int64, cfg.Banks),
+		ibuf:     make([]map[addr.Addr]bool, cfg.Procs),
+		mem:      make(map[addr.Addr]uint64),
+	}
+	for i := range s.ibuf {
+		s.ibuf[i] = make(map[addr.Addr]bool)
+	}
+	return s
+}
+
+// Run executes the workloads on the synchronization tier's
+// processors; lower-tier accesses are issued through DataRead,
+// DataWrite, and InstrFetch.
+func (s *System) Run(ws []func(*sim.Proc)) error { return s.Sync.Run(ws) }
+
+func (s *System) bankOf(a addr.Addr) int { return int(uint64(a) % uint64(s.cfg.Banks)) }
+
+// crossbar charges the crossbar-plus-bank cost of one lower-tier
+// access issued by p at its current time.
+func (s *System) crossbar(p *sim.Proc, a addr.Addr) {
+	bank := s.bankOf(a)
+	start := p.Now() + int64(s.cfg.WireCycles)
+	if s.bankFree[bank] > start {
+		s.Counts.Add("xbar.bank-wait", s.bankFree[bank]-start)
+		start = s.bankFree[bank]
+	}
+	end := start + int64(s.cfg.BankCycles)
+	s.bankFree[bank] = end
+	s.Counts.Inc(fmt.Sprintf("xbar.bank%d", bank))
+	s.Counts.Inc("xbar.access")
+	p.Compute(end + int64(s.cfg.WireCycles) - p.Now())
+}
+
+// DataRead reads non-synchronization data through the crossbar:
+// always the latest version, straight from the bank.
+func (s *System) DataRead(p *sim.Proc, a addr.Addr) uint64 {
+	s.crossbar(p, a)
+	return s.mem[a]
+}
+
+// DataWrite writes non-synchronization data through the crossbar.
+func (s *System) DataWrite(p *sim.Proc, a addr.Addr, v uint64) {
+	s.crossbar(p, a)
+	s.mem[a] = v
+}
+
+// InstrFetch fetches an instruction word: the read-only stream hits a
+// small per-processor buffer; misses go through the crossbar.
+func (s *System) InstrFetch(p *sim.Proc, a addr.Addr) {
+	buf := s.ibuf[p.ID()]
+	if buf[a] {
+		s.Counts.Inc("ibuf.hit")
+		p.Compute(1)
+		return
+	}
+	s.Counts.Inc("ibuf.miss")
+	s.crossbar(p, a)
+	if len(buf) >= s.cfg.IBufEntries {
+		for k := range buf {
+			delete(buf, k)
+			break
+		}
+	}
+	buf[a] = true
+}
+
+// BankLoads reports per-bank access counts (to observe interleaving).
+func (s *System) BankLoads() []int64 {
+	out := make([]int64, s.cfg.Banks)
+	for i := range out {
+		out[i] = s.Counts.Get(fmt.Sprintf("xbar.bank%d", i))
+	}
+	return out
+}

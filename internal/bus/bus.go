@@ -1,0 +1,267 @@
+// Package bus models the single shared broadcast bus of a
+// full-broadcast multiprocessor (Section A.2 of the paper): every
+// transaction is visible to every cache, caches respond on wired-OR
+// lines (hit, source/dirty status, locked), and a deterministic
+// arbiter grants the bus with a reserved most-significant priority
+// bit for busy-wait re-arbitration (Section E.4).
+//
+// The bus is not time-aware: the simulation engine owns the clock and
+// asks the bus to arbitrate and to broadcast transactions; the engine
+// prices each transaction from its Timing model.
+package bus
+
+import (
+	"fmt"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/stats"
+)
+
+// Cmd enumerates the bus transaction kinds used across all ten
+// protocols. A given protocol issues only a subset.
+type Cmd uint8
+
+const (
+	// None is the zero Cmd; it never appears on the bus.
+	None Cmd = iota
+	// Read fetches a block with read (shared-access) privilege.
+	Read
+	// ReadX fetches a block with write (sole-access) privilege,
+	// invalidating other copies (read-with-intent-to-modify).
+	ReadX
+	// Upgrade gains write privilege for a block the requester already
+	// holds: the one-cycle bus invalidate signal of Feature 4.
+	Upgrade
+	// WriteWord writes a single word through to main memory
+	// (classic write-through, and Goodman's first-write-through).
+	// Other caches invalidate (or, under Rudolph-Segall, take the word).
+	WriteWord
+	// UpdateWord broadcasts a single written word to other caches
+	// holding the block (Dragon/Firefly write-update for shared data).
+	UpdateWord
+	// Flush writes a whole dirty block back to main memory (eviction,
+	// or a flush forced by the protocol).
+	Flush
+	// Unlock broadcasts that a block has been unlocked so that
+	// busy-wait registers can join the next arbitration (Section E.4,
+	// Figure 8). One cycle; carries no data.
+	Unlock
+	// WriteNoFetch gains write privilege for a block that the
+	// requester will overwrite entirely, without fetching it
+	// (Feature 9: saving process state).
+	WriteNoFetch
+	// IORead is an I/O processor's special read for non-paging output:
+	// the source cache supplies the block but keeps source status
+	// (Section E.2).
+	IORead
+	// IOWrite is an I/O processor's input operation: it writes the
+	// block to memory and invalidates it in all caches (Section E.2).
+	IOWrite
+)
+
+var cmdNames = [...]string{
+	None: "none", Read: "read", ReadX: "readx", Upgrade: "upgrade",
+	WriteWord: "writeword", UpdateWord: "updateword", Flush: "flush",
+	Unlock: "unlock", WriteNoFetch: "writenofetch", IORead: "ioread",
+	IOWrite: "iowrite",
+}
+
+// String implements fmt.Stringer.
+func (c Cmd) String() string {
+	if int(c) < len(cmdNames) {
+		return cmdNames[c]
+	}
+	return fmt.Sprintf("cmd(%d)", uint8(c))
+}
+
+// Lines is the set of wired-OR response lines observed during a
+// transaction. Any snooper (or memory) may assert a line; nobody can
+// deassert one.
+type Lines struct {
+	Hit       bool // some other cache holds a valid copy of the block
+	SourceHit bool // a source cache responded and supplies the data
+	Dirty     bool // the supplied block's clean/dirty status (Feature 7 "S")
+	Locked    bool // the block is locked in a cache (or memory lock tag); request denied
+	Inhibit   bool // memory must not respond; a cache supplies the data
+}
+
+// Transaction is one bus operation. The requester's cache fills the
+// request fields; snoopers and memory fill the response fields while
+// the transaction is broadcast.
+type Transaction struct {
+	Cmd       Cmd
+	Block     addr.Block
+	Addr      addr.Addr // word address for word-granularity commands
+	Requester int       // cache ID; -1 for an I/O processor
+
+	LockIntent   bool   // ReadX/Upgrade issued by a lock operation (Section E.3)
+	UnlockIntent bool   // ReadX re-fetch by the lock owner after a lock purge
+	AfterWait    bool   // re-arbitrated fetch after an Unlock broadcast (Figure 9)
+	MemUpdate    bool   // UpdateWord must also update memory (Firefly)
+	WordData     uint64 // data for WriteWord/UpdateWord
+
+	// Response state, filled during broadcast.
+	Lines     Lines
+	BlockData []uint64 // block contents supplied by a source cache, memory, or flusher
+	Suppliers []int    // cache IDs that offered to supply (Illinois arbitrates, Feature 8 ARB)
+	Flushed   bool     // a snooper flushed the block to memory during the transfer
+
+	SupplyWordCount int    // bus words the supplier moved (transfer-unit mode, Section D.3)
+	DirtyUnits      []bool // per-unit dirty bits travelling with the block (Feature 7 "NF,S")
+}
+
+// String renders the transaction for traces and figure reproduction.
+func (t *Transaction) String() string {
+	s := fmt.Sprintf("%s blk=%d req=%d", t.Cmd, t.Block, t.Requester)
+	if t.LockIntent {
+		s += " lock"
+	}
+	if t.AfterWait {
+		s += " afterwait"
+	}
+	return s
+}
+
+// Snooper is the bus-side interface of a cache (its bus directory and
+// controller). Snoop runs for every transaction the snooper did not
+// itself issue; it may assert response lines, supply data, and change
+// local line state.
+type Snooper interface {
+	ID() int
+	Snoop(t *Transaction)
+}
+
+// request is one pending arbitration entry.
+type request struct {
+	id   int
+	high bool  // most-significant priority bit (busy-wait re-arbitration)
+	at   int64 // time the request was raised
+}
+
+// Bus is the shared broadcast bus: an arbiter plus the snooper
+// broadcast fan-out.
+type Bus struct {
+	snoopers   []Snooper
+	pending    []request
+	lastWinner int
+
+	Counts stats.Counters // bus.<cmd> transaction counts
+}
+
+// New returns an empty bus. Attach snoopers before use.
+func New() *Bus {
+	return &Bus{lastWinner: -1}
+}
+
+// Attach registers a snooper (cache). Snoopers must have distinct IDs.
+func (b *Bus) Attach(s Snooper) {
+	b.snoopers = append(b.snoopers, s)
+}
+
+// Request enqueues an arbitration request for the requester with the
+// given priority. A requester may hold at most one pending request;
+// duplicate requests are coalesced (the high bit is sticky).
+func (b *Bus) Request(id int, high bool) { b.RequestAt(id, high, 0) }
+
+// RequestAt is Request with the issue time recorded, so a multi-bus
+// engine can overlap transactions correctly: a bus never grants a
+// request before it was raised.
+func (b *Bus) RequestAt(id int, high bool, at int64) {
+	for i := range b.pending {
+		if b.pending[i].id == id {
+			b.pending[i].high = b.pending[i].high || high
+			if at < b.pending[i].at {
+				b.pending[i].at = at
+			}
+			return
+		}
+	}
+	b.pending = append(b.pending, request{id: id, high: high, at: at})
+}
+
+// EarliestRequest returns the earliest issue time among pending
+// requests (0 if none are pending — check HasPending first).
+func (b *Bus) EarliestRequest() int64 {
+	var min int64
+	for i, r := range b.pending {
+		if i == 0 || r.at < min {
+			min = r.at
+		}
+	}
+	return min
+}
+
+// Withdraw removes a pending request, if present. Used when a
+// busy-waiting cache sees the lock taken by another waiter and backs
+// off without retrying (Figure 9).
+func (b *Bus) Withdraw(id int) {
+	for i := range b.pending {
+		if b.pending[i].id == id {
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// HasPending reports whether any request is waiting for the bus.
+func (b *Bus) HasPending() bool { return len(b.pending) > 0 }
+
+// Pending returns the IDs of all pending requesters (for tests).
+func (b *Bus) Pending() []int {
+	ids := make([]int, len(b.pending))
+	for i, r := range b.pending {
+		ids[i] = r.id
+	}
+	return ids
+}
+
+// Arbitrate removes and returns the next winner: high-priority
+// requests first (the reserved busy-wait priority bit), round-robin
+// within a class starting after the previous winner. ok is false when
+// no request is pending.
+func (b *Bus) Arbitrate() (id int, ok bool) {
+	return b.ArbitrateAt(1<<62 - 1)
+}
+
+// ArbitrateAt arbitrates among requests raised at or before now;
+// later requests are not yet visible to the arbiter.
+func (b *Bus) ArbitrateAt(now int64) (id int, ok bool) {
+	best := -1
+	bestKey := 0
+	for i, r := range b.pending {
+		if r.at > now {
+			continue
+		}
+		// Round-robin distance from the last winner; smaller is better.
+		d := r.id - b.lastWinner
+		if d <= 0 {
+			d += 1 << 30
+		}
+		key := d
+		if r.high {
+			key -= 1 << 31 // high priority always beats low
+		}
+		if best == -1 || key < bestKey {
+			best, bestKey = i, key
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	id = b.pending[best].id
+	b.pending = append(b.pending[:best], b.pending[best+1:]...)
+	b.lastWinner = id
+	return id, true
+}
+
+// Broadcast delivers the transaction to every snooper except the
+// requester and counts it. Snoopers assert lines and may supply data.
+func (b *Bus) Broadcast(t *Transaction) {
+	b.Counts.Inc("bus." + t.Cmd.String())
+	for _, s := range b.snoopers {
+		if s.ID() == t.Requester {
+			continue
+		}
+		s.Snoop(t)
+	}
+}

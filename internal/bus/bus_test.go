@@ -1,0 +1,186 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type recordingSnooper struct {
+	id   int
+	seen []*Transaction
+}
+
+func (r *recordingSnooper) ID() int              { return r.id }
+func (r *recordingSnooper) Snoop(t *Transaction) { r.seen = append(r.seen, t) }
+
+func TestCmdString(t *testing.T) {
+	cases := map[Cmd]string{
+		None: "none", Read: "read", ReadX: "readx", Upgrade: "upgrade",
+		WriteWord: "writeword", UpdateWord: "updateword", Flush: "flush",
+		Unlock: "unlock", WriteNoFetch: "writenofetch", IORead: "ioread",
+		IOWrite: "iowrite", Cmd(200): "cmd(200)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Cmd(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestArbitrateEmpty(t *testing.T) {
+	b := New()
+	if _, ok := b.Arbitrate(); ok {
+		t.Error("Arbitrate on empty bus returned ok")
+	}
+}
+
+func TestArbitrateRoundRobin(t *testing.T) {
+	b := New()
+	b.Request(0, false)
+	b.Request(1, false)
+	b.Request(2, false)
+	// lastWinner starts at -1, so 0 wins first.
+	if id, _ := b.Arbitrate(); id != 0 {
+		t.Fatalf("first winner = %d, want 0", id)
+	}
+	b.Request(0, false) // re-request; 1 and 2 should go first
+	if id, _ := b.Arbitrate(); id != 1 {
+		t.Fatalf("second winner = %d, want 1", id)
+	}
+	if id, _ := b.Arbitrate(); id != 2 {
+		t.Fatalf("third winner = %d, want 2", id)
+	}
+	if id, _ := b.Arbitrate(); id != 0 {
+		t.Fatalf("fourth winner = %d, want 0", id)
+	}
+}
+
+func TestArbitrateHighPriorityWins(t *testing.T) {
+	b := New()
+	b.Request(0, false)
+	b.Request(3, true)
+	b.Request(1, false)
+	if id, _ := b.Arbitrate(); id != 3 {
+		t.Fatalf("winner = %d, want high-priority 3", id)
+	}
+	// With no waiters left the arbitration proceeds normally
+	// ("with no wasted time", Section E.4).
+	if id, _ := b.Arbitrate(); id != 0 {
+		t.Fatalf("next winner = %d, want 0", id)
+	}
+}
+
+func TestArbitrateHighPriorityRoundRobin(t *testing.T) {
+	b := New()
+	b.Request(2, true)
+	b.Request(5, true)
+	if id, _ := b.Arbitrate(); id != 2 {
+		t.Fatalf("winner = %d, want 2", id)
+	}
+	b.Request(2, true)
+	if id, _ := b.Arbitrate(); id != 5 {
+		t.Fatalf("winner = %d, want 5 (round robin among highs)", id)
+	}
+}
+
+func TestRequestCoalesce(t *testing.T) {
+	b := New()
+	b.Request(4, false)
+	b.Request(4, true) // high bit is sticky
+	b.Request(4, false)
+	if got := len(b.Pending()); got != 1 {
+		t.Fatalf("pending = %d entries, want 1", got)
+	}
+	b.Request(1, false)
+	if id, _ := b.Arbitrate(); id != 4 {
+		t.Fatalf("winner = %d, want 4 (kept high bit)", id)
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	b := New()
+	b.Request(1, false)
+	b.Request(2, false)
+	b.Withdraw(1)
+	b.Withdraw(99) // absent: no-op
+	if id, _ := b.Arbitrate(); id != 2 {
+		t.Fatalf("winner = %d, want 2 after withdrawing 1", id)
+	}
+	if b.HasPending() {
+		t.Error("HasPending = true, want false")
+	}
+}
+
+func TestBroadcastSkipsRequester(t *testing.T) {
+	b := New()
+	s0 := &recordingSnooper{id: 0}
+	s1 := &recordingSnooper{id: 1}
+	s2 := &recordingSnooper{id: 2}
+	b.Attach(s0)
+	b.Attach(s1)
+	b.Attach(s2)
+	txn := &Transaction{Cmd: Read, Block: 7, Requester: 1}
+	b.Broadcast(txn)
+	if len(s0.seen) != 1 || len(s2.seen) != 1 {
+		t.Errorf("non-requesters saw %d/%d transactions, want 1/1", len(s0.seen), len(s2.seen))
+	}
+	if len(s1.seen) != 0 {
+		t.Errorf("requester saw its own transaction")
+	}
+	if got := b.Counts.Get("bus.read"); got != 1 {
+		t.Errorf("bus.read count = %d, want 1", got)
+	}
+}
+
+func TestTransactionString(t *testing.T) {
+	txn := &Transaction{Cmd: ReadX, Block: 3, Requester: 2, LockIntent: true, AfterWait: true}
+	got := txn.String()
+	want := "readx blk=3 req=2 lock afterwait"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: arbitration always drains every request exactly once, and
+// all high-priority requests win before any low-priority request.
+func TestArbitrateDrainProperty(t *testing.T) {
+	f := func(ids []uint8, highMask []bool) bool {
+		b := New()
+		want := map[int]bool{}
+		highs := map[int]bool{}
+		for i, raw := range ids {
+			id := int(raw % 32)
+			high := i < len(highMask) && highMask[i]
+			if _, dup := want[id]; dup {
+				continue
+			}
+			want[id] = true
+			if high {
+				highs[id] = true
+			}
+			b.Request(id, high)
+		}
+		seenLow := false
+		got := map[int]bool{}
+		for {
+			id, ok := b.Arbitrate()
+			if !ok {
+				break
+			}
+			if got[id] {
+				return false // drained twice
+			}
+			got[id] = true
+			if highs[id] && seenLow {
+				return false // a high lost to a low
+			}
+			if !highs[id] {
+				seenLow = true
+			}
+		}
+		return len(got) == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

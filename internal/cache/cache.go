@@ -1,0 +1,491 @@
+// Package cache implements the snooping processor cache: a
+// set-associative (fully associative when one set) array of lines
+// carrying protocol state and real data, the bus-side snoop logic, the
+// busy-wait register of the paper's proposal (Section E.4), per-line
+// transfer-unit dirty tracking (Section D.3), and the directory-
+// interference accounting behind Feature 3.
+package cache
+
+import (
+	"fmt"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/bus"
+	"cachesync/internal/memory"
+	"cachesync/internal/protocol"
+	"cachesync/internal/stats"
+)
+
+// line is one cache block frame.
+type line struct {
+	tag       addr.Block
+	hasTag    bool // tag is meaningful (even if state is Invalid)
+	state     protocol.State
+	data      []uint64
+	unitDirty []bool
+	lru       uint64 // last-touch tick (LRU)
+	installed uint64 // install tick (FIFO)
+}
+
+func (ln *line) valid() bool { return ln.hasTag && ln.state != protocol.Invalid }
+
+// BusyWaitRegister is the special register of Section E.3/E.4: it
+// remembers the block a denied lock request targeted and joins the
+// next arbitration, at high priority, when the unlock is broadcast.
+type BusyWaitRegister struct {
+	Armed bool
+	Block addr.Block
+}
+
+// Replacement selects the victim policy within a set.
+type Replacement int
+
+const (
+	// LRU evicts the least recently used line — the policy Feature 8's
+	// "LRU replacement tends to hold across caches" argument assumes.
+	LRU Replacement = iota
+	// FIFO evicts the oldest-installed line.
+	FIFO
+	// Random evicts a pseudo-random line (deterministic per cache).
+	Random
+)
+
+var replacementNames = [...]string{"lru", "fifo", "random"}
+
+// String implements fmt.Stringer.
+func (r Replacement) String() string {
+	if int(r) < len(replacementNames) {
+		return replacementNames[r]
+	}
+	return fmt.Sprintf("replacement(%d)", int(r))
+}
+
+// Config sizes a cache.
+type Config struct {
+	Sets int // number of sets; 1 = fully associative
+	Ways int // lines per set
+	// UnitMode enables transfer-unit cost accounting (Section D.3):
+	// bus word costs count only the requested unit plus dirty units
+	// rather than the whole block.
+	UnitMode bool
+	// Replace selects the victim policy (default LRU).
+	Replace Replacement
+}
+
+// Victim describes an eviction the engine must carry out before a
+// fill can proceed.
+type Victim struct {
+	Block  addr.Block
+	Data   []uint64
+	Evict  protocol.Evict
+	Needed bool // false: no eviction necessary
+}
+
+// Cache is one processor's cache plus its bus controller.
+type Cache struct {
+	id    int
+	geom  addr.Geometry
+	proto protocol.Protocol
+	cfg   Config
+	mem   *memory.Memory // flush target for snoop-time flushes
+
+	sets [][]line
+	tick uint64
+	rng  uint64 // Random replacement state (seeded from the cache ID)
+
+	BWReg  BusyWaitRegister
+	Counts stats.Counters
+}
+
+// New builds a cache. mem is the flush target used when the protocol
+// flushes during a snoop (Feature 7); it may be nil only if the
+// protocol never flushes on snoop.
+func New(id int, geom addr.Geometry, proto protocol.Protocol, cfg Config, mem *memory.Memory) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache: bad config %+v", cfg))
+	}
+	c := &Cache{id: id, geom: geom, proto: proto, cfg: cfg, mem: mem, rng: uint64(id)*2654435761 + 1}
+	c.sets = make([][]line, cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// ID implements bus.Snooper.
+func (c *Cache) ID() int { return c.id }
+
+// Protocol returns the protocol instance driving this cache.
+func (c *Cache) Protocol() protocol.Protocol { return c.proto }
+
+// Geometry returns the cache's address geometry.
+func (c *Cache) Geometry() addr.Geometry { return c.geom }
+
+func (c *Cache) setIndex(b addr.Block) int {
+	return int(uint64(b) % uint64(c.cfg.Sets))
+}
+
+// find returns the line holding block b. When snoopInvalid is set,
+// invalid lines with a matching tag are also returned (Rudolph-Segall
+// updates invalid copies, Section E.4).
+func (c *Cache) find(b addr.Block, snoopInvalid bool) *line {
+	set := c.sets[c.setIndex(b)]
+	for i := range set {
+		ln := &set[i]
+		if ln.hasTag && ln.tag == b && (ln.valid() || snoopInvalid) {
+			return ln
+		}
+	}
+	return nil
+}
+
+// State returns the protocol state of block b (Invalid if absent).
+func (c *Cache) State(b addr.Block) protocol.State {
+	if ln := c.find(b, false); ln != nil {
+		return ln.state
+	}
+	return protocol.Invalid
+}
+
+// Blocks returns every valid block and its state, for invariant checks.
+func (c *Cache) Blocks() map[addr.Block]protocol.State {
+	out := make(map[addr.Block]protocol.State)
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid() {
+				out[set[i].tag] = set[i].state
+			}
+		}
+	}
+	return out
+}
+
+// Data returns a copy of block b's cached data, or nil if not valid.
+func (c *Cache) Data(b addr.Block) []uint64 {
+	ln := c.find(b, false)
+	if ln == nil {
+		return nil
+	}
+	out := make([]uint64, len(ln.data))
+	copy(out, ln.data)
+	return out
+}
+
+func (c *Cache) touch(ln *line) {
+	c.tick++
+	ln.lru = c.tick
+}
+
+// Probe runs a processor access against the cache. On a hit the state
+// transition is applied and hit statistics recorded; on a miss (or a
+// hit that needs the bus) the returned ProcResult carries the bus
+// command to issue.
+func (c *Cache) Probe(op protocol.Op, a addr.Addr) protocol.ProcResult {
+	return c.probe(op, a, true)
+}
+
+// Reprobe is Probe without statistics: the engine re-runs the access
+// at bus-grant time, because snooped transactions may have changed the
+// line state since the original probe.
+func (c *Cache) Reprobe(op protocol.Op, a addr.Addr) protocol.ProcResult {
+	return c.probe(op, a, false)
+}
+
+func (c *Cache) probe(op protocol.Op, a addr.Addr, count bool) protocol.ProcResult {
+	b := c.geom.BlockOf(a)
+	st := protocol.Invalid
+	ln := c.find(b, false)
+	if ln != nil {
+		st = ln.state
+	}
+	r := c.proto.ProcAccess(st, op)
+	if r.Hit {
+		if ln == nil {
+			panic(fmt.Sprintf("cache %d: protocol %s reported hit on absent block %d (op %s)",
+				c.id, c.proto.Name(), b, op))
+		}
+		if count {
+			c.Counts.Inc("proc.hit." + op.String())
+			// Feature 3 statistic: frequency of write hits to clean
+			// blocks (the events that update dirty status in the bus
+			// directory).
+			if op.IsWrite() && !c.proto.IsDirty(st) && c.proto.IsDirty(r.NewState) {
+				c.Counts.Inc("dir.write-hit-clean")
+			}
+		}
+		ln.state = r.NewState
+		c.touch(ln)
+	} else if count {
+		if ln == nil {
+			c.Counts.Inc("proc.miss." + op.String())
+		} else {
+			c.Counts.Inc("proc.busop." + op.String())
+		}
+	}
+	return r
+}
+
+// SetUnitDirty overrides block b's per-unit dirty bits (used when
+// dirty status transfers with the block, Feature 7 "NF,S").
+func (c *Cache) SetUnitDirty(b addr.Block, dirty []bool) {
+	ln := c.find(b, false)
+	if ln == nil || dirty == nil {
+		return
+	}
+	copy(ln.unitDirty, dirty)
+}
+
+// PrepareFill reports the eviction (if any) required before block b
+// can be installed. The victim line is not yet cleared; the engine
+// performs the writeback and then calls Drop.
+func (c *Cache) PrepareFill(b addr.Block) Victim {
+	if c.find(b, true) != nil {
+		return Victim{}
+	}
+	set := c.sets[c.setIndex(b)]
+	// Prefer an unused frame, then an invalid (tag-only) frame, then
+	// the LRU valid line.
+	var victim *line
+	for i := range set {
+		ln := &set[i]
+		if !ln.hasTag {
+			return Victim{}
+		}
+		if !ln.valid() {
+			victim = ln
+			break
+		}
+	}
+	if victim == nil {
+		switch c.cfg.Replace {
+		case FIFO:
+			for i := range set {
+				ln := &set[i]
+				if victim == nil || ln.installed < victim.installed {
+					victim = ln
+				}
+			}
+		case Random:
+			c.rng = c.rng*6364136223846793005 + 1442695040888963407
+			victim = &set[int(c.rng>>33)%len(set)]
+		default: // LRU
+			for i := range set {
+				ln := &set[i]
+				if victim == nil || ln.lru < victim.lru {
+					victim = ln
+				}
+			}
+		}
+	}
+	if !victim.valid() {
+		// Invalid tag-only frame: reusable with no obligations.
+		victim.hasTag = false
+		return Victim{}
+	}
+	ev := c.proto.Evict(victim.state)
+	data := make([]uint64, len(victim.data))
+	copy(data, victim.data)
+	return Victim{Block: victim.tag, Data: data, Evict: ev, Needed: true}
+}
+
+// EvictWords returns the number of bus words a writeback of block b
+// costs (dirty units only in unit mode, whole block otherwise).
+func (c *Cache) EvictWords(b addr.Block) int {
+	ln := c.find(b, false)
+	if ln == nil {
+		return c.geom.BlockWords
+	}
+	if !c.cfg.UnitMode {
+		return c.geom.BlockWords
+	}
+	n := 0
+	for _, d := range ln.unitDirty {
+		if d {
+			n += c.geom.TransferWords
+		}
+	}
+	if n == 0 {
+		n = c.geom.TransferWords
+	}
+	return n
+}
+
+// Drop invalidates block b (post-eviction, or I/O invalidation).
+func (c *Cache) Drop(b addr.Block) {
+	if ln := c.find(b, true); ln != nil {
+		ln.hasTag = false
+		ln.state = protocol.Invalid
+	}
+}
+
+// Install places block b into the cache with the given state and
+// data, evicting nothing: the engine must have handled the victim via
+// PrepareFill/Drop first. Passing nil data installs zeroed data (used
+// by WriteNoFetch, Feature 9).
+func (c *Cache) Install(b addr.Block, data []uint64, st protocol.State) {
+	ln := c.find(b, true)
+	if ln == nil {
+		set := c.sets[c.setIndex(b)]
+		for i := range set {
+			if !set[i].hasTag {
+				ln = &set[i]
+				break
+			}
+		}
+		if ln == nil {
+			panic(fmt.Sprintf("cache %d: Install(%d) with no free frame; PrepareFill not honored", c.id, b))
+		}
+	}
+	ln.hasTag = true
+	ln.tag = b
+	ln.state = st
+	if ln.data == nil || len(ln.data) != c.geom.BlockWords {
+		ln.data = make([]uint64, c.geom.BlockWords)
+	}
+	if data != nil {
+		copy(ln.data, data)
+	} else {
+		for i := range ln.data {
+			ln.data[i] = 0
+		}
+	}
+	ln.unitDirty = make([]bool, c.geom.Units())
+	c.tick++
+	ln.installed = c.tick
+	ln.lru = c.tick
+}
+
+// SetState forces block b's state (used by Finish after bus
+// completion and by scenario tests).
+func (c *Cache) SetState(b addr.Block, st protocol.State) {
+	ln := c.find(b, true)
+	if ln == nil {
+		panic(fmt.Sprintf("cache %d: SetState on absent block %d", c.id, b))
+	}
+	ln.state = st
+	if st == protocol.Invalid {
+		ln.hasTag = c.proto.Features().SnoopsInvalid // keep tag only if invalid lines snoop
+	}
+	c.touch(ln)
+}
+
+// ReadWord returns the cached word at a; ok is false when the block
+// is not valid here.
+func (c *Cache) ReadWord(a addr.Addr) (v uint64, ok bool) {
+	ln := c.find(c.geom.BlockOf(a), false)
+	if ln == nil {
+		return 0, false
+	}
+	return ln.data[c.geom.Offset(a)], true
+}
+
+// WriteWord stores v at a in the cached copy, marking the transfer
+// unit dirty; ok is false when the block is not valid here.
+func (c *Cache) WriteWord(a addr.Addr, v uint64) bool {
+	ln := c.find(c.geom.BlockOf(a), false)
+	if ln == nil {
+		return false
+	}
+	ln.data[c.geom.Offset(a)] = v
+	ln.unitDirty[c.geom.UnitOf(a)] = true
+	return true
+}
+
+// SupplyWords returns the bus word cost of this cache supplying block
+// b for a request on word a (Section D.3: requested unit plus all
+// dirty units in unit mode; the whole block otherwise).
+func (c *Cache) SupplyWords(b addr.Block, a addr.Addr) int {
+	if !c.cfg.UnitMode {
+		return c.geom.BlockWords
+	}
+	ln := c.find(b, false)
+	if ln == nil {
+		return c.geom.BlockWords
+	}
+	want := make([]bool, c.geom.Units())
+	want[c.geom.UnitOf(a)] = true
+	for u, d := range ln.unitDirty {
+		if d {
+			want[u] = true
+		}
+	}
+	n := 0
+	for _, w := range want {
+		if w {
+			n += c.geom.TransferWords
+		}
+	}
+	return n
+}
+
+// Snoop implements bus.Snooper: it runs the protocol's bus-side logic
+// against the local copy of t.Block and applies the outcome — line
+// assertions, data supply, snoop-time flush, word updates, state
+// changes, and the busy-wait register reaction to Unlock broadcasts.
+func (c *Cache) Snoop(t *bus.Transaction) {
+	c.Counts.Inc("snoop.seen")
+
+	// The busy-wait register watches Unlock broadcasts regardless of
+	// line state (the line is typically invalid while waiting).
+	if t.Cmd == bus.Unlock && c.BWReg.Armed && c.BWReg.Block == t.Block {
+		c.Counts.Inc("bwreg.wakeup")
+	}
+
+	ln := c.find(t.Block, c.proto.Features().SnoopsInvalid)
+	if ln == nil {
+		return
+	}
+	c.Counts.Inc("snoop.tagmatch")
+
+	res := c.proto.Snoop(ln.state, t)
+
+	if res.Hit {
+		t.Lines.Hit = true
+	}
+	if res.Locked {
+		t.Lines.Locked = true
+		c.Counts.Inc("snoop.locked-denial")
+	}
+	if res.Supply {
+		t.Lines.SourceHit = true
+		t.Lines.Inhibit = true
+		if res.Dirty {
+			t.Lines.Dirty = true
+		}
+		t.Suppliers = append(t.Suppliers, c.id)
+		if t.BlockData == nil {
+			t.BlockData = make([]uint64, len(ln.data))
+			copy(t.BlockData, ln.data)
+			t.SupplyWordCount = c.SupplyWords(t.Block, t.Addr)
+			if res.Dirty {
+				t.DirtyUnits = make([]bool, len(ln.unitDirty))
+				copy(t.DirtyUnits, ln.unitDirty)
+			}
+		}
+		c.Counts.Inc("snoop.supply")
+	}
+	if res.Flush {
+		t.Flushed = true
+		if t.BlockData == nil {
+			t.BlockData = make([]uint64, len(ln.data))
+			copy(t.BlockData, ln.data)
+		}
+		if c.mem != nil && t.Cmd == bus.None {
+			// Direct flush outside a bus transaction (tests only).
+			c.mem.WriteBlock(t.Block, ln.data)
+		}
+		c.Counts.Inc("snoop.flush")
+	}
+	if res.UpdateWord || res.TakeWord {
+		ln.data[c.geom.Offset(t.Addr)] = t.WordData
+		c.Counts.Inc("snoop.update")
+	}
+
+	if ln.state != protocol.Invalid && res.NewState == protocol.Invalid {
+		c.Counts.Inc("snoop.invalidated")
+	}
+	ln.state = res.NewState
+	if res.NewState == protocol.Invalid && !c.proto.Features().SnoopsInvalid {
+		ln.hasTag = false
+	}
+}

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/tabletest"
+)
+
+var p = Protocol{}
+
+func lines(hit, srcHit, dirty, locked bool) bus.Lines {
+	return bus.Lines{Hit: hit, SourceHit: srcHit, Dirty: dirty, Locked: locked}
+}
+
+func TestRegistered(t *testing.T) {
+	got, err := protocol.New("bitar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "bitar" {
+		t.Errorf("Name = %q", got.Name())
+	}
+}
+
+func TestStateNames(t *testing.T) {
+	want := map[protocol.State]string{
+		I: "I", R: "R", RSC: "R.S.C", RSD: "R.S.D",
+		WSC: "W.S.C", WSD: "W.S.D", LSD: "L.S.D", LSDW: "L.S.D.W",
+	}
+	for s, name := range want {
+		if got := p.StateName(s); got != name {
+			t.Errorf("StateName(%d) = %q, want %q", s, got, name)
+		}
+	}
+	if got := p.StateName(protocol.State(99)); got != "state(99)" {
+		t.Errorf("StateName(99) = %q", got)
+	}
+}
+
+func TestReadHitStates(t *testing.T) {
+	for _, s := range []protocol.State{R, RSC, RSD, WSC, WSD, LSD, LSDW} {
+		r := p.ProcAccess(s, protocol.OpRead)
+		if !r.Hit || r.NewState != s {
+			t.Errorf("read hit in %s: %+v", p.StateName(s), r)
+		}
+	}
+}
+
+func TestReadMissIssuesBusRead(t *testing.T) {
+	r := p.ProcAccess(I, protocol.OpRead)
+	if r.Hit || r.Cmd != bus.Read {
+		t.Errorf("read miss: %+v", r)
+	}
+}
+
+// Figure 1: read miss, no other cache has the block: assume write
+// privilege, clean.
+func TestFigure1FetchUnsharedOnReadMiss(t *testing.T) {
+	txn := &bus.Transaction{Cmd: bus.Read, Lines: lines(false, false, false, false)}
+	c := p.Complete(I, protocol.OpRead, txn)
+	if c.NewState != WSC || !c.Done {
+		t.Errorf("unshared read miss -> %s, want W.S.C", p.StateName(c.NewState))
+	}
+}
+
+// Figures 2, 3: no source cache; memory provides; requester takes
+// read privilege (another cache signalled hit).
+func TestFigure23FetchWithoutSource(t *testing.T) {
+	txn := &bus.Transaction{Cmd: bus.Read, Lines: lines(true, false, false, false)}
+	c := p.Complete(I, protocol.OpRead, txn)
+	if c.NewState != RSC {
+		t.Errorf("read miss with hit, memory supply -> %s, want R.S.C (last fetcher becomes source)",
+			p.StateName(c.NewState))
+	}
+}
+
+// Figure 4: cache-to-cache transfer carries dirty status (NF,S).
+func TestFigure4CacheToCacheTransfer(t *testing.T) {
+	txn := &bus.Transaction{Cmd: bus.Read, Lines: lines(true, true, true, false)}
+	c := p.Complete(I, protocol.OpRead, txn)
+	if c.NewState != RSD {
+		t.Errorf("dirty c2c read -> %s, want R.S.D", p.StateName(c.NewState))
+	}
+	txn2 := &bus.Transaction{Cmd: bus.Read, Lines: lines(true, true, false, false)}
+	c2 := p.Complete(I, protocol.OpRead, txn2)
+	if c2.NewState != RSC {
+		t.Errorf("clean c2c read -> %s, want R.S.C", p.StateName(c2.NewState))
+	}
+}
+
+// Figure 5: write hit on a read-privilege copy requests write
+// privilege only (Upgrade), not the block.
+func TestFigure5UpgradeNotFetch(t *testing.T) {
+	for _, s := range []protocol.State{R, RSC, RSD} {
+		r := p.ProcAccess(s, protocol.OpWrite)
+		if r.Hit || r.Cmd != bus.Upgrade {
+			t.Errorf("write on %s: %+v, want Upgrade", p.StateName(s), r)
+		}
+	}
+	c := p.Complete(R, protocol.OpWrite, &bus.Transaction{Cmd: bus.Upgrade})
+	if c.NewState != WSD || !c.Done {
+		t.Errorf("upgrade complete -> %s", p.StateName(c.NewState))
+	}
+}
+
+func TestWriteHitOnWritePrivilege(t *testing.T) {
+	r := p.ProcAccess(WSC, protocol.OpWrite)
+	if !r.Hit || r.NewState != WSD {
+		t.Errorf("write on W.S.C: %+v", r)
+	}
+	r = p.ProcAccess(WSD, protocol.OpWrite)
+	if !r.Hit || r.NewState != WSD {
+		t.Errorf("write on W.S.D: %+v", r)
+	}
+}
+
+// Figure 6: locking. A lock on a write-privilege block is zero-time;
+// a lock miss fetches with lock intent.
+func TestFigure6Lock(t *testing.T) {
+	r := p.ProcAccess(I, protocol.OpLock)
+	if r.Hit || r.Cmd != bus.ReadX || !r.LockIntent {
+		t.Errorf("lock miss: %+v", r)
+	}
+	c := p.Complete(I, protocol.OpLock, &bus.Transaction{Cmd: bus.ReadX, LockIntent: true})
+	if c.NewState != LSD || !c.Done {
+		t.Errorf("lock fetch complete -> %s", p.StateName(c.NewState))
+	}
+	r = p.ProcAccess(WSD, protocol.OpLock)
+	if !r.Hit || r.NewState != LSD {
+		t.Errorf("zero-time lock: %+v", r)
+	}
+	r = p.ProcAccess(R, protocol.OpLock)
+	if r.Hit || r.Cmd != bus.Upgrade || !r.LockIntent {
+		t.Errorf("lock on read copy: %+v", r)
+	}
+}
+
+// Figure 7: a request against a locked block is denied; the holder
+// records the waiter; the requester initiates busy wait.
+func TestFigure7LockedDenial(t *testing.T) {
+	for _, cmd := range []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade} {
+		res := p.Snoop(LSD, &bus.Transaction{Cmd: cmd})
+		if !res.Locked || res.NewState != LSDW {
+			t.Errorf("snoop %v on L.S.D: %+v, want Locked -> L.S.D.W", cmd, res)
+		}
+		res = p.Snoop(LSDW, &bus.Transaction{Cmd: cmd})
+		if !res.Locked || res.NewState != LSDW {
+			t.Errorf("snoop %v on L.S.D.W: %+v", cmd, res)
+		}
+	}
+	// Requester side: denial arms busy wait.
+	txn := &bus.Transaction{Cmd: bus.ReadX, LockIntent: true, Lines: lines(false, false, false, true)}
+	c := p.Complete(I, protocol.OpLock, txn)
+	if !c.BusyWait {
+		t.Errorf("denied lock fetch: %+v, want BusyWait", c)
+	}
+}
+
+// Figure 8: unlock is zero-time without a waiter, broadcasts with one.
+func TestFigure8Unlock(t *testing.T) {
+	r := p.ProcAccess(LSD, protocol.OpUnlock)
+	if !r.Hit || r.NewState != WSD {
+		t.Errorf("unlock without waiter: %+v, want zero-time -> W.S.D", r)
+	}
+	r = p.ProcAccess(LSDW, protocol.OpUnlock)
+	if r.Hit || r.Cmd != bus.Unlock {
+		t.Errorf("unlock with waiter: %+v, want Unlock broadcast", r)
+	}
+	c := p.Complete(LSDW, protocol.OpUnlock, &bus.Transaction{Cmd: bus.Unlock})
+	if c.NewState != WSD || !c.Done {
+		t.Errorf("unlock broadcast complete -> %s", p.StateName(c.NewState))
+	}
+}
+
+// Figure 9: the re-arbitrated winner locks into the lock-waiter state.
+func TestFigure9AfterWaitLocksAsWaiter(t *testing.T) {
+	txn := &bus.Transaction{Cmd: bus.ReadX, LockIntent: true, AfterWait: true}
+	c := p.Complete(I, protocol.OpLock, txn)
+	if c.NewState != LSDW || !c.Done {
+		t.Errorf("after-wait lock -> %s, want L.S.D.W", p.StateName(c.NewState))
+	}
+}
+
+func TestSnoopReadTransfersSource(t *testing.T) {
+	cases := []struct {
+		s      protocol.State
+		supply bool
+		dirty  bool
+	}{
+		{R, false, false},
+		{RSC, true, false},
+		{RSD, true, true},
+		{WSC, true, false},
+		{WSD, true, true},
+	}
+	for _, c := range cases {
+		res := p.Snoop(c.s, &bus.Transaction{Cmd: bus.Read})
+		if res.NewState != R {
+			t.Errorf("snoop read on %s -> %s, want R", p.StateName(c.s), p.StateName(res.NewState))
+		}
+		if res.Supply != c.supply || res.Dirty != c.dirty || !res.Hit {
+			t.Errorf("snoop read on %s: %+v", p.StateName(c.s), res)
+		}
+		if res.Flush {
+			t.Errorf("snoop read on %s flushed; protocol is NF,S", p.StateName(c.s))
+		}
+	}
+}
+
+func TestSnoopReadXInvalidates(t *testing.T) {
+	for _, s := range []protocol.State{R, RSC, RSD, WSC, WSD} {
+		res := p.Snoop(s, &bus.Transaction{Cmd: bus.ReadX})
+		if res.NewState != I {
+			t.Errorf("snoop readx on %s -> %s, want I", p.StateName(s), p.StateName(res.NewState))
+		}
+	}
+}
+
+func TestSnoopUpgradeInvalidates(t *testing.T) {
+	for _, s := range []protocol.State{R, RSC, RSD, WSC, WSD} {
+		res := p.Snoop(s, &bus.Transaction{Cmd: bus.Upgrade})
+		if res.NewState != I {
+			t.Errorf("snoop upgrade on %s -> %s, want I", p.StateName(s), p.StateName(res.NewState))
+		}
+		if res.Supply {
+			t.Errorf("upgrade should not transfer data (requester holds a copy)")
+		}
+	}
+}
+
+func TestSnoopIOReadKeepsSource(t *testing.T) {
+	for _, s := range []protocol.State{RSC, RSD, WSC, WSD} {
+		res := p.Snoop(s, &bus.Transaction{Cmd: bus.IORead})
+		if res.NewState != s || !res.Supply {
+			t.Errorf("ioread on %s: %+v, want supply, keep state", p.StateName(s), res)
+		}
+	}
+}
+
+func TestSnoopIOWriteInvalidates(t *testing.T) {
+	for _, s := range []protocol.State{R, RSC, RSD, WSC, WSD} {
+		res := p.Snoop(s, &bus.Transaction{Cmd: bus.IOWrite})
+		if res.NewState != I {
+			t.Errorf("iowrite on %s -> %s, want I", p.StateName(s), p.StateName(res.NewState))
+		}
+	}
+	res := p.Snoop(LSD, &bus.Transaction{Cmd: bus.IOWrite})
+	if !res.Locked {
+		t.Error("iowrite on locked block should be denied")
+	}
+}
+
+func TestSnoopUnlockAndFlushNoop(t *testing.T) {
+	for _, s := range []protocol.State{I, R, RSC, RSD, WSC, WSD, LSD, LSDW} {
+		for _, cmd := range []bus.Cmd{bus.Unlock, bus.Flush} {
+			res := p.Snoop(s, &bus.Transaction{Cmd: cmd})
+			if res.NewState != s || res.Supply || res.Locked {
+				t.Errorf("snoop %v on %s: %+v, want no-op", cmd, p.StateName(s), res)
+			}
+		}
+	}
+}
+
+func TestWriteBlockNoFetch(t *testing.T) {
+	r := p.ProcAccess(I, protocol.OpWriteBlock)
+	if r.Hit || r.Cmd != bus.WriteNoFetch {
+		t.Errorf("writeblock miss: %+v, want WriteNoFetch", r)
+	}
+	c := p.Complete(I, protocol.OpWriteBlock, &bus.Transaction{Cmd: bus.WriteNoFetch})
+	if c.NewState != WSD || !c.Done {
+		t.Errorf("writenofetch complete -> %s", p.StateName(c.NewState))
+	}
+	res := p.Snoop(WSD, &bus.Transaction{Cmd: bus.WriteNoFetch})
+	if res.NewState != I {
+		t.Errorf("snoop writenofetch on W.S.D -> %s, want I", p.StateName(res.NewState))
+	}
+}
+
+func TestUnlockAfterPurgeRefetches(t *testing.T) {
+	r := p.ProcAccess(I, protocol.OpUnlock)
+	if r.Hit || r.Cmd != bus.ReadX {
+		t.Errorf("unlock on purged block: %+v, want ReadX refetch", r)
+	}
+	c := p.Complete(I, protocol.OpUnlock, &bus.Transaction{Cmd: bus.ReadX})
+	if c.Done || c.NewState != LSD {
+		t.Errorf("reclaim complete: %+v, want L.S.D and not done", c)
+	}
+	// Re-invoked access now unlocks in zero time.
+	r = p.ProcAccess(LSD, protocol.OpUnlock)
+	if !r.Hit || r.NewState != WSD {
+		t.Errorf("post-reclaim unlock: %+v", r)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	cases := map[protocol.State]protocol.Evict{
+		I:    {},
+		R:    {},
+		RSC:  {},
+		WSC:  {},
+		RSD:  {Writeback: true},
+		WSD:  {Writeback: true},
+		LSD:  {Writeback: true, LockPurge: true},
+		LSDW: {Writeback: true, LockPurge: true, Waiter: true},
+	}
+	for s, want := range cases {
+		if got := p.Evict(s); got != want {
+			t.Errorf("Evict(%s) = %+v, want %+v", p.StateName(s), got, want)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	type cls struct {
+		priv   protocol.Priv
+		dirty  bool
+		source bool
+	}
+	cases := map[protocol.State]cls{
+		I:    {protocol.PrivNone, false, false},
+		R:    {protocol.PrivRead, false, false},
+		RSC:  {protocol.PrivRead, false, true},
+		RSD:  {protocol.PrivRead, true, true},
+		WSC:  {protocol.PrivWrite, false, true},
+		WSD:  {protocol.PrivWrite, true, true},
+		LSD:  {protocol.PrivLock, true, true},
+		LSDW: {protocol.PrivLock, true, true},
+	}
+	for s, want := range cases {
+		if got := p.Privilege(s); got != want.priv {
+			t.Errorf("Privilege(%s) = %v, want %v", p.StateName(s), got, want.priv)
+		}
+		if got := p.IsDirty(s); got != want.dirty {
+			t.Errorf("IsDirty(%s) = %v, want %v", p.StateName(s), got, want.dirty)
+		}
+		if got := p.IsSource(s); got != want.source {
+			t.Errorf("IsSource(%s) = %v, want %v", p.StateName(s), got, want.source)
+		}
+	}
+}
+
+func TestFeaturesTable1Column(t *testing.T) {
+	f := p.Features()
+	if f.DistributedState != "RWLDS" {
+		t.Errorf("DistributedState = %q, want RWLDS", f.DistributedState)
+	}
+	if f.SourcePolicy != "LRU,MEM" || f.FlushOnTransfer != "NF,S" || f.ReadForWrite != "D" {
+		t.Errorf("features mismatch: %+v", f)
+	}
+	if !f.EfficientBusyWait || !f.WriteNoFetch || !f.HardwareLock {
+		t.Errorf("boolean features mismatch: %+v", f)
+	}
+	for _, row := range protocol.StateRows() {
+		if !f.HasState(row) {
+			t.Errorf("missing Table 1 state row %q", row)
+		}
+	}
+	// All states except Invalid and Read are source states.
+	for row, mark := range f.States {
+		wantSource := row != protocol.RowInvalid && row != protocol.RowRead
+		if (mark == protocol.MarkSource) != wantSource {
+			t.Errorf("state row %q mark = %q", row, mark)
+		}
+	}
+}
+
+func TestLockedDenialKeepsRequesterState(t *testing.T) {
+	// A read-privilege holder attempting a lock upgrade that is
+	// denied must keep its old state.
+	txn := &bus.Transaction{Cmd: bus.Upgrade, LockIntent: true, Lines: lines(false, false, false, true)}
+	c := p.Complete(R, protocol.OpLock, txn)
+	if !c.BusyWait || c.NewState != R {
+		t.Errorf("denied upgrade-lock: %+v", c)
+	}
+}
+
+// The complete eight-state machine of Figure 10, locked in cell by
+// cell (processor side and bus side).
+func TestFullTransitionTable(t *testing.T) {
+	states := []protocol.State{I, R, RSC, RSD, WSC, WSD, LSD, LSDW}
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite,
+		protocol.OpLock, protocol.OpUnlock, protocol.OpWriteBlock}
+	tabletest.CheckProc(t, p, states, ops, []tabletest.ProcRow{
+		{S: I, Op: protocol.OpRead, Cmd: bus.Read},
+		{S: I, Op: protocol.OpReadEx, Cmd: bus.Read},
+		{S: I, Op: protocol.OpWrite, Cmd: bus.ReadX},
+		{S: I, Op: protocol.OpLock, Cmd: bus.ReadX},
+		{S: I, Op: protocol.OpUnlock, Cmd: bus.ReadX}, // purged-lock reclaim
+		{S: I, Op: protocol.OpWriteBlock, Cmd: bus.WriteNoFetch},
+		{S: R, Op: protocol.OpRead, Hit: true, NS: R},
+		{S: R, Op: protocol.OpReadEx, Hit: true, NS: R},
+		{S: R, Op: protocol.OpWrite, Cmd: bus.Upgrade},
+		{S: R, Op: protocol.OpLock, Cmd: bus.Upgrade},
+		{S: R, Op: protocol.OpUnlock, Cmd: bus.Upgrade},
+		{S: R, Op: protocol.OpWriteBlock, Cmd: bus.Upgrade},
+		{S: RSC, Op: protocol.OpRead, Hit: true, NS: RSC},
+		{S: RSC, Op: protocol.OpReadEx, Hit: true, NS: RSC},
+		{S: RSC, Op: protocol.OpWrite, Cmd: bus.Upgrade},
+		{S: RSC, Op: protocol.OpLock, Cmd: bus.Upgrade},
+		{S: RSC, Op: protocol.OpUnlock, Cmd: bus.Upgrade},
+		{S: RSC, Op: protocol.OpWriteBlock, Cmd: bus.Upgrade},
+		{S: RSD, Op: protocol.OpRead, Hit: true, NS: RSD},
+		{S: RSD, Op: protocol.OpReadEx, Hit: true, NS: RSD},
+		{S: RSD, Op: protocol.OpWrite, Cmd: bus.Upgrade},
+		{S: RSD, Op: protocol.OpLock, Cmd: bus.Upgrade},
+		{S: RSD, Op: protocol.OpUnlock, Cmd: bus.Upgrade},
+		{S: RSD, Op: protocol.OpWriteBlock, Cmd: bus.Upgrade},
+		{S: WSC, Op: protocol.OpRead, Hit: true, NS: WSC},
+		{S: WSC, Op: protocol.OpReadEx, Hit: true, NS: WSC},
+		{S: WSC, Op: protocol.OpWrite, Hit: true, NS: WSD},
+		{S: WSC, Op: protocol.OpLock, Hit: true, NS: LSD}, // zero-time lock
+		{S: WSC, Op: protocol.OpUnlock, Hit: true, NS: WSD},
+		{S: WSC, Op: protocol.OpWriteBlock, Hit: true, NS: WSD},
+		{S: WSD, Op: protocol.OpRead, Hit: true, NS: WSD},
+		{S: WSD, Op: protocol.OpReadEx, Hit: true, NS: WSD},
+		{S: WSD, Op: protocol.OpWrite, Hit: true, NS: WSD},
+		{S: WSD, Op: protocol.OpLock, Hit: true, NS: LSD},
+		{S: WSD, Op: protocol.OpUnlock, Hit: true, NS: WSD},
+		{S: WSD, Op: protocol.OpWriteBlock, Hit: true, NS: WSD},
+		{S: LSD, Op: protocol.OpRead, Hit: true, NS: LSD},
+		{S: LSD, Op: protocol.OpReadEx, Hit: true, NS: LSD},
+		{S: LSD, Op: protocol.OpWrite, Hit: true, NS: LSD},
+		{S: LSD, Op: protocol.OpLock, Hit: true, NS: LSD},
+		{S: LSD, Op: protocol.OpUnlock, Hit: true, NS: WSD}, // zero-time unlock
+		{S: LSD, Op: protocol.OpWriteBlock, Hit: true, NS: LSD},
+		{S: LSDW, Op: protocol.OpRead, Hit: true, NS: LSDW},
+		{S: LSDW, Op: protocol.OpReadEx, Hit: true, NS: LSDW},
+		{S: LSDW, Op: protocol.OpWrite, Hit: true, NS: LSDW},
+		{S: LSDW, Op: protocol.OpLock, Hit: true, NS: LSDW},
+		{S: LSDW, Op: protocol.OpUnlock, Cmd: bus.Unlock}, // broadcast for the waiters
+		{S: LSDW, Op: protocol.OpWriteBlock, Hit: true, NS: LSDW},
+	})
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteNoFetch, bus.Unlock}
+	var snoopRows []tabletest.SnoopRow
+	// Invalid and the Unlock command are inert everywhere.
+	for _, s := range states {
+		snoopRows = append(snoopRows, tabletest.SnoopRow{S: s, Cmd: bus.Unlock, NS: s})
+	}
+	for _, cmd := range []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteNoFetch} {
+		snoopRows = append(snoopRows, tabletest.SnoopRow{S: I, Cmd: cmd, NS: I})
+	}
+	snoopRows = append(snoopRows,
+		tabletest.SnoopRow{S: R, Cmd: bus.Read, NS: R, Hit: true},
+		tabletest.SnoopRow{S: R, Cmd: bus.ReadX, NS: I, Hit: true},
+		tabletest.SnoopRow{S: R, Cmd: bus.Upgrade, NS: I, Hit: true},
+		tabletest.SnoopRow{S: R, Cmd: bus.WriteNoFetch, NS: I, Hit: true},
+		tabletest.SnoopRow{S: RSC, Cmd: bus.Read, NS: R, Hit: true, Supply: true},
+		tabletest.SnoopRow{S: RSC, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true},
+		tabletest.SnoopRow{S: RSC, Cmd: bus.Upgrade, NS: I, Hit: true},
+		tabletest.SnoopRow{S: RSC, Cmd: bus.WriteNoFetch, NS: I, Hit: true},
+		tabletest.SnoopRow{S: RSD, Cmd: bus.Read, NS: R, Hit: true, Supply: true, Dirty: true},
+		tabletest.SnoopRow{S: RSD, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Dirty: true},
+		tabletest.SnoopRow{S: RSD, Cmd: bus.Upgrade, NS: I, Hit: true, Dirty: true},
+		tabletest.SnoopRow{S: RSD, Cmd: bus.WriteNoFetch, NS: I, Hit: true, Dirty: true},
+		tabletest.SnoopRow{S: WSC, Cmd: bus.Read, NS: R, Hit: true, Supply: true},
+		tabletest.SnoopRow{S: WSC, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true},
+		tabletest.SnoopRow{S: WSC, Cmd: bus.Upgrade, NS: I, Hit: true},
+		tabletest.SnoopRow{S: WSC, Cmd: bus.WriteNoFetch, NS: I, Hit: true},
+		tabletest.SnoopRow{S: WSD, Cmd: bus.Read, NS: R, Hit: true, Supply: true, Dirty: true},
+		tabletest.SnoopRow{S: WSD, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Dirty: true},
+		tabletest.SnoopRow{S: WSD, Cmd: bus.Upgrade, NS: I, Hit: true, Dirty: true},
+		tabletest.SnoopRow{S: WSD, Cmd: bus.WriteNoFetch, NS: I, Hit: true, Dirty: true},
+	)
+	for _, s := range []protocol.State{LSD, LSDW} {
+		for _, cmd := range []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteNoFetch} {
+			snoopRows = append(snoopRows, tabletest.SnoopRow{S: s, Cmd: cmd, NS: LSDW, Locked: true})
+		}
+	}
+	tabletest.CheckSnoop(t, p, states, cmds, snoopRows)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+)
+
+// MemSourceVariant ablates Feature 8's "LRU" half: instead of the
+// last fetcher becoming the source, the current source keeps source
+// status on a read (like Katz et al.), so when it purges the block
+// the next fetch falls back to memory ("MEM" alone). The paper argues
+// last-fetcher-becomes-source reduces the chance of losing a source
+// when LRU replacement tends to hold across caches; this variant
+// exists to measure that argument (ablation bench A3).
+type MemSourceVariant struct {
+	Protocol
+}
+
+var _ protocol.Protocol = MemSourceVariant{}
+
+func init() {
+	protocol.Register("bitar-memsrc", func() protocol.Protocol { return MemSourceVariant{} })
+}
+
+// Name implements protocol.Protocol.
+func (MemSourceVariant) Name() string { return "bitar-memsrc" }
+
+// Features implements protocol.Protocol.
+func (v MemSourceVariant) Features() protocol.Features {
+	f := v.Protocol.Features()
+	f.Title = "Bitar-Despain (MEM-source ablation)"
+	f.SourcePolicy = "MEM"
+	return f
+}
+
+// Snoop implements protocol.Protocol: on a read request the source
+// supplies but keeps source status (write-privilege sources drop to
+// read-privilege sources).
+func (v MemSourceVariant) Snoop(s protocol.State, t *bus.Transaction) protocol.SnoopResult {
+	if t.Cmd == bus.Read {
+		switch s {
+		case RSC:
+			return protocol.SnoopResult{NewState: RSC, Hit: true, Supply: true}
+		case RSD:
+			return protocol.SnoopResult{NewState: RSD, Hit: true, Supply: true, Dirty: true}
+		case WSC:
+			return protocol.SnoopResult{NewState: RSC, Hit: true, Supply: true}
+		case WSD:
+			return protocol.SnoopResult{NewState: RSD, Hit: true, Supply: true, Dirty: true}
+		}
+	}
+	return v.Protocol.Snoop(s, t)
+}
+
+// Complete implements protocol.Protocol: a read fetch served by a
+// source cache leaves the requester as a plain (non-source) reader.
+func (v MemSourceVariant) Complete(s protocol.State, op protocol.Op, t *bus.Transaction) protocol.CompleteResult {
+	if t.Cmd == bus.Read && !t.Lines.Locked && t.Lines.SourceHit {
+		return protocol.CompleteResult{NewState: R, Done: true}
+	}
+	return v.Protocol.Complete(s, op, t)
+}

@@ -1,0 +1,66 @@
+package memory
+
+import (
+	"sort"
+
+	"cachesync/internal/addr"
+)
+
+// Directory is the per-block presence record of a partial-broadcast
+// (directory-based) system such as Censier-Feautrier 1978: main
+// memory tracks which caches hold each block, so consistency messages
+// are sent point-to-point to the recorded holders instead of being
+// broadcast. The paper's Section A.2 contrasts this with full
+// broadcast, whose operation "is entirely distributed and parallel,
+// hence is fast" at the price of a more complex memory.
+type Directory struct {
+	presence map[addr.Block]map[int]bool
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{presence: make(map[addr.Block]map[int]bool)}
+}
+
+// Add records that cache id holds block b.
+func (d *Directory) Add(b addr.Block, id int) {
+	set, ok := d.presence[b]
+	if !ok {
+		set = make(map[int]bool)
+		d.presence[b] = set
+	}
+	set[id] = true
+}
+
+// Remove clears cache id's presence for block b.
+func (d *Directory) Remove(b addr.Block, id int) {
+	if set, ok := d.presence[b]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(d.presence, b)
+		}
+	}
+}
+
+// SetSole records cache id as the only holder of block b (after an
+// invalidating acquisition).
+func (d *Directory) SetSole(b addr.Block, id int) {
+	d.presence[b] = map[int]bool{id: true}
+}
+
+// Members returns the caches recorded as holding block b, sorted,
+// excluding exclude (pass a negative value to exclude nobody).
+func (d *Directory) Members(b addr.Block, exclude int) []int {
+	set := d.presence[b]
+	out := make([]int, 0, len(set))
+	for id := range set {
+		if id != exclude {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Holders returns the number of caches recorded for block b.
+func (d *Directory) Holders(b addr.Block) int { return len(d.presence[b]) }

@@ -1,0 +1,31 @@
+// Package all registers every protocol implementation with the
+// protocol registry. Blank-import it wherever protocols are looked up
+// by name.
+package all
+
+import (
+	// Each import registers its protocol in init.
+	_ "cachesync/internal/core"
+	_ "cachesync/internal/protocol/berkeley"
+	_ "cachesync/internal/protocol/censier"
+	_ "cachesync/internal/protocol/dragon"
+	_ "cachesync/internal/protocol/firefly"
+	_ "cachesync/internal/protocol/goodman"
+	_ "cachesync/internal/protocol/illinois"
+	_ "cachesync/internal/protocol/rudolph"
+	_ "cachesync/internal/protocol/synapse"
+	_ "cachesync/internal/protocol/writethrough"
+	_ "cachesync/internal/protocol/yen"
+)
+
+// Names of the protocols in the paper's Table 1 column order.
+var Table1Order = []string{
+	"goodman", "synapse", "illinois", "yen", "berkeley", "bitar",
+}
+
+// Everything lists all protocols in historical order.
+var Everything = []string{
+	"writethrough", "censier", "goodman", "dragon", "firefly",
+	"rudolph", "synapse", "illinois", "yen", "berkeley", "bitar",
+	"bitar-memsrc",
+}

@@ -1,0 +1,143 @@
+package berkeley
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/tabletest"
+)
+
+var p = Protocol{}
+
+func TestDirtyReadState(t *testing.T) {
+	// The Katz innovation: a write-dirty source converts to
+	// read-dirty when another cache requests read privilege; the
+	// block stays dirty because it is not flushed (Section F.2).
+	res := p.Snoop(WD, &bus.Transaction{Cmd: bus.Read})
+	if res.NewState != RD || !res.Supply || !res.Dirty || res.Flush {
+		t.Errorf("read snoop on W.D: %+v, want supply+dirty status, no flush -> R.D", res)
+	}
+	// The dirty read source keeps supplying on later reads.
+	res = p.Snoop(RD, &bus.Transaction{Cmd: bus.Read})
+	if res.NewState != RD || !res.Supply || !res.Dirty {
+		t.Errorf("read snoop on R.D: %+v, want keep ownership", res)
+	}
+}
+
+func TestRequesterNeverBecomesSourceOnRead(t *testing.T) {
+	// Feature 8 "MEM": single source; the fetcher takes the plain
+	// read state.
+	for _, ln := range []bus.Lines{{}, {Hit: true}, {Hit: true, SourceHit: true, Dirty: true}} {
+		txn := &bus.Transaction{Cmd: bus.Read, Lines: ln}
+		c := p.Complete(I, protocol.OpRead, txn)
+		if c.NewState != R {
+			t.Errorf("read complete with lines %+v -> %s, want R", ln, p.StateName(c.NewState))
+		}
+	}
+}
+
+func TestStaticReadForWrite(t *testing.T) {
+	r := p.ProcAccess(I, protocol.OpReadEx)
+	if r.Cmd != bus.ReadX {
+		t.Fatalf("readex miss: %+v", r)
+	}
+	c := p.Complete(I, protocol.OpReadEx, &bus.Transaction{Cmd: bus.ReadX})
+	if c.NewState != WC {
+		t.Errorf("readex complete -> %s, want W.C", p.StateName(c.NewState))
+	}
+}
+
+func TestCleanWriteStateIsSource(t *testing.T) {
+	// The inconsistency Section F.3 remarks on: Katz et al. give the
+	// clean write state source status.
+	if !p.IsSource(WC) {
+		t.Error("WC should be a source state under Katz et al.")
+	}
+	res := p.Snoop(WC, &bus.Transaction{Cmd: bus.Read})
+	if !res.Supply || res.Dirty || res.NewState != R {
+		t.Errorf("read snoop on W.C: %+v, want clean supply -> R", res)
+	}
+}
+
+func TestWriteOnDirtyReadUpgrades(t *testing.T) {
+	r := p.ProcAccess(RD, protocol.OpWrite)
+	if r.Cmd != bus.Upgrade {
+		t.Errorf("write on R.D: %+v, want Upgrade", r)
+	}
+	c := p.Complete(RD, protocol.OpWrite, &bus.Transaction{Cmd: bus.Upgrade})
+	if c.NewState != WD {
+		t.Errorf("upgrade complete -> %s", p.StateName(c.NewState))
+	}
+}
+
+func TestEvictDirtyStates(t *testing.T) {
+	for s, want := range map[protocol.State]bool{I: false, R: false, RD: true, WC: false, WD: true} {
+		if got := p.Evict(s).Writeback; got != want {
+			t.Errorf("Evict(%s).Writeback = %v, want %v", p.StateName(s), got, want)
+		}
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f := p.Features()
+	if f.FlushOnTransfer != "NF,S" || f.SourcePolicy != "MEM" || f.DirectoryOrg != "DPR" || f.ReadForWrite != "S" {
+		t.Errorf("features: %+v", f)
+	}
+	if f.States[protocol.RowReadDirty] != protocol.MarkSource {
+		t.Error("Read,Dirty must be a source state")
+	}
+	if f.HasState(protocol.RowReadClean) {
+		t.Error("Katz has no clean read source state")
+	}
+}
+
+// The complete Berkeley machine, locked in cell by cell.
+func TestFullTransitionTable(t *testing.T) {
+	states := []protocol.State{I, R, RD, WC, WD}
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite}
+	tabletest.CheckProc(t, p, states, ops, []tabletest.ProcRow{
+		{S: I, Op: protocol.OpRead, Cmd: bus.Read},
+		{S: I, Op: protocol.OpReadEx, Cmd: bus.ReadX}, // static (Feature 5 "S")
+		{S: I, Op: protocol.OpWrite, Cmd: bus.ReadX},
+		{S: R, Op: protocol.OpRead, Hit: true, NS: R},
+		{S: R, Op: protocol.OpReadEx, Hit: true, NS: R},
+		{S: R, Op: protocol.OpWrite, Cmd: bus.Upgrade},
+		{S: RD, Op: protocol.OpRead, Hit: true, NS: RD},
+		{S: RD, Op: protocol.OpReadEx, Hit: true, NS: RD},
+		{S: RD, Op: protocol.OpWrite, Cmd: bus.Upgrade},
+		{S: WC, Op: protocol.OpRead, Hit: true, NS: WC},
+		{S: WC, Op: protocol.OpReadEx, Hit: true, NS: WC},
+		{S: WC, Op: protocol.OpWrite, Hit: true, NS: WD},
+		{S: WD, Op: protocol.OpRead, Hit: true, NS: WD},
+		{S: WD, Op: protocol.OpReadEx, Hit: true, NS: WD},
+		{S: WD, Op: protocol.OpWrite, Hit: true, NS: WD},
+	})
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteWord}
+	tabletest.CheckSnoop(t, p, states, cmds, []tabletest.SnoopRow{
+		{S: I, Cmd: bus.Read, NS: I},
+		{S: I, Cmd: bus.ReadX, NS: I},
+		{S: I, Cmd: bus.Upgrade, NS: I},
+		{S: I, Cmd: bus.WriteWord, NS: I},
+		{S: R, Cmd: bus.Read, NS: R, Hit: true},
+		{S: R, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: R, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: R, Cmd: bus.WriteWord, NS: I, Hit: true},
+		// The dirty read source keeps ownership and supplies with the
+		// dirty status on the bus (Feature 7 "NF,S").
+		{S: RD, Cmd: bus.Read, NS: RD, Hit: true, Supply: true, Dirty: true},
+		{S: RD, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Dirty: true},
+		{S: RD, Cmd: bus.Upgrade, NS: I, Hit: true, Dirty: true},
+		{S: RD, Cmd: bus.WriteWord, NS: I, Hit: true, Dirty: true},
+		// The clean write state is a source (the Section F.3
+		// inconsistency); it supplies and falls to plain R.
+		{S: WC, Cmd: bus.Read, NS: R, Hit: true, Supply: true},
+		{S: WC, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true},
+		{S: WC, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: WC, Cmd: bus.WriteWord, NS: I, Hit: true},
+		{S: WD, Cmd: bus.Read, NS: RD, Hit: true, Supply: true, Dirty: true},
+		{S: WD, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Dirty: true},
+		{S: WD, Cmd: bus.Upgrade, NS: I, Hit: true, Dirty: true},
+		{S: WD, Cmd: bus.WriteWord, NS: I, Hit: true, Dirty: true},
+	})
+}

@@ -1,0 +1,108 @@
+package censier
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/tabletest"
+)
+
+var p = Protocol{}
+
+func TestPartialBroadcastDeclared(t *testing.T) {
+	f := p.Features()
+	if !f.PartialBroadcast {
+		t.Error("Censier-Feautrier is a directory (partial-broadcast) scheme")
+	}
+	if f.Year != 1978 {
+		t.Errorf("year = %d", f.Year)
+	}
+}
+
+func TestDirtyCacheToCacheTransfer(t *testing.T) {
+	// The scheme's contribution (Table 2): cache-to-cache transfer
+	// for dirty blocks, with the flush restoring memory.
+	res := p.Snoop(D, &bus.Transaction{Cmd: bus.Read})
+	if !res.Supply || !res.Flush || res.NewState != V {
+		t.Errorf("read snoop on D: %+v, want supply+flush -> V", res)
+	}
+}
+
+func TestWriteMissAndUpgrade(t *testing.T) {
+	if r := p.ProcAccess(I, protocol.OpWrite); r.Cmd != bus.ReadX {
+		t.Errorf("write miss: %+v", r)
+	}
+	if r := p.ProcAccess(V, protocol.OpWrite); r.Cmd != bus.Upgrade {
+		t.Errorf("write hit on V: %+v", r)
+	}
+	c := p.Complete(V, protocol.OpWrite, &bus.Transaction{Cmd: bus.Upgrade})
+	if c.NewState != D {
+		t.Errorf("upgrade complete -> %s", p.StateName(c.NewState))
+	}
+}
+
+func TestReadMissStaysRead(t *testing.T) {
+	// No hit line in a directory system: a read miss always takes
+	// read privilege.
+	c := p.Complete(I, protocol.OpRead, &bus.Transaction{Cmd: bus.Read})
+	if c.NewState != V {
+		t.Errorf("read miss -> %s, want V", p.StateName(c.NewState))
+	}
+}
+
+func TestInvalidationOnTargetedMessage(t *testing.T) {
+	for _, cmd := range []bus.Cmd{bus.ReadX, bus.Upgrade} {
+		res := p.Snoop(V, &bus.Transaction{Cmd: cmd})
+		if res.NewState != I {
+			t.Errorf("snoop %v on V -> %s, want I", cmd, p.StateName(res.NewState))
+		}
+	}
+}
+
+func TestEvict(t *testing.T) {
+	if !p.Evict(D).Writeback || p.Evict(V).Writeback {
+		t.Error("only D writes back")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if p.Privilege(V) != protocol.PrivRead || p.Privilege(D) != protocol.PrivWrite {
+		t.Error("privileges wrong")
+	}
+	if !p.IsDirty(D) || p.IsDirty(V) || !p.IsSource(D) || p.IsSource(V) {
+		t.Error("classification wrong")
+	}
+}
+
+// The complete Censier-Feautrier machine, locked in cell by cell.
+func TestFullTransitionTable(t *testing.T) {
+	states := []protocol.State{I, V, D}
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite}
+	tabletest.CheckProc(t, p, states, ops, []tabletest.ProcRow{
+		{S: I, Op: protocol.OpRead, Cmd: bus.Read},
+		{S: I, Op: protocol.OpReadEx, Cmd: bus.Read},
+		{S: I, Op: protocol.OpWrite, Cmd: bus.ReadX},
+		{S: V, Op: protocol.OpRead, Hit: true, NS: V},
+		{S: V, Op: protocol.OpReadEx, Hit: true, NS: V},
+		{S: V, Op: protocol.OpWrite, Cmd: bus.Upgrade},
+		{S: D, Op: protocol.OpRead, Hit: true, NS: D},
+		{S: D, Op: protocol.OpReadEx, Hit: true, NS: D},
+		{S: D, Op: protocol.OpWrite, Hit: true, NS: D},
+	})
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteWord}
+	tabletest.CheckSnoop(t, p, states, cmds, []tabletest.SnoopRow{
+		{S: I, Cmd: bus.Read, NS: I},
+		{S: I, Cmd: bus.ReadX, NS: I},
+		{S: I, Cmd: bus.Upgrade, NS: I},
+		{S: I, Cmd: bus.WriteWord, NS: I},
+		{S: V, Cmd: bus.Read, NS: V, Hit: true},
+		{S: V, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: V, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: V, Cmd: bus.WriteWord, NS: I, Hit: true},
+		{S: D, Cmd: bus.Read, NS: V, Hit: true, Supply: true, Flush: true},
+		{S: D, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Flush: true},
+		{S: D, Cmd: bus.Upgrade, NS: I, Hit: true, Supply: true, Flush: true},
+		{S: D, Cmd: bus.WriteWord, NS: I, Hit: true, Supply: true, Flush: true},
+	})
+}

@@ -1,0 +1,141 @@
+package dragon
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/tabletest"
+)
+
+var p = Protocol{}
+
+func TestWriteMissFetchesThenUpdates(t *testing.T) {
+	r := p.ProcAccess(I, protocol.OpWrite)
+	if r.Cmd != bus.Read {
+		t.Fatalf("write miss: %+v, want fetch first", r)
+	}
+	txn := &bus.Transaction{Cmd: bus.Read}
+	txn.Lines.Hit = true
+	c := p.Complete(I, protocol.OpWrite, txn)
+	if c.NewState != SC || c.Done {
+		t.Fatalf("fetch phase: %+v, want Sc, not done", c)
+	}
+	r = p.ProcAccess(SC, protocol.OpWrite)
+	if r.Cmd != bus.UpdateWord || r.MemUpdate {
+		t.Fatalf("shared write: %+v, want UpdateWord without memory update", r)
+	}
+}
+
+func TestExclusiveWriteIsSilent(t *testing.T) {
+	r := p.ProcAccess(E, protocol.OpWrite)
+	if !r.Hit || r.NewState != M {
+		t.Errorf("write on E: %+v, want silent -> M", r)
+	}
+}
+
+func TestUpdateOwnershipHandoff(t *testing.T) {
+	// Writer with sharers -> Sd; old owner demotes to Sc.
+	txn := &bus.Transaction{Cmd: bus.UpdateWord}
+	txn.Lines.Hit = true
+	c := p.Complete(SC, protocol.OpWrite, txn)
+	if c.NewState != SD {
+		t.Errorf("update with sharers -> %s, want Sd", p.StateName(c.NewState))
+	}
+	res := p.Snoop(SD, &bus.Transaction{Cmd: bus.UpdateWord})
+	if res.NewState != SC || !res.UpdateWord {
+		t.Errorf("snoop update on Sd: %+v, want take word -> Sc", res)
+	}
+}
+
+func TestUpdateWithoutSharersGoesExclusive(t *testing.T) {
+	txn := &bus.Transaction{Cmd: bus.UpdateWord}
+	c := p.Complete(SD, protocol.OpWrite, txn)
+	if c.NewState != M {
+		t.Errorf("update with no sharers -> %s, want M", p.StateName(c.NewState))
+	}
+}
+
+func TestOwnerSuppliesOnRead(t *testing.T) {
+	res := p.Snoop(SD, &bus.Transaction{Cmd: bus.Read})
+	if !res.Supply || !res.Dirty || res.NewState != SD {
+		t.Errorf("read snoop on Sd: %+v, want supply, stay owner", res)
+	}
+	res = p.Snoop(M, &bus.Transaction{Cmd: bus.Read})
+	if !res.Supply || res.NewState != SD {
+		t.Errorf("read snoop on M: %+v, want supply -> Sd", res)
+	}
+	if res.Flush {
+		t.Error("Dragon does not write memory on transfer")
+	}
+}
+
+func TestMemoryNotUpdatedByBroadcast(t *testing.T) {
+	r := p.ProcAccess(SD, protocol.OpWrite)
+	if r.MemUpdate {
+		t.Error("Dragon updates caches only, not memory")
+	}
+}
+
+func TestReadMissDynamicSharing(t *testing.T) {
+	c := p.Complete(I, protocol.OpRead, &bus.Transaction{Cmd: bus.Read})
+	if c.NewState != E {
+		t.Errorf("unshared read miss -> %s, want E", p.StateName(c.NewState))
+	}
+}
+
+func TestEvictOwnedStates(t *testing.T) {
+	for s, want := range map[protocol.State]bool{E: false, SC: false, SD: true, M: true} {
+		if got := p.Evict(s).Writeback; got != want {
+			t.Errorf("Evict(%s) = %v, want %v", p.StateName(s), got, want)
+		}
+	}
+}
+
+// The complete Dragon machine, locked in cell by cell.
+func TestFullTransitionTable(t *testing.T) {
+	states := []protocol.State{I, E, SC, SD, M}
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite}
+	tabletest.CheckProc(t, p, states, ops, []tabletest.ProcRow{
+		{S: I, Op: protocol.OpRead, Cmd: bus.Read},
+		{S: I, Op: protocol.OpReadEx, Cmd: bus.Read},
+		{S: I, Op: protocol.OpWrite, Cmd: bus.Read}, // fetch first, then update/silent write
+		{S: E, Op: protocol.OpRead, Hit: true, NS: E},
+		{S: E, Op: protocol.OpReadEx, Hit: true, NS: E},
+		{S: E, Op: protocol.OpWrite, Hit: true, NS: M},
+		{S: SC, Op: protocol.OpRead, Hit: true, NS: SC},
+		{S: SC, Op: protocol.OpReadEx, Hit: true, NS: SC},
+		{S: SC, Op: protocol.OpWrite, Cmd: bus.UpdateWord}, // word broadcast to sharers
+		{S: SD, Op: protocol.OpRead, Hit: true, NS: SD},
+		{S: SD, Op: protocol.OpReadEx, Hit: true, NS: SD},
+		{S: SD, Op: protocol.OpWrite, Cmd: bus.UpdateWord},
+		{S: M, Op: protocol.OpRead, Hit: true, NS: M},
+		{S: M, Op: protocol.OpReadEx, Hit: true, NS: M},
+		{S: M, Op: protocol.OpWrite, Hit: true, NS: M},
+	})
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.UpdateWord}
+	tabletest.CheckSnoop(t, p, states, cmds, []tabletest.SnoopRow{
+		{S: I, Cmd: bus.Read, NS: I},
+		{S: I, Cmd: bus.ReadX, NS: I},
+		{S: I, Cmd: bus.Upgrade, NS: I},
+		{S: I, Cmd: bus.UpdateWord, NS: I},
+		{S: E, Cmd: bus.Read, NS: SC, Hit: true},
+		{S: E, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: E, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: E, Cmd: bus.UpdateWord, NS: SC, Hit: true, Update: true}, // defensive
+		{S: SC, Cmd: bus.Read, NS: SC, Hit: true},
+		{S: SC, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: SC, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: SC, Cmd: bus.UpdateWord, NS: SC, Hit: true, Update: true},
+		// The shared-dirty owner supplies (memory is stale) and keeps
+		// ownership on reads; an update hands ownership to the writer.
+		{S: SD, Cmd: bus.Read, NS: SD, Hit: true, Supply: true, Dirty: true},
+		{S: SD, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Dirty: true},
+		{S: SD, Cmd: bus.Upgrade, NS: I, Hit: true, Supply: true, Dirty: true},
+		{S: SD, Cmd: bus.UpdateWord, NS: SC, Hit: true, Update: true},
+		{S: M, Cmd: bus.Read, NS: SD, Hit: true, Supply: true, Dirty: true},
+		{S: M, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Dirty: true},
+		{S: M, Cmd: bus.Upgrade, NS: I, Hit: true, Supply: true, Dirty: true},
+		{S: M, Cmd: bus.UpdateWord, NS: SC, Hit: true, Update: true},
+	})
+}

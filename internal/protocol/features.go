@@ -1,0 +1,134 @@
+package protocol
+
+// This file mirrors the paper's Table 1 ("Evolution of Full-Broadcast,
+// Write-In (Write-Back), Cache-Synchronization Schemes"): each
+// protocol self-reports its state repertoire and the ten features, and
+// internal/report renders the matrix and cross-checks it against the
+// hard-coded values transcribed from the paper.
+
+// StateRow identifies a row of the upper (states) part of Table 1.
+type StateRow string
+
+// The canonical state rows of Table 1, in the paper's order.
+const (
+	RowInvalid       StateRow = "Invalid"
+	RowRead          StateRow = "Read"
+	RowReadClean     StateRow = "Read, Clean"
+	RowReadDirty     StateRow = "Read, Dirty"
+	RowWriteClean    StateRow = "Write, Clean"
+	RowWriteDirty    StateRow = "Write, Dirty"
+	RowLockDirty     StateRow = "Lock, Dirty"
+	RowLockDirtyWait StateRow = "Lock, Dirty, Waiter"
+)
+
+// StateRows lists the Table 1 state rows in presentation order.
+func StateRows() []StateRow {
+	return []StateRow{
+		RowInvalid, RowRead, RowReadClean, RowReadDirty,
+		RowWriteClean, RowWriteDirty, RowLockDirty, RowLockDirtyWait,
+	}
+}
+
+// SourceMark is a cell of the states part of Table 1: whether the
+// protocol has the state and whether it is a source state.
+type SourceMark string
+
+const (
+	MarkAbsent    SourceMark = ""  // protocol lacks the state
+	MarkNonSource SourceMark = "N" // non-source state
+	MarkSource    SourceMark = "S" // source state
+)
+
+// WritePolicy classifies the protocol family (Sections D, F).
+type WritePolicy string
+
+const (
+	PolicyWriteThrough WritePolicy = "write-through"
+	PolicyWriteIn      WritePolicy = "write-in"
+	PolicyUpdate       WritePolicy = "write-update"
+	PolicyHybrid       WritePolicy = "dynamic WT/WI"
+)
+
+// Features is a protocol's Table 1 column plus behavioural switches
+// the engine consults.
+type Features struct {
+	Title string // display title, e.g. "Papamarcos, Patel"
+	Year  int
+
+	Policy WritePolicy
+
+	// States maps each Table 1 row to its source mark.
+	States map[StateRow]SourceMark
+
+	// Feature 1: cache-to-cache transfer and serialization of
+	// conflicting single reads and writes.
+	CacheToCache bool
+	// Feature 2: which status is fully distributed among the caches,
+	// rendered as in the paper, e.g. "RWDS", "RWLDS" ("RWD" for Frank,
+	// whose source bit lives in memory).
+	DistributedState string
+	// Feature 3: directory organization: "", "ID" (identical dual),
+	// "NID" (non-identical dual), "DPR" (dual-ported read).
+	DirectoryOrg string
+	// Feature 4: the bus supports a one-cycle invalidate signal
+	// instead of an invalidation write-through.
+	BusInvalidateSignal bool
+	// Feature 5: fetching unshared data for write privilege on a read
+	// miss: "" (absent), "D" (dynamic, hit line), "S" (static,
+	// compiler-declared read-for-write instruction).
+	ReadForWrite string
+	// Feature 6: processor atomic read-modify-write instructions are
+	// serialized.
+	AtomicRMW bool
+	// Feature 7: flushing on cache-to-cache transfer: "" (no
+	// transfer), "F" (flush), "NF" (no flush), "NF,S" (no flush,
+	// clean/dirty status transferred).
+	FlushOnTransfer string
+	// Feature 8: number of sources for a read-privilege block: "",
+	// "ARB" (multiple sources, arbitrate), "MEM" (single source, fall
+	// back to memory), "LRU,MEM" (last fetcher becomes source).
+	SourcePolicy string
+	// Feature 9: writing without fetch on a write miss.
+	WriteNoFetch bool
+	// Feature 10: efficient busy wait.
+	EfficientBusyWait bool
+
+	// Behavioural switches consulted by the engine and cache:
+
+	// MemorySourceBit: memory maintains a per-block source bit
+	// (Frank).
+	MemorySourceBit bool
+	// SnoopsInvalid: the protocol's Snoop must also run against
+	// invalid lines whose tag matches (Rudolph-Segall updates invalid
+	// copies).
+	SnoopsInvalid bool
+	// HardwareLock: the protocol supports OpLock/OpUnlock natively
+	// (the paper's proposal). Without it, the syncprim layer lowers
+	// locking to test-and-set.
+	HardwareLock bool
+	// OneWordBlocks: the protocol requires one-word blocks
+	// (Rudolph-Segall, Section E.4).
+	OneWordBlocks bool
+	// WriteAllocates: a WriteWord bus transaction installs the line in
+	// the writer's cache (Rudolph-Segall). Classic write-through does
+	// not allocate on writes.
+	WriteAllocates bool
+	// PartialBroadcast: the scheme is directory-based
+	// (Censier-Feautrier): memory keeps a presence directory and
+	// consistency messages go point-to-point to recorded holders,
+	// serialized and individually priced, instead of one parallel
+	// broadcast (Section A.2).
+	PartialBroadcast bool
+}
+
+// LockReclaimer is implemented by protocols that can push a lock bit
+// to memory when a locked block is purged (Section E.3): it names the
+// line state to re-install when the owner reclaims the lock.
+type LockReclaimer interface {
+	ReclaimedLockState(waiter bool) State
+}
+
+// HasState reports whether the protocol has the given Table 1 row.
+func (f Features) HasState(r StateRow) bool {
+	return f.States[r] != MarkAbsent
+}

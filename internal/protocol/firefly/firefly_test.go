@@ -1,0 +1,121 @@
+package firefly
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/tabletest"
+)
+
+var p = Protocol{}
+
+func TestSharedWriteGoesThroughToMemory(t *testing.T) {
+	r := p.ProcAccess(SC, protocol.OpWrite)
+	if r.Cmd != bus.UpdateWord || !r.MemUpdate {
+		t.Fatalf("shared write: %+v, want UpdateWord with memory update", r)
+	}
+	txn := &bus.Transaction{Cmd: bus.UpdateWord, MemUpdate: true}
+	txn.Lines.Hit = true
+	c := p.Complete(SC, protocol.OpWrite, txn)
+	if c.NewState != SC {
+		t.Errorf("update with sharers -> %s, want stay Sc (clean)", p.StateName(c.NewState))
+	}
+}
+
+func TestNoSharedDirtyState(t *testing.T) {
+	// Memory write-through keeps shared copies clean, so no Sd state.
+	if p.IsDirty(SC) {
+		t.Error("Sc must be clean")
+	}
+	txn := &bus.Transaction{Cmd: bus.UpdateWord}
+	c := p.Complete(SC, protocol.OpWrite, txn)
+	if c.NewState != E {
+		t.Errorf("update with no sharers -> %s, want E (memory just updated)", p.StateName(c.NewState))
+	}
+}
+
+func TestModifiedFlushesOnTransfer(t *testing.T) {
+	res := p.Snoop(M, &bus.Transaction{Cmd: bus.Read})
+	if !res.Supply || !res.Flush || res.NewState != SC {
+		t.Errorf("read snoop on M: %+v, want supply+flush -> Sc", res)
+	}
+}
+
+func TestExclusiveSilentWrite(t *testing.T) {
+	r := p.ProcAccess(E, protocol.OpWrite)
+	if !r.Hit || r.NewState != M {
+		t.Errorf("write on E: %+v", r)
+	}
+}
+
+func TestSnoopUpdateTakesWord(t *testing.T) {
+	res := p.Snoop(SC, &bus.Transaction{Cmd: bus.UpdateWord})
+	if !res.UpdateWord || res.NewState != SC || !res.Hit {
+		t.Errorf("snoop update on Sc: %+v", res)
+	}
+}
+
+func TestWriteMissTwoPhase(t *testing.T) {
+	r := p.ProcAccess(I, protocol.OpWrite)
+	if r.Cmd != bus.Read {
+		t.Fatalf("write miss: %+v", r)
+	}
+	c := p.Complete(I, protocol.OpWrite, &bus.Transaction{Cmd: bus.Read})
+	if c.NewState != E || c.Done {
+		t.Fatalf("unshared write-miss fetch: %+v", c)
+	}
+	r = p.ProcAccess(E, protocol.OpWrite)
+	if !r.Hit || r.NewState != M {
+		t.Errorf("second phase: %+v", r)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	for s, want := range map[protocol.State]bool{I: false, E: false, SC: false, M: true} {
+		if got := p.Evict(s).Writeback; got != want {
+			t.Errorf("Evict(%s) = %v, want %v", p.StateName(s), got, want)
+		}
+	}
+}
+
+// The complete Firefly machine, locked in cell by cell.
+func TestFullTransitionTable(t *testing.T) {
+	states := []protocol.State{I, E, SC, M}
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite}
+	tabletest.CheckProc(t, p, states, ops, []tabletest.ProcRow{
+		{S: I, Op: protocol.OpRead, Cmd: bus.Read},
+		{S: I, Op: protocol.OpReadEx, Cmd: bus.Read},
+		{S: I, Op: protocol.OpWrite, Cmd: bus.Read},
+		{S: E, Op: protocol.OpRead, Hit: true, NS: E},
+		{S: E, Op: protocol.OpReadEx, Hit: true, NS: E},
+		{S: E, Op: protocol.OpWrite, Hit: true, NS: M},
+		{S: SC, Op: protocol.OpRead, Hit: true, NS: SC},
+		{S: SC, Op: protocol.OpReadEx, Hit: true, NS: SC},
+		{S: SC, Op: protocol.OpWrite, Cmd: bus.UpdateWord}, // written through to memory too
+		{S: M, Op: protocol.OpRead, Hit: true, NS: M},
+		{S: M, Op: protocol.OpReadEx, Hit: true, NS: M},
+		{S: M, Op: protocol.OpWrite, Hit: true, NS: M},
+	})
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.UpdateWord}
+	tabletest.CheckSnoop(t, p, states, cmds, []tabletest.SnoopRow{
+		{S: I, Cmd: bus.Read, NS: I},
+		{S: I, Cmd: bus.ReadX, NS: I},
+		{S: I, Cmd: bus.Upgrade, NS: I},
+		{S: I, Cmd: bus.UpdateWord, NS: I},
+		{S: E, Cmd: bus.Read, NS: SC, Hit: true},
+		{S: E, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: E, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: E, Cmd: bus.UpdateWord, NS: SC, Hit: true, Update: true},
+		{S: SC, Cmd: bus.Read, NS: SC, Hit: true},
+		{S: SC, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: SC, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: SC, Cmd: bus.UpdateWord, NS: SC, Hit: true, Update: true},
+		// No shared-dirty state: a modified block flushes as it is
+		// shared, so shared copies are always clean.
+		{S: M, Cmd: bus.Read, NS: SC, Hit: true, Supply: true, Flush: true},
+		{S: M, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Flush: true},
+		{S: M, Cmd: bus.Upgrade, NS: I, Hit: true, Supply: true, Flush: true},
+		{S: M, Cmd: bus.UpdateWord, NS: SC, Hit: true, Update: true},
+	})
+}

@@ -1,0 +1,232 @@
+package protocol_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/all"
+)
+
+// validStates enumerates a protocol's real states: those it gives a
+// name to (unknown values render as "state(N)").
+func validStates(p protocol.Protocol) []protocol.State {
+	var out []protocol.State
+	for s := protocol.State(0); s < 16; s++ {
+		if p.StateName(s) != fmt.Sprintf("state(%d)", uint16(s)) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// opsFor lists the processor operations the engine can actually issue
+// against a protocol (locks only with hardware-lock support, block
+// writes only with Feature 9 — otherwise the engine lowers them).
+func opsFor(p protocol.Protocol) []protocol.Op {
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite}
+	f := p.Features()
+	if f.HardwareLock {
+		ops = append(ops, protocol.OpLock, protocol.OpUnlock)
+	}
+	if f.WriteNoFetch {
+		ops = append(ops, protocol.OpWriteBlock)
+	}
+	return ops
+}
+
+func isValid(p protocol.Protocol, s protocol.State) bool {
+	return p.StateName(s) != fmt.Sprintf("state(%d)", uint16(s))
+}
+
+// TestProcAccessTotality: every reachable (state, op) pair yields
+// either a hit with a valid new state or a real bus command.
+func TestProcAccessTotality(t *testing.T) {
+	for _, name := range all.Everything {
+		p := protocol.MustNew(name)
+		for _, s := range validStates(p) {
+			for _, op := range opsFor(p) {
+				r := p.ProcAccess(s, op)
+				if r.Hit {
+					if !isValid(p, r.NewState) {
+						t.Errorf("%s: ProcAccess(%s,%s) hit into invalid state %d",
+							name, p.StateName(s), op, r.NewState)
+					}
+					if r.NewState == protocol.Invalid {
+						t.Errorf("%s: ProcAccess(%s,%s) hit into Invalid", name, p.StateName(s), op)
+					}
+				} else if r.Cmd == bus.None {
+					t.Errorf("%s: ProcAccess(%s,%s) neither hits nor issues a command",
+						name, p.StateName(s), op)
+				}
+			}
+		}
+	}
+}
+
+// TestSnoopTotality: snooping any command against any valid state
+// yields a valid state and asserts only lines the scheme can drive.
+func TestSnoopTotality(t *testing.T) {
+	cmds := []bus.Cmd{
+		bus.Read, bus.ReadX, bus.Upgrade, bus.WriteWord, bus.UpdateWord,
+		bus.Flush, bus.Unlock, bus.WriteNoFetch, bus.IORead, bus.IOWrite,
+	}
+	for _, name := range all.Everything {
+		p := protocol.MustNew(name)
+		hw := p.Features().HardwareLock
+		for _, s := range validStates(p) {
+			for _, cmd := range cmds {
+				res := p.Snoop(s, &bus.Transaction{Cmd: cmd, Requester: 1})
+				if !isValid(p, res.NewState) {
+					t.Errorf("%s: Snoop(%s,%v) -> invalid state %d", name, p.StateName(s), cmd, res.NewState)
+				}
+				if res.Locked && !hw {
+					t.Errorf("%s: Snoop(%s,%v) asserted Locked without a hardware lock",
+						name, p.StateName(s), cmd)
+				}
+				if res.Supply && s == protocol.Invalid {
+					t.Errorf("%s: invalid line supplied data on %v", name, cmd)
+				}
+			}
+		}
+	}
+}
+
+// TestDirtyImpliesWriteback: a dirty state must write back on
+// eviction, a clean one must not (dirty data is never dropped,
+// clean evictions are free).
+func TestDirtyImpliesWriteback(t *testing.T) {
+	for _, name := range all.Everything {
+		p := protocol.MustNew(name)
+		for _, s := range validStates(p) {
+			if got := p.Evict(s).Writeback; got != p.IsDirty(s) {
+				t.Errorf("%s: state %s dirty=%v but writeback=%v",
+					name, p.StateName(s), p.IsDirty(s), got)
+			}
+		}
+	}
+}
+
+// TestSourcesSupplyWritePrivilegeRequests: every non-locked source
+// state must supply the block when another cache fetches it with
+// write privilege (the minimum source function).
+func TestSourcesSupplyWritePrivilegeRequests(t *testing.T) {
+	for _, name := range all.Everything {
+		p := protocol.MustNew(name)
+		if !p.Features().CacheToCache {
+			continue
+		}
+		for _, s := range validStates(p) {
+			if !p.IsSource(s) || p.Privilege(s) == protocol.PrivLock {
+				continue
+			}
+			res := p.Snoop(s, &bus.Transaction{Cmd: bus.ReadX, Requester: 1})
+			if !res.Supply {
+				t.Errorf("%s: source state %s did not supply on ReadX", name, p.StateName(s))
+			}
+		}
+	}
+}
+
+// TestLockedStatesDenyEverything: lock-privilege states must assert
+// the Locked line against every access request.
+func TestLockedStatesDenyEverything(t *testing.T) {
+	for _, name := range all.Everything {
+		p := protocol.MustNew(name)
+		for _, s := range validStates(p) {
+			if p.Privilege(s) != protocol.PrivLock {
+				continue
+			}
+			for _, cmd := range []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteNoFetch} {
+				res := p.Snoop(s, &bus.Transaction{Cmd: cmd, Requester: 1})
+				if !res.Locked {
+					t.Errorf("%s: locked state %s did not deny %v", name, p.StateName(s), cmd)
+				}
+				if res.Supply {
+					t.Errorf("%s: locked state %s supplied on %v", name, p.StateName(s), cmd)
+				}
+			}
+		}
+	}
+}
+
+// TestCompleteTotality drives Complete with every command the
+// protocol actually issues and every plausible line combination.
+func TestCompleteTotality(t *testing.T) {
+	lineCombos := []bus.Lines{
+		{},
+		{Hit: true},
+		{Hit: true, SourceHit: true, Inhibit: true},
+		{Hit: true, SourceHit: true, Dirty: true, Inhibit: true},
+	}
+	for _, name := range all.Everything {
+		p := protocol.MustNew(name)
+		hw := p.Features().HardwareLock
+		for _, s := range validStates(p) {
+			for _, op := range opsFor(p) {
+				r := p.ProcAccess(s, op)
+				if r.Hit {
+					continue
+				}
+				for _, lines := range lineCombos {
+					txn := &bus.Transaction{Cmd: r.Cmd, Lines: lines}
+					c := p.Complete(s, op, txn)
+					if !isValid(p, c.NewState) {
+						t.Errorf("%s: Complete(%s,%s,%v,%+v) -> invalid state %d",
+							name, p.StateName(s), op, r.Cmd, lines, c.NewState)
+					}
+					if c.BusyWait {
+						t.Errorf("%s: Complete busy-waits without a Locked line", name)
+					}
+				}
+				if hw {
+					txn := &bus.Transaction{Cmd: r.Cmd}
+					txn.Lines.Locked = true
+					c := p.Complete(s, op, txn)
+					if r.Cmd != bus.Unlock && !c.BusyWait {
+						t.Errorf("%s: Complete(%s,%s) ignored the Locked line", name, p.StateName(s), op)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStateNamesDistinct: state names must be unique within a
+// protocol (they label traces and figures).
+func TestStateNamesDistinct(t *testing.T) {
+	for _, name := range all.Everything {
+		p := protocol.MustNew(name)
+		seen := map[string]protocol.State{}
+		for _, s := range validStates(p) {
+			n := p.StateName(s)
+			if strings.TrimSpace(n) == "" {
+				t.Errorf("%s: state %d has an empty name", name, s)
+			}
+			if prev, dup := seen[n]; dup {
+				t.Errorf("%s: states %d and %d share the name %q", name, prev, s, n)
+			}
+			seen[n] = s
+		}
+	}
+}
+
+// TestInvalidSnoopsAreInert: protocols that do not snoop invalid
+// lines must leave Invalid untouched for every command.
+func TestInvalidSnoopsAreInert(t *testing.T) {
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.Flush, bus.Unlock, bus.IOWrite}
+	for _, name := range all.Everything {
+		p := protocol.MustNew(name)
+		if p.Features().SnoopsInvalid {
+			continue
+		}
+		for _, cmd := range cmds {
+			res := p.Snoop(protocol.Invalid, &bus.Transaction{Cmd: cmd, Requester: 1})
+			if res.NewState != protocol.Invalid || res.Supply || res.Hit || res.Locked {
+				t.Errorf("%s: Snoop(Invalid,%v) = %+v, want inert", name, cmd, res)
+			}
+		}
+	}
+}

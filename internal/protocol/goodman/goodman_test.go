@@ -1,0 +1,129 @@
+package goodman
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/tabletest"
+)
+
+var p = Protocol{}
+
+func TestWriteOnceSequence(t *testing.T) {
+	// Miss -> fetch; first write -> write-through -> Reserved;
+	// second write -> Dirty with no bus access.
+	r := p.ProcAccess(I, protocol.OpWrite)
+	if r.Cmd != bus.Read {
+		t.Fatalf("write miss should fetch first: %+v", r)
+	}
+	c := p.Complete(I, protocol.OpWrite, &bus.Transaction{Cmd: bus.Read})
+	if c.NewState != V || c.Done {
+		t.Fatalf("fetch phase: %+v, want V and not done", c)
+	}
+	r = p.ProcAccess(V, protocol.OpWrite)
+	if r.Cmd != bus.WriteWord {
+		t.Fatalf("first write: %+v, want write-through", r)
+	}
+	c = p.Complete(V, protocol.OpWrite, &bus.Transaction{Cmd: bus.WriteWord})
+	if c.NewState != R || !c.Done {
+		t.Fatalf("after first write: %+v, want Reserved", c)
+	}
+	r = p.ProcAccess(R, protocol.OpWrite)
+	if !r.Hit || r.NewState != D {
+		t.Fatalf("second write: %+v, want silent -> Dirty", r)
+	}
+}
+
+func TestWriteThroughInvalidates(t *testing.T) {
+	for _, s := range []protocol.State{V, R} {
+		res := p.Snoop(s, &bus.Transaction{Cmd: bus.WriteWord})
+		if res.NewState != I {
+			t.Errorf("snoop writeword on %s -> %s, want I", p.StateName(s), p.StateName(res.NewState))
+		}
+	}
+}
+
+func TestDirtySourceSuppliesAndFlushes(t *testing.T) {
+	res := p.Snoop(D, &bus.Transaction{Cmd: bus.Read})
+	if !res.Supply || !res.Flush || res.NewState != V {
+		t.Errorf("snoop read on D: %+v, want supply+flush -> V", res)
+	}
+}
+
+func TestReserveLostOnFetch(t *testing.T) {
+	res := p.Snoop(R, &bus.Transaction{Cmd: bus.Read})
+	if res.NewState != V || !res.Hit {
+		t.Errorf("snoop read on R: %+v, want -> V", res)
+	}
+}
+
+func TestNoFetchForWriteOnReadMiss(t *testing.T) {
+	// Feature 5 absent: a read miss always takes read privilege.
+	c := p.Complete(I, protocol.OpRead, &bus.Transaction{Cmd: bus.Read})
+	if c.NewState != V {
+		t.Errorf("read miss -> %s, want V", p.StateName(c.NewState))
+	}
+	if f := p.Features(); f.ReadForWrite != "" || f.BusInvalidateSignal {
+		t.Errorf("features: %+v", f)
+	}
+}
+
+func TestEvictOnlyDirty(t *testing.T) {
+	for s, want := range map[protocol.State]bool{I: false, V: false, R: false, D: true} {
+		if got := p.Evict(s).Writeback; got != want {
+			t.Errorf("Evict(%s).Writeback = %v", p.StateName(s), got)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if p.Privilege(V) != protocol.PrivRead || p.Privilege(R) != protocol.PrivWrite || p.Privilege(D) != protocol.PrivWrite {
+		t.Error("privilege classification wrong")
+	}
+	if p.IsSource(R) || !p.IsSource(D) {
+		t.Error("only D is a source state in Goodman")
+	}
+	if p.IsDirty(R) {
+		t.Error("Reserved is clean (the write went through)")
+	}
+}
+
+// The complete write-once machine, locked in cell by cell.
+func TestFullTransitionTable(t *testing.T) {
+	states := []protocol.State{I, V, R, D}
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite}
+	tabletest.CheckProc(t, p, states, ops, []tabletest.ProcRow{
+		{S: I, Op: protocol.OpRead, Cmd: bus.Read},
+		{S: I, Op: protocol.OpReadEx, Cmd: bus.Read},
+		{S: I, Op: protocol.OpWrite, Cmd: bus.Read}, // fetch precedes the write-through
+		{S: V, Op: protocol.OpRead, Hit: true, NS: V},
+		{S: V, Op: protocol.OpReadEx, Hit: true, NS: V},
+		{S: V, Op: protocol.OpWrite, Cmd: bus.WriteWord}, // write once: through to memory
+		{S: R, Op: protocol.OpRead, Hit: true, NS: R},
+		{S: R, Op: protocol.OpReadEx, Hit: true, NS: R},
+		{S: R, Op: protocol.OpWrite, Hit: true, NS: D}, // second write: dirty, silent
+		{S: D, Op: protocol.OpRead, Hit: true, NS: D},
+		{S: D, Op: protocol.OpReadEx, Hit: true, NS: D},
+		{S: D, Op: protocol.OpWrite, Hit: true, NS: D},
+	})
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteWord}
+	tabletest.CheckSnoop(t, p, states, cmds, []tabletest.SnoopRow{
+		{S: I, Cmd: bus.Read, NS: I},
+		{S: I, Cmd: bus.ReadX, NS: I},
+		{S: I, Cmd: bus.Upgrade, NS: I},
+		{S: I, Cmd: bus.WriteWord, NS: I},
+		{S: V, Cmd: bus.Read, NS: V, Hit: true},
+		{S: V, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: V, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: V, Cmd: bus.WriteWord, NS: I, Hit: true}, // invalidating write-through
+		{S: R, Cmd: bus.Read, NS: V, Hit: true},      // reserve lost
+		{S: R, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: R, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: R, Cmd: bus.WriteWord, NS: I, Hit: true},
+		{S: D, Cmd: bus.Read, NS: V, Hit: true, Supply: true, Flush: true}, // Feature 7 "F"
+		{S: D, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Flush: true},
+		{S: D, Cmd: bus.Upgrade, NS: I, Hit: true, Supply: true, Flush: true},
+		{S: D, Cmd: bus.WriteWord, NS: I, Hit: true}, // unreachable in pure write-once
+	})
+}

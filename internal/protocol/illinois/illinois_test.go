@@ -1,0 +1,128 @@
+package illinois
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/tabletest"
+)
+
+var p = Protocol{}
+
+func TestDynamicFetchForWrite(t *testing.T) {
+	// Feature 5 "D": read miss with no other copy -> valid-exclusive.
+	txn := &bus.Transaction{Cmd: bus.Read}
+	c := p.Complete(I, protocol.OpRead, txn)
+	if c.NewState != VE {
+		t.Errorf("unshared read miss -> %s, want E", p.StateName(c.NewState))
+	}
+	txn2 := &bus.Transaction{Cmd: bus.Read}
+	txn2.Lines.Hit = true
+	txn2.Lines.SourceHit = true
+	c = p.Complete(I, protocol.OpRead, txn2)
+	if c.NewState != SH {
+		t.Errorf("shared read miss -> %s, want S", p.StateName(c.NewState))
+	}
+}
+
+func TestSilentWriteOnExclusive(t *testing.T) {
+	r := p.ProcAccess(VE, protocol.OpWrite)
+	if !r.Hit || r.NewState != DI {
+		t.Errorf("write on E: %+v, want silent -> M", r)
+	}
+}
+
+func TestEveryValidStateSupplies(t *testing.T) {
+	// "if a cache has a block, it also has source status" (F.2).
+	for _, s := range []protocol.State{SH, VE, DI} {
+		res := p.Snoop(s, &bus.Transaction{Cmd: bus.Read})
+		if !res.Supply {
+			t.Errorf("snoop read on %s did not supply", p.StateName(s))
+		}
+	}
+	if !p.IsSource(SH) || !p.IsSource(VE) || !p.IsSource(DI) {
+		t.Error("all valid states are potential sources (ARB)")
+	}
+}
+
+func TestDirtyFlushedOnTransfer(t *testing.T) {
+	// Feature 7 "F": copies arrive clean.
+	res := p.Snoop(DI, &bus.Transaction{Cmd: bus.Read})
+	if !res.Flush || res.NewState != SH || res.Dirty {
+		t.Errorf("snoop read on M: %+v, want flush -> S, no dirty status", res)
+	}
+}
+
+func TestUpgradeOnSharedWrite(t *testing.T) {
+	r := p.ProcAccess(SH, protocol.OpWrite)
+	if r.Cmd != bus.Upgrade {
+		t.Errorf("write on S: %+v, want Upgrade", r)
+	}
+}
+
+func TestSnoopInvalidatesOnReadX(t *testing.T) {
+	for _, s := range []protocol.State{SH, VE, DI} {
+		res := p.Snoop(s, &bus.Transaction{Cmd: bus.ReadX})
+		if res.NewState != I {
+			t.Errorf("readx snoop on %s -> %s", p.StateName(s), p.StateName(res.NewState))
+		}
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f := p.Features()
+	if f.SourcePolicy != "ARB" || f.ReadForWrite != "D" || f.FlushOnTransfer != "F" {
+		t.Errorf("features: %+v", f)
+	}
+	if !f.HasState(protocol.RowWriteClean) || f.States[protocol.RowReadClean] != protocol.MarkSource {
+		t.Errorf("Table 1 states wrong: %+v", f.States)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	if !p.Evict(DI).Writeback || p.Evict(VE).Writeback || p.Evict(SH).Writeback {
+		t.Error("only M writes back")
+	}
+}
+
+// The complete Illinois machine, locked in cell by cell.
+func TestFullTransitionTable(t *testing.T) {
+	states := []protocol.State{I, SH, VE, DI}
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite}
+	tabletest.CheckProc(t, p, states, ops, []tabletest.ProcRow{
+		{S: I, Op: protocol.OpRead, Cmd: bus.Read},
+		{S: I, Op: protocol.OpReadEx, Cmd: bus.Read}, // dynamic determination: same fetch
+		{S: I, Op: protocol.OpWrite, Cmd: bus.ReadX},
+		{S: SH, Op: protocol.OpRead, Hit: true, NS: SH},
+		{S: SH, Op: protocol.OpReadEx, Hit: true, NS: SH},
+		{S: SH, Op: protocol.OpWrite, Cmd: bus.Upgrade},
+		{S: VE, Op: protocol.OpRead, Hit: true, NS: VE},
+		{S: VE, Op: protocol.OpReadEx, Hit: true, NS: VE},
+		{S: VE, Op: protocol.OpWrite, Hit: true, NS: DI}, // silent write on exclusive
+		{S: DI, Op: protocol.OpRead, Hit: true, NS: DI},
+		{S: DI, Op: protocol.OpReadEx, Hit: true, NS: DI},
+		{S: DI, Op: protocol.OpWrite, Hit: true, NS: DI},
+	})
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteWord}
+	tabletest.CheckSnoop(t, p, states, cmds, []tabletest.SnoopRow{
+		{S: I, Cmd: bus.Read, NS: I},
+		{S: I, Cmd: bus.ReadX, NS: I},
+		{S: I, Cmd: bus.Upgrade, NS: I},
+		{S: I, Cmd: bus.WriteWord, NS: I},
+		// Every valid state is a potential source (ARB).
+		{S: SH, Cmd: bus.Read, NS: SH, Hit: true, Supply: true},
+		{S: SH, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true},
+		{S: SH, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: SH, Cmd: bus.WriteWord, NS: I, Hit: true},
+		{S: VE, Cmd: bus.Read, NS: SH, Hit: true, Supply: true},
+		{S: VE, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true},
+		{S: VE, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: VE, Cmd: bus.WriteWord, NS: I, Hit: true},
+		// Dirty blocks are flushed while transferred (Feature 7 "F").
+		{S: DI, Cmd: bus.Read, NS: SH, Hit: true, Supply: true, Flush: true},
+		{S: DI, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Flush: true},
+		{S: DI, Cmd: bus.Upgrade, NS: I, Hit: true, Flush: true},
+		{S: DI, Cmd: bus.WriteWord, NS: I, Hit: true, Flush: true},
+	})
+}

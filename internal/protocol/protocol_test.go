@@ -1,0 +1,125 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/all"
+)
+
+func TestRegistryHasAllProtocols(t *testing.T) {
+	names := protocol.Names()
+	if len(names) != len(all.Everything) {
+		t.Fatalf("registry has %d protocols (%v), want %d", len(names), names, len(all.Everything))
+	}
+	for _, n := range all.Everything {
+		p, err := protocol.New(n)
+		if err != nil {
+			t.Errorf("New(%q): %v", n, err)
+			continue
+		}
+		if p.Name() != n {
+			t.Errorf("New(%q).Name() = %q", n, p.Name())
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := protocol.New("nope"); err == nil {
+		t.Error("New(nope) should fail")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(nope) did not panic")
+		}
+	}()
+	protocol.MustNew("nope")
+}
+
+func TestOpStrings(t *testing.T) {
+	cases := map[protocol.Op]string{
+		protocol.OpRead: "read", protocol.OpReadEx: "readex",
+		protocol.OpWrite: "write", protocol.OpLock: "lock",
+		protocol.OpUnlock: "unlock", protocol.OpWriteBlock: "writeblock",
+		protocol.Op(99): "op(99)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestOpIsWrite(t *testing.T) {
+	writes := map[protocol.Op]bool{
+		protocol.OpRead: false, protocol.OpReadEx: false,
+		protocol.OpWrite: true, protocol.OpLock: false,
+		protocol.OpUnlock: true, protocol.OpWriteBlock: true,
+	}
+	for op, want := range writes {
+		if got := op.IsWrite(); got != want {
+			t.Errorf("%v.IsWrite() = %v", op, got)
+		}
+	}
+}
+
+func TestPrivString(t *testing.T) {
+	cases := map[protocol.Priv]string{
+		protocol.PrivNone: "none", protocol.PrivRead: "read",
+		protocol.PrivWrite: "write", protocol.PrivLock: "lock",
+		protocol.Priv(9): "priv(9)",
+	}
+	for pr, want := range cases {
+		if got := pr.String(); got != want {
+			t.Errorf("Priv(%d).String() = %q, want %q", pr, got, want)
+		}
+	}
+}
+
+func TestEveryProtocolDescribesItsStates(t *testing.T) {
+	for _, n := range all.Everything {
+		p := protocol.MustNew(n)
+		f := p.Features()
+		if f.Title == "" || f.Year == 0 {
+			t.Errorf("%s: missing title/year: %+v", n, f)
+		}
+		if !f.HasState(protocol.RowInvalid) {
+			t.Errorf("%s: every protocol has an Invalid state", n)
+		}
+		// State 0 is Invalid everywhere, with no privilege and no
+		// obligations.
+		if p.Privilege(protocol.Invalid) != protocol.PrivNone {
+			t.Errorf("%s: Invalid must confer no privilege", n)
+		}
+		if p.IsDirty(protocol.Invalid) || p.IsSource(protocol.Invalid) {
+			t.Errorf("%s: Invalid must be clean and non-source", n)
+		}
+		if ev := p.Evict(protocol.Invalid); ev.Writeback || ev.LockPurge {
+			t.Errorf("%s: evicting Invalid must be free", n)
+		}
+		if p.StateName(protocol.Invalid) != "I" {
+			t.Errorf("%s: StateName(Invalid) = %q, want I", n, p.StateName(protocol.Invalid))
+		}
+	}
+}
+
+func TestTable1OrderRegistered(t *testing.T) {
+	for _, n := range all.Table1Order {
+		if _, err := protocol.New(n); err != nil {
+			t.Errorf("Table 1 protocol %q missing: %v", n, err)
+		}
+	}
+}
+
+func TestStateRowsOrder(t *testing.T) {
+	rows := protocol.StateRows()
+	if len(rows) != 8 {
+		t.Fatalf("StateRows() = %d rows, want 8", len(rows))
+	}
+	if rows[0] != protocol.RowInvalid || rows[7] != protocol.RowLockDirtyWait {
+		t.Errorf("row order wrong: %v", rows)
+	}
+}

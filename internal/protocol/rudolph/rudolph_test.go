@@ -1,0 +1,143 @@
+package rudolph
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/tabletest"
+)
+
+var p = Protocol{}
+
+func TestFirstWriteThroughThenWriteIn(t *testing.T) {
+	// Section E.4: write-through on the first write after another
+	// processor accessed the block; write-in afterward.
+	r := p.ProcAccess(V, protocol.OpWrite)
+	if r.Cmd != bus.WriteWord {
+		t.Fatalf("first write: %+v, want WriteWord", r)
+	}
+	c := p.Complete(V, protocol.OpWrite, &bus.Transaction{Cmd: bus.WriteWord})
+	if c.NewState != W1 {
+		t.Fatalf("after first write -> %s, want W1", p.StateName(c.NewState))
+	}
+	r = p.ProcAccess(W1, protocol.OpWrite)
+	if r.Cmd != bus.Upgrade {
+		t.Fatalf("second write: %+v, want invalidation (the write-in transition)", r)
+	}
+	c = p.Complete(W1, protocol.OpWrite, &bus.Transaction{Cmd: bus.Upgrade})
+	if c.NewState != D {
+		t.Fatalf("after second write -> %s, want D", p.StateName(c.NewState))
+	}
+	r = p.ProcAccess(D, protocol.OpWrite)
+	if !r.Hit || r.NewState != D {
+		t.Errorf("third write: %+v, want silent write-in", r)
+	}
+}
+
+func TestWriteThroughUpdatesInvalidCopies(t *testing.T) {
+	// The heart of their busy-wait support: write-throughs update
+	// invalid as well as valid copies.
+	res := p.Snoop(I, &bus.Transaction{Cmd: bus.WriteWord, WordData: 1})
+	if !res.TakeWord || res.NewState != V {
+		t.Errorf("snoop writeword on I: %+v, want take word -> V", res)
+	}
+	if res.Hit {
+		t.Error("an invalid copy cannot raise the hit line")
+	}
+	res = p.Snoop(V, &bus.Transaction{Cmd: bus.WriteWord})
+	if !res.UpdateWord || res.NewState != V || !res.Hit {
+		t.Errorf("snoop writeword on V: %+v", res)
+	}
+}
+
+func TestInterleavedAccessEndsWriteIn(t *testing.T) {
+	res := p.Snoop(D, &bus.Transaction{Cmd: bus.Read})
+	if !res.Supply || !res.Flush || res.NewState != V {
+		t.Errorf("read snoop on D: %+v, want supply+flush -> V", res)
+	}
+	res = p.Snoop(W1, &bus.Transaction{Cmd: bus.Read})
+	if res.NewState != V {
+		t.Errorf("read snoop on W1 -> %s, want V (back to write-through mode)", p.StateName(res.NewState))
+	}
+}
+
+func TestOneWordBlocksRequired(t *testing.T) {
+	f := p.Features()
+	if !f.OneWordBlocks {
+		t.Error("block size is limited to one word (Section E.4)")
+	}
+	if !f.SnoopsInvalid {
+		t.Error("invalid copies must snoop to take write-through words")
+	}
+	if !f.EfficientBusyWait {
+		t.Error("the scheme is oriented around efficient busy wait")
+	}
+}
+
+func TestSecondWriteInvalidatesCopies(t *testing.T) {
+	res := p.Snoop(V, &bus.Transaction{Cmd: bus.Upgrade})
+	if res.NewState != I {
+		t.Errorf("upgrade snoop on V -> %s, want I", p.StateName(res.NewState))
+	}
+}
+
+func TestWriteMissWritesThrough(t *testing.T) {
+	r := p.ProcAccess(I, protocol.OpWrite)
+	if r.Cmd != bus.WriteWord {
+		t.Errorf("write miss: %+v, want WriteWord", r)
+	}
+	c := p.Complete(I, protocol.OpWrite, &bus.Transaction{Cmd: bus.WriteWord})
+	if c.NewState != W1 {
+		t.Errorf("write-miss complete -> %s, want W1", p.StateName(c.NewState))
+	}
+}
+
+func TestEvict(t *testing.T) {
+	for s, want := range map[protocol.State]bool{I: false, V: false, W1: false, D: true} {
+		if got := p.Evict(s).Writeback; got != want {
+			t.Errorf("Evict(%s) = %v, want %v", p.StateName(s), got, want)
+		}
+	}
+}
+
+// The complete Rudolph-Segall machine, locked in cell by cell.
+func TestFullTransitionTable(t *testing.T) {
+	states := []protocol.State{I, V, W1, D}
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite}
+	tabletest.CheckProc(t, p, states, ops, []tabletest.ProcRow{
+		{S: I, Op: protocol.OpRead, Cmd: bus.Read},
+		{S: I, Op: protocol.OpReadEx, Cmd: bus.Read},
+		{S: I, Op: protocol.OpWrite, Cmd: bus.WriteWord}, // write-through, allocating
+		{S: V, Op: protocol.OpRead, Hit: true, NS: V},
+		{S: V, Op: protocol.OpReadEx, Hit: true, NS: V},
+		{S: V, Op: protocol.OpWrite, Cmd: bus.WriteWord}, // first write after sharing
+		{S: W1, Op: protocol.OpRead, Hit: true, NS: W1},
+		{S: W1, Op: protocol.OpReadEx, Hit: true, NS: W1},
+		{S: W1, Op: protocol.OpWrite, Cmd: bus.Upgrade}, // second write: switch to write-in
+		{S: D, Op: protocol.OpRead, Hit: true, NS: D},
+		{S: D, Op: protocol.OpReadEx, Hit: true, NS: D},
+		{S: D, Op: protocol.OpWrite, Hit: true, NS: D},
+	})
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteWord}
+	tabletest.CheckSnoop(t, p, states, cmds, []tabletest.SnoopRow{
+		// Invalid copies take broadcast write-through words (the
+		// busy-wait support of Section E.4) but stay inert otherwise.
+		{S: I, Cmd: bus.Read, NS: I},
+		{S: I, Cmd: bus.ReadX, NS: I},
+		{S: I, Cmd: bus.Upgrade, NS: I},
+		{S: I, Cmd: bus.WriteWord, NS: V, Take: true},
+		{S: V, Cmd: bus.Read, NS: V, Hit: true},
+		{S: V, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: V, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: V, Cmd: bus.WriteWord, NS: V, Hit: true, Update: true},
+		{S: W1, Cmd: bus.Read, NS: V, Hit: true}, // interleaved access: back to WT mode
+		{S: W1, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: W1, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: W1, Cmd: bus.WriteWord, NS: V, Hit: true, Update: true},
+		{S: D, Cmd: bus.Read, NS: V, Hit: true, Supply: true, Flush: true},
+		{S: D, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Flush: true},
+		{S: D, Cmd: bus.Upgrade, NS: I, Hit: true, Supply: true, Flush: true},
+		{S: D, Cmd: bus.WriteWord, NS: V, Hit: true, Update: true}, // defensive
+	})
+}

@@ -1,0 +1,121 @@
+package synapse
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/tabletest"
+)
+
+var p = Protocol{}
+
+func TestInvalidateConcurrentWithFetch(t *testing.T) {
+	// Feature 4: a write miss gains write privilege while fetching.
+	r := p.ProcAccess(I, protocol.OpWrite)
+	if r.Cmd != bus.ReadX {
+		t.Fatalf("write miss: %+v, want ReadX", r)
+	}
+	c := p.Complete(I, protocol.OpWrite, &bus.Transaction{Cmd: bus.ReadX})
+	if c.NewState != D || !c.Done {
+		t.Fatalf("write miss complete: %+v", c)
+	}
+}
+
+func TestNoCleanWriteState(t *testing.T) {
+	// Frank drops Goodman's Reserved state (Section F.2).
+	f := p.Features()
+	if f.HasState(protocol.RowWriteClean) {
+		t.Error("Synapse should not have a clean write state")
+	}
+	if f.States[protocol.RowWriteDirty] != protocol.MarkSource {
+		t.Error("Write,Dirty should be the (only) source state")
+	}
+}
+
+func TestSourceSuppliesOnlyForWritePrivilege(t *testing.T) {
+	// Table 1 note 1.
+	res := p.Snoop(D, &bus.Transaction{Cmd: bus.Read})
+	if res.Supply {
+		t.Errorf("read snoop on D: %+v; source must not supply for read privilege", res)
+	}
+	if !res.Flush || res.NewState != V {
+		t.Errorf("read snoop on D: %+v; want writeback -> V", res)
+	}
+	res = p.Snoop(D, &bus.Transaction{Cmd: bus.ReadX})
+	if !res.Supply || !res.Dirty || res.Flush {
+		t.Errorf("readx snoop on D: %+v; want supply, no flush (NF)", res)
+	}
+	if res.NewState != I {
+		t.Errorf("readx snoop on D -> %s, want I", p.StateName(res.NewState))
+	}
+}
+
+func TestMemorySourceBitDeclared(t *testing.T) {
+	f := p.Features()
+	if !f.MemorySourceBit {
+		t.Error("Frank keeps a source bit in main memory (Feature 2)")
+	}
+	if f.DistributedState != "RWD" {
+		t.Errorf("DistributedState = %q, want RWD (source bit not distributed)", f.DistributedState)
+	}
+}
+
+func TestUpgradeOnWriteHit(t *testing.T) {
+	r := p.ProcAccess(V, protocol.OpWrite)
+	if r.Cmd != bus.Upgrade {
+		t.Errorf("write hit on V: %+v, want Upgrade", r)
+	}
+	c := p.Complete(V, protocol.OpWrite, &bus.Transaction{Cmd: bus.Upgrade})
+	if c.NewState != D {
+		t.Errorf("upgrade complete -> %s", p.StateName(c.NewState))
+	}
+}
+
+func TestReadMissTakesReadPrivilege(t *testing.T) {
+	// Feature 5 absent.
+	c := p.Complete(I, protocol.OpRead, &bus.Transaction{Cmd: bus.Read})
+	if c.NewState != V {
+		t.Errorf("read miss -> %s, want V", p.StateName(c.NewState))
+	}
+}
+
+func TestEvict(t *testing.T) {
+	if !p.Evict(D).Writeback || p.Evict(V).Writeback {
+		t.Error("only D writes back")
+	}
+}
+
+// The complete Synapse machine, locked in cell by cell.
+func TestFullTransitionTable(t *testing.T) {
+	states := []protocol.State{I, V, D}
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite}
+	tabletest.CheckProc(t, p, states, ops, []tabletest.ProcRow{
+		{S: I, Op: protocol.OpRead, Cmd: bus.Read},
+		{S: I, Op: protocol.OpReadEx, Cmd: bus.Read},
+		{S: I, Op: protocol.OpWrite, Cmd: bus.ReadX}, // invalidation rides the fetch (Feature 4)
+		{S: V, Op: protocol.OpRead, Hit: true, NS: V},
+		{S: V, Op: protocol.OpReadEx, Hit: true, NS: V},
+		{S: V, Op: protocol.OpWrite, Cmd: bus.Upgrade},
+		{S: D, Op: protocol.OpRead, Hit: true, NS: D},
+		{S: D, Op: protocol.OpReadEx, Hit: true, NS: D},
+		{S: D, Op: protocol.OpWrite, Hit: true, NS: D},
+	})
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteWord}
+	tabletest.CheckSnoop(t, p, states, cmds, []tabletest.SnoopRow{
+		{S: I, Cmd: bus.Read, NS: I},
+		{S: I, Cmd: bus.ReadX, NS: I},
+		{S: I, Cmd: bus.Upgrade, NS: I},
+		{S: I, Cmd: bus.WriteWord, NS: I},
+		{S: V, Cmd: bus.Read, NS: V, Hit: true},
+		{S: V, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: V, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: V, Cmd: bus.WriteWord, NS: I, Hit: true},
+		// Table 1 note 1: the source supplies only write-privilege
+		// requests; a read forces the write-back-and-retry.
+		{S: D, Cmd: bus.Read, NS: V, Hit: true, Flush: true},
+		{S: D, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Dirty: true},
+		{S: D, Cmd: bus.Upgrade, NS: I, Hit: true, Supply: true, Dirty: true},
+		{S: D, Cmd: bus.WriteWord, NS: I, Hit: true, Supply: true, Dirty: true},
+	})
+}

@@ -1,0 +1,90 @@
+// Package tabletest checks a protocol implementation against a
+// hand-transcribed transition table: every (state × processor-op)
+// and (state × snooped-command) cell is asserted, and the table must
+// cover the protocol's whole reachable machine — so any future edit
+// that changes a transition fails loudly against the literature.
+package tabletest
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+)
+
+// ProcRow is one expected processor-side transition.
+type ProcRow struct {
+	S  protocol.State
+	Op protocol.Op
+	// Exactly one of the two outcomes:
+	Hit bool
+	NS  protocol.State // when Hit
+	Cmd bus.Cmd        // when !Hit
+}
+
+// CheckProc asserts every row and that the rows cover all (state, op)
+// pairs in states × ops.
+func CheckProc(t *testing.T, p protocol.Protocol, states []protocol.State, ops []protocol.Op, rows []ProcRow) {
+	t.Helper()
+	covered := map[[2]uint32]bool{}
+	for _, r := range rows {
+		covered[[2]uint32{uint32(r.S), uint32(r.Op)}] = true
+		got := p.ProcAccess(r.S, r.Op)
+		if got.Hit != r.Hit {
+			t.Errorf("%s: ProcAccess(%s,%s).Hit = %v, want %v",
+				p.Name(), p.StateName(r.S), r.Op, got.Hit, r.Hit)
+			continue
+		}
+		if r.Hit && got.NewState != r.NS {
+			t.Errorf("%s: ProcAccess(%s,%s) -> %s, want %s",
+				p.Name(), p.StateName(r.S), r.Op, p.StateName(got.NewState), p.StateName(r.NS))
+		}
+		if !r.Hit && got.Cmd != r.Cmd {
+			t.Errorf("%s: ProcAccess(%s,%s) issues %v, want %v",
+				p.Name(), p.StateName(r.S), r.Op, got.Cmd, r.Cmd)
+		}
+	}
+	for _, s := range states {
+		for _, op := range ops {
+			if !covered[[2]uint32{uint32(s), uint32(op)}] {
+				t.Errorf("%s: transition table misses ProcAccess(%s,%s)", p.Name(), p.StateName(s), op)
+			}
+		}
+	}
+}
+
+// SnoopRow is one expected bus-side transition.
+type SnoopRow struct {
+	S                                               protocol.State
+	Cmd                                             bus.Cmd
+	NS                                              protocol.State
+	Hit, Supply, Dirty, Flush, Locked, Update, Take bool
+}
+
+// CheckSnoop asserts every row and coverage of states × cmds.
+func CheckSnoop(t *testing.T, p protocol.Protocol, states []protocol.State, cmds []bus.Cmd, rows []SnoopRow) {
+	t.Helper()
+	covered := map[[2]uint32]bool{}
+	for _, r := range rows {
+		covered[[2]uint32{uint32(r.S), uint32(r.Cmd)}] = true
+		got := p.Snoop(r.S, &bus.Transaction{Cmd: r.Cmd, Requester: 1})
+		if got.NewState != r.NS {
+			t.Errorf("%s: Snoop(%s,%v) -> %s, want %s",
+				p.Name(), p.StateName(r.S), r.Cmd, p.StateName(got.NewState), p.StateName(r.NS))
+		}
+		if got.Hit != r.Hit || got.Supply != r.Supply || got.Dirty != r.Dirty ||
+			got.Flush != r.Flush || got.Locked != r.Locked ||
+			got.UpdateWord != r.Update || got.TakeWord != r.Take {
+			t.Errorf("%s: Snoop(%s,%v) = %+v, want hit=%v supply=%v dirty=%v flush=%v locked=%v update=%v take=%v",
+				p.Name(), p.StateName(r.S), r.Cmd, got,
+				r.Hit, r.Supply, r.Dirty, r.Flush, r.Locked, r.Update, r.Take)
+		}
+	}
+	for _, s := range states {
+		for _, cmd := range cmds {
+			if !covered[[2]uint32{uint32(s), uint32(cmd)}] {
+				t.Errorf("%s: transition table misses Snoop(%s,%v)", p.Name(), p.StateName(s), cmd)
+			}
+		}
+	}
+}

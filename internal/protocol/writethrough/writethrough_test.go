@@ -1,0 +1,111 @@
+package writethrough
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/tabletest"
+)
+
+var p = Protocol{}
+
+func TestEveryWriteGoesToBus(t *testing.T) {
+	// The classic scheme writes through on hit and miss alike — the
+	// reason it cannot serialize hard-atom accesses without stalling
+	// (Section F.1).
+	for _, s := range []protocol.State{I, V} {
+		r := p.ProcAccess(s, protocol.OpWrite)
+		if r.Hit || r.Cmd != bus.WriteWord {
+			t.Errorf("write in %s: %+v, want WriteWord", p.StateName(s), r)
+		}
+	}
+}
+
+func TestNoWriteAllocate(t *testing.T) {
+	c := p.Complete(I, protocol.OpWrite, &bus.Transaction{Cmd: bus.WriteWord})
+	if c.NewState != I || !c.Done {
+		t.Errorf("write miss complete: %+v, want stay Invalid", c)
+	}
+	c = p.Complete(V, protocol.OpWrite, &bus.Transaction{Cmd: bus.WriteWord})
+	if c.NewState != V {
+		t.Errorf("write hit complete: %+v, want stay Valid", c)
+	}
+}
+
+func TestReadMissFetches(t *testing.T) {
+	r := p.ProcAccess(I, protocol.OpRead)
+	if r.Cmd != bus.Read {
+		t.Errorf("read miss: %+v", r)
+	}
+	c := p.Complete(I, protocol.OpRead, &bus.Transaction{Cmd: bus.Read})
+	if c.NewState != V || !c.Done {
+		t.Errorf("read complete: %+v", c)
+	}
+}
+
+func TestSnoopWriteInvalidates(t *testing.T) {
+	res := p.Snoop(V, &bus.Transaction{Cmd: bus.WriteWord})
+	if res.NewState != I || !res.Hit {
+		t.Errorf("snoop write: %+v", res)
+	}
+	if res.UpdateWord || res.TakeWord {
+		t.Error("classic write-through must invalidate, not update")
+	}
+}
+
+func TestSnoopReadLeavesCopy(t *testing.T) {
+	res := p.Snoop(V, &bus.Transaction{Cmd: bus.Read})
+	if res.NewState != V || res.Supply {
+		t.Errorf("snoop read: %+v (no cache-to-cache transfer in classic WT)", res)
+	}
+}
+
+func TestNeverDirty(t *testing.T) {
+	for _, s := range []protocol.State{I, V} {
+		if p.IsDirty(s) || p.Evict(s).Writeback {
+			t.Errorf("state %s should never be dirty", p.StateName(s))
+		}
+	}
+}
+
+func TestNoSerialization(t *testing.T) {
+	f := p.Features()
+	if f.CacheToCache {
+		t.Error("classic WT has no cache-to-cache transfer (Feature 1)")
+	}
+	if p.Privilege(V) != protocol.PrivRead {
+		t.Error("V should confer only read privilege")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	if _, err := protocol.New("writethrough"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The complete classic write-through machine, locked in cell by cell.
+func TestFullTransitionTable(t *testing.T) {
+	states := []protocol.State{I, V}
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite}
+	tabletest.CheckProc(t, p, states, ops, []tabletest.ProcRow{
+		{S: I, Op: protocol.OpRead, Cmd: bus.Read},
+		{S: I, Op: protocol.OpReadEx, Cmd: bus.Read},
+		{S: I, Op: protocol.OpWrite, Cmd: bus.WriteWord}, // no write-allocate
+		{S: V, Op: protocol.OpRead, Hit: true, NS: V},
+		{S: V, Op: protocol.OpReadEx, Hit: true, NS: V},
+		{S: V, Op: protocol.OpWrite, Cmd: bus.WriteWord}, // every write waits for the bus
+	})
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteWord}
+	tabletest.CheckSnoop(t, p, states, cmds, []tabletest.SnoopRow{
+		{S: I, Cmd: bus.Read, NS: I},
+		{S: I, Cmd: bus.ReadX, NS: I},
+		{S: I, Cmd: bus.Upgrade, NS: I},
+		{S: I, Cmd: bus.WriteWord, NS: I},
+		{S: V, Cmd: bus.Read, NS: V, Hit: true}, // memory supplies; no transfer
+		{S: V, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: V, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: V, Cmd: bus.WriteWord, NS: I, Hit: true}, // the invalidation broadcast
+	})
+}

@@ -1,0 +1,130 @@
+package yen
+
+import (
+	"testing"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/tabletest"
+)
+
+var p = Protocol{}
+
+func TestStaticReadForWrite(t *testing.T) {
+	// Feature 5 "S": the special instruction fetches with write
+	// privilege, but only on a miss.
+	r := p.ProcAccess(I, protocol.OpReadEx)
+	if r.Cmd != bus.ReadX {
+		t.Fatalf("readex miss: %+v, want ReadX", r)
+	}
+	c := p.Complete(I, protocol.OpReadEx, &bus.Transaction{Cmd: bus.ReadX})
+	if c.NewState != WC {
+		t.Fatalf("readex complete -> %s, want WC", p.StateName(c.NewState))
+	}
+	// On a hit the instruction has no effect.
+	r = p.ProcAccess(V, protocol.OpReadEx)
+	if !r.Hit || r.NewState != V {
+		t.Errorf("readex hit on V: %+v, want plain hit", r)
+	}
+}
+
+func TestPlainReadMissStaysRead(t *testing.T) {
+	// No dynamic determination: a plain read miss takes read
+	// privilege even when no other cache holds the block.
+	c := p.Complete(I, protocol.OpRead, &bus.Transaction{Cmd: bus.Read})
+	if c.NewState != V {
+		t.Errorf("read miss -> %s, want V", p.StateName(c.NewState))
+	}
+}
+
+func TestCleanWriteStateIsNonSource(t *testing.T) {
+	// Table 1: Yen's Write,Clean is marked N.
+	if p.IsSource(WC) {
+		t.Error("WC must be non-source")
+	}
+	res := p.Snoop(WC, &bus.Transaction{Cmd: bus.Read})
+	if res.Supply {
+		t.Errorf("WC supplied on read snoop: %+v", res)
+	}
+	if res.NewState != V {
+		t.Errorf("read snoop on WC -> %s, want V", p.StateName(res.NewState))
+	}
+}
+
+func TestSilentWriteOnWC(t *testing.T) {
+	r := p.ProcAccess(WC, protocol.OpWrite)
+	if !r.Hit || r.NewState != D {
+		t.Errorf("write on WC: %+v, want silent -> D", r)
+	}
+}
+
+func TestDirtyFlushesOnTransfer(t *testing.T) {
+	res := p.Snoop(D, &bus.Transaction{Cmd: bus.Read})
+	if !res.Supply || !res.Flush || res.NewState != V {
+		t.Errorf("read snoop on D: %+v, want supply+flush (Feature 7 F)", res)
+	}
+}
+
+func TestWriteMissAndUpgrade(t *testing.T) {
+	if r := p.ProcAccess(I, protocol.OpWrite); r.Cmd != bus.ReadX {
+		t.Errorf("write miss: %+v", r)
+	}
+	if r := p.ProcAccess(V, protocol.OpWrite); r.Cmd != bus.Upgrade {
+		t.Errorf("write hit on V: %+v", r)
+	}
+	c := p.Complete(I, protocol.OpWrite, &bus.Transaction{Cmd: bus.ReadX})
+	if c.NewState != D {
+		t.Errorf("write miss complete -> %s", p.StateName(c.NewState))
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f := p.Features()
+	if f.ReadForWrite != "S" || !f.BusInvalidateSignal || f.FlushOnTransfer != "F" {
+		t.Errorf("features: %+v", f)
+	}
+	if f.States[protocol.RowWriteClean] != protocol.MarkNonSource {
+		t.Errorf("WC mark = %q, want N", f.States[protocol.RowWriteClean])
+	}
+}
+
+// The complete Yen-Yen-Fu machine, locked in cell by cell.
+func TestFullTransitionTable(t *testing.T) {
+	states := []protocol.State{I, V, WC, D}
+	ops := []protocol.Op{protocol.OpRead, protocol.OpReadEx, protocol.OpWrite}
+	tabletest.CheckProc(t, p, states, ops, []tabletest.ProcRow{
+		{S: I, Op: protocol.OpRead, Cmd: bus.Read},
+		{S: I, Op: protocol.OpReadEx, Cmd: bus.ReadX}, // static read-for-write (Feature 5 "S")
+		{S: I, Op: protocol.OpWrite, Cmd: bus.ReadX},
+		{S: V, Op: protocol.OpRead, Hit: true, NS: V},
+		{S: V, Op: protocol.OpReadEx, Hit: true, NS: V}, // only applies on misses
+		{S: V, Op: protocol.OpWrite, Cmd: bus.Upgrade},
+		{S: WC, Op: protocol.OpRead, Hit: true, NS: WC},
+		{S: WC, Op: protocol.OpReadEx, Hit: true, NS: WC},
+		{S: WC, Op: protocol.OpWrite, Hit: true, NS: D},
+		{S: D, Op: protocol.OpRead, Hit: true, NS: D},
+		{S: D, Op: protocol.OpReadEx, Hit: true, NS: D},
+		{S: D, Op: protocol.OpWrite, Hit: true, NS: D},
+	})
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteWord}
+	tabletest.CheckSnoop(t, p, states, cmds, []tabletest.SnoopRow{
+		{S: I, Cmd: bus.Read, NS: I},
+		{S: I, Cmd: bus.ReadX, NS: I},
+		{S: I, Cmd: bus.Upgrade, NS: I},
+		{S: I, Cmd: bus.WriteWord, NS: I},
+		{S: V, Cmd: bus.Read, NS: V, Hit: true},
+		{S: V, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: V, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: V, Cmd: bus.WriteWord, NS: I, Hit: true},
+		// The clean write state is non-source (Table 1): it never
+		// supplies, and demotes to V on a foreign read.
+		{S: WC, Cmd: bus.Read, NS: V, Hit: true},
+		{S: WC, Cmd: bus.ReadX, NS: I, Hit: true},
+		{S: WC, Cmd: bus.Upgrade, NS: I, Hit: true},
+		{S: WC, Cmd: bus.WriteWord, NS: I, Hit: true},
+		{S: D, Cmd: bus.Read, NS: V, Hit: true, Supply: true, Flush: true},
+		{S: D, Cmd: bus.ReadX, NS: I, Hit: true, Supply: true, Flush: true},
+		{S: D, Cmd: bus.Upgrade, NS: I, Hit: true, Supply: true, Flush: true},
+		{S: D, Cmd: bus.WriteWord, NS: I, Hit: true, Supply: true, Flush: true},
+	})
+}

@@ -1,0 +1,130 @@
+package report
+
+import (
+	"fmt"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/core"
+	"cachesync/internal/protocol"
+	"cachesync/internal/stats"
+)
+
+// coreStates are the eight states of Figure 10 in presentation order.
+var coreStates = []protocol.State{
+	core.I, core.R, core.RSC, core.RSD, core.WSC, core.WSD, core.LSD, core.LSDW,
+}
+
+// Figure10Processor renders the processor-request half of Figure 10:
+// for each state and processor operation, the resulting state or the
+// bus request issued.
+func Figure10Processor() *stats.Table {
+	p := core.Protocol{}
+	t := stats.NewTable("Figure 10 (processor side): state × processor request → action",
+		"state", "read", "write", "lock", "unlock", "writeblock")
+	ops := []protocol.Op{protocol.OpRead, protocol.OpWrite, protocol.OpLock, protocol.OpUnlock, protocol.OpWriteBlock}
+	for _, s := range coreStates {
+		row := []string{p.StateName(s)}
+		for _, op := range ops {
+			r := p.ProcAccess(s, op)
+			if r.Hit {
+				row = append(row, "-> "+p.StateName(r.NewState))
+			} else {
+				cell := "bus:" + r.Cmd.String()
+				if r.LockIntent {
+					cell += "+lock"
+				}
+				row = append(row, cell)
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Figure10Bus renders the bus-request half of Figure 10: for each
+// state and snooped bus request, the next state and asserted lines.
+func Figure10Bus() *stats.Table {
+	p := core.Protocol{}
+	t := stats.NewTable("Figure 10 (bus side): state × snooped bus request → next state [lines]",
+		"state", "read", "readx", "upgrade", "writenofetch", "unlock")
+	cmds := []bus.Cmd{bus.Read, bus.ReadX, bus.Upgrade, bus.WriteNoFetch, bus.Unlock}
+	for _, s := range coreStates {
+		row := []string{p.StateName(s)}
+		for _, cmd := range cmds {
+			r := p.Snoop(s, &bus.Transaction{Cmd: cmd})
+			cell := "-> " + p.StateName(r.NewState)
+			switch {
+			case r.Locked:
+				cell += " [locked]"
+			case r.Supply && r.Dirty:
+				cell += " [supply,dirty]"
+			case r.Supply:
+				cell += " [supply]"
+			case r.Hit:
+				cell += " [hit]"
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// figure10Expected encodes the arcs of the paper's Figure 10 that are
+// visible in the diagram (processor side), as
+// state -> op -> expected outcome. "->X" means a silent transition to
+// state X; "bus:c" means bus command c is issued.
+var figure10Expected = []struct {
+	state protocol.State
+	op    protocol.Op
+	want  string
+}{
+	// From Invalid.
+	{core.I, protocol.OpRead, "bus:read"},
+	{core.I, protocol.OpWrite, "bus:readx"},
+	{core.I, protocol.OpLock, "bus:readx+lock"},
+	{core.I, protocol.OpWriteBlock, "bus:writenofetch"},
+	// From Read (non-source).
+	{core.R, protocol.OpRead, "->R"},
+	{core.R, protocol.OpWrite, "bus:upgrade"},
+	{core.R, protocol.OpLock, "bus:upgrade+lock"},
+	// From the read source states.
+	{core.RSC, protocol.OpRead, "->R.S.C"},
+	{core.RSD, protocol.OpRead, "->R.S.D"},
+	{core.RSC, protocol.OpWrite, "bus:upgrade"},
+	{core.RSD, protocol.OpWrite, "bus:upgrade"},
+	// From the write source states (zero-time lock, silent writes).
+	{core.WSC, protocol.OpWrite, "->W.S.D"},
+	{core.WSD, protocol.OpWrite, "->W.S.D"},
+	{core.WSC, protocol.OpLock, "->L.S.D"},
+	{core.WSD, protocol.OpLock, "->L.S.D"},
+	// From the lock states (zero-time unlock; broadcast with waiter).
+	{core.LSD, protocol.OpUnlock, "->W.S.D"},
+	{core.LSDW, protocol.OpUnlock, "bus:unlock"},
+	{core.LSD, protocol.OpWrite, "->L.S.D"},
+	{core.LSDW, protocol.OpWrite, "->L.S.D.W"},
+}
+
+// VerifyFigure10 checks the implemented state machine against the
+// arcs transcribed from the paper's Figure 10, returning mismatches.
+func VerifyFigure10() []string {
+	p := core.Protocol{}
+	var diffs []string
+	for _, e := range figure10Expected {
+		r := p.ProcAccess(e.state, e.op)
+		var got string
+		if r.Hit {
+			got = "->" + p.StateName(r.NewState)
+		} else {
+			got = "bus:" + r.Cmd.String()
+			if r.LockIntent {
+				got += "+lock"
+			}
+		}
+		if got != e.want {
+			diffs = append(diffs, fmt.Sprintf("state %s op %s: got %q, paper arc %q",
+				p.StateName(e.state), e.op, got, e.want))
+		}
+	}
+	return diffs
+}

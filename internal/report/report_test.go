@@ -1,0 +1,99 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	if diffs := VerifyTable1(); len(diffs) != 0 {
+		for _, d := range diffs {
+			t.Error(d)
+		}
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	out := Table1().Render()
+	for _, want := range []string{"Goodman", "Papamarcos", "Our proposal", "RWLDS", "LRU,MEM", "Lock, Dirty, Waiter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	out := Table2()
+	for _, want := range []string{"Goodman (1983)", "lock state", "busy-wait register", "Rudolph, Segall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestFigure10MatchesPaper(t *testing.T) {
+	if diffs := VerifyFigure10(); len(diffs) != 0 {
+		for _, d := range diffs {
+			t.Error(d)
+		}
+	}
+}
+
+func TestFigure10Renders(t *testing.T) {
+	proc := Figure10Processor().Render()
+	busSide := Figure10Bus().Render()
+	if !strings.Contains(proc, "L.S.D.W") || !strings.Contains(busSide, "[locked]") {
+		t.Errorf("figure 10 rendering incomplete:\n%s\n%s", proc, busSide)
+	}
+}
+
+func TestAllFiguresPass(t *testing.T) {
+	for _, f := range AllFigures() {
+		if !f.Pass {
+			t.Errorf("%s does not match the paper:\n%s", f.Name, f.Render())
+		}
+	}
+}
+
+func TestExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are not short")
+	}
+	tables := AllExperiments()
+	if len(tables) != 19 {
+		t.Fatalf("got %d experiment tables, want 19", len(tables))
+	}
+	for _, tb := range tables {
+		if tb.NumRows() == 0 {
+			t.Errorf("experiment %q produced no rows", tb.Title)
+		}
+	}
+}
+
+func TestE2BusyWaitShape(t *testing.T) {
+	// The paper's shape claim: the cache-lock scheme's per-acquisition
+	// bus transactions stay flat (~2) while TAS grows with contention.
+	tb := E2BusyWait()
+	out := tb.Render()
+	if !strings.Contains(out, "contenders") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+}
+
+func TestFigureSequences(t *testing.T) {
+	for _, fig := range []string{"4", "9"} {
+		out, err := FigureSequence(fig)
+		if err != nil {
+			t.Fatalf("figure %s: %v", fig, err)
+		}
+		if !strings.Contains(out, "cache 0") || !strings.Contains(out, "memory") {
+			t.Errorf("figure %s sequence missing lanes:\n%s", fig, out)
+		}
+		if fig == "9" && !strings.Contains(out, "LOCKED") {
+			t.Errorf("figure 9 sequence shows no denials:\n%s", out)
+		}
+	}
+	if _, err := FigureSequence("nope"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

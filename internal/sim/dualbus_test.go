@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/core"
+)
+
+func dualSystem(procs int) *System {
+	cfg := DefaultConfig(core.Protocol{})
+	cfg.Procs = procs
+	cfg.NumBuses = 2
+	return New(cfg)
+}
+
+func TestDualBusBasicCoherence(t *testing.T) {
+	s := dualSystem(2)
+	var even, odd uint64
+	run(t, s, []func(*Proc){
+		func(p *Proc) {
+			p.Write(0, 10) // block 0: bus 0
+			p.Write(4, 20) // block 1: bus 1
+		},
+		func(p *Proc) {
+			p.Compute(200)
+			even = p.Read(0)
+			odd = p.Read(4)
+		},
+	})
+	if even != 10 || odd != 20 {
+		t.Errorf("reads = %d,%d want 10,20", even, odd)
+	}
+	if s.Buses[0].Counts.Total("bus.") == 0 || s.Buses[1].Counts.Total("bus.") == 0 {
+		t.Error("traffic did not interleave across the buses")
+	}
+}
+
+func TestDualBusParallelism(t *testing.T) {
+	// Two processors hammering disjoint blocks on different buses
+	// should finish faster with two buses than one.
+	build := func(buses int) int64 {
+		cfg := DefaultConfig(core.Protocol{})
+		cfg.Procs = 4
+		cfg.NumBuses = buses
+		cfg.Cache.Ways = 2 // tiny: every access misses
+		s := New(cfg)
+		ws := make([]func(*Proc), 4)
+		for i := range ws {
+			i := i
+			ws[i] = func(p *Proc) {
+				for k := 0; k < 40; k++ {
+					// Processor i sticks to blocks ≡ i mod 2, so its
+					// traffic stays on one bus.
+					b := addr.Block(100 + i%2 + 2*(k%8) + 16*i)
+					p.Write(s.Geometry().Base(b), uint64(k))
+				}
+			}
+		}
+		if err := s.Run(ws); err != nil {
+			t.Fatal(err)
+		}
+		return s.Clock()
+	}
+	single := build(1)
+	dual := build(2)
+	if dual >= single {
+		t.Errorf("dual bus (%d cycles) not faster than single (%d)", dual, single)
+	}
+}
+
+func TestDualBusLocking(t *testing.T) {
+	// Locks and busy-wait must work regardless of which bus the lock
+	// block maps to.
+	const procs, iters = 4, 15
+	s := dualSystem(procs)
+	ws := make([]func(*Proc), procs)
+	for i := range ws {
+		ws[i] = func(p *Proc) {
+			for k := 0; k < iters; k++ {
+				v := p.LockRead(4) // block 1: bus 1
+				p.UnlockWrite(4, v+1)
+				u := p.LockRead(0) // block 0: bus 0
+				p.UnlockWrite(0, u+1)
+			}
+		}
+	}
+	run(t, s, ws)
+	for _, a := range []addr.Addr{0, 4} {
+		var final uint64
+		for _, c := range s.Caches {
+			if v, ok := c.ReadWord(a); ok && c.Protocol().IsDirty(c.State(s.Geometry().BlockOf(a))) {
+				final = v
+			}
+		}
+		if final == 0 {
+			final = s.Mem.ReadWord(a)
+		}
+		if final != procs*iters {
+			t.Errorf("counter at %d = %d, want %d", a, final, procs*iters)
+		}
+	}
+}
+
+func TestDualBusDeterminism(t *testing.T) {
+	runOnce := func() int64 {
+		s := dualSystem(3)
+		ws := make([]func(*Proc), 3)
+		for i := range ws {
+			i := i
+			ws[i] = func(p *Proc) {
+				for k := 0; k < 30; k++ {
+					p.Write(addr.Addr((k*5+i*9)%64), uint64(k))
+					p.Read(addr.Addr((k * 7) % 64))
+				}
+			}
+		}
+		if err := s.Run(ws); err != nil {
+			t.Fatal(err)
+		}
+		return s.Clock()
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Errorf("dual-bus runs diverge: %d vs %d", a, b)
+	}
+}
+
+func TestNumBusesValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NumBuses=3 accepted")
+		}
+	}()
+	cfg := DefaultConfig(core.Protocol{})
+	cfg.NumBuses = 3
+	New(cfg)
+}
+
+func TestStallAccounting(t *testing.T) {
+	s := coreSystem(2)
+	run(t, s, []func(*Proc){
+		func(p *Proc) { p.Write(0, 1) },
+		func(p *Proc) {
+			p.Compute(100)
+			p.Read(0) // bus-served: stalls
+			p.Read(0) // hit: no stall
+		},
+	})
+	if s.Procs[1].Counts.Get("proc.stall-cycles") == 0 {
+		t.Error("no stall cycles recorded for a bus-served read")
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	s := coreSystem(2)
+	log := s.AttachLog(0)
+	run(t, s, []func(*Proc){
+		func(p *Proc) { p.Write(0, 1) },
+		func(p *Proc) {
+			p.Compute(100)
+			p.Read(0)
+		},
+	})
+	if len(log.Entries) < 2 {
+		t.Fatalf("log has %d entries", len(log.Entries))
+	}
+	if log.Entries[0].Cmd.String() != "readx" {
+		t.Errorf("first entry = %s", log.Entries[0])
+	}
+	var sb strings.Builder
+	if err := log.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "readx") || !strings.Contains(sb.String(), "src") {
+		t.Errorf("dump:\n%s", sb.String())
+	}
+	// Entries are time-ordered per bus.
+	for i := 1; i < len(log.Entries); i++ {
+		if log.Entries[i].Bus == log.Entries[i-1].Bus && log.Entries[i].When < log.Entries[i-1].When {
+			t.Errorf("entries out of order: %s then %s", log.Entries[i-1], log.Entries[i])
+		}
+	}
+}
+
+func TestEventLogLimit(t *testing.T) {
+	s := coreSystem(1)
+	log := s.AttachLog(2)
+	run(t, s, []func(*Proc){func(p *Proc) {
+		for k := 0; k < 10; k++ {
+			p.Write(addr.Addr(k*4), 1)
+		}
+	}})
+	if len(log.Entries) != 2 {
+		t.Errorf("limited log has %d entries, want 2", len(log.Entries))
+	}
+}

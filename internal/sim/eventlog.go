@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"cachesync/internal/bus"
+)
+
+// EventLog records every completed bus transaction with its timing,
+// for debugging and for rendering runs (cachesim -log). Attach with
+// System.AttachLog before Run; logging is off by default and costs
+// nothing when absent.
+type EventLog struct {
+	Entries []LogEntry
+	limit   int
+}
+
+// LogEntry is one completed bus transaction.
+type LogEntry struct {
+	When      int64
+	Bus       int
+	Cmd       bus.Cmd
+	Block     uint64
+	Requester int
+	Lines     bus.Lines
+	Cost      int64
+}
+
+// String renders the entry as one trace line.
+func (e LogEntry) String() string {
+	lines := ""
+	if e.Lines.Hit {
+		lines += " hit"
+	}
+	if e.Lines.SourceHit {
+		lines += " src"
+	}
+	if e.Lines.Dirty {
+		lines += " dirty"
+	}
+	if e.Lines.Locked {
+		lines += " LOCKED"
+	}
+	return fmt.Sprintf("t=%-8d bus%d %-12s blk=%-6d req=%-3d cost=%-4d%s",
+		e.When, e.Bus, e.Cmd, e.Block, e.Requester, e.Cost, lines)
+}
+
+// AttachLog enables transaction logging, keeping at most limit
+// entries (0 means unlimited). It returns the log.
+func (s *System) AttachLog(limit int) *EventLog {
+	s.log = &EventLog{limit: limit}
+	return s.log
+}
+
+func (s *System) logTxn(busIdx int, t *bus.Transaction, when, cost int64) {
+	if s.log == nil {
+		return
+	}
+	if s.log.limit > 0 && len(s.log.Entries) >= s.log.limit {
+		return
+	}
+	s.log.Entries = append(s.log.Entries, LogEntry{
+		When: when, Bus: busIdx, Cmd: t.Cmd, Block: uint64(t.Block),
+		Requester: t.Requester, Lines: t.Lines, Cost: cost,
+	})
+}
+
+// Dump writes the log to w, one entry per line.
+func (l *EventLog) Dump(w io.Writer) error {
+	for _, e := range l.Entries {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

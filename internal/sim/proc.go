@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/protocol"
+	"cachesync/internal/stats"
+)
+
+// opKind distinguishes the primitive operations a processor can issue
+// to the engine.
+type opKind uint8
+
+const (
+	opMem          opKind = iota // a protocol.Op against the cache
+	opCompute                    // local work for N cycles, no memory traffic
+	opRMW                        // atomic read-modify-write, cache-held (Feature 6 method 2)
+	opRMWMem                     // atomic read-modify-write held at memory (method 1)
+	opTryWrite                   // write that fails if the block was stolen (method 3)
+	opBlockWrite                 // whole-block write (Feature 9 when supported)
+	opIO                         // I/O processor transfer (Section E.2)
+	opLockPrefetch               // request a lock but keep working (Section E.4)
+	opLockWait                   // join a previously prefetched lock
+	opDone                       // workload finished
+)
+
+// ioKind selects the I/O operation for opIO.
+type ioKind uint8
+
+const (
+	// IOInput writes a block to memory, invalidating cached copies.
+	IOInput ioKind = iota
+	// IOPageOut fetches a block with write privilege (invalidating).
+	IOPageOut
+	// IOOutput reads a block without disturbing source status.
+	IOOutput
+)
+
+// procOp is one request from a processor goroutine to the engine.
+type procOp struct {
+	kind  opKind
+	op    protocol.Op
+	addr  addr.Addr
+	value uint64
+	vals  []uint64 // opBlockWrite
+	idx   int      // progress index of a lowered block write
+	f     func(uint64) uint64
+	n     int64 // opCompute cycles
+	io    ioKind
+}
+
+// procRes is the engine's reply unblocking the processor goroutine.
+type procRes struct {
+	value uint64
+	ok    bool
+	now   int64
+}
+
+// procStatus tracks where a processor is in the engine's event loop.
+type procStatus uint8
+
+const (
+	statusReady   procStatus = iota // has a pending op, scheduled in the ready heap
+	statusBlocked                   // op in flight on the bus
+	statusWaiting                   // parked in busy wait
+	statusDone
+)
+
+// Proc is the processor-side handle a workload program runs against.
+// All methods block until the simulated operation completes, so
+// workloads read as ordinary sequential code; the engine lock-steps
+// every processor goroutine deterministically.
+type Proc struct {
+	id  int
+	sys *System
+
+	reqCh chan procOp
+	resCh chan procRes
+
+	// engine-side state
+	status  procStatus
+	pending procOp
+	now     int64
+	opStart int64 // issue time of the in-flight op (latency stats)
+
+	// plock is the state of a prefetched lock (Section E.4: "a
+	// processor can work while waiting if it requests the lock when
+	// ready but still has work to do").
+	plock struct {
+		armed    bool // a prefetch is outstanding or acquired
+		acquired bool
+		waiting  bool // the processor blocked in LockWait
+		addr     addr.Addr
+		value    uint64
+	}
+
+	Counts stats.Counters
+}
+
+// ID returns the processor's index.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the processor's local view of the simulation clock, in
+// cycles, as of its last completed operation.
+func (p *Proc) Now() int64 { return p.now }
+
+func (p *Proc) do(op procOp) procRes {
+	p.reqCh <- op
+	return <-p.resCh
+}
+
+// Read loads the word at a.
+func (p *Proc) Read(a addr.Addr) uint64 {
+	return p.do(procOp{kind: opMem, op: protocol.OpRead, addr: a}).value
+}
+
+// ReadEx loads the word at a with the compiler-declared
+// read-for-write-privilege instruction (Feature 5 static form). Under
+// protocols without it, it behaves as Read.
+func (p *Proc) ReadEx(a addr.Addr) uint64 {
+	return p.do(procOp{kind: opMem, op: protocol.OpReadEx, addr: a}).value
+}
+
+// Write stores v at a.
+func (p *Proc) Write(a addr.Addr, v uint64) {
+	p.do(procOp{kind: opMem, op: protocol.OpWrite, addr: a, value: v})
+}
+
+// LockRead performs the paper's lock operation (Section E.3): a read
+// of the word at a with the processor lock line asserted. It blocks —
+// busy-waiting via the busy-wait register, with no bus retries —
+// until the lock is acquired, and returns the word's value. Only
+// protocols with HardwareLock support it.
+func (p *Proc) LockRead(a addr.Addr) uint64 {
+	if !p.sys.proto.Features().HardwareLock {
+		panic(fmt.Sprintf("sim: protocol %q has no hardware lock; lower locking via syncprim", p.sys.proto.Name()))
+	}
+	return p.do(procOp{kind: opMem, op: protocol.OpLock, addr: a}).value
+}
+
+// UnlockWrite performs the paper's unlock operation: a store of v at
+// a with the unlock line asserted (Figure 8).
+func (p *Proc) UnlockWrite(a addr.Addr, v uint64) {
+	p.do(procOp{kind: opMem, op: protocol.OpUnlock, addr: a, value: v})
+}
+
+// LockPrefetch requests the lock at a and returns immediately so the
+// processor can keep working — the paper's "ready section" (Section
+// E.4): the busy-wait register waits while the processor computes.
+// Follow with LockWait to join the lock. A second prefetch while one
+// is outstanding is a no-op.
+func (p *Proc) LockPrefetch(a addr.Addr) {
+	if !p.sys.proto.Features().HardwareLock {
+		panic(fmt.Sprintf("sim: protocol %q has no hardware lock", p.sys.proto.Name()))
+	}
+	p.do(procOp{kind: opLockPrefetch, op: protocol.OpLock, addr: a})
+}
+
+// LockWait blocks until the lock requested by LockPrefetch is held
+// and returns the locked word. Without a prior prefetch it behaves as
+// LockRead.
+func (p *Proc) LockWait(a addr.Addr) uint64 {
+	if !p.sys.proto.Features().HardwareLock {
+		panic(fmt.Sprintf("sim: protocol %q has no hardware lock", p.sys.proto.Name()))
+	}
+	return p.do(procOp{kind: opLockWait, op: protocol.OpLock, addr: a}).value
+}
+
+// RMW atomically applies f to the word at a and returns the old
+// value. The block is fetched with write privilege and the cache held
+// for the duration (Feature 6, method 2).
+func (p *Proc) RMW(a addr.Addr, f func(uint64) uint64) uint64 {
+	return p.do(procOp{kind: opRMW, addr: a, f: f}).value
+}
+
+// RMWMemory atomically applies f to the word at a while holding the
+// memory module (Feature 6, method 1: Rudolph-Segall). The caches are
+// bypassed; cached copies are invalidated or updated by the write
+// broadcast.
+func (p *Proc) RMWMemory(a addr.Addr, f func(uint64) uint64) uint64 {
+	return p.do(procOp{kind: opRMWMem, addr: a, f: f}).value
+}
+
+// TryWrite stores v at a only if the cache still holds the block; it
+// reports success. It is the abort-on-steal write of Feature 6's
+// method 3: a miss means the block was stolen between the read and
+// the write, and the instruction must be aborted and retried.
+func (p *Proc) TryWrite(a addr.Addr, v uint64) bool {
+	return p.do(procOp{kind: opTryWrite, addr: a, value: v}).ok
+}
+
+// WriteBlock overwrites the whole block containing a with vals
+// (len == block words). Protocols with Feature 9 skip the fetch.
+func (p *Proc) WriteBlock(a addr.Addr, vals []uint64) {
+	cp := make([]uint64, len(vals))
+	copy(cp, vals)
+	p.do(procOp{kind: opBlockWrite, addr: a, vals: cp})
+}
+
+// Compute advances the processor's local clock by n cycles of
+// bus-free work.
+func (p *Proc) Compute(n int64) {
+	if n <= 0 {
+		return
+	}
+	p.do(procOp{kind: opCompute, n: n})
+}
+
+// IO issues an I/O-processor transfer against the block containing a
+// (Section E.2). The data for IOInput is vals.
+func (p *Proc) IO(kind ioKind, a addr.Addr, vals []uint64) {
+	var cp []uint64
+	if vals != nil {
+		cp = make([]uint64, len(vals))
+		copy(cp, vals)
+	}
+	p.do(procOp{kind: opIO, io: kind, addr: a, vals: cp})
+}

@@ -1,0 +1,493 @@
+// Package sim is the deterministic discrete-event engine that drives
+// processors, caches, the broadcast bus, and main memory through a
+// workload. Each processor runs its workload as a goroutine against
+// the blocking Proc API; the engine lock-steps the goroutines in
+// global time order, so runs are bit-reproducible while workloads
+// read as ordinary concurrent programs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/bus"
+	"cachesync/internal/cache"
+	"cachesync/internal/memory"
+	"cachesync/internal/protocol"
+	"cachesync/internal/stats"
+)
+
+// Config assembles a simulated machine.
+type Config struct {
+	Procs    int
+	Protocol protocol.Protocol
+	Geometry addr.Geometry
+	Cache    cache.Config
+	Timing   Timing
+	// MaxCycles aborts a runaway simulation (0 means a large default).
+	MaxCycles int64
+	// NoWaiterPriority disables the reserved most-significant
+	// arbitration priority bit for busy-wait re-arbitration (Section
+	// E.4) — an ablation switch: waiters then compete at normal
+	// priority after an unlock broadcast.
+	NoWaiterPriority bool
+	// NumBuses selects single- or dual-bus broadcast (Section A.2:
+	// "broadcast is currently seen only in single or dual bus
+	// systems"). Blocks interleave across buses; every cache snoops
+	// every bus (the dual-directory organization). Default 1; at most 2.
+	NumBuses int
+}
+
+// DefaultConfig returns a 4-processor machine with fully associative
+// 64-block caches of 4-word blocks running the given protocol.
+func DefaultConfig(p protocol.Protocol) Config {
+	return Config{
+		Procs:    4,
+		Protocol: p,
+		Geometry: addr.MustGeometry(4, 4),
+		Cache:    cache.Config{Sets: 1, Ways: 64},
+		Timing:   DefaultTiming(),
+	}
+}
+
+// event is a ready-heap entry.
+type event struct {
+	time int64
+	proc int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].proc < h[j].proc
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// opCtx is the engine-side state of an in-flight processor operation
+// that needs the bus.
+type opCtx struct {
+	p          *Proc
+	op         procOp
+	protoOp    protocol.Op
+	pr         protocol.ProcResult
+	afterWait  bool // re-arbitrated after an Unlock broadcast (Figure 9)
+	rmwOld     uint64
+	rmwHaveOld bool
+
+	// arbID is the bus-arbitration identity: the processor's cache
+	// for ordinary operations, a distinct virtual requester for a
+	// prefetched lock (the busy-wait register arbitrates on its own
+	// while the processor keeps issuing other operations).
+	arbID    int
+	prefetch bool
+	start    int64 // issue time, for latency statistics
+}
+
+// System is one simulated machine.
+type System struct {
+	cfg   Config
+	proto protocol.Protocol
+	feats protocol.Features
+
+	Mem *memory.Memory
+	// Bus is the first (or only) bus; Buses lists all of them.
+	Bus    *bus.Bus
+	Buses  []*bus.Bus
+	Caches []*cache.Cache
+	Procs  []*Proc
+
+	clock   int64 // current event time (may regress across independent buses)
+	hwm     int64 // high-water mark of simulated time
+	busFree []int64
+	ready   eventHeap
+	ctxs    map[int]*opCtx
+	waiters map[addr.Block][]int // busy-wait parked processors per block
+	doneN   int
+	started bool
+
+	Counts      stats.Counters
+	LockLatency stats.Histogram
+	log         *EventLog
+
+	// OnTxn, when set, runs after every completed bus transaction
+	// (used by the online coherence checker). The system state is
+	// quiescent with respect to the transaction when it fires.
+	OnTxn func()
+}
+
+// New builds a System from cfg.
+func New(cfg Config) *System {
+	if cfg.Procs <= 0 {
+		panic("sim: need at least one processor")
+	}
+	if cfg.Protocol == nil {
+		panic("sim: nil protocol")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1 << 40
+	}
+	f := cfg.Protocol.Features()
+	if f.OneWordBlocks && cfg.Geometry.BlockWords != 1 {
+		panic(fmt.Sprintf("sim: protocol %q requires one-word blocks (Section E.4), got %d-word blocks",
+			cfg.Protocol.Name(), cfg.Geometry.BlockWords))
+	}
+	if cfg.NumBuses == 0 {
+		cfg.NumBuses = 1
+	}
+	if cfg.NumBuses < 1 || cfg.NumBuses > 2 {
+		panic(fmt.Sprintf("sim: NumBuses must be 1 or 2 (Section A.2), got %d", cfg.NumBuses))
+	}
+	s := &System{
+		cfg:     cfg,
+		proto:   cfg.Protocol,
+		feats:   f,
+		Mem:     memory.New(cfg.Geometry),
+		ctxs:    make(map[int]*opCtx),
+		waiters: make(map[addr.Block][]int),
+	}
+	for i := 0; i < cfg.NumBuses; i++ {
+		s.Buses = append(s.Buses, bus.New())
+	}
+	s.Bus = s.Buses[0]
+	s.busFree = make([]int64, cfg.NumBuses)
+	for i := 0; i < cfg.Procs; i++ {
+		c := cache.New(i, cfg.Geometry, cfg.Protocol, cfg.Cache, s.Mem)
+		s.Caches = append(s.Caches, c)
+		for _, b := range s.Buses {
+			b.Attach(c)
+		}
+		s.Procs = append(s.Procs, &Proc{
+			id:    i,
+			sys:   s,
+			reqCh: make(chan procOp, 1),
+			resCh: make(chan procRes, 1),
+		})
+	}
+	return s
+}
+
+// busOf returns the bus index serving a block (block-interleaved).
+func (s *System) busOf(b addr.Block) int {
+	return int(uint64(b) % uint64(len(s.Buses)))
+}
+
+// Clock returns the global simulation time in cycles (the high-water
+// mark across buses and processors).
+func (s *System) Clock() int64 {
+	if s.clock > s.hwm {
+		s.hwm = s.clock
+	}
+	return s.hwm
+}
+
+// Geometry returns the machine's address geometry.
+func (s *System) Geometry() addr.Geometry { return s.cfg.Geometry }
+
+// Protocol returns the protocol instance.
+func (s *System) Protocol() protocol.Protocol { return s.proto }
+
+// Stats merges the counters of the bus, memory, caches, and
+// processors with the engine's own counters into one snapshot.
+func (s *System) Stats() *stats.Counters {
+	var out stats.Counters
+	out.Merge(&s.Counts)
+	for _, b := range s.Buses {
+		out.Merge(&b.Counts)
+	}
+	out.Merge(&s.Mem.Counts)
+	for _, c := range s.Caches {
+		out.Merge(&c.Counts)
+	}
+	for _, p := range s.Procs {
+		out.Merge(&p.Counts)
+	}
+	return &out
+}
+
+// Run executes one workload function per processor (workloads[i] runs
+// on processor i; missing entries idle). It returns once every
+// workload has finished, or an error on deadlock or cycle overrun.
+func (s *System) Run(workloads []func(*Proc)) error {
+	if s.started {
+		return fmt.Errorf("sim: a System runs exactly once; build a fresh one")
+	}
+	s.started = true
+	for i, p := range s.Procs {
+		w := func(*Proc) {}
+		if i < len(workloads) && workloads[i] != nil {
+			w = workloads[i]
+		}
+		go func(p *Proc, w func(*Proc)) {
+			defer func() { p.reqCh <- procOp{kind: opDone} }()
+			w(p)
+		}(p, w)
+	}
+	for _, p := range s.Procs {
+		p.pending = <-p.reqCh
+		p.status = statusReady
+		heap.Push(&s.ready, event{time: 0, proc: p.id})
+	}
+
+	for s.doneN < len(s.Procs) {
+		if s.clock > s.hwm {
+			s.hwm = s.clock
+		}
+		if s.hwm > s.cfg.MaxCycles {
+			return fmt.Errorf("sim: exceeded %d cycles (livelock?)", s.cfg.MaxCycles)
+		}
+		// The earliest grantable bus: a bus grants at the later of its
+		// free time and the earliest pending request's issue time.
+		nextBus := -1
+		var nextGrant int64
+		for i, b := range s.Buses {
+			if !b.HasPending() {
+				continue
+			}
+			g := s.busFree[i]
+			if at := b.EarliestRequest(); at > g {
+				g = at
+			}
+			if nextBus == -1 || g < nextGrant {
+				nextBus, nextGrant = i, g
+			}
+		}
+		switch {
+		case len(s.ready) > 0 && (nextBus == -1 || s.ready[0].time <= nextGrant):
+			ev := heap.Pop(&s.ready).(event)
+			s.clock = ev.time
+			s.step(s.Procs[ev.proc], ev.time)
+		case nextBus != -1:
+			s.clock = nextGrant
+			id, ok := s.Buses[nextBus].ArbitrateAt(nextGrant)
+			if !ok {
+				return fmt.Errorf("sim: bus %d grant at %d found no eligible request", nextBus, nextGrant)
+			}
+			s.serveBus(s.ctxs[id])
+		default:
+			return s.deadlockError()
+		}
+	}
+	return nil
+}
+
+func (s *System) deadlockError() error {
+	msg := "sim: deadlock:"
+	for _, p := range s.Procs {
+		if p.status != statusDone {
+			msg += fmt.Sprintf(" proc%d=%v", p.id, p.status)
+		}
+	}
+	return fmt.Errorf("%s (all remaining processors are blocked or busy-waiting)", msg)
+}
+
+// respond completes the processor's pending operation at time t and
+// pulls its next one.
+func (s *System) respond(p *Proc, t int64, res procRes) {
+	res.now = t
+	p.now = t
+	p.resCh <- res
+	p.pending = <-p.reqCh
+	p.status = statusReady
+	heap.Push(&s.ready, event{time: t, proc: p.id})
+}
+
+// step dispatches a processor's pending operation at time t.
+func (s *System) step(p *Proc, t int64) {
+	op := p.pending
+	switch op.kind {
+	case opDone:
+		p.status = statusDone
+		s.doneN++
+	case opCompute:
+		p.Counts.Add("proc.compute-cycles", op.n)
+		s.respond(p, t+op.n, procRes{})
+	case opMem:
+		p.opStart = t
+		s.startMemOp(p, t, op, op.op)
+	case opRMW:
+		p.opStart = t
+		s.startRMW(p, t, op)
+	case opRMWMem:
+		p.opStart = t
+		s.queueBus(&opCtx{p: p, op: op, protoOp: protocol.OpWrite}, false)
+	case opTryWrite:
+		p.opStart = t
+		s.startTryWrite(p, t, op)
+	case opBlockWrite:
+		p.opStart = t
+		s.startBlockWrite(p, t, op)
+	case opIO:
+		p.opStart = t
+		s.queueBus(&opCtx{p: p, op: op}, false)
+	case opLockPrefetch:
+		s.startLockPrefetch(p, t, op)
+	case opLockWait:
+		s.startLockWait(p, t, op)
+	default:
+		panic(fmt.Sprintf("sim: unknown op kind %d", op.kind))
+	}
+}
+
+// startMemOp probes the cache for a protocol operation; hits complete
+// locally, misses queue a bus request.
+func (s *System) startMemOp(p *Proc, t int64, op procOp, protoOp protocol.Op) {
+	c := s.Caches[p.id]
+	r := c.Probe(protoOp, op.addr)
+	t += int64(s.cfg.Timing.HitCycles)
+	if r.Hit {
+		s.finishLocal(p, t, op, protoOp)
+		return
+	}
+	s.queueBus(&opCtx{p: p, op: op, protoOp: protoOp, pr: r}, false)
+}
+
+// finishLocal completes a zero-bus-traffic operation.
+func (s *System) finishLocal(p *Proc, t int64, op procOp, protoOp protocol.Op) {
+	c := s.Caches[p.id]
+	var res procRes
+	switch protoOp {
+	case protocol.OpRead, protocol.OpReadEx:
+		res.value, _ = c.ReadWord(op.addr)
+	case protocol.OpLock:
+		res.value, _ = c.ReadWord(op.addr)
+		s.recordLockAcquired(p, t)
+	case protocol.OpWrite, protocol.OpUnlock:
+		c.WriteWord(op.addr, op.value)
+		if protoOp == protocol.OpUnlock {
+			s.Counts.Inc("lock.unlock-silent")
+		}
+	case protocol.OpWriteBlock:
+		base := s.cfg.Geometry.Base(s.cfg.Geometry.BlockOf(op.addr))
+		for i, v := range op.vals {
+			c.WriteWord(base+addr.Addr(i), v)
+		}
+	}
+	res.ok = true
+	s.respond(p, t, res)
+}
+
+func (s *System) recordLockAcquired(p *Proc, t int64) {
+	s.Counts.Inc("lock.acquired")
+	s.LockLatency.Observe(t - p.opStart)
+}
+
+// queueBus registers an op context and joins bus arbitration.
+func (s *System) queueBus(ctx *opCtx, high bool) {
+	if !ctx.prefetch {
+		ctx.arbID = ctx.p.id
+		ctx.p.status = statusBlocked
+	}
+	s.ctxs[ctx.arbID] = ctx
+	s.Buses[s.busOf(s.cfg.Geometry.BlockOf(ctx.op.addr))].RequestAt(ctx.arbID, high, ctx.p.now)
+}
+
+// startRMW begins an atomic read-modify-write held in the cache
+// (Feature 6, method 2).
+func (s *System) startRMW(p *Proc, t int64, op procOp) {
+	c := s.Caches[p.id]
+	b := s.cfg.Geometry.BlockOf(op.addr)
+	st := c.State(b)
+	if s.proto.Privilege(st) >= protocol.PrivWrite {
+		// Sole access already held: entirely local.
+		old, _ := c.ReadWord(op.addr)
+		c.Probe(protocol.OpWrite, op.addr)
+		c.WriteWord(op.addr, op.f(old))
+		s.respond(p, t+2*int64(s.cfg.Timing.HitCycles), procRes{value: old, ok: true})
+		return
+	}
+	ctx := &opCtx{p: p, op: op, protoOp: protocol.OpWrite}
+	if st != protocol.Invalid {
+		// A readable copy exists: capture the old value now; the write
+		// phase upgrades privilege.
+		ctx.rmwOld, _ = c.ReadWord(op.addr)
+		ctx.rmwHaveOld = true
+		ctx.pr = c.Probe(protocol.OpWrite, op.addr)
+		if ctx.pr.Hit {
+			c.WriteWord(op.addr, op.f(ctx.rmwOld))
+			s.respond(p, t+2*int64(s.cfg.Timing.HitCycles), procRes{value: ctx.rmwOld, ok: true})
+			return
+		}
+	} else {
+		ctx.pr = c.Probe(protocol.OpWrite, op.addr)
+		if ctx.pr.Cmd == bus.WriteWord {
+			// Write-through path cannot return the old value: fetch a
+			// readable copy first (bus held between the phases).
+			ctx.protoOp = protocol.OpRead
+			ctx.pr = protocol.ProcResult{Cmd: bus.Read}
+		}
+		// Otherwise the fetch (Read or ReadX) brings the old value and
+		// the continuation captures it after install.
+	}
+	s.queueBus(ctx, false)
+}
+
+// startTryWrite begins the abort-on-steal write (Feature 6, method 3).
+func (s *System) startTryWrite(p *Proc, t int64, op procOp) {
+	c := s.Caches[p.id]
+	b := s.cfg.Geometry.BlockOf(op.addr)
+	if c.State(b) == protocol.Invalid {
+		// The block was stolen between the read and the write: abort.
+		p.Counts.Inc("rmw.abort")
+		s.respond(p, t+int64(s.cfg.Timing.HitCycles), procRes{ok: false})
+		return
+	}
+	r := c.Probe(protocol.OpWrite, op.addr)
+	if r.Hit {
+		c.WriteWord(op.addr, op.value)
+		s.respond(p, t+int64(s.cfg.Timing.HitCycles), procRes{ok: true})
+		return
+	}
+	s.queueBus(&opCtx{p: p, op: op, protoOp: protocol.OpWrite, pr: r}, false)
+}
+
+// startBlockWrite begins a whole-block write. With Feature 9 the
+// protocol skips the fetch; otherwise the first word's write runs as
+// a normal (fetching) write and the rest complete locally or as
+// further write-throughs.
+func (s *System) startBlockWrite(p *Proc, t int64, op procOp) {
+	if s.feats.WriteNoFetch {
+		s.startMemOp(p, t, op, protocol.OpWriteBlock)
+		return
+	}
+	// Lowered path: op.vals[0] via a full write op; the completion
+	// handler writes the remaining words (writeRemainder), tracking
+	// progress in op.idx.
+	first := op
+	first.idx = 0
+	first.value = op.vals[0]
+	s.startMemOp(p, t, first, protocol.OpWrite)
+}
+
+// writeRemainder finishes a lowered block write after word op.idx
+// completed: under write-in protocols the remaining
+// words are cache hits; under write-through they are further bus
+// writes, issued one by one.
+func (s *System) writeRemainder(p *Proc, t int64, op procOp) {
+	c := s.Caches[p.id]
+	base := s.cfg.Geometry.Base(s.cfg.Geometry.BlockOf(op.addr))
+	for i := op.idx + 1; i < len(op.vals); i++ {
+		a := base + addr.Addr(i)
+		r := c.Probe(protocol.OpWrite, a)
+		if r.Hit {
+			c.WriteWord(a, op.vals[i])
+			t += int64(s.cfg.Timing.HitCycles)
+			continue
+		}
+		// Write-through: each word is its own bus transaction; issue
+		// the next one and resume from its completion.
+		rest := op
+		rest.idx = i
+		rest.addr = a
+		rest.value = op.vals[i]
+		s.queueBus(&opCtx{p: p, op: rest, protoOp: protocol.OpWrite, pr: r}, false)
+		return
+	}
+	s.respond(p, t, procRes{ok: true})
+}

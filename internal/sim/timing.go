@@ -1,0 +1,93 @@
+package sim
+
+import "cachesync/internal/bus"
+
+// Timing is the cycle-cost model of the memory system. All costs are
+// in bus cycles; the engine prices every transaction from these
+// parameters so benches can report both transaction counts and cycles.
+type Timing struct {
+	HitCycles    int // processor access satisfied by the cache
+	ArbCycles    int // bus arbitration
+	AddrCycles   int // address cycle of a data-carrying transaction
+	WordCycles   int // per bus-wide word transferred
+	MemCycles    int // main-memory access latency
+	InvCycles    int // one-cycle invalidate/unlock signal (Feature 4)
+	SrcArbCycles int // arbitration among multiple potential sources (Feature 8 "ARB")
+
+	// ConcurrentFlush: the bus and memory can absorb a flush
+	// concurrently with a cache-to-cache transfer at cache speed
+	// (Feature 7 discussion). When false, a snoop-time flush adds a
+	// memory access to the transfer.
+	ConcurrentFlush bool
+
+	// Directory-system costs (partial broadcast, Censier-Feautrier):
+	// the directory lookup on every request, and each point-to-point
+	// consistency message to a recorded holder. Full-broadcast systems
+	// pay neither — their snoop is one parallel operation.
+	DirLookupCycles int
+	DirMsgCycles    int
+}
+
+// DefaultTiming returns the cost model used throughout the benches:
+// single-cycle cache hits, a four-cycle memory access, one-cycle
+// invalidation signals.
+func DefaultTiming() Timing {
+	return Timing{
+		HitCycles:       1,
+		ArbCycles:       1,
+		AddrCycles:      1,
+		WordCycles:      1,
+		MemCycles:       4,
+		InvCycles:       1,
+		SrcArbCycles:    2,
+		ConcurrentFlush: true,
+		DirLookupCycles: 1,
+		DirMsgCycles:    2,
+	}
+}
+
+// TxnCost prices a completed transaction. words is the number of
+// data words that crossed the bus (already adjusted for transfer
+// units); memSupplied reports whether main memory provided the data.
+func (tm Timing) TxnCost(t *bus.Transaction, words int, memSupplied bool) int64 {
+	c := int64(tm.ArbCycles)
+	switch t.Cmd {
+	case bus.Read, bus.ReadX, bus.IORead:
+		if t.Lines.Locked {
+			// Denied by a lock: the address went out, nothing moved.
+			return c + int64(tm.AddrCycles)
+		}
+		c += int64(tm.AddrCycles)
+		if memSupplied {
+			c += int64(tm.MemCycles)
+			if t.Flushed {
+				// The holder had to write the block back before
+				// memory could supply it (the Synapse retry).
+				c += int64(tm.MemCycles)
+			}
+		} else {
+			if len(t.Suppliers) > 1 {
+				c += int64(tm.SrcArbCycles)
+			}
+			if t.Flushed && !tm.ConcurrentFlush {
+				c += int64(tm.MemCycles)
+			}
+		}
+		c += int64(words * tm.WordCycles)
+	case bus.Upgrade, bus.WriteNoFetch, bus.Unlock:
+		if t.Lines.Locked {
+			return c + int64(tm.InvCycles)
+		}
+		c += int64(tm.InvCycles)
+	case bus.WriteWord:
+		// A full write through to main memory.
+		c += int64(tm.AddrCycles + tm.MemCycles)
+	case bus.UpdateWord:
+		// Cache-speed word broadcast; a concurrent memory update
+		// (Firefly) is absorbed.
+		c += int64(tm.AddrCycles + tm.WordCycles)
+	case bus.Flush, bus.IOWrite:
+		c += int64(tm.AddrCycles + words*tm.WordCycles)
+	}
+	return c
+}

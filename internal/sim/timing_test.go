@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"testing"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+)
+
+func protocolFor(t *testing.T, name string) protocol.Protocol {
+	t.Helper()
+	return protocol.MustNew(name)
+}
+
+func TestTxnCostTable(t *testing.T) {
+	tm := DefaultTiming() // arb=1 addr=1 word=1 mem=4 inv=1 srcarb=2
+	cases := []struct {
+		name        string
+		txn         func() *bus.Transaction
+		words       int
+		memSupplied bool
+		want        int64
+	}{
+		{"read from memory", func() *bus.Transaction {
+			return &bus.Transaction{Cmd: bus.Read}
+		}, 4, true, 1 + 1 + 4 + 4},
+		{"read cache-to-cache", func() *bus.Transaction {
+			tx := &bus.Transaction{Cmd: bus.Read, Suppliers: []int{1}}
+			tx.Lines.SourceHit = true
+			return tx
+		}, 4, false, 1 + 1 + 4},
+		{"read with source arbitration", func() *bus.Transaction {
+			tx := &bus.Transaction{Cmd: bus.Read, Suppliers: []int{1, 2}}
+			tx.Lines.SourceHit = true
+			return tx
+		}, 4, false, 1 + 1 + 2 + 4},
+		{"read denied by lock", func() *bus.Transaction {
+			tx := &bus.Transaction{Cmd: bus.ReadX}
+			tx.Lines.Locked = true
+			return tx
+		}, 0, false, 1 + 1},
+		{"upgrade (one-cycle invalidate)", func() *bus.Transaction {
+			return &bus.Transaction{Cmd: bus.Upgrade}
+		}, 0, false, 1 + 1},
+		{"unlock broadcast", func() *bus.Transaction {
+			return &bus.Transaction{Cmd: bus.Unlock}
+		}, 0, false, 1 + 1},
+		{"writenofetch", func() *bus.Transaction {
+			return &bus.Transaction{Cmd: bus.WriteNoFetch}
+		}, 0, false, 1 + 1},
+		{"write-through word", func() *bus.Transaction {
+			return &bus.Transaction{Cmd: bus.WriteWord}
+		}, 1, false, 1 + 1 + 4},
+		{"update word", func() *bus.Transaction {
+			return &bus.Transaction{Cmd: bus.UpdateWord}
+		}, 1, false, 1 + 1 + 1},
+		{"flush", func() *bus.Transaction {
+			return &bus.Transaction{Cmd: bus.Flush}
+		}, 4, false, 1 + 1 + 4},
+		{"synapse retry: flushed then memory supplies", func() *bus.Transaction {
+			tx := &bus.Transaction{Cmd: bus.Read, Flushed: true}
+			return tx
+		}, 4, true, 1 + 1 + 4 + 4 + 4},
+	}
+	for _, c := range cases {
+		if got := tm.TxnCost(c.txn(), c.words, c.memSupplied); got != c.want {
+			t.Errorf("%s: cost = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTxnCostConcurrentFlush(t *testing.T) {
+	tm := DefaultTiming()
+	tx := &bus.Transaction{Cmd: bus.Read, Flushed: true, Suppliers: []int{1}}
+	tx.Lines.SourceHit = true
+	withConc := tm.TxnCost(tx, 4, false)
+	tm.ConcurrentFlush = false
+	withoutConc := tm.TxnCost(tx, 4, false)
+	if withoutConc != withConc+int64(tm.MemCycles) {
+		t.Errorf("non-concurrent flush should add %d cycles: %d vs %d",
+			tm.MemCycles, withConc, withoutConc)
+	}
+}
+
+// TestLockFairness: round-robin arbitration plus the busy-wait
+// protocol must not starve any contender.
+func TestLockFairness(t *testing.T) {
+	const procs, iters = 4, 25
+	s := coreSystem(procs)
+	acquired := make([]int, procs)
+	ws := make([]func(*Proc), procs)
+	for i := range ws {
+		i := i
+		ws[i] = func(p *Proc) {
+			for k := 0; k < iters; k++ {
+				v := p.LockRead(0)
+				acquired[i]++
+				p.Compute(10)
+				p.UnlockWrite(0, v+1)
+				p.Compute(5)
+			}
+		}
+	}
+	run(t, s, ws)
+	for i, n := range acquired {
+		if n != iters {
+			t.Errorf("proc %d acquired %d times, want %d", i, n, iters)
+		}
+	}
+	// Latency spread: the slowest acquisition should not be wildly
+	// beyond one full rotation of critical sections.
+	if max := s.LockLatency.Max(); max > int64(procs*40) {
+		t.Errorf("max lock latency %d cycles suggests starvation", max)
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	cfg := DefaultConfig(coreSystem(1).Protocol())
+	cfg.Procs = 2
+	cfg.MaxCycles = 500
+	s := New(cfg)
+	err := s.Run([]func(*Proc){
+		func(p *Proc) {
+			for { // spin forever
+				p.Read(0)
+				p.Compute(2)
+			}
+		},
+		nil,
+	})
+	if err == nil {
+		t.Fatal("expected cycle-overrun error")
+	}
+}
+
+func TestIODeniedOnLockedBlock(t *testing.T) {
+	s := coreSystem(2)
+	run(t, s, []func(*Proc){
+		func(p *Proc) {
+			p.LockRead(0)
+			p.Compute(200)
+			p.UnlockWrite(0, 1)
+		},
+		func(p *Proc) {
+			p.Compute(50)
+			p.IO(IOInput, 0, []uint64{9, 9, 9, 9}) // block is locked: denied
+		},
+	})
+	if s.Counts.Get("io.denied") != 1 {
+		t.Errorf("io.denied = %d, want 1", s.Counts.Get("io.denied"))
+	}
+	// The locked atom's data must be intact (the unlock wrote 1).
+	if v := s.Mem.ReadWord(0); v == 9 {
+		t.Error("denied I/O input overwrote a locked block")
+	}
+}
+
+func TestWriteThroughBlockWriteLowering(t *testing.T) {
+	// Under classic write-through, a lowered block write issues one
+	// WriteWord per word.
+	p := protocolFor(t, "writethrough")
+	cfg := DefaultConfig(p)
+	cfg.Procs = 1
+	s := New(cfg)
+	run(t, s, []func(*Proc){func(pr *Proc) {
+		pr.WriteBlock(0, []uint64{1, 2, 3, 4})
+	}})
+	if got := s.Bus.Counts.Get("bus.writeword"); got != 4 {
+		t.Errorf("bus.writeword = %d, want 4 (one per word)", got)
+	}
+	for i := 0; i < 4; i++ {
+		if v := s.Mem.ReadWord(addr.Addr(i)); v != uint64(i+1) {
+			t.Errorf("memory word %d = %d, want %d", i, v, i+1)
+		}
+	}
+}

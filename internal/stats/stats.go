@@ -1,0 +1,248 @@
+// Package stats collects simulation metrics: named counters,
+// latency histograms, and plain-text table rendering used by the
+// table/figure regeneration tools and the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named monotonically increasing counters.
+// The zero value is ready to use.
+type Counters struct {
+	m map[string]int64
+}
+
+// Add increments counter name by delta.
+func (c *Counters) Add(name string, delta int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of counter name (zero if never incremented).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds every counter of other into c.
+func (c *Counters) Merge(other *Counters) {
+	for n, v := range other.m {
+		c.Add(n, v)
+	}
+}
+
+// Total sums all counters whose name has the given prefix.
+func (c *Counters) Total(prefix string) int64 {
+	var t int64
+	for n, v := range c.m {
+		if strings.HasPrefix(n, prefix) {
+			t += v
+		}
+	}
+	return t
+}
+
+// Snapshot returns a copy of the counter map.
+func (c *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.m))
+	for n, v := range c.m {
+		out[n] = v
+	}
+	return out
+}
+
+// Histogram accumulates integer observations (typically latencies in
+// cycles) and reports summary statistics. The zero value is ready to
+// use. Observations are retained, so percentiles are exact.
+type Histogram struct {
+	vals   []int64
+	sum    int64
+	sorted bool
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.vals = append(h.vals, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return len(h.vals) }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(len(h.vals))
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Slice(h.vals, func(i, j int) bool { return h.vals[i] < h.vals[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method, or 0 with no observations.
+func (h *Histogram) Percentile(p float64) int64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	rank := int(math.Ceil(p / 100 * float64(len(h.vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.vals) {
+		rank = len(h.vals)
+	}
+	return h.vals[rank-1]
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (h *Histogram) Min() int64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.vals[0]
+}
+
+// Max returns the largest observation, or 0 with none.
+func (h *Histogram) Max() int64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.vals[len(h.vals)-1]
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d max=%d",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// Table renders aligned plain-text tables, used to regenerate the
+// paper's Table 1 and 2 and the experiment tables.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render returns the aligned plain-text form of the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		line := make([]string, len(cells))
+		for i, cell := range cells {
+			line[i] = cell + strings.Repeat(" ", widths[i]-len(cell))
+		}
+		b.WriteString(strings.TrimRight(strings.Join(line, "  "), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table in RFC-4180-ish CSV form (quoting cells that
+// contain commas or quotes), title omitted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRec := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRec(t.headers)
+	for _, row := range t.rows {
+		writeRec(row)
+	}
+	return b.String()
+}
+
+// Ratio formats a/b as a fixed-precision ratio string, handling b==0.
+func Ratio(a, b int64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", float64(a)/float64(b))
+}
+
+// Pct formats a/b as a percentage string, handling b==0.
+func Pct(a, b int64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(a)/float64(b))
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersBasic(t *testing.T) {
+	var c Counters
+	if got := c.Get("x"); got != 0 {
+		t.Errorf("Get on zero Counters = %d, want 0", got)
+	}
+	c.Inc("x")
+	c.Add("x", 4)
+	c.Add("y", 2)
+	if got := c.Get("x"); got != 5 {
+		t.Errorf("Get(x) = %d, want 5", got)
+	}
+	if got := c.Get("y"); got != 2 {
+		t.Errorf("Get(y) = %d, want 2", got)
+	}
+}
+
+func TestCountersNamesSorted(t *testing.T) {
+	var c Counters
+	c.Inc("zeta")
+	c.Inc("alpha")
+	c.Inc("mid")
+	names := c.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestCountersMergeAndTotal(t *testing.T) {
+	var a, b Counters
+	a.Add("bus.read", 3)
+	a.Add("bus.readx", 1)
+	b.Add("bus.read", 2)
+	b.Add("proc.hit", 7)
+	a.Merge(&b)
+	if got := a.Get("bus.read"); got != 5 {
+		t.Errorf("merged bus.read = %d, want 5", got)
+	}
+	if got := a.Total("bus."); got != 6 {
+		t.Errorf("Total(bus.) = %d, want 6", got)
+	}
+	if got := a.Total("proc."); got != 7 {
+		t.Errorf("Total(proc.) = %d, want 7", got)
+	}
+	if got := a.Total("nothing."); got != 0 {
+		t.Errorf("Total(nothing.) = %d, want 0", got)
+	}
+}
+
+func TestCountersSnapshotIsCopy(t *testing.T) {
+	var c Counters
+	c.Add("k", 1)
+	s := c.Snapshot()
+	s["k"] = 99
+	if got := c.Get("k"); got != 1 {
+		t.Errorf("Snapshot mutated source: %d", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Sum() != 25 {
+		t.Errorf("Sum = %d", h.Sum())
+	}
+	if h.Mean() != 5 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 9 {
+		t.Errorf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Percentile(50); got != 5 {
+		t.Errorf("P50 = %d, want 5", got)
+	}
+	if got := h.Percentile(100); got != 9 {
+		t.Errorf("P100 = %d, want 9", got)
+	}
+	if got := h.Percentile(1); got != 1 {
+		t.Errorf("P1 = %d, want 1", got)
+	}
+}
+
+func TestHistogramObserveAfterSort(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	_ = h.Max() // forces sort
+	h.Observe(1)
+	if got := h.Min(); got != 1 {
+		t.Errorf("Min after late observe = %d, want 1", got)
+	}
+}
+
+// Property: percentiles are monotonic in p and bounded by [Min, Max].
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(int64(v))
+		}
+		prev := h.Min()
+		for p := 1; p <= 100; p++ {
+			cur := h.Percentile(float64(p))
+			if cur < prev || cur > h.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [Min, Max].
+func TestHistogramMeanBounded(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(int64(v))
+		}
+		m := h.Mean()
+		return m >= float64(h.Min()) && m <= float64(h.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	out := tb.Render()
+	if !strings.Contains(out, "Demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[1] != "name   value" {
+		t.Errorf("header = %q", lines[1])
+	}
+	if lines[2] != "-----  -----" {
+		t.Errorf("separator = %q", lines[2])
+	}
+	if lines[3] != "alpha  1" {
+		t.Errorf("row = %q", lines[3])
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "overflow-dropped")
+	out := tb.Render()
+	if strings.Contains(out, "overflow") {
+		t.Errorf("extra cell not dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "only") {
+		t.Errorf("short row missing:\n%s", out)
+	}
+}
+
+func TestRatioAndPct(t *testing.T) {
+	if got := Ratio(1, 2); got != "0.500" {
+		t.Errorf("Ratio(1,2) = %q", got)
+	}
+	if got := Ratio(1, 0); got != "n/a" {
+		t.Errorf("Ratio(1,0) = %q", got)
+	}
+	if got := Pct(1, 4); got != "25.00%" {
+		t.Errorf("Pct(1,4) = %q", got)
+	}
+	if got := Pct(3, 0); got != "n/a" {
+		t.Errorf("Pct(3,0) = %q", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("plain", `with "quote", comma`)
+	got := tb.CSV()
+	want := "a,b\nplain,\"with \"\"quote\"\", comma\"\n"
+	if got != want {
+		t.Errorf("CSV() = %q, want %q", got, want)
+	}
+}

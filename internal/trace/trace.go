@@ -1,0 +1,184 @@
+// Package trace defines a plain-text reference-trace format so
+// workloads can be captured, stored, and replayed against any
+// protocol — the moral equivalent of the address traces the
+// contemporaneous evaluations (Archibald-Baer, Smith) were driven by.
+//
+// Format: one event per line,
+//
+//	<proc> R <addr>          read
+//	<proc> E <addr>          read with the read-for-write instruction
+//	<proc> W <addr> <val>    write
+//	<proc> L <addr>          lock-read
+//	<proc> U <addr> <val>    unlock-write
+//	<proc> A <addr>          atomic increment (RMW)
+//	<proc> C <cycles>        compute
+//
+// '#' starts a comment; blank lines are ignored.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/sim"
+)
+
+// Kind is a trace event type.
+type Kind byte
+
+// Event kinds.
+const (
+	Read    Kind = 'R'
+	ReadEx  Kind = 'E'
+	Write   Kind = 'W'
+	Lock    Kind = 'L'
+	Unlock  Kind = 'U'
+	Atomic  Kind = 'A'
+	Compute Kind = 'C'
+)
+
+// Event is one trace record.
+type Event struct {
+	Proc   int
+	Kind   Kind
+	Addr   addr.Addr
+	Value  uint64
+	Cycles int64
+}
+
+// String renders the event in trace format.
+func (e Event) String() string {
+	switch e.Kind {
+	case Write, Unlock:
+		return fmt.Sprintf("%d %c %d %d", e.Proc, e.Kind, e.Addr, e.Value)
+	case Compute:
+		return fmt.Sprintf("%d C %d", e.Proc, e.Cycles)
+	default:
+		return fmt.Sprintf("%d %c %d", e.Proc, e.Kind, e.Addr)
+	}
+}
+
+// Trace is an ordered sequence of per-processor events. Events of
+// different processors are independent streams; ordering between
+// processors is decided by the simulator.
+type Trace struct {
+	Events []Event
+}
+
+// Procs returns the number of processors the trace references.
+func (t *Trace) Procs() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Proc+1 > n {
+			n = e.Proc + 1
+		}
+	}
+	return n
+}
+
+// Encode writes the trace in text form.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintln(bw, e.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses a text trace.
+func Decode(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var e Event
+		var kind string
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("trace: line %d: too few fields: %q", lineNo, line)
+		}
+		if _, err := fmt.Sscanf(fields[0], "%d", &e.Proc); err != nil || e.Proc < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad processor: %q", lineNo, line)
+		}
+		kind = fields[1]
+		if len(kind) != 1 {
+			return nil, fmt.Errorf("trace: line %d: bad kind %q", lineNo, kind)
+		}
+		e.Kind = Kind(kind[0])
+		switch e.Kind {
+		case Read, ReadEx, Lock, Atomic:
+			if _, err := fmt.Sscanf(fields[2], "%d", &e.Addr); err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad address: %q", lineNo, line)
+			}
+		case Write, Unlock:
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("trace: line %d: write needs a value: %q", lineNo, line)
+			}
+			if _, err := fmt.Sscanf(fields[2], "%d", &e.Addr); err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad address: %q", lineNo, line)
+			}
+			if _, err := fmt.Sscanf(fields[3], "%d", &e.Value); err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad value: %q", lineNo, line)
+			}
+		case Compute:
+			if _, err := fmt.Sscanf(fields[2], "%d", &e.Cycles); err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad cycle count: %q", lineNo, line)
+			}
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, kind)
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Workloads converts the trace into one workload function per
+// processor, replayable on any simulated machine. Lock events on
+// protocols without the hardware lock are replayed as atomic
+// test-and-set/clear pairs.
+func (t *Trace) Workloads(procs int) []func(*sim.Proc) {
+	streams := make([][]Event, procs)
+	for _, e := range t.Events {
+		if e.Proc < procs {
+			streams[e.Proc] = append(streams[e.Proc], e)
+		}
+	}
+	ws := make([]func(*sim.Proc), procs)
+	for i := range ws {
+		evs := streams[i]
+		ws[i] = func(p *sim.Proc) {
+			for _, e := range evs {
+				switch e.Kind {
+				case Read:
+					p.Read(e.Addr)
+				case ReadEx:
+					p.ReadEx(e.Addr)
+				case Write:
+					p.Write(e.Addr, e.Value)
+				case Lock:
+					p.LockRead(e.Addr)
+				case Unlock:
+					p.UnlockWrite(e.Addr, e.Value)
+				case Atomic:
+					p.RMW(e.Addr, func(v uint64) uint64 { return v + 1 })
+				case Compute:
+					p.Compute(e.Cycles)
+				}
+			}
+		}
+	}
+	return ws
+}

@@ -1,0 +1,312 @@
+// Package workload generates the reference streams the benches run:
+// the sharing patterns Section B.1 motivates (producer/consumer
+// variable bindings, service-request queues among lightweight Prolog
+// processes), busy-wait lock contention, Archibald-Baer-style mixed
+// random sharing, private-data runs, and process-switch state saves.
+// All generators are deterministic for a given seed.
+package workload
+
+import (
+	"math/rand"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/sim"
+	"cachesync/internal/syncprim"
+)
+
+// Layout carves the word-address space into the regions the
+// generators use, keeping locks and data on separate blocks (the
+// paper's rule: under write-in, blocks should be devoted to atoms,
+// Section D.2).
+type Layout struct {
+	G addr.Geometry
+}
+
+// LockAddr returns the first word of the i-th lock block (each lock
+// gets a whole block to itself).
+func (l Layout) LockAddr(i int) addr.Addr { return l.G.Base(addr.Block(i)) }
+
+// SharedBlock returns the i-th shared data block, placed after 64
+// lock blocks.
+func (l Layout) SharedBlock(i int) addr.Block { return addr.Block(64 + i) }
+
+// PrivateBlock returns processor p's i-th private block, placed after
+// 4096 shared blocks.
+func (l Layout) PrivateBlock(p, i int) addr.Block {
+	return addr.Block(64 + 4096 + p*4096 + i)
+}
+
+// ProducerConsumer is the Prolog/dataflow pattern of Section B.1: a
+// producer binds a value (writing the atom WritesPerItem times while
+// holding its lock) and a consumer reads and acknowledges it.
+type ProducerConsumer struct {
+	Items         int // values passed producer -> consumer
+	WritesPerItem int // writes to the atom per hold (the "n" of Section D.2)
+	Scheme        syncprim.Scheme
+}
+
+// Build returns one producer (proc 0) and one consumer (proc 1)
+// workload; remaining processors idle.
+func (w ProducerConsumer) Build(l Layout, procs int) []func(*sim.Proc) {
+	lock := l.LockAddr(0)
+	atom := l.G.Base(l.SharedBlock(0))
+	flag := l.LockAddr(1) // handoff flag, its own block
+	ws := make([]func(*sim.Proc), procs)
+	ws[0] = func(p *sim.Proc) {
+		for i := 1; i <= w.Items; i++ {
+			syncprim.Acquire(p, w.Scheme, lock)
+			for k := 0; k < w.WritesPerItem; k++ {
+				p.Write(atom+addr.Addr(k%l.G.BlockWords), uint64(i))
+			}
+			syncprim.Release(p, w.Scheme, lock)
+			p.Write(flag, uint64(i)) // publish
+			// Wait for the acknowledgement.
+			for p.Read(flag) != 0 {
+				p.Compute(4)
+			}
+		}
+	}
+	ws[1] = func(p *sim.Proc) {
+		for i := 1; i <= w.Items; i++ {
+			for p.Read(flag) != uint64(i) {
+				p.Compute(4)
+			}
+			syncprim.Acquire(p, w.Scheme, lock)
+			for k := 0; k < w.WritesPerItem; k++ {
+				p.Read(atom + addr.Addr(k%l.G.BlockWords))
+			}
+			syncprim.Release(p, w.Scheme, lock)
+			p.Write(flag, 0) // acknowledge
+		}
+	}
+	return ws
+}
+
+// LockContention stresses one or more busy-wait locks: every
+// processor loops acquire / critical-section / release. It is the
+// workload behind the zero-time-locking and no-bus-retry claims
+// (Sections E.3, E.4).
+type LockContention struct {
+	Locks       int
+	Iters       int
+	HoldCycles  int64 // critical-section length
+	ThinkCycles int64 // gap between acquisitions
+	CSWrites    int   // writes inside the critical section (to the lock's atom)
+	Scheme      syncprim.Scheme
+	Seed        int64
+}
+
+// Build returns a workload per processor.
+func (w LockContention) Build(l Layout, procs int) []func(*sim.Proc) {
+	ws := make([]func(*sim.Proc), procs)
+	for i := range ws {
+		i := i
+		rng := rand.New(rand.NewSource(w.Seed + int64(i)))
+		ws[i] = func(p *sim.Proc) {
+			for k := 0; k < w.Iters; k++ {
+				li := rng.Intn(w.Locks)
+				lock := l.LockAddr(li)
+				syncprim.Acquire(p, w.Scheme, lock)
+				for c := 0; c < w.CSWrites; c++ {
+					// Write the atom guarded by the lock: the rest of
+					// the lock's block when it has room, otherwise a
+					// dedicated data block per lock (one-word blocks).
+					var a addr.Addr
+					if l.G.BlockWords > 1 {
+						a = lock + addr.Addr(1+c%(l.G.BlockWords-1))
+					} else {
+						a = l.G.Base(l.SharedBlock(512 + li))
+					}
+					p.Write(a, uint64(k))
+				}
+				p.Compute(w.HoldCycles)
+				syncprim.Release(p, w.Scheme, lock)
+				p.Compute(w.ThinkCycles)
+			}
+		}
+	}
+	return ws
+}
+
+func imax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ServiceQueues is Section B.1's service-request management: each
+// processor owns a request queue (a lock plus a descriptor block);
+// processors post requests to other processors' queues and drain
+// their own. It models the Aquarius pattern of a program interpreter
+// sending requests to floating-point or I/O processors.
+type ServiceQueues struct {
+	Requests int // requests each processor posts
+	QueueCap int // slots per queue (within one descriptor block)
+	Scheme   syncprim.Scheme
+	Seed     int64
+}
+
+// Build returns a workload per processor.
+func (w ServiceQueues) Build(l Layout, procs int) []func(*sim.Proc) {
+	ws := make([]func(*sim.Proc), procs)
+	cap := w.QueueCap
+	if cap <= 0 || cap > l.G.BlockWords-2 {
+		cap = imax(1, l.G.BlockWords-2)
+	}
+	for i := range ws {
+		i := i
+		rng := rand.New(rand.NewSource(w.Seed*31 + int64(i)))
+		ws[i] = func(p *sim.Proc) {
+			posted := 0
+			for posted < w.Requests {
+				// Post a request to a random other queue.
+				target := rng.Intn(procs)
+				if procs > 1 {
+					for target == i {
+						target = rng.Intn(procs)
+					}
+				}
+				lock := l.LockAddr(2 + target)
+				desc := l.G.Base(l.SharedBlock(1 + target))
+				syncprim.Acquire(p, w.Scheme, lock)
+				n := p.Read(desc) // queue length
+				if int(n) < cap {
+					p.Write(desc+addr.Addr(1+int(n)%cap), uint64(i*1000+posted))
+					p.Write(desc, n+1)
+				}
+				// A full queue drops the request (bounded queue), so
+				// no processor can wedge on a finished peer.
+				posted++
+				syncprim.Release(p, w.Scheme, lock)
+
+				// Drain my own queue.
+				myLock := l.LockAddr(2 + i)
+				myDesc := l.G.Base(l.SharedBlock(1 + i))
+				syncprim.Acquire(p, w.Scheme, myLock)
+				if n := p.Read(myDesc); n > 0 {
+					p.Read(myDesc + addr.Addr(1+int(n-1)%cap))
+					p.Write(myDesc, n-1)
+				}
+				syncprim.Release(p, w.Scheme, myLock)
+				p.Compute(10)
+			}
+			// Final drain so no queue overflows block others.
+			myLock := l.LockAddr(2 + i)
+			myDesc := l.G.Base(l.SharedBlock(1 + i))
+			for d := 0; d < w.Requests; d++ {
+				syncprim.Acquire(p, w.Scheme, myLock)
+				if n := p.Read(myDesc); n > 0 {
+					p.Write(myDesc, n-1)
+				}
+				syncprim.Release(p, w.Scheme, myLock)
+			}
+		}
+	}
+	return ws
+}
+
+// Mixed is the Archibald-Baer-style random reference stream: a
+// fraction of references touch shared blocks, the rest private; a
+// write fraction around Smith's 35% figure (Section F.3, Feature 3).
+type Mixed struct {
+	Ops          int
+	SharedBlocks int
+	PrivBlocks   int
+	SharedFrac   float64 // fraction of references to shared data
+	WriteFrac    float64
+	Seed         int64
+}
+
+// Build returns a workload per processor.
+func (w Mixed) Build(l Layout, procs int) []func(*sim.Proc) {
+	ws := make([]func(*sim.Proc), procs)
+	for i := range ws {
+		i := i
+		rng := rand.New(rand.NewSource(w.Seed ^ int64(i*104729)))
+		ws[i] = func(p *sim.Proc) {
+			for k := 0; k < w.Ops; k++ {
+				var b addr.Block
+				if rng.Float64() < w.SharedFrac {
+					b = l.SharedBlock(rng.Intn(w.SharedBlocks))
+				} else {
+					b = l.PrivateBlock(i, rng.Intn(w.PrivBlocks))
+				}
+				a := l.G.Base(b) + addr.Addr(rng.Intn(l.G.BlockWords))
+				if rng.Float64() < w.WriteFrac {
+					p.Write(a, uint64(k))
+				} else {
+					p.Read(a)
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// PrivateRuns exercises Feature 5's scenario: sequential runs over
+// private data that are read and then (with probability WriteBack)
+// written — where fetching unshared data with write privilege on the
+// read miss saves the later invalidation cycle.
+type PrivateRuns struct {
+	Blocks    int
+	Sweeps    int
+	WriteBack float64 // probability a visited block is written after reading
+	Static    bool    // use the compiler-declared read-for-write instruction
+	Seed      int64
+}
+
+// Build returns a workload per processor.
+func (w PrivateRuns) Build(l Layout, procs int) []func(*sim.Proc) {
+	ws := make([]func(*sim.Proc), procs)
+	for i := range ws {
+		i := i
+		rng := rand.New(rand.NewSource(w.Seed + int64(i)*13))
+		ws[i] = func(p *sim.Proc) {
+			for s := 0; s < w.Sweeps; s++ {
+				for b := 0; b < w.Blocks; b++ {
+					a := l.G.Base(l.PrivateBlock(i, b))
+					write := rng.Float64() < w.WriteBack
+					if w.Static && write {
+						p.ReadEx(a)
+					} else {
+						p.Read(a)
+					}
+					if write {
+						p.Write(a, uint64(s))
+					}
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// StateSave is Feature 9's scenario: frequent process switches saving
+// whole blocks of processor state (Aquarius expects "frequent process
+// switching, hence the switching must be very efficient").
+type StateSave struct {
+	Switches    int
+	StateBlocks int // blocks of state written per switch
+}
+
+// Build returns a workload per processor.
+func (w StateSave) Build(l Layout, procs int) []func(*sim.Proc) {
+	ws := make([]func(*sim.Proc), procs)
+	for i := range ws {
+		i := i
+		ws[i] = func(p *sim.Proc) {
+			vals := make([]uint64, l.G.BlockWords)
+			for s := 0; s < w.Switches; s++ {
+				for b := 0; b < w.StateBlocks; b++ {
+					for k := range vals {
+						vals[k] = uint64(s*100 + b)
+					}
+					p.WriteBlock(l.G.Base(l.PrivateBlock(i, b)), vals)
+				}
+				p.Compute(20) // run the switched-in process a little
+			}
+		}
+	}
+	return ws
+}
