@@ -10,10 +10,14 @@
 package cachesync_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"cachesync"
 	"cachesync/internal/aquarius"
+	"cachesync/internal/mcheck"
+	"cachesync/internal/protocol"
 	"cachesync/internal/report"
 	"cachesync/internal/sim"
 	"cachesync/internal/stats"
@@ -196,6 +200,34 @@ func BenchmarkEngineMixedReferences(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(4*500*b.N)/b.Elapsed().Seconds(), "refs/s")
+		})
+	}
+}
+
+// BenchmarkMcheck measures the bounded model checker's exploration
+// rate (states/sec) on the Bitar-Despain protocol at a mid-size
+// configuration, with one worker and with GOMAXPROCS workers — the
+// ratio of the two reported rates is the parallel speedup of the
+// hash-sharded BFS (≈1.0 on a single-core host).
+func BenchmarkMcheck(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var states int64
+			for i := 0; i < b.N; i++ {
+				res, err := mcheck.Run(mcheck.Options{
+					Protocol: protocol.MustNew("bitar"),
+					Procs:    3, Blocks: 1, Words: 2, Depth: 6,
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Counterexample != nil {
+					b.Fatalf("unexpected violation: %v", res.Counterexample.Violations)
+				}
+				states += res.States
+			}
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/s")
 		})
 	}
 }

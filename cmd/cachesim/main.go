@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"cachesync"
+	"cachesync/internal/coherence"
 	"cachesync/internal/sim"
 	"cachesync/internal/syncprim"
 	"cachesync/internal/trace"
@@ -36,6 +37,7 @@ var (
 	schemeStr = flag.String("scheme", "", "lock scheme: cachelock | tas | ttas | tasmemory (default: best for protocol)")
 	buses     = flag.Int("buses", 1, "broadcast buses (1 or 2, Section A.2)")
 	logN      = flag.Int("log", 0, "print the first N bus transactions (0 = off)")
+	check     = flag.Bool("check", true, "run the online coherence checker after every bus transaction; violations make the run exit nonzero")
 )
 
 func main() {
@@ -105,9 +107,27 @@ func main() {
 	if *logN > 0 {
 		evlog = m.System().AttachLog(*logN)
 	}
+	var violations []string
+	if *check {
+		sys := m.System()
+		seen := map[string]bool{}
+		sys.OnTxn = func() {
+			for _, v := range coherence.Check(sys) {
+				if !seen[v] {
+					seen[v] = true
+					violations = append(violations, fmt.Sprintf("cycle %d: %s", sys.Clock(), v))
+				}
+			}
+		}
+	}
 	if err := m.Run(ws); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *check {
+		// The checker runs between transactions, so transient in-flight
+		// states are quiesced; any report is a real incoherence.
+		violations = appendFinalCheck(m.System(), violations)
 	}
 	if evlog != nil {
 		_ = evlog.Dump(os.Stdout)
@@ -119,4 +139,33 @@ func main() {
 		fmt.Printf("hardware lock acquisitions: %d (mean %.1f cycles, max %d)\n\n", n, mean, max)
 	}
 	fmt.Println(cachesync.RenderStats(m.Stats()))
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "coherence checker: %d violation(s):\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	if *check {
+		fmt.Println("coherence checker: clean (every bus transaction and the final state)")
+	}
+}
+
+// appendFinalCheck re-validates the quiesced final state (a run whose
+// last operation is a pure cache hit fires no OnTxn afterwards).
+func appendFinalCheck(sys *sim.System, violations []string) []string {
+	for _, v := range coherence.Check(sys) {
+		entry := fmt.Sprintf("final state: %s", v)
+		dup := false
+		for _, have := range violations {
+			if have == entry {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			violations = append(violations, entry)
+		}
+	}
+	return violations
 }

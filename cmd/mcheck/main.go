@@ -1,0 +1,223 @@
+// Command mcheck runs the bounded model checker: it enumerates every
+// interleaving of processor operations on a tiny configuration and
+// verifies the DESIGN §6 coherence invariants at each reachable state,
+// for one protocol or all of them.
+//
+//	go run ./cmd/mcheck -protocol all -depth 5
+//	go run ./cmd/mcheck -protocol bitar -procs 3 -blocks 2 -depth 6
+//	go run ./cmd/mcheck -protocol bitar -arcs            # regenerate Figure 10 arcs
+//	go run ./cmd/mcheck -protocol goodman -mutate drop-invalidate
+//
+// Exit status: 0 when every run verifies clean, 1 when a violation is
+// found (the minimized counterexample is printed and replayed), 2 on
+// usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cachesync/internal/mcheck"
+	"cachesync/internal/protocol"
+	_ "cachesync/internal/protocol/all"
+)
+
+var (
+	protoName = flag.String("protocol", "all", "protocol name, or \"all\"")
+	list      = flag.Bool("list", false, "list protocols and mutants, then exit")
+	procs     = flag.Int("procs", 2, "processors (1-8)")
+	blocks    = flag.Int("blocks", 1, "blocks (1-4)")
+	words     = flag.Int("words", 2, "words per block")
+	depth     = flag.Int("depth", 5, "maximum interleaving length")
+	workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+	maxStates = flag.Int("maxstates", 1<<21, "state-count cap")
+	mutate    = flag.String("mutate", "", "inject a protocol fault (see -list); expects a violation")
+	arcs      = flag.Bool("arcs", false, "record state-transition arcs and, for bitar, cross-check Figure 10")
+	noSpeed   = flag.Bool("nospeedup", false, "skip the workers=1 rerun that measures parallel speedup")
+	jsonOut   = flag.Bool("json", false, "emit one JSON summary per run instead of text")
+)
+
+// summary is the JSON shape of one checker run.
+type summary struct {
+	*mcheck.Result
+	Mutant     string  `json:"mutant,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+	ArcsOK     *bool   `json:"figure10_ok,omitempty"`
+	Confirmed  bool    `json:"sim_confirmed,omitempty"`
+	Minimality string  `json:"minimality,omitempty"`
+}
+
+func main() {
+	flag.Parse()
+	if *list {
+		fmt.Println("protocols:")
+		for _, n := range protocol.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		fmt.Println("mutants (-mutate):")
+		for _, n := range mcheck.MutantNames() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	names := protocol.Names()
+	if *protoName != "all" {
+		if _, err := protocol.New(*protoName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		names = []string{*protoName}
+	}
+
+	violated := false
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, name := range names {
+		s, err := runOne(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if s.Counterexample != nil {
+			violated = true
+		}
+		if *jsonOut {
+			if err := enc.Encode(s); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	}
+	// A violation is the expected outcome of a mutant run; without
+	// -mutate it means the protocol itself is broken.
+	if violated {
+		os.Exit(1)
+	}
+}
+
+func runOne(name string) (*summary, error) {
+	p := protocol.MustNew(name)
+	if *mutate != "" {
+		mp, err := mcheck.Mutate(p, *mutate)
+		if err != nil {
+			return nil, err
+		}
+		p = mp
+	}
+	opts := mcheck.Options{
+		Protocol: p, Procs: *procs, Blocks: *blocks, Words: *words,
+		Depth: *depth, Workers: *workers, MaxStates: *maxStates,
+		RecordArcs: *arcs,
+	}
+	res, err := mcheck.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &summary{Result: res, Mutant: *mutate}
+
+	if !*jsonOut {
+		status := "COHERENT"
+		switch {
+		case res.Counterexample != nil:
+			status = "VIOLATION"
+		case res.Truncated:
+			status = "TRUNCATED"
+		}
+		fmt.Printf("%-28s %-10s states=%-8d transitions=%-9d depth=%d/%d  %.0f states/s (%d workers, %v)\n",
+			p.Name(), status, res.States, res.Transitions, res.DepthReached, res.Depth,
+			res.StatesPerSec, res.Workers, res.Elapsed.Round(time.Millisecond))
+	}
+
+	if res.Counterexample != nil {
+		handleViolation(opts, s)
+	} else if !*noSpeed && *workers > 1 {
+		base, err := mcheck.Run(mcheck.Options{
+			Protocol: p, Procs: *procs, Blocks: *blocks, Words: *words,
+			Depth: *depth, Workers: 1, MaxStates: *maxStates,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if base.StatesPerSec > 0 {
+			s.Speedup = res.StatesPerSec / base.StatesPerSec
+			if !*jsonOut {
+				fmt.Printf("%-28s speedup %.2fx vs 1 worker (%.0f states/s)\n", "", s.Speedup, base.StatesPerSec)
+			}
+		}
+	}
+
+	if *arcs && res.Counterexample == nil {
+		renderArcs(p, s)
+	}
+	return s, nil
+}
+
+// handleViolation prints the minimized counterexample, checks
+// minimality (depth-1 must be clean), and replays the trace through
+// the discrete-event engine when the trace is sim-representable.
+func handleViolation(opts mcheck.Options, s *summary) {
+	res := s.Result
+	if !*jsonOut {
+		fmt.Println()
+		fmt.Print(mcheck.RenderCounterexample(opts, res.Counterexample))
+	}
+
+	short := opts
+	short.Depth = len(res.Counterexample.Trace) - 1
+	short.RecordArcs = false
+	if short.Depth >= 1 {
+		if r2, err := mcheck.Run(short); err == nil && r2.Counterexample == nil && !r2.Truncated {
+			s.Minimality = fmt.Sprintf("minimal: depth %d is clean (%d states)", short.Depth, r2.States)
+		}
+	} else {
+		s.Minimality = "minimal: single-step counterexample"
+	}
+	if !*jsonOut && s.Minimality != "" {
+		fmt.Printf("\n%s\n", s.Minimality)
+	}
+
+	replay, err := mcheck.SimReplay(opts, res.Counterexample)
+	if err == nil {
+		s.Confirmed = true
+		if !*jsonOut {
+			fmt.Println()
+			fmt.Print(replay)
+		}
+	} else if !*jsonOut {
+		fmt.Printf("\nsim replay skipped: %v\n", err)
+	}
+}
+
+// renderArcs prints the reachability-derived transition arcs and, for
+// the paper's own protocol, cross-checks them against the expected
+// Figure 10 table.
+func renderArcs(p protocol.Protocol, s *summary) {
+	if !*jsonOut {
+		fmt.Println()
+		fmt.Print(mcheck.RenderArcs(p, s.Arcs))
+	}
+	if p.Name() != "bitar" {
+		return
+	}
+	mismatches, unreached := mcheck.CrossCheckFigure10(s.Arcs)
+	ok := len(mismatches) == 0 && len(unreached) == 0
+	s.ArcsOK = &ok
+	if *jsonOut {
+		return
+	}
+	if ok {
+		fmt.Println("figure 10 cross-check: all expected arcs reached with matching outcomes")
+		return
+	}
+	for _, m := range mismatches {
+		fmt.Printf("figure 10 mismatch: %s\n", m)
+	}
+	for _, u := range unreached {
+		fmt.Printf("figure 10 unreached: %s\n", u)
+	}
+}

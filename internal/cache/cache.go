@@ -8,6 +8,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"cachesync/internal/addr"
 	"cachesync/internal/bus"
@@ -169,6 +170,18 @@ func (c *Cache) Data(b addr.Block) []uint64 {
 	out := make([]uint64, len(ln.data))
 	copy(out, ln.data)
 	return out
+}
+
+// DataView returns block b's cached data without copying, or nil if
+// not valid. The slice aliases the live line — callers must treat it
+// as read-only and must not hold it across cache mutations. It exists
+// for the hot paths of the coherence checker and the model checker,
+// which inspect every block after every transition.
+func (c *Cache) DataView(b addr.Block) []uint64 {
+	if ln := c.find(b, false); ln != nil {
+		return ln.data
+	}
+	return nil
 }
 
 func (c *Cache) touch(ln *line) {
@@ -353,6 +366,104 @@ func (c *Cache) Install(b addr.Block, data []uint64, st protocol.State) {
 	c.tick++
 	ln.installed = c.tick
 	ln.lru = c.tick
+}
+
+// LineSnapshot is the restorable state of one occupied cache frame:
+// the block tag, the protocol state (Invalid for a tag-only frame kept
+// for invalid-line snooping), and the data words. Snapshot/Restore are
+// the state hooks of the bounded model checker (internal/mcheck),
+// which needs to re-materialize a cache at an arbitrary explored
+// state.
+type LineSnapshot struct {
+	Block addr.Block
+	State protocol.State
+	Data  []uint64
+}
+
+// Snapshot captures every occupied frame (including tag-only invalid
+// frames, which matter to protocols that snoop invalid lines), sorted
+// by block for a canonical encoding.
+func (c *Cache) Snapshot() []LineSnapshot {
+	var out []LineSnapshot
+	for _, set := range c.sets {
+		for i := range set {
+			ln := &set[i]
+			if !ln.hasTag {
+				continue
+			}
+			data := make([]uint64, len(ln.data))
+			copy(data, ln.data)
+			out = append(out, LineSnapshot{Block: ln.tag, State: ln.state, Data: data})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Block < out[j].Block })
+	return out
+}
+
+// Restore clears the cache and installs exactly the given frames
+// (LRU/FIFO bookkeeping restarts; the busy-wait register disarms). It
+// panics when a set overflows, which means the snapshot never came
+// from a cache of this shape.
+func (c *Cache) Restore(lines []LineSnapshot) {
+	// Reset every frame but keep its data/unitDirty storage: Restore is
+	// the model checker's per-transition hot path.
+	for _, set := range c.sets {
+		for i := range set {
+			ln := &set[i]
+			ln.hasTag = false
+			ln.tag = 0
+			ln.state = protocol.Invalid
+			ln.lru = 0
+			ln.installed = 0
+		}
+	}
+	c.tick = 0
+	c.BWReg = BusyWaitRegister{}
+	for _, snap := range lines {
+		set := c.sets[c.setIndex(snap.Block)]
+		var ln *line
+		for i := range set {
+			if !set[i].hasTag {
+				ln = &set[i]
+				break
+			}
+		}
+		if ln == nil {
+			panic(fmt.Sprintf("cache %d: Restore overflows set %d", c.id, c.setIndex(snap.Block)))
+		}
+		c.tick++
+		ln.hasTag = true
+		ln.tag = snap.Block
+		ln.state = snap.State
+		if len(ln.data) != c.geom.BlockWords {
+			ln.data = make([]uint64, c.geom.BlockWords)
+		} else {
+			for i := range ln.data {
+				ln.data[i] = 0
+			}
+		}
+		copy(ln.data, snap.Data)
+		if len(ln.unitDirty) != c.geom.Units() {
+			ln.unitDirty = make([]bool, c.geom.Units())
+		} else {
+			for i := range ln.unitDirty {
+				ln.unitDirty[i] = false
+			}
+		}
+		ln.lru = c.tick
+		ln.installed = c.tick
+	}
+}
+
+// FrameView returns the state and a read-only data view of the frame
+// holding block b — including a tag-only invalid frame kept for
+// invalid-line snooping — or ok=false when b occupies no frame. It is
+// the no-copy accessor of the model checker's state encoder.
+func (c *Cache) FrameView(b addr.Block) (st protocol.State, data []uint64, ok bool) {
+	if ln := c.find(b, true); ln != nil {
+		return ln.state, ln.data, true
+	}
+	return protocol.Invalid, nil, false
 }
 
 // SetState forces block b's state (used by Finish after bus

@@ -8,87 +8,217 @@
 //     copy exists, and a single source (except Illinois' by-design
 //     multi-source).
 //
-// Check can be run post-quiescence or, via sim.System's OnTxn hook,
-// after every bus transaction (online checking in the conformance
-// tests).
+// It additionally checks lock mutual exclusion across cache lock
+// states and memory lock tags (Section E.3).
+//
+// The invariants are exposed as per-invariant predicates over the raw
+// (protocol, caches, memory) surface so that both the online checker
+// (sim.System's OnTxn hook, via Check) and the bounded model checker
+// (internal/mcheck, via CheckAll on its own machine) share one
+// implementation. CheckAll is the hot path of the model checker — it
+// runs after every explored transition — so it walks the caches once
+// per block and inspects data through non-copying views.
 package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"cachesync/internal/addr"
+	"cachesync/internal/cache"
+	"cachesync/internal/memory"
 	"cachesync/internal/protocol"
 	"cachesync/internal/sim"
 )
 
-// Check validates every block any cache currently holds and returns a
-// list of violations (empty when coherent).
-func Check(s *sim.System) []string {
-	var out []string
-	p := s.Protocol()
-	update := p.Features().Policy == protocol.PolicyUpdate
-
-	blocks := map[addr.Block]bool{}
-	for _, c := range s.Caches {
+// HeldBlocks returns the sorted union of blocks any cache currently
+// holds valid.
+func HeldBlocks(caches []*cache.Cache) []addr.Block {
+	seen := map[addr.Block]bool{}
+	for _, c := range caches {
 		for b := range c.Blocks() {
-			blocks[b] = true
+			seen[b] = true
 		}
 	}
-	for b := range blocks {
-		var writers, dirties, sources, valids int
-		var dirtyData []uint64
-		var copies [][]uint64
-		var holders []int
-		for _, c := range s.Caches {
-			st := c.State(b)
-			if st == protocol.Invalid {
-				continue
-			}
-			valids++
-			holders = append(holders, c.ID())
-			d := c.Data(b)
-			copies = append(copies, d)
-			if p.Privilege(st) >= protocol.PrivWrite {
-				writers++
-			}
-			if p.IsDirty(st) {
-				dirties++
-				dirtyData = d
-			}
-			if p.IsSource(st) {
-				sources++
+	out := make([]addr.Block, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// blockHolders is the per-block view of the caches, gathered once and
+// shared by the per-invariant predicates: IDs, states, and read-only
+// data views of every valid copy.
+type blockHolders struct {
+	ids    []int
+	states []protocol.State
+	datas  [][]uint64
+}
+
+func (h *blockHolders) gather(caches []*cache.Cache, b addr.Block) {
+	h.ids, h.states, h.datas = h.ids[:0], h.states[:0], h.datas[:0]
+	for _, c := range caches {
+		st := c.State(b)
+		if st == protocol.Invalid {
+			continue
+		}
+		h.ids = append(h.ids, c.ID())
+		h.states = append(h.states, st)
+		h.datas = append(h.datas, c.DataView(b))
+	}
+}
+
+// CheckSerialization verifies requirement 1 for block b: at most one
+// sole-access (write or lock privilege) holder, and if one exists, no
+// other valid copy — except under update protocols, where shared
+// copies are exact duplicates kept consistent by word broadcasts.
+func CheckSerialization(p protocol.Protocol, caches []*cache.Cache, b addr.Block) []string {
+	var h blockHolders
+	h.gather(caches, b)
+	return serializationViolations(p, &h, b, nil)
+}
+
+func serializationViolations(p protocol.Protocol, h *blockHolders, b addr.Block, out []string) []string {
+	writers := 0
+	for _, st := range h.states {
+		if p.Privilege(st) >= protocol.PrivWrite {
+			writers++
+		}
+	}
+	if writers > 1 {
+		out = append(out, fmt.Sprintf("block %d: %d sole-access holders (caches %v)", b, writers, h.ids))
+	}
+	if writers == 1 && len(h.ids) > 1 {
+		out = append(out, fmt.Sprintf("block %d: sole-access holder coexists with %d copies (caches %v)", b, len(h.ids)-1, h.ids))
+	}
+	return out
+}
+
+// CheckSingleSource verifies that at most one cache carries source
+// status for block b, except for protocols whose Feature 8 policy is
+// "ARB" (Illinois: multiple sources, bus arbitration selects one).
+func CheckSingleSource(p protocol.Protocol, caches []*cache.Cache, b addr.Block) []string {
+	var h blockHolders
+	h.gather(caches, b)
+	return singleSourceViolations(p, &h, b, nil)
+}
+
+func singleSourceViolations(p protocol.Protocol, h *blockHolders, b addr.Block, out []string) []string {
+	if p.Features().SourcePolicy == "ARB" {
+		return out
+	}
+	sources := 0
+	for _, st := range h.states {
+		if p.IsSource(st) {
+			sources++
+		}
+	}
+	if sources > 1 {
+		out = append(out, fmt.Sprintf("block %d: %d sources under %s (caches %v)", b, sources, p.Name(), h.ids))
+	}
+	return out
+}
+
+// CheckLatestVersion verifies requirement 2 for block b with real
+// data: at most one dirty copy; when no copy is dirty, every copy
+// equals memory; under update protocols, every copy equals the dirty
+// owner's.
+func CheckLatestVersion(p protocol.Protocol, caches []*cache.Cache, mem *memory.Memory, b addr.Block) []string {
+	var h blockHolders
+	h.gather(caches, b)
+	return latestVersionViolations(p, &h, mem, b, nil)
+}
+
+func latestVersionViolations(p protocol.Protocol, h *blockHolders, mem *memory.Memory, b addr.Block, out []string) []string {
+	dirties := 0
+	var dirtyData []uint64
+	for i, st := range h.states {
+		if p.IsDirty(st) {
+			dirties++
+			dirtyData = h.datas[i]
+		}
+	}
+	if dirties > 1 {
+		out = append(out, fmt.Sprintf("block %d: %d dirty copies", b, dirties))
+	}
+	if dirties == 0 {
+		memData := mem.BlockView(b)
+		for i, cp := range h.datas {
+			if !equal(cp, memData) {
+				out = append(out, fmt.Sprintf("block %d: clean copy %d diverges from memory: %v vs %v",
+					b, h.ids[i], cp, memData))
 			}
 		}
-		if writers > 1 {
-			out = append(out, fmt.Sprintf("block %d: %d sole-access holders (caches %v)", b, writers, holders))
-		}
-		if writers == 1 && valids > 1 {
-			out = append(out, fmt.Sprintf("block %d: sole-access holder coexists with %d copies (caches %v)", b, valids-1, holders))
-		}
-		if dirties > 1 {
-			out = append(out, fmt.Sprintf("block %d: %d dirty copies", b, dirties))
-		}
-		if sources > 1 && p.Features().SourcePolicy != "ARB" {
-			out = append(out, fmt.Sprintf("block %d: %d sources under %s", b, sources, p.Name()))
-		}
-		memData := s.Mem.ReadBlock(b)
-		if dirties == 0 {
-			for i, cp := range copies {
-				if !equal(cp, memData) {
-					out = append(out, fmt.Sprintf("block %d: clean copy %d diverges from memory: %v vs %v",
-						b, holders[i], cp, memData))
-				}
-			}
-		} else if update {
-			for i, cp := range copies {
-				if !equal(cp, dirtyData) {
-					out = append(out, fmt.Sprintf("block %d: update-protocol copy %d diverges from owner: %v vs %v",
-						b, holders[i], cp, dirtyData))
-				}
+	} else if p.Features().Policy == protocol.PolicyUpdate {
+		for i, cp := range h.datas {
+			if !equal(cp, dirtyData) {
+				out = append(out, fmt.Sprintf("block %d: update-protocol copy %d diverges from owner: %v vs %v",
+					b, h.ids[i], cp, dirtyData))
 			}
 		}
 	}
 	return out
+}
+
+// CheckLockMutex verifies lock mutual exclusion for block b across
+// both representations a lock can take: cache lines in a lock state,
+// and the memory lock tag a purged lock leaves behind (Section E.3).
+// At most one lock may exist, and a memory lock tag must not coexist
+// with a lock state in a cache other than the recorded owner.
+func CheckLockMutex(p protocol.Protocol, caches []*cache.Cache, mem *memory.Memory, b addr.Block) []string {
+	var h blockHolders
+	h.gather(caches, b)
+	return lockMutexViolations(p, &h, mem, b, nil)
+}
+
+func lockMutexViolations(p protocol.Protocol, h *blockHolders, mem *memory.Memory, b addr.Block, out []string) []string {
+	var lockers []int
+	for i, st := range h.states {
+		if p.Privilege(st) == protocol.PrivLock {
+			lockers = append(lockers, h.ids[i])
+		}
+	}
+	if len(lockers) > 1 {
+		out = append(out, fmt.Sprintf("block %d: locked by %d caches %v", b, len(lockers), lockers))
+	}
+	if tag := mem.GetLockTag(b); tag.Locked {
+		for _, id := range lockers {
+			if id != tag.Owner {
+				out = append(out, fmt.Sprintf("block %d: memory lock tag owned by %d coexists with cache lock in %d",
+					b, tag.Owner, id))
+			}
+		}
+	}
+	return out
+}
+
+// CheckAll runs every invariant over the given blocks (when blocks is
+// nil, over every block any cache holds — note that nil then skips
+// memory-lock-tag-only blocks, so pass the block universe explicitly
+// when lock purges are possible).
+func CheckAll(p protocol.Protocol, caches []*cache.Cache, mem *memory.Memory, blocks []addr.Block) []string {
+	if blocks == nil {
+		blocks = HeldBlocks(caches)
+	}
+	var out []string
+	var h blockHolders
+	for _, b := range blocks {
+		h.gather(caches, b)
+		out = serializationViolations(p, &h, b, out)
+		out = singleSourceViolations(p, &h, b, out)
+		out = latestVersionViolations(p, &h, mem, b, out)
+		out = lockMutexViolations(p, &h, mem, b, out)
+	}
+	return out
+}
+
+// Check validates every block any cache currently holds and returns a
+// list of violations (empty when coherent). Run post-quiescence or,
+// via sim.System's OnTxn hook, after every bus transaction.
+func Check(s *sim.System) []string {
+	return CheckAll(s.Protocol(), s.Caches, s.Mem, nil)
 }
 
 func equal(a, b []uint64) bool {

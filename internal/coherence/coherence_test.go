@@ -1,0 +1,167 @@
+// Deliberate-corruption tests: each test hand-builds a system state
+// that breaks exactly one invariant class and asserts the matching
+// predicate reports it (and that an uncorrupted twin stays clean).
+// The model checker proves these states unreachable through the
+// protocols; here we construct them directly to prove the checker
+// would catch them if a protocol ever produced one.
+package coherence
+
+import (
+	"strings"
+	"testing"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/cache"
+	"cachesync/internal/core"
+	"cachesync/internal/memory"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/dragon"
+	"cachesync/internal/protocol/illinois"
+)
+
+// rig builds n caches over one shared memory with 2-word blocks.
+func rig(t *testing.T, p protocol.Protocol, n int) ([]*cache.Cache, *memory.Memory) {
+	t.Helper()
+	geom := addr.MustGeometry(2, 2)
+	mem := memory.New(geom)
+	caches := make([]*cache.Cache, n)
+	for i := range caches {
+		caches[i] = cache.New(i, geom, p, cache.Config{Sets: 1, Ways: 2}, mem)
+	}
+	return caches, mem
+}
+
+func wantViolation(t *testing.T, got []string, substr string) {
+	t.Helper()
+	for _, v := range got {
+		if strings.Contains(v, substr) {
+			return
+		}
+	}
+	t.Fatalf("no violation containing %q; got %v", substr, got)
+}
+
+func TestCleanStateReportsNothing(t *testing.T) {
+	p := core.Protocol{}
+	caches, mem := rig(t, p, 2)
+	mem.WriteBlock(0, []uint64{7, 8})
+	caches[0].Install(0, []uint64{7, 8}, core.R)
+	caches[1].Install(0, []uint64{7, 8}, core.R)
+	if v := CheckAll(p, caches, mem, nil); len(v) != 0 {
+		t.Fatalf("clean state flagged: %v", v)
+	}
+}
+
+func TestSerializationTwoWriters(t *testing.T) {
+	p := core.Protocol{}
+	caches, _ := rig(t, p, 2)
+	caches[0].Install(0, []uint64{1, 0}, core.WSD)
+	caches[1].Install(0, []uint64{2, 0}, core.WSD)
+	wantViolation(t, CheckSerialization(p, caches, 0), "2 sole-access holders")
+}
+
+func TestSerializationWriterCoexistsWithCopy(t *testing.T) {
+	p := core.Protocol{}
+	caches, _ := rig(t, p, 2)
+	caches[0].Install(0, []uint64{1, 0}, core.WSD)
+	caches[1].Install(0, []uint64{0, 0}, core.R)
+	wantViolation(t, CheckSerialization(p, caches, 0), "coexists with 1 copies")
+}
+
+func TestSingleSourceTwoSources(t *testing.T) {
+	p := core.Protocol{}
+	caches, mem := rig(t, p, 2)
+	mem.WriteBlock(0, []uint64{5, 5})
+	// R.S.C is a source (supplies on the bus) but clean and read-only,
+	// so only the single-source invariant trips.
+	caches[0].Install(0, []uint64{5, 5}, core.RSC)
+	caches[1].Install(0, []uint64{5, 5}, core.RSC)
+	wantViolation(t, CheckSingleSource(p, caches, 0), "2 sources")
+	if v := CheckSerialization(p, caches, 0); len(v) != 0 {
+		t.Fatalf("serialization should be clean here: %v", v)
+	}
+}
+
+func TestSingleSourceARBExempt(t *testing.T) {
+	p := illinois.Protocol{}
+	caches, mem := rig(t, p, 2)
+	mem.WriteBlock(0, []uint64{5, 5})
+	// Illinois keeps every valid copy a source by design; bus
+	// arbitration picks one (SourcePolicy "ARB"), so two shared
+	// sources are legal.
+	caches[0].Install(0, []uint64{5, 5}, illinois.SH)
+	caches[1].Install(0, []uint64{5, 5}, illinois.SH)
+	if v := CheckSingleSource(p, caches, 0); len(v) != 0 {
+		t.Fatalf("ARB protocol wrongly flagged: %v", v)
+	}
+}
+
+func TestLatestVersionCleanDiverges(t *testing.T) {
+	p := core.Protocol{}
+	caches, mem := rig(t, p, 1)
+	mem.WriteBlock(0, []uint64{9, 9})
+	caches[0].Install(0, []uint64{9, 1}, core.R)
+	wantViolation(t, CheckLatestVersion(p, caches, mem, 0), "diverges from memory")
+}
+
+func TestLatestVersionTwoDirty(t *testing.T) {
+	p := core.Protocol{}
+	caches, mem := rig(t, p, 2)
+	caches[0].Install(0, []uint64{1, 0}, core.RSD)
+	caches[1].Install(0, []uint64{2, 0}, core.RSD)
+	wantViolation(t, CheckLatestVersion(p, caches, mem, 0), "2 dirty copies")
+}
+
+func TestLatestVersionUpdateCopyDiverges(t *testing.T) {
+	p := dragon.Protocol{}
+	caches, mem := rig(t, p, 2)
+	// Dragon is an update protocol: shared copies must mirror the
+	// dirty owner word for word.
+	caches[0].Install(0, []uint64{4, 4}, dragon.SD)
+	caches[1].Install(0, []uint64{4, 3}, dragon.SC)
+	wantViolation(t, CheckLatestVersion(p, caches, mem, 0), "diverges from owner")
+}
+
+func TestLockMutexTwoLockers(t *testing.T) {
+	p := core.Protocol{}
+	caches, mem := rig(t, p, 2)
+	caches[0].Install(0, []uint64{1, 0}, core.LSD)
+	caches[1].Install(0, []uint64{2, 0}, core.LSD)
+	wantViolation(t, CheckLockMutex(p, caches, mem, 0), "locked by 2 caches")
+}
+
+func TestLockMutexTagOwnerMismatch(t *testing.T) {
+	p := core.Protocol{}
+	caches, mem := rig(t, p, 2)
+	caches[1].Install(0, []uint64{1, 0}, core.LSD)
+	mem.SetLockTag(0, memory.LockTag{Locked: true, Owner: 0})
+	wantViolation(t, CheckLockMutex(p, caches, mem, 0), "lock tag owned by 0 coexists with cache lock in 1")
+}
+
+func TestCheckAllAggregatesClasses(t *testing.T) {
+	p := core.Protocol{}
+	caches, mem := rig(t, p, 3)
+	mem.WriteBlock(1, []uint64{6, 6})
+	caches[0].Install(0, []uint64{1, 0}, core.WSD) // two writers on block 0
+	caches[1].Install(0, []uint64{2, 0}, core.WSD)
+	caches[2].Install(1, []uint64{6, 0}, core.R) // stale clean copy on block 1
+	got := CheckAll(p, caches, mem, nil)
+	wantViolation(t, got, "2 sole-access holders")
+	wantViolation(t, got, "2 dirty copies")
+	wantViolation(t, got, "diverges from memory")
+	if len(got) < 3 {
+		t.Fatalf("expected at least 3 violations, got %v", got)
+	}
+}
+
+func TestCheckAllExplicitUniverseSeesTagOnlyBlock(t *testing.T) {
+	p := core.Protocol{}
+	caches, mem := rig(t, p, 2)
+	// A purged lock leaves only a memory tag — no cache holds the
+	// block, so the nil-universe walk cannot see it, but an explicit
+	// universe plus a stray cache lock elsewhere still cross-checks.
+	caches[1].Install(0, []uint64{1, 0}, core.LSD)
+	mem.SetLockTag(0, memory.LockTag{Locked: true, Owner: 0})
+	got := CheckAll(p, caches, mem, []addr.Block{0, 1})
+	wantViolation(t, got, "coexists with cache lock in 1")
+}

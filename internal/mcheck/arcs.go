@@ -1,0 +1,48 @@
+package mcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"cachesync/internal/core"
+	"cachesync/internal/protocol"
+	"cachesync/internal/report"
+)
+
+// CrossCheckFigure10 compares the arcs observed while exploring the
+// paper's own protocol against the processor-side arc table
+// transcribed from Figure 10. A mismatch (an exercised arc whose
+// outcome differs from the paper) is an error; an unreached arc only
+// means the configuration was too small to drive the state machine
+// through it.
+func CrossCheckFigure10(arcs []ObservedArc) (mismatches, unreached []string) {
+	p := core.Protocol{}
+	obs := make(map[arcKey]string, len(arcs))
+	for _, a := range arcs {
+		obs[arcKey{state: a.State, op: a.Op}] = a.Outcome
+	}
+	for _, e := range report.Figure10ExpectedArcs() {
+		got, ok := obs[arcKey{state: e.State, op: e.Op}]
+		if !ok {
+			unreached = append(unreached, fmt.Sprintf("%s × %s (paper: %s)", p.StateName(e.State), e.Op, e.Outcome))
+			continue
+		}
+		if got != e.Outcome {
+			mismatches = append(mismatches, fmt.Sprintf("%s × %s: explored %q, paper arc %q",
+				p.StateName(e.State), e.Op, got, e.Outcome))
+		}
+	}
+	return mismatches, unreached
+}
+
+// RenderArcs formats observed arcs as a state × operation arc table —
+// for the paper's protocol this regenerates the processor half of
+// Figure 10 from reachability rather than by direct table walking.
+func RenderArcs(p protocol.Protocol, arcs []ObservedArc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "arcs exercised during exploration of %s (state × op → outcome):\n", p.Name())
+	for _, a := range arcs {
+		fmt.Fprintf(&b, "  %-8s × %-10s → %s\n", p.StateName(a.State), a.Op, a.Outcome)
+	}
+	return b.String()
+}

@@ -1,0 +1,284 @@
+package mcheck
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shardCount fixes the number of hash shards of the visited set; the
+// per-level merge parallelizes over shards.
+const shardCount = 64
+
+// visitedEntry is the parent pointer of an explored state, for
+// counterexample trace reconstruction.
+type visitedEntry struct {
+	parent string
+	act    Action
+}
+
+// candidate is a newly discovered state: the frontier/action indexes
+// (pi, ai) make parent selection deterministic — when several
+// transitions reach the same state in one level, the lexicographically
+// least (pi, ai) wins regardless of worker scheduling.
+type candidate struct {
+	pi, ai int
+	parent string
+	act    Action
+	enc    string
+}
+
+func (c candidate) before(o candidate) bool {
+	return c.pi < o.pi || (c.pi == o.pi && c.ai < o.ai)
+}
+
+// violation is a violating transition found during a level.
+type violation struct {
+	candidate
+	violations []string
+}
+
+// shardOf is FNV-1a inlined (hash/fnv's New64a allocates; this runs
+// twice per explored transition).
+func shardOf(enc string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(enc); i++ {
+		h ^= uint64(enc[i])
+		h *= 1099511628211
+	}
+	return int(h % shardCount)
+}
+
+func shardOfBytes(enc []byte) int {
+	h := uint64(14695981039346656037)
+	for _, c := range enc {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return int(h % shardCount)
+}
+
+// step applies one action and validates the resulting state, turning
+// executor panics and livelocks into reported violations (a broken —
+// possibly fault-injected — protocol may drive the engine anywhere).
+func (m *machine) step(a Action) (violations []string) {
+	defer func() {
+		if r := recover(); r != nil {
+			violations = []string{fmt.Sprintf("panic during %s: %v", a, r)}
+		}
+	}()
+	sr, err := m.apply(a)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	m.commitShadow(a, sr)
+	return m.checkInvariants(a, sr)
+}
+
+// Run explores every interleaving of processor operations up to
+// opts.Depth steps with a level-synchronized parallel BFS over
+// canonically encoded states. Because levels are explored in order and
+// the violating transition is chosen by least (frontier, action)
+// index, the returned counterexample — if any — is a shortest
+// violating sequence, and the whole result is deterministic for any
+// worker count.
+func Run(opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if o.Protocol == nil {
+		return nil, fmt.Errorf("mcheck: Options.Protocol is required")
+	}
+	if o.Procs < 1 || o.Procs > 8 {
+		return nil, fmt.Errorf("mcheck: procs %d out of range [1,8]", o.Procs)
+	}
+	if o.Blocks < 1 || o.Blocks > 4 {
+		return nil, fmt.Errorf("mcheck: blocks %d out of range [1,4]", o.Blocks)
+	}
+
+	start := time.Now()
+	res := &Result{
+		Protocol: o.Protocol.Name(),
+		Procs:    o.Procs, Blocks: o.Blocks, Words: o.Words,
+		Depth: o.Depth, Workers: o.Workers,
+	}
+	finalize := func() *Result {
+		res.Elapsed = time.Since(start)
+		if s := res.Elapsed.Seconds(); s > 0 {
+			res.StatesPerSec = float64(res.States) / s
+		}
+		return res
+	}
+
+	machines := make([]*machine, o.Workers)
+	for i := range machines {
+		machines[i] = newMachine(o)
+	}
+	root := machines[0].encode()
+	if v := machines[0].checkInvariants(Action{}, stepResult{}); len(v) > 0 {
+		res.Counterexample = &Counterexample{Violations: v}
+		res.States = 1
+		return finalize(), nil
+	}
+
+	visited := make([]map[string]visitedEntry, shardCount)
+	for i := range visited {
+		visited[i] = make(map[string]visitedEntry)
+	}
+	visited[shardOf(root)][root] = visitedEntry{}
+	res.States = 1
+
+	frontier := []string{root}
+	var transitions int64
+
+	for depth := 1; depth <= o.Depth && len(frontier) > 0; depth++ {
+		nw := o.Workers
+		if nw > len(frontier) {
+			nw = len(frontier)
+		}
+		workerCands := make([][][]candidate, nw) // [worker][shard][]candidate
+		workerViol := make([]*violation, nw)
+		var cursor int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				m := machines[w]
+				cands := make([][]candidate, shardCount)
+				seen := map[string]bool{}
+				var best *violation
+				for {
+					i := int(atomic.AddInt64(&cursor, 1))
+					if i >= len(frontier) {
+						break
+					}
+					enc := frontier[i]
+					if err := m.restore(enc); err != nil {
+						panic(err) // states we produced must re-decode
+					}
+					acts := m.actions()
+					for j, a := range acts {
+						if j > 0 {
+							if err := m.restore(enc); err != nil {
+								panic(err)
+							}
+						}
+						atomic.AddInt64(&transitions, 1)
+						if v := m.step(a); len(v) > 0 {
+							c := candidate{pi: i, ai: j, parent: enc, act: a}
+							if best == nil || c.before(best.candidate) {
+								best = &violation{candidate: c, violations: v}
+							}
+							continue
+						}
+						// Duplicate checks on the raw encode buffer:
+						// map[string] lookups keyed by string(neb) do not
+						// allocate, so only genuinely new states pay for
+						// a string conversion.
+						neb := m.encodeBytes()
+						if seen[string(neb)] {
+							continue
+						}
+						s := shardOfBytes(neb)
+						if _, ok := visited[s][string(neb)]; ok {
+							continue
+						}
+						ne := string(neb)
+						seen[ne] = true
+						cands[s] = append(cands[s], candidate{pi: i, ai: j, parent: enc, act: a, enc: ne})
+					}
+				}
+				workerCands[w] = cands
+				workerViol[w] = best
+			}(w)
+		}
+		wg.Wait()
+
+		var best *violation
+		for _, v := range workerViol {
+			if v != nil && (best == nil || v.before(best.candidate)) {
+				best = v
+			}
+		}
+		if best != nil {
+			trace := rebuildTrace(visited, root, best.parent)
+			trace = append(trace, best.act)
+			res.Counterexample = &Counterexample{Trace: trace, Violations: best.violations}
+			res.DepthReached = depth
+			break
+		}
+
+		// Merge the level's discoveries shard-parallel: per state, the
+		// least (frontier, action) parent wins.
+		newByShard := make([][]string, shardCount)
+		var mwg sync.WaitGroup
+		for s := 0; s < shardCount; s++ {
+			mwg.Add(1)
+			go func(s int) {
+				defer mwg.Done()
+				bestC := map[string]candidate{}
+				for w := 0; w < nw; w++ {
+					for _, c := range workerCands[w][s] {
+						if e, ok := bestC[c.enc]; !ok || c.before(e) {
+							bestC[c.enc] = c
+						}
+					}
+				}
+				keys := make([]string, 0, len(bestC))
+				for enc, c := range bestC {
+					visited[s][enc] = visitedEntry{parent: c.parent, act: c.act}
+					keys = append(keys, enc)
+				}
+				newByShard[s] = keys
+			}(s)
+		}
+		mwg.Wait()
+
+		var next []string
+		for _, keys := range newByShard {
+			next = append(next, keys...)
+		}
+		sort.Strings(next) // deterministic frontier order ⇒ deterministic (pi, ai)
+		res.States += int64(len(next))
+		res.DepthReached = depth
+		frontier = next
+		if res.States >= int64(o.MaxStates) {
+			res.Truncated = true
+			break
+		}
+	}
+
+	res.Transitions = transitions
+	res.Exhausted = res.Counterexample == nil && !res.Truncated && len(frontier) == 0
+	if o.RecordArcs {
+		merged := machines[0]
+		for _, m := range machines[1:] {
+			for k, v := range m.arcs {
+				if _, ok := merged.arcs[k]; !ok {
+					merged.arcs[k] = v
+				}
+			}
+		}
+		res.Arcs = merged.sortedArcs()
+	}
+	return finalize(), nil
+}
+
+// rebuildTrace walks parent pointers from enc back to the root and
+// returns the action sequence in execution order.
+func rebuildTrace(visited []map[string]visitedEntry, root, enc string) []Action {
+	var rev []Action
+	for enc != root {
+		e, ok := visited[shardOf(enc)][enc]
+		if !ok {
+			break
+		}
+		rev = append(rev, e.act)
+		enc = e.parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

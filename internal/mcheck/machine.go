@@ -1,0 +1,600 @@
+package mcheck
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/bus"
+	"cachesync/internal/cache"
+	"cachesync/internal/coherence"
+	"cachesync/internal/memory"
+	"cachesync/internal/protocol"
+)
+
+// machine is one executable copy of the model: real caches and memory
+// driven by an atomic-step executor that mirrors internal/sim's bus
+// semantics without the clock. Each BFS worker owns one machine and
+// repeatedly restores it to a frontier state, applies an action, and
+// re-encodes.
+type machine struct {
+	opts   Options
+	proto  protocol.Protocol
+	feats  protocol.Features
+	geom   addr.Geometry
+	caches []*cache.Cache
+	mem    *memory.Memory
+
+	// shadow is the sequentially-consistent expected value of every
+	// word: the value of the last completed write in step order. It
+	// backs the latest-version and conservation checks with real data.
+	shadow []uint64
+
+	// txns records the bus transactions of the last apply, for
+	// counterexample rendering and replay validation.
+	txns []*bus.Transaction
+
+	// arcs collects (pre-state, op) → outcome for the acting cache
+	// when opts.RecordArcs is set.
+	arcs map[arcKey]string
+
+	// universe is the fixed block set, precomputed.
+	universe []addr.Block
+
+	// Reused scratch buffers: restore/encode run once per explored
+	// transition, so they must not allocate.
+	encBuf   []byte
+	decLines [][]cache.LineSnapshot // per cache, full capacity, Data preallocated
+	decBlock []uint64
+	dirIDs   []int
+}
+
+type arcKey struct {
+	state protocol.State
+	op    protocol.Op
+}
+
+// stepResult is the observable outcome of one action.
+type stepResult struct {
+	denied  bool // the request was refused (block locked elsewhere)
+	didRead bool
+	value   uint64 // value returned by a read-class op
+	addr    addr.Addr
+}
+
+const maxPhases = 16
+
+func newMachine(opts Options) *machine {
+	geom := addr.MustGeometry(opts.Words, opts.Words)
+	m := &machine{
+		opts:   opts,
+		proto:  opts.Protocol,
+		feats:  opts.Protocol.Features(),
+		geom:   geom,
+		mem:    memory.New(geom),
+		shadow: make([]uint64, opts.Blocks*opts.Words),
+		arcs:   make(map[arcKey]string),
+	}
+	for i := 0; i < opts.Procs; i++ {
+		m.caches = append(m.caches, cache.New(i, geom, m.proto, cache.Config{Sets: 1, Ways: opts.Blocks}, m.mem))
+	}
+	m.universe = make([]addr.Block, opts.Blocks)
+	for i := range m.universe {
+		m.universe[i] = addr.Block(i)
+	}
+	m.decLines = make([][]cache.LineSnapshot, opts.Procs)
+	for i := range m.decLines {
+		m.decLines[i] = make([]cache.LineSnapshot, opts.Blocks)
+		for j := range m.decLines[i] {
+			m.decLines[i][j].Data = make([]uint64, opts.Words)
+		}
+	}
+	m.decBlock = make([]uint64, opts.Words)
+	return m
+}
+
+// actions enumerates every enabled action from the machine's current
+// state, in a deterministic order.
+func (m *machine) actions() []Action {
+	var out []Action
+	hwLock := m.feats.HardwareLock
+	for p := 0; p < m.opts.Procs; p++ {
+		c := m.caches[p]
+		for b := 0; b < m.opts.Blocks; b++ {
+			blk := addr.Block(b)
+			st := c.State(blk)
+			for w := 0; w < m.opts.Words; w++ {
+				out = append(out,
+					Action{Proc: p, Op: protocol.OpRead, Block: uint64(b), Word: w},
+					Action{Proc: p, Op: protocol.OpWrite, Block: uint64(b), Word: w, Value: uint64(p + 1)})
+			}
+			if m.feats.WriteNoFetch {
+				out = append(out, Action{Proc: p, Op: protocol.OpWriteBlock, Block: uint64(b), Value: uint64(p + 1 + m.opts.Procs)})
+			}
+			if hwLock {
+				out = append(out, Action{Proc: p, Op: protocol.OpLock, Block: uint64(b)})
+				// Unlock is a legal program action only for the lock
+				// holder — by cache state, or by the memory lock tag a
+				// purge left behind (Section E.3).
+				tag := m.mem.GetLockTag(blk)
+				if m.proto.Privilege(st) == protocol.PrivLock || (tag.Locked && tag.Owner == p) {
+					out = append(out, Action{Proc: p, Op: protocol.OpUnlock, Block: uint64(b), Value: uint64(p + 1)})
+				}
+			}
+			if st != protocol.Invalid {
+				out = append(out, Action{Proc: p, Kind: ActEvict, Block: uint64(b)})
+			}
+		}
+	}
+	return out
+}
+
+// apply executes one action atomically, mirroring the engine's
+// serveTxn/applyCompletion sequence (internal/sim/bustxn.go) without
+// the clock: the step's bus transactions broadcast to the other
+// caches, memory responds, and the protocol's Complete installs the
+// outcome; multi-phase operations run to completion with the bus
+// logically held between phases.
+func (m *machine) apply(a Action) (stepResult, error) {
+	m.txns = m.txns[:0]
+	if a.Kind == ActEvict {
+		m.evictBlock(a)
+		return stepResult{}, nil
+	}
+	c := m.caches[a.Proc]
+	blk := addr.Block(a.Block)
+	at := m.geom.Base(blk) + addr.Addr(a.Word)
+	op := a.Op
+
+	pre := c.State(blk)
+	r := c.Probe(op, at)
+	m.recordArc(pre, op, r)
+	if r.Hit {
+		return m.finish(a, c, at, op), nil
+	}
+	for phase := 0; ; phase++ {
+		if phase >= maxPhases {
+			return stepResult{}, fmt.Errorf("mcheck: %s under %s exceeded %d bus phases (livelocked operation)",
+				a, m.proto.Name(), maxPhases)
+		}
+		if m.needsFrame(r.Cmd) {
+			if v := c.PrepareFill(blk); v.Needed {
+				m.evictVictim(c, v)
+			}
+		}
+		t := m.buildTxn(a, c, at, op, r)
+		m.broadcast(t)
+		m.mem.Respond(t)
+		if m.feats.PartialBroadcast && !t.Lines.Locked {
+			switch t.Cmd {
+			case bus.Read:
+				m.mem.Dir.Add(blk, a.Proc)
+			case bus.ReadX, bus.Upgrade, bus.WriteNoFetch:
+				m.mem.Dir.SetSole(blk, a.Proc)
+			}
+		}
+		cres := m.proto.Complete(c.State(blk), op, t)
+		if cres.BusyWait {
+			// Denied: the cache would arm its busy-wait register and
+			// the processor would park. The model leaves the operation
+			// unperformed; a retry is simply another step.
+			return stepResult{denied: true, addr: at}, nil
+		}
+		m.applyCompletion(a, c, op, t, cres)
+		if cres.Done {
+			return m.finish(a, c, at, op), nil
+		}
+		// Multi-phase operation (Goodman's fetch-then-write-through,
+		// Dragon's fetch-then-update): re-probe with the bus held.
+		r = c.Reprobe(op, at)
+		if r.Hit {
+			return m.finish(a, c, at, op), nil
+		}
+	}
+}
+
+// recordArc notes the acting cache's (pre-state, op) → outcome in
+// Figure 10 notation: "->X" for a silent (hit) transition to state X,
+// "bus:cmd" (plus "+lock" under lock intent) for a bus request.
+func (m *machine) recordArc(pre protocol.State, op protocol.Op, r protocol.ProcResult) {
+	if !m.opts.RecordArcs {
+		return
+	}
+	k := arcKey{state: pre, op: op}
+	if _, ok := m.arcs[k]; ok {
+		return
+	}
+	if r.Hit {
+		m.arcs[k] = "->" + m.proto.StateName(r.NewState)
+		return
+	}
+	out := "bus:" + r.Cmd.String()
+	if r.LockIntent {
+		out += "+lock"
+	}
+	m.arcs[k] = out
+}
+
+// needsFrame mirrors sim.System.needsFrame.
+func (m *machine) needsFrame(cmd bus.Cmd) bool {
+	switch cmd {
+	case bus.Read, bus.ReadX, bus.WriteNoFetch:
+		return true
+	case bus.WriteWord:
+		return m.feats.WriteAllocates
+	}
+	return false
+}
+
+// buildTxn mirrors sim.System.buildTxn.
+func (m *machine) buildTxn(a Action, c *cache.Cache, at addr.Addr, op protocol.Op, r protocol.ProcResult) *bus.Transaction {
+	t := &bus.Transaction{
+		Cmd:        r.Cmd,
+		Block:      addr.Block(a.Block),
+		Addr:       at,
+		Requester:  a.Proc,
+		LockIntent: r.LockIntent,
+		MemUpdate:  r.MemUpdate,
+	}
+	if op == protocol.OpUnlock && (t.Cmd == bus.ReadX || t.Cmd == bus.Upgrade) {
+		t.UnlockIntent = true
+	}
+	switch t.Cmd {
+	case bus.WriteWord, bus.UpdateWord:
+		t.WordData = a.Value
+	}
+	return t
+}
+
+// broadcast delivers t to every snooping cache — all of them under
+// full broadcast, only the directory-recorded holders under a
+// partial-broadcast (directory) scheme — and records the transaction.
+func (m *machine) broadcast(t *bus.Transaction) {
+	m.txns = append(m.txns, t)
+	if m.feats.PartialBroadcast && t.Cmd != bus.Flush {
+		for _, id := range m.mem.Dir.Members(t.Block, t.Requester) {
+			m.caches[id].Snoop(t)
+		}
+		return
+	}
+	for _, c := range m.caches {
+		if c.ID() != t.Requester {
+			c.Snoop(t)
+		}
+	}
+}
+
+// applyCompletion mirrors sim.System.applyCompletion: lock-tag
+// reclaim, line install/update, with the processor-side data effect
+// deferred to finish.
+func (m *machine) applyCompletion(a Action, c *cache.Cache, op protocol.Op, t *bus.Transaction, cres protocol.CompleteResult) {
+	b := t.Block
+	newState := cres.NewState
+
+	// Every fetch by the lock-tag owner reclaims the purged lock into
+	// the line (see sim.System.applyCompletion for why).
+	switch t.Cmd {
+	case bus.Read, bus.ReadX, bus.Upgrade, bus.WriteNoFetch:
+		if tag := m.mem.GetLockTag(b); tag.Locked && tag.Owner == a.Proc {
+			if lr, ok := m.proto.(protocol.LockReclaimer); ok {
+				newState = lr.ReclaimedLockState(tag.Waiter)
+			}
+			m.mem.SetLockTag(b, memory.LockTag{})
+		}
+	}
+
+	switch t.Cmd {
+	case bus.Read, bus.ReadX:
+		if newState != protocol.Invalid {
+			c.Install(b, t.BlockData, newState)
+			if t.Lines.Dirty && t.DirtyUnits != nil {
+				c.SetUnitDirty(b, t.DirtyUnits)
+			}
+		}
+	case bus.WriteNoFetch:
+		c.Install(b, nil, newState)
+	case bus.WriteWord:
+		if newState != protocol.Invalid {
+			if c.State(b) == protocol.Invalid {
+				c.Install(b, m.mem.ReadBlock(b), newState)
+			} else {
+				c.SetState(b, newState)
+			}
+		}
+	default: // Upgrade, UpdateWord, Unlock: the line is present
+		if c.State(b) != protocol.Invalid || newState != protocol.Invalid {
+			c.SetState(b, newState)
+		}
+	}
+}
+
+// finish applies the processor-side data effect of a completed
+// operation, mirroring sim's finishLocal/finishOp.
+func (m *machine) finish(a Action, c *cache.Cache, at addr.Addr, op protocol.Op) stepResult {
+	res := stepResult{addr: at}
+	switch op {
+	case protocol.OpRead, protocol.OpReadEx, protocol.OpLock:
+		res.value, _ = c.ReadWord(at)
+		res.didRead = true
+	case protocol.OpWrite, protocol.OpUnlock:
+		c.WriteWord(at, a.Value)
+	case protocol.OpWriteBlock:
+		base := m.geom.Base(addr.Block(a.Block))
+		for i := 0; i < m.geom.BlockWords; i++ {
+			c.WriteWord(base+addr.Addr(i), a.Value)
+		}
+	}
+	return res
+}
+
+// commitShadow records a completed write in the shadow memory (the
+// model's sequentially-consistent reference).
+func (m *machine) commitShadow(a Action, res stepResult) {
+	if a.Kind != ActOp || res.denied || !a.Op.IsWrite() {
+		return
+	}
+	if a.Op == protocol.OpWriteBlock {
+		base := int(a.Block) * m.opts.Words
+		for i := 0; i < m.opts.Words; i++ {
+			m.shadow[base+i] = a.Value
+		}
+		return
+	}
+	m.shadow[int(a.Block)*m.opts.Words+a.Word] = a.Value
+}
+
+// evictBlock performs the explicit eviction action, mirroring
+// sim.System.evict for the chosen victim.
+func (m *machine) evictBlock(a Action) {
+	c := m.caches[a.Proc]
+	blk := addr.Block(a.Block)
+	st := c.State(blk)
+	if st == protocol.Invalid {
+		return
+	}
+	ev := m.proto.Evict(st)
+	if ev.Writeback {
+		t := &bus.Transaction{Cmd: bus.Flush, Block: blk, Addr: m.geom.Base(blk),
+			Requester: c.ID(), BlockData: c.Data(blk)}
+		m.broadcast(t)
+		m.mem.Respond(t)
+	}
+	if ev.LockPurge {
+		m.mem.SetLockTag(blk, memory.LockTag{Locked: true, Owner: c.ID(), Waiter: ev.Waiter})
+	}
+	if m.feats.PartialBroadcast {
+		m.mem.Dir.Remove(blk, c.ID())
+	}
+	c.Drop(blk)
+}
+
+// evictVictim mirrors sim.System.evict for a capacity victim (cannot
+// occur with Ways == Blocks, but kept for smaller-cache configs).
+func (m *machine) evictVictim(c *cache.Cache, v cache.Victim) {
+	if v.Evict.Writeback {
+		t := &bus.Transaction{Cmd: bus.Flush, Block: v.Block, Addr: m.geom.Base(v.Block),
+			Requester: c.ID(), BlockData: v.Data}
+		m.broadcast(t)
+		m.mem.Respond(t)
+	}
+	if v.Evict.LockPurge {
+		m.mem.SetLockTag(v.Block, memory.LockTag{Locked: true, Owner: c.ID(), Waiter: v.Evict.Waiter})
+	}
+	if m.feats.PartialBroadcast {
+		m.mem.Dir.Remove(v.Block, c.ID())
+	}
+	c.Drop(v.Block)
+}
+
+// checkInvariants validates the current state: the shared coherence
+// predicates over real caches and memory, the shadow-backed
+// latest-version/conservation check, and the read-value check of the
+// step that produced the state.
+func (m *machine) checkInvariants(a Action, res stepResult) []string {
+	out := coherence.CheckAll(m.proto, m.caches, m.mem, m.universe)
+	for _, b := range m.universe {
+		owner := m.ownerView(b)
+		base := int(b) * m.opts.Words
+		for w := 0; w < m.opts.Words; w++ {
+			if owner[w] != m.shadow[base+w] {
+				out = append(out, fmt.Sprintf(
+					"block %d word %d: conservation violated: latest value %d lost (owner/memory holds %d)",
+					b, w, m.shadow[base+w], owner[w]))
+			}
+		}
+	}
+	if res.didRead {
+		base := int(a.Block) * m.opts.Words
+		if want := m.shadow[base+a.Word]; res.value != want {
+			out = append(out, fmt.Sprintf(
+				"stale read: %s returned %d, latest write in step order is %d", a, res.value, want))
+		}
+	}
+	return out
+}
+
+// ownerView returns a read-only view of the authoritative copy of
+// block b: the dirty cache copy when one exists, memory otherwise.
+func (m *machine) ownerView(b addr.Block) []uint64 {
+	for _, c := range m.caches {
+		st := c.State(b)
+		if st != protocol.Invalid && m.proto.IsDirty(st) {
+			return c.DataView(b)
+		}
+	}
+	return m.mem.BlockView(b)
+}
+
+// --- canonical state encoding -------------------------------------------
+
+// encodeBytes serializes the machine's complete behavioral state —
+// cache frames (including tag-only invalid frames), memory data, lock
+// tags, directory presence, and the shadow memory — into a canonical
+// byte string used as the visited-set key. The returned slice aliases
+// a per-machine buffer reused by the next call.
+func (m *machine) encodeBytes() []byte {
+	buf := m.encBuf[:0]
+	var tmp [binary.MaxVarintLen64]byte
+	putU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	for _, c := range m.caches {
+		for _, b := range m.universe {
+			st, data, ok := c.FrameView(b)
+			if !ok {
+				putU(0)
+				continue
+			}
+			putU(1)
+			putU(uint64(st))
+			for _, w := range data {
+				putU(w)
+			}
+		}
+	}
+	for _, b := range m.universe {
+		for _, w := range m.mem.BlockView(b) {
+			putU(w)
+		}
+		tag := m.mem.GetLockTag(b)
+		if tag.Locked {
+			putU(1)
+			putU(uint64(tag.Owner))
+			if tag.Waiter {
+				putU(1)
+			} else {
+				putU(0)
+			}
+		} else {
+			putU(0)
+		}
+		putU(m.mem.Dir.Mask(b))
+	}
+	for _, w := range m.shadow {
+		putU(w)
+	}
+	m.encBuf = buf
+	return buf
+}
+
+// encode is encodeBytes as an owned string.
+func (m *machine) encode() string { return string(m.encodeBytes()) }
+
+// restore re-materializes the machine at an encoded state. It is the
+// other per-transition hot path and decodes into reused buffers.
+func (m *machine) restore(enc string) error {
+	pos := 0
+	getU := func() (uint64, bool) {
+		var v uint64
+		var shift uint
+		for i := 0; i < binary.MaxVarintLen64; i++ {
+			if pos >= len(enc) {
+				return 0, false
+			}
+			c := enc[pos]
+			pos++
+			if c < 0x80 {
+				return v | uint64(c)<<shift, true
+			}
+			v |= uint64(c&0x7f) << shift
+			shift += 7
+		}
+		return 0, false
+	}
+	fail := func() error { return fmt.Errorf("mcheck: corrupt state encoding at byte %d", pos) }
+
+	for ci, c := range m.caches {
+		k := 0
+		for _, b := range m.universe {
+			present, ok := getU()
+			if !ok {
+				return fail()
+			}
+			if present == 0 {
+				continue
+			}
+			st, ok := getU()
+			if !ok {
+				return fail()
+			}
+			ls := &m.decLines[ci][k]
+			ls.Block = b
+			ls.State = protocol.State(st)
+			for w := 0; w < m.opts.Words; w++ {
+				v, ok := getU()
+				if !ok {
+					return fail()
+				}
+				ls.Data[w] = v
+			}
+			k++
+		}
+		c.Restore(m.decLines[ci][:k])
+	}
+	for _, b := range m.universe {
+		for w := range m.decBlock {
+			v, ok := getU()
+			if !ok {
+				return fail()
+			}
+			m.decBlock[w] = v
+		}
+		m.mem.WriteBlock(b, m.decBlock)
+		locked, ok := getU()
+		if !ok {
+			return fail()
+		}
+		var tag memory.LockTag
+		if locked != 0 {
+			owner, ok := getU()
+			if !ok {
+				return fail()
+			}
+			waiter, ok := getU()
+			if !ok {
+				return fail()
+			}
+			tag = memory.LockTag{Locked: true, Owner: int(owner), Waiter: waiter != 0}
+		}
+		m.mem.SetLockTag(b, tag)
+		mask, ok := getU()
+		if !ok {
+			return fail()
+		}
+		m.dirIDs = m.dirIDs[:0]
+		for id := 0; id < m.opts.Procs; id++ {
+			if mask&(1<<uint(id)) != 0 {
+				m.dirIDs = append(m.dirIDs, id)
+			}
+		}
+		m.mem.Dir.Set(b, m.dirIDs)
+	}
+	for i := range m.shadow {
+		v, ok := getU()
+		if !ok {
+			return fail()
+		}
+		m.shadow[i] = v
+	}
+	if pos != len(enc) {
+		return fmt.Errorf("mcheck: %d trailing bytes in state encoding", len(enc)-pos)
+	}
+	return nil
+}
+
+// sortedArcs returns the collected arcs in a deterministic order.
+func (m *machine) sortedArcs() []ObservedArc {
+	out := make([]ObservedArc, 0, len(m.arcs))
+	for k, v := range m.arcs {
+		out = append(out, ObservedArc{State: k.state, Op: k.op, Outcome: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].State != out[j].State {
+			return out[i].State < out[j].State
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}

@@ -1,0 +1,165 @@
+// Package mcheck is a bounded exhaustive model checker for the ten
+// cache-synchronization protocols: it enumerates every interleaving of
+// processor operations (reads, writes, lock acquire/release,
+// whole-block writes, and evictions) over a small configuration (2–3
+// caches, 1–2 blocks, depth ≤ ~10) and verifies the DESIGN §6
+// invariants — serialization, latest version with real data values,
+// single source, lock mutual exclusion, and conservation — at every
+// reachable state.
+//
+// The checker is built from the same parts as the simulator: it drives
+// real cache.Cache, memory.Memory, and protocol.Protocol objects
+// through an atomic-step executor mirroring internal/sim's bus
+// semantics (probe → broadcast snoop → memory respond → complete →
+// install), so a state the checker reaches is a state the simulator
+// can reach. States are canonically encoded, deduplicated by hash, and
+// explored by a level-synchronized parallel BFS (workers shard the
+// frontier; the level barrier preserves BFS order), so the first
+// violation found is a shortest — minimized — counterexample. A
+// counterexample replays both through the executor and, when the trace
+// is sim-representable, through a real sim.System run whose bus
+// activity renders as a paper-style sequence diagram
+// (report.SequenceDiagram).
+//
+// As a derived artifact, exploring the paper's own protocol regenerates
+// the processor half of Figure 10 from reachability: every
+// (state, operation) → outcome arc actually exercised is collected and
+// cross-checked against the expected-arc table transcribed from the
+// paper (report.Figure10ExpectedArcs), closing the loop between the
+// diagram and the explored state space.
+package mcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"cachesync/internal/protocol"
+)
+
+// Options configures one bounded exploration.
+type Options struct {
+	// Protocol is the scheme under check (possibly wrapped by Mutate
+	// for fault-injection testing).
+	Protocol protocol.Protocol
+	// Procs is the number of caches/processors (2–4).
+	Procs int
+	// Blocks is the number of distinct memory blocks in the universe.
+	Blocks int
+	// Words is the block size in words (forced to 1 for protocols that
+	// require one-word blocks).
+	Words int
+	// Depth bounds the operation-sequence length explored.
+	Depth int
+	// Workers is the parallel BFS worker count (≤ 1 means serial).
+	Workers int
+	// MaxStates truncates the search after this many distinct states
+	// (0 means a safe default).
+	MaxStates int
+	// RecordArcs collects the (state, op) → outcome arcs exercised by
+	// the acting cache, for the Figure 10 reachability cross-check.
+	RecordArcs bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Procs == 0 {
+		out.Procs = 2
+	}
+	if out.Blocks == 0 {
+		out.Blocks = 1
+	}
+	if out.Words == 0 {
+		out.Words = 1
+	}
+	if out.Depth == 0 {
+		out.Depth = 6
+	}
+	if out.Workers < 1 {
+		out.Workers = 1
+	}
+	if out.MaxStates == 0 {
+		out.MaxStates = 1 << 21
+	}
+	if out.Protocol != nil && out.Protocol.Features().OneWordBlocks {
+		out.Words = 1
+	}
+	return out
+}
+
+// ActionKind discriminates the two step families.
+type ActionKind uint8
+
+const (
+	// ActOp is a processor operation (read/write/lock/...).
+	ActOp ActionKind = iota
+	// ActEvict victimizes a block from a cache, exercising writeback
+	// and lock-purge obligations.
+	ActEvict
+)
+
+// Action is one atomic step of the model: a processor either performs
+// one memory operation to completion (bus transactions included) or
+// evicts a block from its cache.
+type Action struct {
+	Proc  int
+	Kind  ActionKind
+	Op    protocol.Op
+	Block uint64
+	Word  int
+	Value uint64
+}
+
+// String renders the action for counterexample traces.
+func (a Action) String() string {
+	if a.Kind == ActEvict {
+		return fmt.Sprintf("p%d evict b%d", a.Proc, a.Block)
+	}
+	switch a.Op {
+	case protocol.OpRead, protocol.OpReadEx, protocol.OpLock:
+		return fmt.Sprintf("p%d %s b%d.%d", a.Proc, a.Op, a.Block, a.Word)
+	default:
+		return fmt.Sprintf("p%d %s b%d.%d=%d", a.Proc, a.Op, a.Block, a.Word, a.Value)
+	}
+}
+
+// MarshalJSON renders the action in trace notation ("p0 write
+// b0.0=1") — counterexample JSON is a human-facing summary.
+func (a Action) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.String())
+}
+
+// Counterexample is a shortest violating operation sequence.
+type Counterexample struct {
+	Trace      []Action `json:"trace"`
+	Violations []string `json:"violations"`
+}
+
+// ObservedArc is one exercised transition of the acting cache: the
+// pre-state of its line, the operation, and the outcome in Figure 10
+// notation ("->R.S.C" for a silent transition, "bus:readx+lock" for a
+// bus request).
+type ObservedArc struct {
+	State   protocol.State
+	Op      protocol.Op
+	Outcome string
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	Protocol       string          `json:"protocol"`
+	Procs          int             `json:"procs"`
+	Blocks         int             `json:"blocks"`
+	Words          int             `json:"words"`
+	Depth          int             `json:"depth"`
+	Workers        int             `json:"workers"`
+	States         int64           `json:"states"`
+	Transitions    int64           `json:"transitions"`
+	DepthReached   int             `json:"depth_reached"`
+	Exhausted      bool            `json:"exhausted"` // frontier emptied before the depth bound
+	Truncated      bool            `json:"truncated"` // MaxStates reached
+	Elapsed        time.Duration   `json:"elapsed_ns"`
+	StatesPerSec   float64         `json:"states_per_sec"`
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+	Arcs           []ObservedArc   `json:"-"`
+}

@@ -1,0 +1,91 @@
+package mcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"cachesync/internal/bus"
+	"cachesync/internal/protocol"
+)
+
+// A mutant wraps a protocol with one deliberately seeded coherence
+// bug, for validating that the checker detects — and minimizes — real
+// failure classes. Each mutation targets a different invariant:
+//
+//	drop-invalidate  — a snooped invalidation is ignored        (serialization)
+//	skip-writeback   — dirty evictions skip the flush           (conservation / latest version)
+//	ignore-lock      — a locked line never asserts the lock     (lock mutual exclusion)
+type mutant struct {
+	protocol.Protocol
+	kind string
+}
+
+// MutantNames lists the available seeded-bug mutations.
+func MutantNames() []string {
+	out := []string{"drop-invalidate", "skip-writeback", "ignore-lock"}
+	sort.Strings(out)
+	return out
+}
+
+// Mutate wraps p with the named seeded bug. It returns an error for
+// an unknown name, or for "ignore-lock" on a protocol without
+// hardware locks.
+func Mutate(p protocol.Protocol, name string) (protocol.Protocol, error) {
+	switch name {
+	case "drop-invalidate", "skip-writeback":
+	case "ignore-lock":
+		if !p.Features().HardwareLock {
+			return nil, fmt.Errorf("mcheck: mutation %q needs a hardware-lock protocol, %s has none", name, p.Name())
+		}
+	default:
+		return nil, fmt.Errorf("mcheck: unknown mutation %q (have %v)", name, MutantNames())
+	}
+	return &mutant{Protocol: p, kind: name}, nil
+}
+
+// Name implements protocol.Protocol.
+func (m *mutant) Name() string { return m.Protocol.Name() + "+" + m.kind }
+
+// Snoop implements protocol.Protocol, applying the snoop-side bugs.
+func (m *mutant) Snoop(s protocol.State, t *bus.Transaction) protocol.SnoopResult {
+	r := m.Protocol.Snoop(s, t)
+	switch m.kind {
+	case "drop-invalidate":
+		// The cache fails to invalidate its copy on an ownership
+		// acquisition: stale sole-access coexistence.
+		switch t.Cmd {
+		case bus.ReadX, bus.Upgrade, bus.WriteNoFetch, bus.WriteWord:
+			if s != protocol.Invalid && r.NewState == protocol.Invalid {
+				r.NewState = s
+			}
+		}
+	case "ignore-lock":
+		// The locked line answers the bus as if unlocked: the lock
+		// line is never asserted, so two caches can lock one block.
+		if r.Locked {
+			r.Locked = false
+			r.NewState = s
+		}
+	}
+	return r
+}
+
+// Evict implements protocol.Protocol, applying the eviction-side bug.
+func (m *mutant) Evict(s protocol.State) protocol.Evict {
+	e := m.Protocol.Evict(s)
+	if m.kind == "skip-writeback" {
+		// The victim's dirty data is silently discarded.
+		e.Writeback = false
+	}
+	return e
+}
+
+// ReclaimedLockState forwards protocol.LockReclaimer when the wrapped
+// protocol has one, so a mutant keeps the interface surface of the
+// original.
+func (m *mutant) ReclaimedLockState(waiter bool) protocol.State {
+	if lr, ok := m.Protocol.(protocol.LockReclaimer); ok {
+		return lr.ReclaimedLockState(waiter)
+	}
+	return protocol.Invalid
+}

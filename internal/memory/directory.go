@@ -62,5 +62,33 @@ func (d *Directory) Members(b addr.Block, exclude int) []int {
 	return out
 }
 
+// Set replaces block b's presence record with exactly ids (an empty
+// list clears it). It is the restore hook of the bounded model
+// checker, which re-materializes directory state when revisiting an
+// explored state.
+func (d *Directory) Set(b addr.Block, ids []int) {
+	if len(ids) == 0 {
+		delete(d.presence, b)
+		return
+	}
+	set := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	d.presence[b] = set
+}
+
+// Mask returns block b's presence set as a bitmask over cache IDs —
+// the allocation-free accessor of the model checker's state encoder
+// (IDs ≥ 64 would not be representable; simulated machines are far
+// smaller).
+func (d *Directory) Mask(b addr.Block) uint64 {
+	var m uint64
+	for id := range d.presence[b] {
+		m |= 1 << uint(id)
+	}
+	return m
+}
+
 // Holders returns the number of caches recorded for block b.
 func (d *Directory) Holders(b addr.Block) int { return len(d.presence[b]) }

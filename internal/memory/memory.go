@@ -70,6 +70,13 @@ func (m *Memory) ReadBlock(b addr.Block) []uint64 {
 	return out
 }
 
+// BlockView returns block b's contents without copying. The slice
+// aliases live memory — callers must treat it as read-only; it exists
+// for the per-transition inspection loops of the checkers.
+func (m *Memory) BlockView(b addr.Block) []uint64 {
+	return m.block(b)
+}
+
 // WriteBlock stores a whole block (a flush/write-back).
 func (m *Memory) WriteBlock(b addr.Block, words []uint64) {
 	copy(m.block(b), words)

@@ -105,6 +105,27 @@ var figure10Expected = []struct {
 	{core.LSDW, protocol.OpWrite, "->L.S.D.W"},
 }
 
+// ExpectedArc is one processor-side arc of Figure 10 as transcribed
+// from the paper: in State, operation Op produces Outcome ("->X" for a
+// silent transition to state X, "bus:c" for bus command c).
+type ExpectedArc struct {
+	State   protocol.State
+	Op      protocol.Op
+	Outcome string
+}
+
+// Figure10ExpectedArcs returns the transcribed arc table for external
+// cross-checks — the bounded model checker (internal/mcheck) compares
+// it against the arcs actually exercised during exhaustive
+// exploration, regenerating Figure 10 from reachability.
+func Figure10ExpectedArcs() []ExpectedArc {
+	out := make([]ExpectedArc, len(figure10Expected))
+	for i, e := range figure10Expected {
+		out[i] = ExpectedArc{State: e.state, Op: e.op, Outcome: e.want}
+	}
+	return out
+}
+
 // VerifyFigure10 checks the implemented state machine against the
 // arcs transcribed from the paper's Figure 10, returning mismatches.
 func VerifyFigure10() []string {

@@ -323,8 +323,14 @@ func (s *System) applyCompletion(ctx *opCtx, t *bus.Transaction, cres protocol.C
 
 	// Lock-purge reclaim (Section E.3): the owner re-fetched a block
 	// whose lock bit lives in memory; restore the lock state (with the
-	// waiter bit) and clear the tag.
-	if t.UnlockIntent {
+	// waiter bit) and clear the tag. Every fetch by the owner reclaims,
+	// not just an unlock-intent one: if the tag stayed behind while the
+	// owner held the block in an ordinary write state, a later
+	// requester would be denied by memory only after the snooping
+	// caches had already reacted — the owner's copy would hand off its
+	// dirty data to a requester that never installs it.
+	switch t.Cmd {
+	case bus.Read, bus.ReadX, bus.Upgrade, bus.WriteNoFetch:
 		if tag := s.Mem.GetLockTag(b); tag.Locked && tag.Owner == ctx.p.id {
 			if lr, ok := s.proto.(protocol.LockReclaimer); ok {
 				newState = lr.ReclaimedLockState(tag.Waiter)

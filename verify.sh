@@ -1,0 +1,28 @@
+#!/bin/sh
+# Repository verification: formatting, static checks, the full test
+# suite, and a race-detector pass over the model checker's parallel
+# BFS (its only internally concurrent code path).
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (mcheck smoke)"
+go test -race -short -run 'TestSmokeAllProtocols|TestDeterministicAcrossWorkers' ./internal/mcheck/
+
+echo "verify: OK"
