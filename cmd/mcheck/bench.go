@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cachesync/internal/mcheck"
+	"cachesync/internal/protocol"
+)
+
+// The benchmark-regression gate: `mcheck -bench-json FILE` runs a
+// fixed suite of exploration configurations and compares throughput
+// against the committed baseline. The gate protects the checker core's
+// performance the same way tests protect its verdicts — a change that
+// silently halves states/s fails CI just like a change that breaks an
+// invariant. The suite is deliberately small (a few seconds total) so
+// it can run on every change.
+//
+// Semantics:
+//   - FILE absent            → run the suite, write FILE, exit 0.
+//   - FILE present           → run the suite; fail (exit 1) if any
+//     entry's states/s falls below -bench-gate × baseline, or if the
+//     explored state/transition counts differ at all (a count change
+//     is an exploration bug, not a perf regression).
+//   - -bench-update          → also rewrite FILE with this run's numbers.
+//
+// Throughput numbers are machine-dependent; refresh the baseline with
+// -bench-update when moving hardware.
+
+// benchConfig is one fixed exploration the suite measures.
+type benchConfig struct {
+	Name     string `json:"name"`
+	Protocol string `json:"protocol"`
+	Procs    int    `json:"procs"`
+	Blocks   int    `json:"blocks"`
+	Words    int    `json:"words"`
+	Depth    int    `json:"depth"`
+	Symmetry bool   `json:"symmetry"`
+}
+
+// benchEntry is one measured result.
+type benchEntry struct {
+	benchConfig
+	States       int64   `json:"states"`
+	Transitions  int64   `json:"transitions"`
+	StatesPerSec float64 `json:"states_per_sec"`
+}
+
+// benchFile is the JSON baseline artifact.
+type benchFile struct {
+	Updated string       `json:"updated"`
+	Go      string       `json:"go"`
+	Gate    float64      `json:"gate"`
+	Entries []benchEntry `json:"entries"`
+}
+
+// benchSuite is the fixed configuration set. Names are stable
+// identifiers: the gate matches entries by name, so renaming one
+// orphans its baseline.
+// Each configuration is sized to run for at least ~100ms so the
+// states/s measurement is stable against scheduler jitter; sub-5ms
+// runs were seen to vary ±25% run to run.
+var benchSuite = []benchConfig{
+	{Name: "bitar-p3-d7", Protocol: "bitar", Procs: 3, Blocks: 1, Words: 2, Depth: 7},
+	{Name: "bitar-p3-d7-sym", Protocol: "bitar", Procs: 3, Blocks: 1, Words: 2, Depth: 7, Symmetry: true},
+	{Name: "illinois-p3-b2-d7", Protocol: "illinois", Procs: 3, Blocks: 2, Words: 2, Depth: 7},
+	{Name: "dragon-p3-b2-d7-sym", Protocol: "dragon", Procs: 3, Blocks: 2, Words: 2, Depth: 7, Symmetry: true},
+}
+
+func runBench(path string) int {
+	cur, err := measureSuite()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	base, err := readBaseline(path)
+	if os.IsNotExist(err) {
+		if werr := writeBaseline(path, cur); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			return 2
+		}
+		fmt.Printf("bench: baseline %s written (%d entries)\n", path, len(cur))
+		return 0
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	baseline := map[string]benchEntry{}
+	for _, e := range base.Entries {
+		baseline[e.Name] = e
+	}
+	failed := false
+	for _, e := range cur {
+		b, ok := baseline[e.Name]
+		if !ok {
+			fmt.Printf("bench: %-20s NEW       %8.0f states/s (no baseline)\n", e.Name, e.StatesPerSec)
+			continue
+		}
+		switch {
+		case e.States != b.States || e.Transitions != b.Transitions:
+			failed = true
+			fmt.Printf("bench: %-20s FAIL      exploration changed: states %d→%d transitions %d→%d\n",
+				e.Name, b.States, e.States, b.Transitions, e.Transitions)
+		case e.StatesPerSec < *benchGate*b.StatesPerSec:
+			failed = true
+			fmt.Printf("bench: %-20s FAIL      %8.0f states/s, below %.0f%% of baseline %.0f\n",
+				e.Name, e.StatesPerSec, 100**benchGate, b.StatesPerSec)
+		default:
+			fmt.Printf("bench: %-20s OK        %8.0f states/s (baseline %.0f, %+.0f%%)\n",
+				e.Name, e.StatesPerSec, b.StatesPerSec, 100*(e.StatesPerSec/b.StatesPerSec-1))
+		}
+	}
+	if *benchUpdate {
+		if err := writeBaseline(path, cur); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Printf("bench: baseline %s updated\n", path)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func measureSuite() ([]benchEntry, error) {
+	out := make([]benchEntry, 0, len(benchSuite))
+	for _, c := range benchSuite {
+		res, err := mcheck.Run(mcheck.Options{
+			Protocol: protocol.MustNew(c.Protocol), Procs: c.Procs, Blocks: c.Blocks,
+			Words: c.Words, Depth: c.Depth, Workers: *workers, Symmetry: c.Symmetry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", c.Name, err)
+		}
+		if res.Counterexample != nil {
+			return nil, fmt.Errorf("bench %s: unexpected violation %v", c.Name, res.Counterexample.Violations)
+		}
+		out = append(out, benchEntry{
+			benchConfig: c, States: res.States, Transitions: res.Transitions,
+			StatesPerSec: res.StatesPerSec,
+		})
+	}
+	return out, nil
+}
+
+func readBaseline(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func writeBaseline(path string, entries []benchEntry) error {
+	f := benchFile{
+		Updated: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		Gate:    *benchGate,
+		Entries: entries,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -39,6 +39,11 @@ var (
 	arcs      = flag.Bool("arcs", false, "record state-transition arcs and, for bitar, cross-check Figure 10")
 	noSpeed   = flag.Bool("nospeedup", false, "skip the workers=1 rerun that measures parallel speedup")
 	jsonOut   = flag.Bool("json", false, "emit one JSON summary per run instead of text")
+	symmetry  = flag.Bool("symmetry", true, "explore modulo processor permutations (identical verdicts, up to procs! fewer states)")
+
+	benchJSON   = flag.String("bench-json", "", "run the fixed perf suite and gate against this baseline file (created when absent)")
+	benchGate   = flag.Float64("bench-gate", 0.7, "with -bench-json: fail when states/s falls below this fraction of the baseline")
+	benchUpdate = flag.Bool("bench-update", false, "with -bench-json: rewrite the baseline with this run's numbers")
 )
 
 // summary is the JSON shape of one checker run.
@@ -63,6 +68,10 @@ func main() {
 			fmt.Printf("  %s\n", n)
 		}
 		return
+	}
+
+	if *benchJSON != "" {
+		os.Exit(runBench(*benchJSON))
 	}
 
 	names := protocol.Names()
@@ -112,7 +121,7 @@ func runOne(name string) (*summary, error) {
 	opts := mcheck.Options{
 		Protocol: p, Procs: *procs, Blocks: *blocks, Words: *words,
 		Depth: *depth, Workers: *workers, MaxStates: *maxStates,
-		RecordArcs: *arcs,
+		RecordArcs: *arcs, Symmetry: *symmetry,
 	}
 	res, err := mcheck.Run(opts)
 	if err != nil {
@@ -128,9 +137,13 @@ func runOne(name string) (*summary, error) {
 		case res.Truncated:
 			status = "TRUNCATED"
 		}
-		fmt.Printf("%-28s %-10s states=%-8d transitions=%-9d depth=%d/%d  %.0f states/s (%d workers, %v)\n",
+		mode := ""
+		if res.Symmetry {
+			mode = ", sym"
+		}
+		fmt.Printf("%-28s %-10s states=%-8d transitions=%-9d depth=%d/%d  %.0f states/s (%d workers%s, %v)\n",
 			p.Name(), status, res.States, res.Transitions, res.DepthReached, res.Depth,
-			res.StatesPerSec, res.Workers, res.Elapsed.Round(time.Millisecond))
+			res.StatesPerSec, res.Workers, mode, res.Elapsed.Round(time.Millisecond))
 	}
 
 	if res.Counterexample != nil {
@@ -138,7 +151,7 @@ func runOne(name string) (*summary, error) {
 	} else if !*noSpeed && *workers > 1 {
 		base, err := mcheck.Run(mcheck.Options{
 			Protocol: p, Procs: *procs, Blocks: *blocks, Words: *words,
-			Depth: *depth, Workers: 1, MaxStates: *maxStates,
+			Depth: *depth, Workers: 1, MaxStates: *maxStates, Symmetry: *symmetry,
 		})
 		if err != nil {
 			return nil, err

@@ -94,6 +94,11 @@ type Cache struct {
 	tick uint64
 	rng  uint64 // Random replacement state (seeded from the cache ID)
 
+	// snoopsInvalid caches Features().SnoopsInvalid: Features() builds
+	// its descriptor (including a map) on every call, far too expensive
+	// for the per-snoop paths of the simulator and the model checker.
+	snoopsInvalid bool
+
 	BWReg  BusyWaitRegister
 	Counts stats.Counters
 }
@@ -105,7 +110,8 @@ func New(id int, geom addr.Geometry, proto protocol.Protocol, cfg Config, mem *m
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		panic(fmt.Sprintf("cache: bad config %+v", cfg))
 	}
-	c := &Cache{id: id, geom: geom, proto: proto, cfg: cfg, mem: mem, rng: uint64(id)*2654435761 + 1}
+	c := &Cache{id: id, geom: geom, proto: proto, cfg: cfg, mem: mem, rng: uint64(id)*2654435761 + 1,
+		snoopsInvalid: proto.Features().SnoopsInvalid}
 	c.sets = make([][]line, cfg.Sets)
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)
@@ -475,7 +481,7 @@ func (c *Cache) SetState(b addr.Block, st protocol.State) {
 	}
 	ln.state = st
 	if st == protocol.Invalid {
-		ln.hasTag = c.proto.Features().SnoopsInvalid // keep tag only if invalid lines snoop
+		ln.hasTag = c.snoopsInvalid // keep tag only if invalid lines snoop
 	}
 	c.touch(ln)
 }
@@ -542,7 +548,7 @@ func (c *Cache) Snoop(t *bus.Transaction) {
 		c.Counts.Inc("bwreg.wakeup")
 	}
 
-	ln := c.find(t.Block, c.proto.Features().SnoopsInvalid)
+	ln := c.find(t.Block, c.snoopsInvalid)
 	if ln == nil {
 		return
 	}
@@ -596,7 +602,7 @@ func (c *Cache) Snoop(t *bus.Transaction) {
 		c.Counts.Inc("snoop.invalidated")
 	}
 	ln.state = res.NewState
-	if res.NewState == protocol.Invalid && !c.proto.Features().SnoopsInvalid {
+	if res.NewState == protocol.Invalid && !c.snoopsInvalid {
 		ln.hasTag = false
 	}
 }

@@ -60,13 +60,16 @@ type blockHolders struct {
 func (h *blockHolders) gather(caches []*cache.Cache, b addr.Block) {
 	h.ids, h.states, h.datas = h.ids[:0], h.states[:0], h.datas[:0]
 	for _, c := range caches {
-		st := c.State(b)
-		if st == protocol.Invalid {
+		// One tag lookup per cache: FrameView finds the frame once and
+		// hands back state and data together (State+DataView would walk
+		// the set twice).
+		st, data, ok := c.FrameView(b)
+		if !ok || st == protocol.Invalid {
 			continue
 		}
 		h.ids = append(h.ids, c.ID())
 		h.states = append(h.states, st)
-		h.datas = append(h.datas, c.DataView(b))
+		h.datas = append(h.datas, data)
 	}
 }
 
@@ -102,11 +105,12 @@ func serializationViolations(p protocol.Protocol, h *blockHolders, b addr.Block,
 func CheckSingleSource(p protocol.Protocol, caches []*cache.Cache, b addr.Block) []string {
 	var h blockHolders
 	h.gather(caches, b)
-	return singleSourceViolations(p, &h, b, nil)
+	f := p.Features()
+	return singleSourceViolations(p, &f, &h, b, nil)
 }
 
-func singleSourceViolations(p protocol.Protocol, h *blockHolders, b addr.Block, out []string) []string {
-	if p.Features().SourcePolicy == "ARB" {
+func singleSourceViolations(p protocol.Protocol, f *protocol.Features, h *blockHolders, b addr.Block, out []string) []string {
+	if f.SourcePolicy == "ARB" {
 		return out
 	}
 	sources := 0
@@ -128,10 +132,11 @@ func singleSourceViolations(p protocol.Protocol, h *blockHolders, b addr.Block, 
 func CheckLatestVersion(p protocol.Protocol, caches []*cache.Cache, mem *memory.Memory, b addr.Block) []string {
 	var h blockHolders
 	h.gather(caches, b)
-	return latestVersionViolations(p, &h, mem, b, nil)
+	f := p.Features()
+	return latestVersionViolations(p, &f, &h, mem, b, nil)
 }
 
-func latestVersionViolations(p protocol.Protocol, h *blockHolders, mem *memory.Memory, b addr.Block, out []string) []string {
+func latestVersionViolations(p protocol.Protocol, f *protocol.Features, h *blockHolders, mem *memory.Memory, b addr.Block, out []string) []string {
 	dirties := 0
 	var dirtyData []uint64
 	for i, st := range h.states {
@@ -151,7 +156,7 @@ func latestVersionViolations(p protocol.Protocol, h *blockHolders, mem *memory.M
 					b, h.ids[i], cp, memData))
 			}
 		}
-	} else if p.Features().Policy == protocol.PolicyUpdate {
+	} else if f.Policy == protocol.PolicyUpdate {
 		for i, cp := range h.datas {
 			if !equal(cp, dirtyData) {
 				out = append(out, fmt.Sprintf("block %d: update-protocol copy %d diverges from owner: %v vs %v",
@@ -199,17 +204,41 @@ func lockMutexViolations(p protocol.Protocol, h *blockHolders, mem *memory.Memor
 // memory-lock-tag-only blocks, so pass the block universe explicitly
 // when lock purges are possible).
 func CheckAll(p protocol.Protocol, caches []*cache.Cache, mem *memory.Memory, blocks []addr.Block) []string {
+	return NewChecker(p).Check(caches, mem, blocks)
+}
+
+// Checker is the full invariant suite bound to one protocol, with the
+// Features descriptor computed once and per-block scratch reused
+// across calls. The model checker runs a check after every explored
+// transition: rebuilding the descriptor (it contains a map) and
+// regrowing the holder slices per call would dominate the check, so
+// each exploration worker holds one Checker for its whole run. A
+// Checker is not safe for concurrent use.
+type Checker struct {
+	p protocol.Protocol
+	f protocol.Features
+	h blockHolders
+}
+
+// NewChecker builds a Checker for p.
+func NewChecker(p protocol.Protocol) *Checker {
+	return &Checker{p: p, f: p.Features()}
+}
+
+// Check runs every invariant over the given blocks, with the same
+// nil-blocks caveat as CheckAll. The returned slice is nil when the
+// state is coherent.
+func (ck *Checker) Check(caches []*cache.Cache, mem *memory.Memory, blocks []addr.Block) []string {
 	if blocks == nil {
 		blocks = HeldBlocks(caches)
 	}
 	var out []string
-	var h blockHolders
 	for _, b := range blocks {
-		h.gather(caches, b)
-		out = serializationViolations(p, &h, b, out)
-		out = singleSourceViolations(p, &h, b, out)
-		out = latestVersionViolations(p, &h, mem, b, out)
-		out = lockMutexViolations(p, &h, mem, b, out)
+		ck.h.gather(caches, b)
+		out = serializationViolations(ck.p, &ck.h, b, out)
+		out = singleSourceViolations(ck.p, &ck.f, &ck.h, b, out)
+		out = latestVersionViolations(ck.p, &ck.f, &ck.h, mem, b, out)
+		out = lockMutexViolations(ck.p, &ck.h, mem, b, out)
 	}
 	return out
 }

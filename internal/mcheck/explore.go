@@ -8,26 +8,17 @@ import (
 	"time"
 )
 
-// shardCount fixes the number of hash shards of the visited set; the
-// per-level merge parallelizes over shards.
-const shardCount = 64
-
-// visitedEntry is the parent pointer of an explored state, for
-// counterexample trace reconstruction.
-type visitedEntry struct {
-	parent string
-	act    Action
-}
-
 // candidate is a newly discovered state: the frontier/action indexes
 // (pi, ai) make parent selection deterministic — when several
 // transitions reach the same state in one level, the lexicographically
-// least (pi, ai) wins regardless of worker scheduling.
+// least (pi, ai) wins regardless of worker scheduling. The state's key
+// lives in the discovering worker's keySet arena at entry keyIdx.
 type candidate struct {
-	pi, ai int
-	parent string
+	pi, ai int32
+	keyIdx int32
+	hash   uint64
+	parent stateID
 	act    Action
-	enc    string
 }
 
 func (c candidate) before(o candidate) bool {
@@ -38,26 +29,6 @@ func (c candidate) before(o candidate) bool {
 type violation struct {
 	candidate
 	violations []string
-}
-
-// shardOf is FNV-1a inlined (hash/fnv's New64a allocates; this runs
-// twice per explored transition).
-func shardOf(enc string) int {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(enc); i++ {
-		h ^= uint64(enc[i])
-		h *= 1099511628211
-	}
-	return int(h % shardCount)
-}
-
-func shardOfBytes(enc []byte) int {
-	h := uint64(14695981039346656037)
-	for _, c := range enc {
-		h ^= uint64(c)
-		h *= 1099511628211
-	}
-	return int(h % shardCount)
 }
 
 // step applies one action and validates the resulting state, turning
@@ -78,12 +49,15 @@ func (m *machine) step(a Action) (violations []string) {
 }
 
 // Run explores every interleaving of processor operations up to
-// opts.Depth steps with a level-synchronized parallel BFS over
-// canonically encoded states. Because levels are explored in order and
-// the violating transition is chosen by least (frontier, action)
-// index, the returned counterexample — if any — is a shortest
-// violating sequence, and the whole result is deterministic for any
-// worker count.
+// opts.Depth steps with a level-synchronized parallel BFS over packed
+// binary state keys — canonicalized under processor symmetry when
+// opts.Symmetry is set. Because levels are explored in order and the
+// violating transition is chosen by least (frontier, action) index,
+// the returned counterexample — if any — is a shortest violating
+// sequence, and the whole result is deterministic for any worker
+// count: the next frontier is ordered shard-major with keys sorted
+// within each shard, which depends only on the set of discovered
+// states.
 func Run(opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	if o.Protocol == nil {
@@ -100,7 +74,7 @@ func Run(opts Options) (*Result, error) {
 	res := &Result{
 		Protocol: o.Protocol.Name(),
 		Procs:    o.Procs, Blocks: o.Blocks, Words: o.Words,
-		Depth: o.Depth, Workers: o.Workers,
+		Depth: o.Depth, Workers: o.Workers, Symmetry: o.Symmetry,
 	}
 	finalize := func() *Result {
 		res.Elapsed = time.Since(start)
@@ -114,21 +88,33 @@ func Run(opts Options) (*Result, error) {
 	for i := range machines {
 		machines[i] = newMachine(o)
 	}
-	root := machines[0].encode()
+	kw := machines[0].lay.total
+	root := machines[0].encodeKey()
+	if o.Symmetry {
+		// The initial state is fully symmetric, so canonicalization is
+		// the identity; run it anyway so any future asymmetric initial
+		// state is still handled correctly.
+		root, _ = machines[0].canon.canonicalize(root)
+	}
 	if v := machines[0].checkInvariants(Action{}, stepResult{}); len(v) > 0 {
 		res.Counterexample = &Counterexample{Violations: v}
 		res.States = 1
 		return finalize(), nil
 	}
 
-	visited := make([]map[string]visitedEntry, shardCount)
+	visited := make([]*shardTable, shardCount)
 	for i := range visited {
-		visited[i] = make(map[string]visitedEntry)
+		visited[i] = newShardTable(kw)
 	}
-	visited[shardOf(root)][root] = visitedEntry{}
+	rootHash := hashKey(root)
+	rootShard := shardOfHash(rootHash)
+	rootID := packID(rootShard, visited[rootShard].insert(root, rootHash, edge{parent: noParent}))
 	res.States = 1
+	if o.stateHook != nil {
+		o.stateHook(root)
+	}
 
-	frontier := []string{root}
+	frontier := []stateID{rootID}
 	var transitions int64
 
 	for depth := 1; depth <= o.Depth && len(frontier) > 0; depth++ {
@@ -137,6 +123,7 @@ func Run(opts Options) (*Result, error) {
 			nw = len(frontier)
 		}
 		workerCands := make([][][]candidate, nw) // [worker][shard][]candidate
+		workerSets := make([]*keySet, nw)
 		workerViol := make([]*violation, nw)
 		var cursor int64 = -1
 		var wg sync.WaitGroup
@@ -146,50 +133,56 @@ func Run(opts Options) (*Result, error) {
 				defer wg.Done()
 				m := machines[w]
 				cands := make([][]candidate, shardCount)
-				seen := map[string]bool{}
+				seen := m.seen
+				if seen == nil {
+					seen = newKeySet(kw)
+					m.seen = seen
+				}
+				seen.reset()
+				var localTransitions int64
 				var best *violation
 				for {
 					i := int(atomic.AddInt64(&cursor, 1))
 					if i >= len(frontier) {
 						break
 					}
-					enc := frontier[i]
-					if err := m.restore(enc); err != nil {
-						panic(err) // states we produced must re-decode
-					}
+					id := frontier[i]
+					enc := visited[id.shard()].key(id.index())
+					m.restoreKey(enc)
 					acts := m.actions()
 					for j, a := range acts {
 						if j > 0 {
-							if err := m.restore(enc); err != nil {
-								panic(err)
-							}
+							m.restoreKey(enc)
 						}
-						atomic.AddInt64(&transitions, 1)
+						localTransitions++
 						if v := m.step(a); len(v) > 0 {
-							c := candidate{pi: i, ai: j, parent: enc, act: a}
+							c := candidate{pi: int32(i), ai: int32(j), parent: id, act: a}
 							if best == nil || c.before(best.candidate) {
 								best = &violation{candidate: c, violations: v}
 							}
 							continue
 						}
-						// Duplicate checks on the raw encode buffer:
-						// map[string] lookups keyed by string(neb) do not
-						// allocate, so only genuinely new states pay for
-						// a string conversion.
-						neb := m.encodeBytes()
-						if seen[string(neb)] {
+						nk := m.encodeKey()
+						if m.canon != nil {
+							nk, _ = m.canon.canonicalize(nk)
+						}
+						h := hashKey(nk)
+						s := shardOfHash(h)
+						if visited[s].lookup(nk, h) >= 0 {
 							continue
 						}
-						s := shardOfBytes(neb)
-						if _, ok := visited[s][string(neb)]; ok {
+						ki, fresh := seen.add(nk, h)
+						if !fresh {
 							continue
 						}
-						ne := string(neb)
-						seen[ne] = true
-						cands[s] = append(cands[s], candidate{pi: i, ai: j, parent: enc, act: a, enc: ne})
+						cands[s] = append(cands[s], candidate{
+							pi: int32(i), ai: int32(j), keyIdx: int32(ki), hash: h, parent: id, act: a,
+						})
 					}
 				}
+				atomic.AddInt64(&transitions, localTransitions)
 				workerCands[w] = cands
+				workerSets[w] = seen
 				workerViol[w] = best
 			}(w)
 		}
@@ -202,45 +195,54 @@ func Run(opts Options) (*Result, error) {
 			}
 		}
 		if best != nil {
-			trace := rebuildTrace(visited, root, best.parent)
+			trace := rebuildTrace(visited, rootID, best.parent)
 			trace = append(trace, best.act)
-			res.Counterexample = &Counterexample{Trace: trace, Violations: best.violations}
+			viols := best.violations
+			if o.Symmetry {
+				// Stored actions live in canonical frames; rewrite them
+				// into one executable run and recompute the violations so
+				// their messages name the actual processor indices.
+				dtrace, dviols := decanonicalizeTrace(o, trace)
+				trace = dtrace
+				if len(dviols) > 0 {
+					viols = dviols
+				}
+			}
+			res.Counterexample = &Counterexample{Trace: trace, Violations: viols}
 			res.DepthReached = depth
 			break
 		}
 
 		// Merge the level's discoveries shard-parallel: per state, the
-		// least (frontier, action) parent wins.
-		newByShard := make([][]string, shardCount)
+		// least (frontier, action) parent wins; each shard then sorts
+		// its winners by key, making the next frontier's order — and
+		// with it every (pi, ai) of the next level — independent of how
+		// workers split this one.
+		newByShard := make([][]stateID, shardCount)
 		var mwg sync.WaitGroup
 		for s := 0; s < shardCount; s++ {
 			mwg.Add(1)
 			go func(s int) {
 				defer mwg.Done()
-				bestC := map[string]candidate{}
-				for w := 0; w < nw; w++ {
-					for _, c := range workerCands[w][s] {
-						if e, ok := bestC[c.enc]; !ok || c.before(e) {
-							bestC[c.enc] = c
-						}
-					}
-				}
-				keys := make([]string, 0, len(bestC))
-				for enc, c := range bestC {
-					visited[s][enc] = visitedEntry{parent: c.parent, act: c.act}
-					keys = append(keys, enc)
-				}
-				newByShard[s] = keys
+				newByShard[s] = mergeShard(visited[s], s, workerCands, workerSets)
 			}(s)
 		}
 		mwg.Wait()
 
-		var next []string
-		for _, keys := range newByShard {
-			next = append(next, keys...)
+		var added int64
+		for _, ids := range newByShard {
+			added += int64(len(ids))
 		}
-		sort.Strings(next) // deterministic frontier order ⇒ deterministic (pi, ai)
-		res.States += int64(len(next))
+		next := make([]stateID, 0, added)
+		for _, ids := range newByShard {
+			next = append(next, ids...)
+		}
+		if o.stateHook != nil {
+			for _, id := range next {
+				o.stateHook(visited[id.shard()].key(id.index()))
+			}
+		}
+		res.States += added
 		res.DepthReached = depth
 		frontier = next
 		if res.States >= int64(o.MaxStates) {
@@ -265,17 +267,73 @@ func Run(opts Options) (*Result, error) {
 	return finalize(), nil
 }
 
-// rebuildTrace walks parent pointers from enc back to the root and
-// returns the action sequence in execution order.
-func rebuildTrace(visited []map[string]visitedEntry, root, enc string) []Action {
-	var rev []Action
-	for enc != root {
-		e, ok := visited[shardOf(enc)][enc]
-		if !ok {
-			break
+// mergeShard folds every worker's candidates for shard s into the
+// shard's visited table: duplicates resolve to the least (pi, ai)
+// candidate, winners are inserted in key order, and their state IDs
+// are returned in that order. The result depends only on the candidate
+// sets, not on how workers partitioned the frontier.
+func mergeShard(t *shardTable, s int, workerCands [][][]candidate, workerSets []*keySet) []stateID {
+	total := 0
+	for w := range workerCands {
+		total += len(workerCands[w][s])
+	}
+	if total == 0 {
+		return nil
+	}
+	type winner struct {
+		cand candidate
+		w    int32 // worker whose keySet holds the key
+	}
+	winners := make([]winner, 0, total)
+	slotsLen := 4
+	for slotsLen < 2*total {
+		slotsLen *= 2
+	}
+	slots := make([]int32, slotsLen) // winner index + 1; 0 = empty
+	mask := uint64(slotsLen - 1)
+	for w := range workerCands {
+		for _, c := range workerCands[w][s] {
+			key := workerSets[w].key(int(c.keyIdx))
+			pos := c.hash & mask
+			for {
+				sl := slots[pos]
+				if sl == 0 {
+					winners = append(winners, winner{cand: c, w: int32(w)})
+					slots[pos] = int32(len(winners))
+					break
+				}
+				wi := &winners[sl-1]
+				if wi.cand.hash == c.hash && equalKey(workerSets[wi.w].key(int(wi.cand.keyIdx)), key) {
+					if c.before(wi.cand) {
+						*wi = winner{cand: c, w: int32(w)}
+					}
+					break
+				}
+				pos = (pos + 1) & mask
+			}
 		}
+	}
+	sort.Slice(winners, func(i, j int) bool {
+		return lessKey(workerSets[winners[i].w].key(int(winners[i].cand.keyIdx)),
+			workerSets[winners[j].w].key(int(winners[j].cand.keyIdx)))
+	})
+	ids := make([]stateID, len(winners))
+	for i, wi := range winners {
+		idx := t.insert(workerSets[wi.w].key(int(wi.cand.keyIdx)), wi.cand.hash,
+			edge{parent: wi.cand.parent, act: wi.cand.act})
+		ids[i] = packID(s, idx)
+	}
+	return ids
+}
+
+// rebuildTrace walks parent edges from id back to the root and returns
+// the action sequence in execution order.
+func rebuildTrace(visited []*shardTable, rootID, id stateID) []Action {
+	var rev []Action
+	for id != rootID {
+		e := visited[id.shard()].edges[id.index()]
 		rev = append(rev, e.act)
-		enc = e.parent
+		id = e.parent
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]

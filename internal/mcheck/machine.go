@@ -1,7 +1,6 @@
 package mcheck
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -44,10 +43,50 @@ type machine struct {
 
 	// Reused scratch buffers: restore/encode run once per explored
 	// transition, so they must not allocate.
-	encBuf   []byte
+	lay      keyLayout
+	keyBuf   []uint64
 	decLines [][]cache.LineSnapshot // per cache, full capacity, Data preallocated
-	decBlock []uint64
+	decCount []int
 	dirIDs   []int
+	actsBuf  []Action
+
+	// canon holds the processor-symmetry canonicalizer (nil when
+	// Options.Symmetry is off).
+	canon *canonizer
+
+	// seen is the owning worker's intra-level duplicate filter and
+	// candidate-key arena, kept across BFS levels to reuse its storage.
+	seen *keySet
+
+	// checker is the invariant suite with its scratch, run once per
+	// explored transition.
+	checker *coherence.Checker
+}
+
+// keyLayout fixes the packed binary state-key format. Keys are
+// fixed-width []uint64 vectors laid out block-major; per block:
+//
+//	ctrlWords words   one 16-bit lane per cache: present(bit 0) | state<<1
+//	procs*words words cache line data, cache-major (zero when absent)
+//	words words       memory block data
+//	1 word            locked(bit 0) | waiter(bit 1) | owner<<2 | dirmask<<8
+//	words words       shadow (sequentially consistent reference) data
+//
+// Fixed width makes keys comparable word-wise, hashable in one pass,
+// and storable in flat arenas with no per-state allocation.
+type keyLayout struct {
+	procs, blocks, words int
+	ctrlWords            int // per block
+	blockStride          int // words per block section
+	total                int // words per key
+}
+
+func makeKeyLayout(procs, blocks, words int) keyLayout {
+	l := keyLayout{procs: procs, blocks: blocks, words: words}
+	l.ctrlWords = (procs + 3) / 4
+	l.blockStride = l.ctrlWords + words*(procs+2) + 1
+	l.total = blocks * l.blockStride
+	return l
 }
 
 type arcKey struct {
@@ -76,8 +115,13 @@ func newMachine(opts Options) *machine {
 		shadow: make([]uint64, opts.Blocks*opts.Words),
 		arcs:   make(map[arcKey]string),
 	}
+	// The checker never reads simulation counters; disabling them takes
+	// the per-probe/per-snoop counting off the exploration hot path.
+	m.mem.Counts.Disable()
 	for i := 0; i < opts.Procs; i++ {
-		m.caches = append(m.caches, cache.New(i, geom, m.proto, cache.Config{Sets: 1, Ways: opts.Blocks}, m.mem))
+		c := cache.New(i, geom, m.proto, cache.Config{Sets: 1, Ways: opts.Blocks}, m.mem)
+		c.Counts.Disable()
+		m.caches = append(m.caches, c)
 	}
 	m.universe = make([]addr.Block, opts.Blocks)
 	for i := range m.universe {
@@ -90,14 +134,21 @@ func newMachine(opts Options) *machine {
 			m.decLines[i][j].Data = make([]uint64, opts.Words)
 		}
 	}
-	m.decBlock = make([]uint64, opts.Words)
+	m.decCount = make([]int, opts.Procs)
+	m.lay = makeKeyLayout(opts.Procs, opts.Blocks, opts.Words)
+	m.keyBuf = make([]uint64, m.lay.total)
+	if opts.Symmetry {
+		m.canon = newCanonizer(m.lay)
+	}
+	m.checker = coherence.NewChecker(m.proto)
 	return m
 }
 
 // actions enumerates every enabled action from the machine's current
-// state, in a deterministic order.
+// state, in a deterministic order, into a per-machine reused buffer
+// valid until the next call.
 func (m *machine) actions() []Action {
-	var out []Action
+	out := m.actsBuf[:0]
 	hwLock := m.feats.HardwareLock
 	for p := 0; p < m.opts.Procs; p++ {
 		c := m.caches[p]
@@ -127,6 +178,7 @@ func (m *machine) actions() []Action {
 			}
 		}
 	}
+	m.actsBuf = out
 	return out
 }
 
@@ -148,7 +200,8 @@ func (m *machine) apply(a Action) (stepResult, error) {
 	op := a.Op
 
 	pre := c.State(blk)
-	r := c.Probe(op, at)
+	// Reprobe is Probe without statistics; the checker keeps no counts.
+	r := c.Reprobe(op, at)
 	m.recordArc(pre, op, r)
 	if r.Hit {
 		return m.finish(a, c, at, op), nil
@@ -392,7 +445,7 @@ func (m *machine) evictVictim(c *cache.Cache, v cache.Victim) {
 // latest-version/conservation check, and the read-value check of the
 // step that produced the state.
 func (m *machine) checkInvariants(a Action, res stepResult) []string {
-	out := coherence.CheckAll(m.proto, m.caches, m.mem, m.universe)
+	out := m.checker.Check(m.caches, m.mem, m.universe)
 	for _, b := range m.universe {
 		owner := m.ownerView(b)
 		base := int(b) * m.opts.Words
@@ -428,160 +481,87 @@ func (m *machine) ownerView(b addr.Block) []uint64 {
 
 // --- canonical state encoding -------------------------------------------
 
-// encodeBytes serializes the machine's complete behavioral state —
-// cache frames (including tag-only invalid frames), memory data, lock
-// tags, directory presence, and the shadow memory — into a canonical
-// byte string used as the visited-set key. The returned slice aliases
-// a per-machine buffer reused by the next call.
-func (m *machine) encodeBytes() []byte {
-	buf := m.encBuf[:0]
-	var tmp [binary.MaxVarintLen64]byte
-	putU := func(v uint64) {
-		n := binary.PutUvarint(tmp[:], v)
-		buf = append(buf, tmp[:n]...)
-	}
-	for _, c := range m.caches {
-		for _, b := range m.universe {
-			st, data, ok := c.FrameView(b)
-			if !ok {
-				putU(0)
-				continue
+// encodeKey serializes the machine's complete behavioral state — cache
+// frames (including tag-only invalid frames), memory data, lock tags,
+// directory presence, and the shadow memory — into the fixed-width
+// binary key described by keyLayout. The returned slice aliases a
+// per-machine buffer reused by the next call.
+func (m *machine) encodeKey() []uint64 {
+	k := m.keyBuf
+	clear(k)
+	lay := &m.lay
+	for bi, b := range m.universe {
+		base := bi * lay.blockStride
+		pos := base + lay.ctrlWords
+		for ci, c := range m.caches {
+			if st, data, ok := c.FrameView(b); ok {
+				// protocol.State is a small enum (uint16 with the top bit
+				// never set), so present|state<<1 fits the 16-bit lane.
+				k[base+ci/4] |= (1 | uint64(st)<<1) << uint((ci%4)*16)
+				copy(k[pos:pos+lay.words], data)
 			}
-			putU(1)
-			putU(uint64(st))
-			for _, w := range data {
-				putU(w)
-			}
+			pos += lay.words
 		}
-	}
-	for _, b := range m.universe {
-		for _, w := range m.mem.BlockView(b) {
-			putU(w)
-		}
-		tag := m.mem.GetLockTag(b)
-		if tag.Locked {
-			putU(1)
-			putU(uint64(tag.Owner))
+		copy(k[pos:pos+lay.words], m.mem.BlockView(b))
+		pos += lay.words
+		var lw uint64
+		if tag := m.mem.GetLockTag(b); tag.Locked {
+			lw = 1 | uint64(tag.Owner)<<2
 			if tag.Waiter {
-				putU(1)
-			} else {
-				putU(0)
+				lw |= 2
 			}
-		} else {
-			putU(0)
 		}
-		putU(m.mem.Dir.Mask(b))
+		k[pos] = lw | m.mem.Dir.Mask(b)<<8
+		pos++
+		copy(k[pos:pos+lay.words], m.shadow[bi*lay.words:(bi+1)*lay.words])
 	}
-	for _, w := range m.shadow {
-		putU(w)
-	}
-	m.encBuf = buf
-	return buf
+	return k
 }
 
-// encode is encodeBytes as an owned string.
-func (m *machine) encode() string { return string(m.encodeBytes()) }
-
-// restore re-materializes the machine at an encoded state. It is the
-// other per-transition hot path and decodes into reused buffers.
-func (m *machine) restore(enc string) error {
-	pos := 0
-	getU := func() (uint64, bool) {
-		var v uint64
-		var shift uint
-		for i := 0; i < binary.MaxVarintLen64; i++ {
-			if pos >= len(enc) {
-				return 0, false
-			}
-			c := enc[pos]
-			pos++
-			if c < 0x80 {
-				return v | uint64(c)<<shift, true
-			}
-			v |= uint64(c&0x7f) << shift
-			shift += 7
-		}
-		return 0, false
+// restoreKey re-materializes the machine at an encoded state. It is
+// the other per-transition hot path and decodes into reused buffers.
+func (m *machine) restoreKey(k []uint64) {
+	lay := &m.lay
+	if len(k) != lay.total {
+		panic(fmt.Sprintf("mcheck: state key has %d words, want %d", len(k), lay.total))
 	}
-	fail := func() error { return fmt.Errorf("mcheck: corrupt state encoding at byte %d", pos) }
-
-	for ci, c := range m.caches {
-		k := 0
-		for _, b := range m.universe {
-			present, ok := getU()
-			if !ok {
-				return fail()
+	clear(m.decCount)
+	for bi, b := range m.universe {
+		base := bi * lay.blockStride
+		pos := base + lay.ctrlWords
+		for ci := range m.caches {
+			lane := (k[base+ci/4] >> uint((ci%4)*16)) & 0xffff
+			if lane&1 != 0 {
+				ls := &m.decLines[ci][m.decCount[ci]]
+				m.decCount[ci]++
+				ls.Block = b
+				ls.State = protocol.State(lane >> 1)
+				copy(ls.Data, k[pos:pos+lay.words])
 			}
-			if present == 0 {
-				continue
-			}
-			st, ok := getU()
-			if !ok {
-				return fail()
-			}
-			ls := &m.decLines[ci][k]
-			ls.Block = b
-			ls.State = protocol.State(st)
-			for w := 0; w < m.opts.Words; w++ {
-				v, ok := getU()
-				if !ok {
-					return fail()
-				}
-				ls.Data[w] = v
-			}
-			k++
+			pos += lay.words
 		}
-		c.Restore(m.decLines[ci][:k])
-	}
-	for _, b := range m.universe {
-		for w := range m.decBlock {
-			v, ok := getU()
-			if !ok {
-				return fail()
-			}
-			m.decBlock[w] = v
-		}
-		m.mem.WriteBlock(b, m.decBlock)
-		locked, ok := getU()
-		if !ok {
-			return fail()
-		}
+		m.mem.WriteBlock(b, k[pos:pos+lay.words])
+		pos += lay.words
+		lw := k[pos]
+		pos++
 		var tag memory.LockTag
-		if locked != 0 {
-			owner, ok := getU()
-			if !ok {
-				return fail()
-			}
-			waiter, ok := getU()
-			if !ok {
-				return fail()
-			}
-			tag = memory.LockTag{Locked: true, Owner: int(owner), Waiter: waiter != 0}
+		if lw&1 != 0 {
+			tag = memory.LockTag{Locked: true, Owner: int(lw >> 2 & 7), Waiter: lw&2 != 0}
 		}
 		m.mem.SetLockTag(b, tag)
-		mask, ok := getU()
-		if !ok {
-			return fail()
-		}
 		m.dirIDs = m.dirIDs[:0]
+		mask := lw >> 8 & 0xff
 		for id := 0; id < m.opts.Procs; id++ {
 			if mask&(1<<uint(id)) != 0 {
 				m.dirIDs = append(m.dirIDs, id)
 			}
 		}
 		m.mem.Dir.Set(b, m.dirIDs)
+		copy(m.shadow[bi*lay.words:(bi+1)*lay.words], k[pos:pos+lay.words])
 	}
-	for i := range m.shadow {
-		v, ok := getU()
-		if !ok {
-			return fail()
-		}
-		m.shadow[i] = v
+	for ci, c := range m.caches {
+		c.Restore(m.decLines[ci][:m.decCount[ci]])
 	}
-	if pos != len(enc) {
-		return fmt.Errorf("mcheck: %d trailing bytes in state encoding", len(enc)-pos)
-	}
-	return nil
 }
 
 // sortedArcs returns the collected arcs in a deterministic order.

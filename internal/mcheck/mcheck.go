@@ -12,8 +12,10 @@
 // through an atomic-step executor mirroring internal/sim's bus
 // semantics (probe → broadcast snoop → memory respond → complete →
 // install), so a state the checker reaches is a state the simulator
-// can reach. States are canonically encoded, deduplicated by hash, and
-// explored by a level-synchronized parallel BFS (workers shard the
+// can reach. States are packed into fixed-width binary keys (machine
+// encodeKey), optionally quotiented by processor symmetry (canon.go),
+// hashed once, deduplicated in open-addressing shard tables (table.go),
+// and explored by a level-synchronized parallel BFS (workers shard the
 // frontier; the level barrier preserves BFS order), so the first
 // violation found is a shortest — minimized — counterexample. A
 // counterexample replays both through the executor and, when the trace
@@ -59,6 +61,18 @@ type Options struct {
 	// RecordArcs collects the (state, op) → outcome arcs exercised by
 	// the acting cache, for the Figure 10 reachability cross-check.
 	RecordArcs bool
+	// Symmetry enables processor-symmetry reduction: states are
+	// explored up to permutation of processor indices, shrinking the
+	// reachable space by up to Procs! with identical verdicts (see
+	// canon.go). Counterexample traces are de-canonicalized, so they
+	// replay unchanged.
+	Symmetry bool
+
+	// stateHook, when set, is called once for every distinct visited
+	// state with its packed key (the canonical key under Symmetry).
+	// The slice aliases table storage and must not be retained. Tests
+	// use it to prove the symmetry quotient exact.
+	stateHook func(key []uint64)
 }
 
 func (o *Options) withDefaults() Options {
@@ -153,6 +167,7 @@ type Result struct {
 	Words          int             `json:"words"`
 	Depth          int             `json:"depth"`
 	Workers        int             `json:"workers"`
+	Symmetry       bool            `json:"symmetry"`
 	States         int64           `json:"states"`
 	Transitions    int64           `json:"transitions"`
 	DepthReached   int             `json:"depth_reached"`

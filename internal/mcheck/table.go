@@ -1,0 +1,217 @@
+package mcheck
+
+import "math/bits"
+
+// This file is the storage layer of the exploration core: packed
+// binary state keys hashed once with a single xxhash-style mix, stored
+// in custom open-addressing tables whose key arenas are flat []uint64
+// slabs. A duplicate hit costs one hash, one probe chain, and zero
+// allocations — the previous map[string]visitedEntry design paid a
+// string conversion plus two FNV passes per explored transition.
+
+// shardCount fixes the number of hash shards of the visited set; the
+// per-level merge parallelizes over shards. It must stay a power of
+// two ≤ 256 because shardOfHash takes the hash's top bits.
+const shardCount = 64
+
+// stateID names a visited state: shard index in the high 32 bits,
+// entry index within the shard in the low 32.
+type stateID uint64
+
+// noParent marks the root's parent edge.
+const noParent = ^stateID(0)
+
+func packID(shard, idx int) stateID { return stateID(shard)<<32 | stateID(uint32(idx)) }
+
+func (id stateID) shard() int { return int(id >> 32) }
+func (id stateID) index() int { return int(uint32(id)) }
+
+// edge is the parent pointer of a visited state, for counterexample
+// trace reconstruction.
+type edge struct {
+	parent stateID
+	act    Action
+}
+
+// hashKey mixes a packed state key with one xxhash-style pass: a
+// rotate-multiply round per word and a murmur-style avalanche
+// finalizer. The single 64-bit result serves both purposes the old
+// code FNV-hashed twice for — shard selection (top bits) and
+// open-addressing probe position (low bits).
+func hashKey(k []uint64) uint64 {
+	const (
+		prime1 = 0x9E3779B185EBCA87
+		prime2 = 0xC2B2AE3D27D4EB4F
+		prime3 = 0x165667B19E3779F9
+	)
+	h := uint64(len(k))*prime3 + prime2
+	for _, w := range k {
+		h ^= bits.RotateLeft64(w*prime2, 31) * prime1
+		h = bits.RotateLeft64(h, 27)*prime1 + prime3
+	}
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 29
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 32
+	return h
+}
+
+// shardOfHash maps a key hash to its visited-set shard (the probe
+// position uses the low bits, so the shard must come from the top).
+func shardOfHash(h uint64) int { return int(h >> (64 - 6)) }
+
+func equalKey(a, b []uint64) bool {
+	for i, w := range a {
+		if b[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// lessKey is lexicographic word-wise comparison; it orders canonical
+// frontier keys deterministically.
+func lessKey(a, b []uint64) bool {
+	for i, w := range a {
+		if w != b[i] {
+			return w < b[i]
+		}
+	}
+	return false
+}
+
+// shardTable is one shard of the visited set: an open-addressing hash
+// table over fixed-width []uint64 keys held in a flat arena, with the
+// parent edge of every entry stored alongside. Lookups never allocate;
+// inserts amortize into three slab appends.
+type shardTable struct {
+	kw     int      // words per key
+	mask   uint64   // len(slots) - 1
+	slots  []uint32 // entry index + 1; 0 = empty
+	keys   []uint64 // entry i's key at [i*kw : (i+1)*kw]
+	hashes []uint64
+	edges  []edge
+	n      int
+}
+
+func newShardTable(kw int) *shardTable {
+	t := &shardTable{kw: kw}
+	t.rehash(256)
+	return t
+}
+
+func (t *shardTable) rehash(slots int) {
+	t.slots = make([]uint32, slots)
+	t.mask = uint64(slots - 1)
+	for i := 0; i < t.n; i++ {
+		pos := t.hashes[i] & t.mask
+		for t.slots[pos] != 0 {
+			pos = (pos + 1) & t.mask
+		}
+		t.slots[pos] = uint32(i + 1)
+	}
+}
+
+// key returns entry i's key view into the arena.
+func (t *shardTable) key(i int) []uint64 { return t.keys[i*t.kw : (i+1)*t.kw] }
+
+// lookup returns the entry index of key (whose hash is h), or -1.
+func (t *shardTable) lookup(key []uint64, h uint64) int {
+	pos := h & t.mask
+	for {
+		s := t.slots[pos]
+		if s == 0 {
+			return -1
+		}
+		if i := int(s - 1); t.hashes[i] == h && equalKey(t.key(i), key) {
+			return i
+		}
+		pos = (pos + 1) & t.mask
+	}
+}
+
+// insert adds a key that must not already be present and returns its
+// entry index.
+func (t *shardTable) insert(key []uint64, h uint64, e edge) int {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.rehash(2 * len(t.slots))
+	}
+	i := t.n
+	t.n++
+	t.keys = append(t.keys, key...)
+	t.hashes = append(t.hashes, h)
+	t.edges = append(t.edges, e)
+	pos := h & t.mask
+	for t.slots[pos] != 0 {
+		pos = (pos + 1) & t.mask
+	}
+	t.slots[pos] = uint32(i + 1)
+	return i
+}
+
+// keySet is the per-worker intra-level duplicate filter: the same
+// open-addressing scheme without parent edges. Its arena doubles as
+// the worker's candidate-key storage — a candidate references its key
+// by entry index, and the merge phase reads it from here.
+type keySet struct {
+	kw     int
+	mask   uint64
+	slots  []uint32
+	keys   []uint64
+	hashes []uint64
+	n      int
+}
+
+func newKeySet(kw int) *keySet {
+	s := &keySet{kw: kw, slots: make([]uint32, 256), mask: 255}
+	return s
+}
+
+// reset empties the set for the next BFS level, keeping its storage.
+func (s *keySet) reset() {
+	clear(s.slots)
+	s.keys = s.keys[:0]
+	s.hashes = s.hashes[:0]
+	s.n = 0
+}
+
+func (s *keySet) key(i int) []uint64 { return s.keys[i*s.kw : (i+1)*s.kw] }
+
+// add inserts key unless present. It returns the entry index and
+// whether the key was newly added.
+func (s *keySet) add(key []uint64, h uint64) (int, bool) {
+	pos := h & s.mask
+	for {
+		sl := s.slots[pos]
+		if sl == 0 {
+			break
+		}
+		if i := int(sl - 1); s.hashes[i] == h && equalKey(s.key(i), key) {
+			return i, false
+		}
+		pos = (pos + 1) & s.mask
+	}
+	if 4*(s.n+1) > 3*len(s.slots) {
+		ns := make([]uint32, 2*len(s.slots))
+		nm := uint64(len(ns) - 1)
+		for i := 0; i < s.n; i++ {
+			p := s.hashes[i] & nm
+			for ns[p] != 0 {
+				p = (p + 1) & nm
+			}
+			ns[p] = uint32(i + 1)
+		}
+		s.slots, s.mask = ns, nm
+		pos = h & s.mask
+		for s.slots[pos] != 0 {
+			pos = (pos + 1) & s.mask
+		}
+	}
+	i := s.n
+	s.n++
+	s.keys = append(s.keys, key...)
+	s.hashes = append(s.hashes, h)
+	s.slots[pos] = uint32(i + 1)
+	return i, true
+}

@@ -13,16 +13,26 @@ import (
 // Counters is a set of named monotonically increasing counters.
 // The zero value is ready to use.
 type Counters struct {
-	m map[string]int64
+	m   map[string]int64
+	off bool
 }
 
 // Add increments counter name by delta.
 func (c *Counters) Add(name string, delta int64) {
+	if c.off {
+		return
+	}
 	if c.m == nil {
 		c.m = make(map[string]int64)
 	}
 	c.m[name] += delta
 }
+
+// Disable turns the counter set into a no-op sink. The model checker
+// disables the counters of its caches and memory: counting costs a
+// string concatenation plus a map update on paths it executes hundreds
+// of thousands of times per second, and the counts are never read.
+func (c *Counters) Disable() { c.off = true }
 
 // Inc increments counter name by one.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }

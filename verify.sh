@@ -22,7 +22,15 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (mcheck smoke)"
-go test -race -short -run 'TestSmokeAllProtocols|TestDeterministicAcrossWorkers' ./internal/mcheck/
+echo "== go test -race (mcheck + sim smoke)"
+go test -race -short -run 'TestSmokeAllProtocols|TestDeterministicAcrossWorkers|TestSymmetryEquivalence|TestDeterministicWorkersMutant' ./internal/mcheck/
+go test -race -short ./internal/sim/
+
+echo "== benchmark-regression gate"
+if [ -f BENCH_mcheck.json ]; then
+	go run ./cmd/mcheck -bench-json BENCH_mcheck.json -bench-gate 0.5
+else
+	echo "no BENCH_mcheck.json baseline; skipping (create one with: go run ./cmd/mcheck -bench-json BENCH_mcheck.json)"
+fi
 
 echo "verify: OK"
