@@ -19,6 +19,7 @@ import (
 	"cachesync/internal/mcheck"
 	"cachesync/internal/protocol"
 	"cachesync/internal/report"
+	"cachesync/internal/runner"
 	"cachesync/internal/sim"
 	"cachesync/internal/stats"
 	"cachesync/internal/syncprim"
@@ -152,6 +153,32 @@ func BenchmarkAblationConcurrentFlush(b *testing.B) { benchExperiment(b, report.
 func BenchmarkAblationSourceRetention(b *testing.B) { benchExperiment(b, report.A3SourceRetention) }
 func BenchmarkAblationTransferUnits(b *testing.B)   { benchExperiment(b, report.A4UnitState) }
 func BenchmarkAblationReplacement(b *testing.B)     { benchExperiment(b, report.A5Replacement) }
+
+// --- Parallel experiment engine -------------------------------------------
+
+// BenchmarkRunnerSuite regenerates the full artifact suite (tables,
+// experiments, ablations, figures) through the parallel experiment
+// engine, sequentially and with a GOMAXPROCS pool. The workers=1 to
+// workers=N wall-clock ratio is the engine's parallel speedup over
+// the suite (≈1.0 on a single-core host); the cache is off so every
+// iteration regenerates every artifact.
+func BenchmarkRunnerSuite(b *testing.B) {
+	jobs := report.AllJobs(false)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := runner.Run(jobs, runner.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllPass() {
+					b.Fatal("an artifact diverged from the paper")
+				}
+			}
+			b.ReportMetric(float64(len(jobs)), "jobs")
+		})
+	}
+}
 
 // --- Raw engine throughput benchmarks -------------------------------------
 

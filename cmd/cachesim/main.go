@@ -1,19 +1,34 @@
-// Command cachesim runs one workload on one protocol and prints the
-// full statistics — the general-purpose driver for exploring the
+// Command cachesim runs one workload on one protocol — or, with
+// -protocols, the same workload across several protocols as parallel
+// jobs through the experiment engine (internal/runner) — and prints
+// the full statistics: the general-purpose driver for exploring the
 // simulator.
 //
 //	go run ./cmd/cachesim -protocol bitar -procs 8 -workload lock -iters 50
 //	go run ./cmd/cachesim -protocol illinois -workload mixed -ops 2000
+//	go run ./cmd/cachesim -protocols all -j 8 -workload mixed
 //	go run ./cmd/cachesim -workload trace -trace ref.trace
+//
+// The online coherence checker (-check, on by default) validates
+// every bus transaction and the quiesced final state; violations make
+// the run exit nonzero. -inject seeds a deliberate protocol bug (for
+// exercising the checker): an injected run must fail.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"cachesync"
+	"cachesync/internal/addr"
+	"cachesync/internal/cache"
 	"cachesync/internal/coherence"
+	"cachesync/internal/mcheck"
+	"cachesync/internal/protocol"
+	"cachesync/internal/runner"
 	"cachesync/internal/sim"
 	"cachesync/internal/syncprim"
 	"cachesync/internal/trace"
@@ -21,95 +36,153 @@ import (
 )
 
 var (
-	protoName = flag.String("protocol", "bitar", "protocol name (see -list)")
-	list      = flag.Bool("list", false, "list protocols and exit")
-	procs     = flag.Int("procs", 4, "processor count")
-	ways      = flag.Int("ways", 64, "cache ways (1 set, fully associative)")
-	blockW    = flag.Int("block", 4, "block size in words")
-	unitW     = flag.Int("unit", 0, "transfer unit in words (0 = whole block)")
-	unitMode  = flag.Bool("unitmode", false, "enable transfer-unit cost accounting")
-	wname     = flag.String("workload", "mixed", "workload: mixed | lock | pc | queues | statesave | trace")
-	ops       = flag.Int("ops", 500, "operations per processor (mixed)")
-	iters     = flag.Int("iters", 25, "iterations (lock, pc, queues)")
-	hold      = flag.Int64("hold", 20, "critical-section cycles (lock)")
-	seed      = flag.Int64("seed", 1, "workload seed")
-	traceFile = flag.String("trace", "", "trace file to replay (workload=trace)")
-	schemeStr = flag.String("scheme", "", "lock scheme: cachelock | tas | ttas | tasmemory (default: best for protocol)")
-	buses     = flag.Int("buses", 1, "broadcast buses (1 or 2, Section A.2)")
-	logN      = flag.Int("log", 0, "print the first N bus transactions (0 = off)")
-	check     = flag.Bool("check", true, "run the online coherence checker after every bus transaction; violations make the run exit nonzero")
+	protoName  = flag.String("protocol", "bitar", "protocol name (see -list)")
+	protoList  = flag.String("protocols", "", "comma-separated protocol names, or 'all': run each as a parallel job through the runner (overrides -protocol)")
+	workers    = flag.Int("j", 0, "worker pool size for multi-protocol runs (default GOMAXPROCS)")
+	list       = flag.Bool("list", false, "list protocols and exit")
+	listInject = flag.Bool("list-injections", false, "list injectable seeded bugs and exit")
+	inject     = flag.String("inject", "", "inject the named seeded protocol bug; with -check the run must exit nonzero")
+	procs      = flag.Int("procs", 4, "processor count")
+	ways       = flag.Int("ways", 64, "cache ways (1 set, fully associative)")
+	blockW     = flag.Int("block", 4, "block size in words")
+	unitW      = flag.Int("unit", 0, "transfer unit in words (0 = whole block)")
+	unitMode   = flag.Bool("unitmode", false, "enable transfer-unit cost accounting")
+	wname      = flag.String("workload", "mixed", "workload: mixed | lock | pc | queues | statesave | trace")
+	ops        = flag.Int("ops", 500, "operations per processor (mixed)")
+	iters      = flag.Int("iters", 25, "iterations (lock, pc, queues)")
+	hold       = flag.Int64("hold", 20, "critical-section cycles (lock)")
+	seed       = flag.Int64("seed", 1, "workload seed")
+	traceFile  = flag.String("trace", "", "trace file to replay (workload=trace)")
+	schemeStr  = flag.String("scheme", "", "lock scheme: cachelock | tas | ttas | tasmemory (default: best for protocol)")
+	buses      = flag.Int("buses", 1, "broadcast buses (1 or 2, Section A.2)")
+	logN       = flag.Int("log", 0, "print the first N bus transactions (0 = off)")
+	check      = flag.Bool("check", true, "run the online coherence checker after every bus transaction; violations make the run exit nonzero")
 )
 
-func main() {
-	flag.Parse()
-	if *list {
-		for _, n := range cachesync.Protocols() {
-			fmt.Println(n)
-		}
-		return
-	}
-	unit := *unitW
-	if unit == 0 {
-		unit = *blockW
-	}
-	m, err := cachesync.New(cachesync.Config{
-		Protocol: *protoName, Procs: *procs,
-		BlockWords: *blockW, TransferWords: unit,
-		Ways: *ways, UnitMode: *unitMode, Buses: *buses,
-	})
+// runCfg captures one simulation's parameters (one runner job).
+type runCfg struct {
+	proto, inject string
+	procs, ways   int
+	blockW, unitW int
+	unitMode      bool
+	buses         int
+	wname         string
+	ops, iters    int
+	hold, seed    int64
+	traceFile     string
+	schemeStr     string
+	logN          int
+	check         bool
+}
+
+// hash summarizes every parameter the output depends on (the job's
+// ConfigHash).
+func (c runCfg) hash() string {
+	return fmt.Sprintf("%s inject=%s p=%d w=%d b=%d u=%d um=%v buses=%d %s ops=%d it=%d hold=%d seed=%d trace=%s scheme=%s log=%d check=%v",
+		c.proto, c.inject, c.procs, c.ways, c.blockW, c.unitW, c.unitMode, c.buses,
+		c.wname, c.ops, c.iters, c.hold, c.seed, c.traceFile, c.schemeStr, c.logN, c.check)
+}
+
+// buildSystem assembles the simulator, optionally wrapping the
+// protocol with an injected bug (which is why this does not go
+// through the cachesync facade: mutants are not registered names).
+func buildSystem(cfg runCfg) (*sim.System, error) {
+	p, err := protocol.New(cfg.proto)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return nil, err
 	}
-	scheme, err := cachesync.BestScheme(*protoName)
-	if err == nil && *schemeStr != "" {
+	if cfg.inject != "" {
+		if p, err = mcheck.Mutate(p, cfg.inject); err != nil {
+			return nil, err
+		}
+	}
+	bw := cfg.blockW
+	if bw == 0 {
+		bw = 4
+	}
+	if p.Features().OneWordBlocks {
+		bw = 1
+	}
+	unit := cfg.unitW
+	if unit == 0 || unit > bw {
+		unit = bw
+	}
+	g, err := addr.NewGeometry(bw, unit)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.buses < 1 || cfg.buses > 2 {
+		return nil, fmt.Errorf("cachesim: -buses must be 1 or 2, got %d", cfg.buses)
+	}
+	return sim.New(sim.Config{
+		Procs:    cfg.procs,
+		Protocol: p,
+		Geometry: g,
+		Cache:    cache.Config{Sets: 1, Ways: cfg.ways, UnitMode: cfg.unitMode},
+		Timing:   sim.DefaultTiming(),
+		NumBuses: cfg.buses,
+	}), nil
+}
+
+// buildWorkload constructs the per-processor workload closures.
+func buildWorkload(cfg runCfg, l workload.Layout, scheme syncprim.Scheme) ([]func(*sim.Proc), error) {
+	switch cfg.wname {
+	case "mixed":
+		return workload.Mixed{Ops: cfg.ops, SharedBlocks: 8, PrivBlocks: 24,
+			SharedFrac: 0.3, WriteFrac: 0.35, Seed: cfg.seed}.Build(l, cfg.procs), nil
+	case "lock":
+		return workload.LockContention{Locks: 1, Iters: cfg.iters, HoldCycles: cfg.hold,
+			ThinkCycles: 10, CSWrites: 2, Scheme: scheme, Seed: cfg.seed}.Build(l, cfg.procs), nil
+	case "pc":
+		return workload.ProducerConsumer{Items: cfg.iters, WritesPerItem: 4, Scheme: scheme}.Build(l, cfg.procs), nil
+	case "queues":
+		return workload.ServiceQueues{Requests: cfg.iters, Scheme: scheme, Seed: cfg.seed}.Build(l, cfg.procs), nil
+	case "statesave":
+		return workload.StateSave{Switches: cfg.iters, StateBlocks: 4}.Build(l, cfg.procs), nil
+	case "trace":
+		f, err := os.Open(cfg.traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := trace.Decode(f)
+		if err != nil {
+			return nil, err
+		}
+		return tr.Workloads(cfg.procs), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", cfg.wname)
+	}
+}
+
+// runOne executes one configured simulation and renders its report.
+// pass is false when the coherence checker found violations (they are
+// included in the rendered output).
+func runOne(cfg runCfg) (out string, pass bool, err error) {
+	sys, err := buildSystem(cfg)
+	if err != nil {
+		return "", false, err
+	}
+	scheme, serr := cachesync.BestScheme(cfg.proto)
+	if serr == nil && cfg.schemeStr != "" {
 		for s := syncprim.CacheLock; s <= syncprim.TASMemory; s++ {
-			if s.String() == *schemeStr {
+			if s.String() == cfg.schemeStr {
 				scheme = s
 			}
 		}
 	}
-
-	l := m.Layout()
-	var ws []func(*sim.Proc)
-	switch *wname {
-	case "mixed":
-		ws = workload.Mixed{Ops: *ops, SharedBlocks: 8, PrivBlocks: 24,
-			SharedFrac: 0.3, WriteFrac: 0.35, Seed: *seed}.Build(l, *procs)
-	case "lock":
-		ws = workload.LockContention{Locks: 1, Iters: *iters, HoldCycles: *hold,
-			ThinkCycles: 10, CSWrites: 2, Scheme: scheme, Seed: *seed}.Build(l, *procs)
-	case "pc":
-		ws = workload.ProducerConsumer{Items: *iters, WritesPerItem: 4, Scheme: scheme}.Build(l, *procs)
-	case "queues":
-		ws = workload.ServiceQueues{Requests: *iters, Scheme: scheme, Seed: *seed}.Build(l, *procs)
-	case "statesave":
-		ws = workload.StateSave{Switches: *iters, StateBlocks: 4}.Build(l, *procs)
-	case "trace":
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		tr, err := trace.Decode(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		ws = tr.Workloads(*procs)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wname)
-		os.Exit(2)
+	l := workload.Layout{G: sys.Geometry()}
+	ws, err := buildWorkload(cfg, l, scheme)
+	if err != nil {
+		return "", false, err
 	}
 
 	var evlog *sim.EventLog
-	if *logN > 0 {
-		evlog = m.System().AttachLog(*logN)
+	if cfg.logN > 0 {
+		evlog = sys.AttachLog(cfg.logN)
 	}
 	var violations []string
-	if *check {
-		sys := m.System()
+	if cfg.check {
 		seen := map[string]bool{}
 		sys.OnTxn = func() {
 			for _, v := range coherence.Check(sys) {
@@ -120,35 +193,123 @@ func main() {
 			}
 		}
 	}
-	if err := m.Run(ws); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if err := sys.Run(ws); err != nil {
+		return "", false, err
 	}
-	if *check {
+	if cfg.check {
 		// The checker runs between transactions, so transient in-flight
 		// states are quiesced; any report is a real incoherence.
-		violations = appendFinalCheck(m.System(), violations)
+		violations = appendFinalCheck(sys, violations)
 	}
+
+	var b strings.Builder
 	if evlog != nil {
-		_ = evlog.Dump(os.Stdout)
-		fmt.Println()
+		_ = evlog.Dump(&b)
+		b.WriteString("\n")
 	}
-	fmt.Printf("protocol=%s procs=%d workload=%s scheme=%v\n", m.ProtocolName(), *procs, *wname, scheme)
-	fmt.Printf("finished at cycle %d\n\n", m.Clock())
-	if n, mean, max := m.LockStats(); n > 0 {
-		fmt.Printf("hardware lock acquisitions: %d (mean %.1f cycles, max %d)\n\n", n, mean, max)
+	fmt.Fprintf(&b, "protocol=%s procs=%d workload=%s scheme=%v\n", sys.Protocol().Name(), cfg.procs, cfg.wname, scheme)
+	fmt.Fprintf(&b, "finished at cycle %d\n\n", sys.Clock())
+	h := &sys.LockLatency
+	if h.Count() > 0 {
+		fmt.Fprintf(&b, "hardware lock acquisitions: %d (mean %.1f cycles, max %d)\n\n", h.Count(), h.Mean(), h.Max())
 	}
-	fmt.Println(cachesync.RenderStats(m.Stats()))
+	b.WriteString(cachesync.RenderStats(sys.Stats().Snapshot()))
+	b.WriteString("\n")
 	if len(violations) > 0 {
-		fmt.Fprintf(os.Stderr, "coherence checker: %d violation(s):\n", len(violations))
+		fmt.Fprintf(&b, "coherence checker: %d violation(s):\n", len(violations))
 		for _, v := range violations {
-			fmt.Fprintf(os.Stderr, "  %s\n", v)
+			b.WriteString("  " + v + "\n")
 		}
-		os.Exit(1)
+		return b.String(), false, nil
 	}
-	if *check {
-		fmt.Println("coherence checker: clean (every bus transaction and the final state)")
+	if cfg.check {
+		b.WriteString("coherence checker: clean (every bus transaction and the final state)\n")
 	}
+	return b.String(), true, nil
+}
+
+// jobs builds one runner job per protocol from the base config.
+func jobs(base runCfg, protos []string) []runner.Job {
+	out := make([]runner.Job, 0, len(protos))
+	for _, p := range protos {
+		cfg := base
+		cfg.proto = p
+		out = append(out, runner.Job{
+			Name:       "cachesim/" + p,
+			ConfigHash: cfg.hash(),
+			Run: func() (runner.Artifact, error) {
+				text, pass, err := runOne(cfg)
+				if err != nil {
+					return runner.Artifact{}, err
+				}
+				return runner.Artifact{Output: text, Pass: pass}, nil
+			},
+		})
+	}
+	return out
+}
+
+// finish prints the merged output and returns the process exit code:
+// nonzero when any run's checker found violations.
+func finish(w, ew io.Writer, res *runner.Result) int {
+	fmt.Fprint(w, res.Output())
+	if !res.AllPass() {
+		var bad []string
+		for _, j := range res.Jobs {
+			if !j.Artifact.Pass {
+				bad = append(bad, j.Artifact.Name)
+			}
+		}
+		fmt.Fprintf(ew, "coherence checker: violations in %s\n", strings.Join(bad, ", "))
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	flag.Parse()
+	if *list {
+		for _, n := range cachesync.Protocols() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *listInject {
+		for _, n := range mcheck.MutantNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	base := runCfg{
+		proto: *protoName, inject: *inject,
+		procs: *procs, ways: *ways, blockW: *blockW, unitW: *unitW,
+		unitMode: *unitMode, buses: *buses,
+		wname: *wname, ops: *ops, iters: *iters,
+		hold: *hold, seed: *seed,
+		traceFile: *traceFile, schemeStr: *schemeStr,
+		logN: *logN, check: *check,
+	}
+	protos := []string{*protoName}
+	if *protoList != "" {
+		if strings.EqualFold(*protoList, "all") {
+			protos = cachesync.Protocols()
+		} else {
+			protos = strings.Split(*protoList, ",")
+			for i := range protos {
+				protos[i] = strings.TrimSpace(protos[i])
+			}
+		}
+	}
+
+	// No result cache here: cachesim is the interactive exploration
+	// driver, and trace-file contents are not part of the cache key.
+	res, err := runner.Run(jobs(base, protos), runner.Options{Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	os.Exit(finish(os.Stdout, os.Stderr, res))
 }
 
 // appendFinalCheck re-validates the quiesced final state (a run whose

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"cachesync/internal/runner"
+)
+
+func baseTestCfg() runCfg {
+	return runCfg{
+		proto: "bitar", procs: 4, ways: 64, blockW: 4,
+		buses: 1, wname: "mixed", ops: 300, seed: 1, check: true,
+	}
+}
+
+func TestCleanRunPassesThroughRunner(t *testing.T) {
+	res, err := runner.Run(jobs(baseTestCfg(), []string{"bitar", "illinois"}), runner.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllPass() {
+		t.Fatalf("clean run reported violations:\n%s", res.Output())
+	}
+	if code := finishCode(res); code != 0 {
+		t.Fatalf("clean run exit code = %d", code)
+	}
+	for _, proto := range []string{"protocol=bitar", "protocol=illinois"} {
+		if !strings.Contains(res.Output(), proto) {
+			t.Errorf("merged output missing %s", proto)
+		}
+	}
+}
+
+// TestInjectedViolationExitsNonzeroThroughRunner is the regression
+// guard for -check: a run with a seeded protocol bug must come back
+// failing — and the driver must exit nonzero — even when the
+// simulation runs as a runner job rather than inline in main.
+func TestInjectedViolationExitsNonzeroThroughRunner(t *testing.T) {
+	cfg := baseTestCfg()
+	cfg.inject = "drop-invalidate"
+	res, err := runner.Run(jobs(cfg, []string{"bitar"}), runner.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllPass() {
+		t.Fatalf("injected bug not detected:\n%s", res.Output())
+	}
+	if code := finishCode(res); code == 0 {
+		t.Fatal("injected violation did not produce a nonzero exit code")
+	}
+	if !strings.Contains(res.Output(), "violation(s):") {
+		t.Errorf("output does not report the violations:\n%s", res.Output())
+	}
+}
+
+// TestInjectedRunMatchesDirectRun pins the runner path to the direct
+// path: the artifact a job produces is exactly what runOne renders.
+func TestInjectedRunMatchesDirectRun(t *testing.T) {
+	cfg := baseTestCfg()
+	cfg.inject = "skip-writeback"
+	direct, pass, err := runOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(jobs(cfg, []string{"bitar"}), runner.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output() != direct {
+		t.Error("runner artifact differs from direct runOne output")
+	}
+	if res.AllPass() != pass {
+		t.Errorf("runner pass=%v, direct pass=%v", res.AllPass(), pass)
+	}
+}
+
+// finishCode evaluates finish's exit code without printing the
+// merged output to the test's stdout.
+func finishCode(res *runner.Result) int {
+	return finish(io.Discard, io.Discard, res)
+}

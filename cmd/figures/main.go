@@ -2,46 +2,46 @@
 // interaction scenarios of Section E run on the simulator, each
 // checked against the behavior the paper depicts, plus the
 // state-transition table of Figure 10 cross-checked arc by arc.
+// Figures regenerate through the parallel experiment engine
+// (internal/runner); output is merged in figure order, so it is
+// byte-identical for any -j.
 //
-//	go run ./cmd/figures
+//	go run ./cmd/figures        # -j GOMAXPROCS
+//	go run ./cmd/figures -j 1   # sequential
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"cachesync/internal/report"
+	"cachesync/internal/runner"
+)
+
+var (
+	workers = flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
+	noCache = flag.Bool("nocache", false, "disable the .runnercache/ result cache")
 )
 
 func main() {
-	fail := false
-	for _, f := range report.AllFigures() {
-		fmt.Println(f.Render())
-		if !f.Pass {
-			fail = true
-		}
-	}
-	for _, fig := range []string{"4", "9"} {
-		seq, err := report.FigureSequence(fig)
+	flag.Parse()
+	opts := runner.Options{Workers: *workers}
+	if !*noCache {
+		c, err := runner.OpenCache("")
 		if err != nil {
-			fmt.Println(err)
-			fail = true
-			continue
+			fmt.Fprintf(os.Stderr, "warning: result cache disabled: %v\n", err)
+		} else {
+			opts.Cache = c
 		}
-		fmt.Println(seq)
 	}
-	fmt.Println(report.Figure10Processor().Render())
-	fmt.Println(report.Figure10Bus().Render())
-	if diffs := report.VerifyFigure10(); len(diffs) > 0 {
-		fail = true
-		fmt.Println("Figure 10 mismatches against the paper:")
-		for _, d := range diffs {
-			fmt.Println("  " + d)
-		}
-	} else {
-		fmt.Println("Figure 10: every transcribed arc of the paper's diagram matches the implementation")
+	res, err := runner.Run(report.FigureJobs(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if fail {
+	fmt.Print(res.Output())
+	if !res.AllPass() {
 		os.Exit(1)
 	}
 }

@@ -1,11 +1,19 @@
 // Command tables regenerates the paper's Table 1 (the protocol
 // evolution matrix, cross-checked against the published values) and
 // Table 2 (the innovation summary), and runs the quantitative
-// experiment sweeps E1-E14 that ground the paper's qualitative
-// claims.
+// experiment sweeps E1-E19 that ground the paper's qualitative
+// claims. All regeneration goes through the parallel experiment
+// engine (internal/runner): jobs fan out over a worker pool, results
+// merge in job order (parallel output is byte-identical to
+// sequential), and an on-disk cache under .runnercache/ skips jobs
+// whose code and configuration are unchanged.
 //
-//	go run ./cmd/tables            # everything
-//	go run ./cmd/tables -only E3   # one experiment
+//	go run ./cmd/tables                     # everything, -j GOMAXPROCS
+//	go run ./cmd/tables -j 8               # explicit pool size
+//	go run ./cmd/tables -only E3           # one experiment
+//	go run ./cmd/tables -json ARTIFACTS.json   # full suite -> manifest
+//	go run ./cmd/tables -gate ARTIFACTS.json   # diff against baseline
+//	go run ./cmd/tables -sweep procs=2..8      # scaling sweep
 package main
 
 import (
@@ -15,76 +23,110 @@ import (
 	"strings"
 
 	"cachesync/internal/report"
-	"cachesync/internal/stats"
+	"cachesync/internal/runner"
 )
 
 var (
-	only = flag.String("only", "", "run only the named experiment (E1..E17), 'ablations', or 'tables'")
-	csv  = flag.Bool("csv", false, "emit experiment tables as CSV")
+	only    = flag.String("only", "", "run only the named experiment (E1..E19), 'ablations', or 'tables'")
+	csv     = flag.Bool("csv", false, "emit experiment tables as CSV")
+	workers = flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
+	noCache = flag.Bool("nocache", false, "disable the .runnercache/ result cache")
+	jsonOut = flag.String("json", "", "run the full suite (tables, experiments, ablations, figures) and write the JSON artifact manifest to this file")
+	gate    = flag.String("gate", "", "run the full suite and diff it against a committed artifact manifest (e.g. ARTIFACTS.json); exit nonzero on drift")
+	sweep   = flag.String("sweep", "", "fan the mixed workload across processor counts and all protocols, e.g. -sweep procs=2..8")
 )
 
-func emit(t *stats.Table) {
-	if *csv {
-		fmt.Println(t.Title)
-		fmt.Print(t.CSV())
-		fmt.Println()
-		return
+// runJobs executes a job list on the pool, with the result cache
+// unless -nocache.
+func runJobs(jobs []runner.Job) *runner.Result {
+	opts := runner.Options{Workers: *workers}
+	if !*noCache {
+		c, err := runner.OpenCache("")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: result cache disabled: %v\n", err)
+		} else {
+			opts.Cache = c
+		}
 	}
-	fmt.Println(t.Render())
+	res, err := runner.Run(jobs, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
 }
 
 func main() {
 	flag.Parse()
 
-	experiments := map[string]func() *stats.Table{
-		"E1": report.E1LockCost, "E2": report.E2BusyWait,
-		"E3": report.E3SharedData, "E4": report.E4TransferUnits,
-		"E5": report.E5InvalidateSignal, "E6": report.E6ReadForWrite,
-		"E7": report.E7SourcePolicy, "E8": report.E8WriteNoFetch,
-		"E9": report.E9Protocols, "E10": report.E10RudolphSegall,
-		"E11": report.E11Directory, "E12": report.E12RMWMethods,
-		"E13": report.E13IO, "E14": report.E14LockPurge,
-		"E15": report.E15Broadcast, "E16": report.E16WorkWhileWaiting,
-		"E17": report.E17SleepWait, "E18": report.E18DualBus,
-		"E19": report.E19Aquarius,
-	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
-
-	if strings.EqualFold(*only, "ablations") {
-		for _, tb := range report.Ablations() {
-			emit(tb)
-		}
-		return
-	}
-	if *only != "" && !strings.EqualFold(*only, "tables") {
-		f, ok := experiments[strings.ToUpper(*only)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have E1..E17)\n", *only)
+	if *sweep != "" {
+		procs, err := report.ParseSweepSpec(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		emit(f())
+		res := runJobs(report.SweepJobs(report.SweepProtocols(), procs))
+		fmt.Println(report.SweepTable(res.Output()).Render())
+		fmt.Printf("sweep: %d cells, %d cached, %d workers, %.0f ms\n",
+			len(res.Jobs), res.CachedCount(), res.Workers, float64(res.Wall.Microseconds())/1e3)
 		return
 	}
 
-	fmt.Println(report.Table1().Render())
-	if diffs := report.VerifyTable1(); len(diffs) > 0 {
-		fmt.Println("Table 1 mismatches against the paper:")
-		for _, d := range diffs {
-			fmt.Println("  " + d)
+	if *jsonOut != "" || *gate != "" {
+		res := runJobs(report.AllJobs(false))
+		if *jsonOut != "" {
+			if err := runner.WriteArtifacts(*jsonOut, res.Manifest()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s: %d artifacts (%d cached), %d workers, %.0f ms\n",
+				*jsonOut, len(res.Jobs), res.CachedCount(), res.Workers,
+				float64(res.Wall.Microseconds())/1e3)
 		}
-		os.Exit(1)
-	}
-	fmt.Println("Table 1 matches the matrix transcribed from the paper.")
-	fmt.Println()
-	fmt.Println(report.Table2())
-
-	if strings.EqualFold(*only, "tables") {
+		if *gate != "" {
+			baseline, err := runner.ReadArtifacts(*gate)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if bad := runner.Gate(os.Stdout, baseline, res); bad > 0 {
+				fmt.Printf("gate: %d artifact(s) diverged from %s\n", bad, *gate)
+				os.Exit(1)
+			}
+			fmt.Printf("gate: all %d artifacts match %s\n", len(res.Jobs), *gate)
+		}
+		if !res.AllPass() && *gate == "" {
+			os.Exit(1)
+		}
 		return
 	}
-	for _, id := range order {
-		emit(experiments[id]())
+
+	// Print mode: the same selections the sequential driver offered.
+	var jobs []runner.Job
+	switch {
+	case strings.EqualFold(*only, "ablations"):
+		jobs = report.AblationJobs(*csv)
+	case strings.EqualFold(*only, "tables"):
+		jobs = report.TableJobs()
+	case *only != "":
+		id := strings.ToUpper(*only)
+		if _, ok := report.Experiments[id]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have E1..E19)\n", *only)
+			os.Exit(2)
+		}
+		for _, j := range report.ExperimentJobs(*csv) {
+			if j.Name == id {
+				jobs = []runner.Job{j}
+			}
+		}
+	default:
+		jobs = report.TableJobs()
+		jobs = append(jobs, report.ExperimentJobs(*csv)...)
+		jobs = append(jobs, report.AblationJobs(*csv)...)
 	}
-	for _, tb := range report.Ablations() {
-		emit(tb)
+	res := runJobs(jobs)
+	fmt.Print(res.Output())
+	if !res.AllPass() {
+		os.Exit(1)
 	}
 }

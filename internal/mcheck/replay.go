@@ -1,0 +1,68 @@
+package mcheck
+
+import (
+	"cachesync/internal/addr"
+	"cachesync/internal/protocol"
+)
+
+// Replayer drives the model checker's atomic-step executor one action
+// at a time — the external interface for differential testing: the
+// sim↔mcheck harness in internal/ptest pushes the same action trace
+// through a Replayer and through a real sim.System and cross-checks
+// the outcomes and reached states.
+type Replayer struct {
+	m *machine
+}
+
+// NewReplayer builds a replayer at the all-invalid initial state.
+func NewReplayer(opts Options) *Replayer {
+	return &Replayer{m: newMachine(opts.withDefaults())}
+}
+
+// Options returns the defaulted options the replayer runs with (Words
+// is forced to 1 for one-word-block protocols).
+func (r *Replayer) Options() Options { return r.m.opts }
+
+// Outcome is the observable result of one replayed action.
+type Outcome struct {
+	// Denied reports a refused request: the block is locked by another
+	// processor and the operation was left unperformed (busy wait).
+	Denied bool
+	// DidRead is set for read-class operations; Value is what the
+	// processor observed.
+	DidRead bool
+	Value   uint64
+}
+
+// Apply executes one action atomically — the same transition the BFS
+// explores — and returns its outcome plus any invariant violations
+// the reached state exhibits (coherence predicates, shadow-memory
+// conservation, stale-read detection).
+func (r *Replayer) Apply(a Action) (Outcome, []string, error) {
+	sr, err := r.m.apply(a)
+	if err != nil {
+		return Outcome{}, nil, err
+	}
+	r.m.commitShadow(a, sr)
+	viols := r.m.checkInvariants(a, sr)
+	return Outcome{Denied: sr.denied, DidRead: sr.didRead, Value: sr.value}, viols, nil
+}
+
+// CacheState reports cache c's copy of block b: the protocol state
+// name, the line data, and whether the line is present at all.
+func (r *Replayer) CacheState(c, b int) (name string, data []uint64, present bool) {
+	blk := addr.Block(b)
+	st := r.m.caches[c].State(blk)
+	if st == protocol.Invalid {
+		return r.m.proto.StateName(st), nil, false
+	}
+	return r.m.proto.StateName(st), r.m.caches[c].Data(blk), true
+}
+
+// MemBlock returns memory's copy of block b.
+func (r *Replayer) MemBlock(b int) []uint64 {
+	view := r.m.mem.BlockView(addr.Block(b))
+	out := make([]uint64, len(view))
+	copy(out, view)
+	return out
+}

@@ -1,0 +1,240 @@
+package ptest
+
+// The differential sim↔mcheck harness: generate a seeded random
+// action trace, replay it through the model checker's atomic-step
+// executor (mcheck.Replayer, invariants asserted after every action)
+// AND through the real discrete-event engine (internal/sim, online
+// coherence checker attached), then cross-check what the two
+// implementations of the paper's bus semantics observed — per-step
+// read values, final cache-line states and data, and final memory
+// contents. Any divergence means one of the two engines executes a
+// protocol transition differently.
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/cache"
+	"cachesync/internal/mcheck"
+	"cachesync/internal/protocol"
+	"cachesync/internal/sim"
+)
+
+// DiffOptions sizes a differential run.
+type DiffOptions struct {
+	Procs  int
+	Blocks int
+	Words  int // forced to 1 for one-word-block protocols
+	Steps  int
+	Seed   int64
+}
+
+// DefaultDiffOptions returns a small, contentious configuration.
+func DefaultDiffOptions(seed int64) DiffOptions {
+	return DiffOptions{Procs: 3, Blocks: 2, Words: 2, Steps: 40, Seed: seed}
+}
+
+// GenTrace generates a seeded random action trace that both engines
+// can replay: no evictions (caches are sized Ways == Blocks, and the
+// sim engine picks its own victims anyway), and no denied operations
+// — the generator tracks lock ownership, so non-holders never touch
+// a locked block and unlocks only come from the holder. Lock/unlock
+// actions appear only under hardware-lock protocols, whole-block
+// writes only under write-no-fetch protocols.
+func GenTrace(p protocol.Protocol, o DiffOptions) []mcheck.Action {
+	feats := p.Features()
+	words := o.Words
+	if feats.OneWordBlocks {
+		words = 1
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	lockedBy := make([]int, o.Blocks)
+	for i := range lockedBy {
+		lockedBy[i] = -1
+	}
+	var trace []mcheck.Action
+	for len(trace) < o.Steps {
+		proc := rng.Intn(o.Procs)
+		var avail []int
+		for b, owner := range lockedBy {
+			if owner == -1 || owner == proc {
+				avail = append(avail, b)
+			}
+		}
+		if len(avail) == 0 {
+			continue // every block locked by others; let another proc act
+		}
+		b := avail[rng.Intn(len(avail))]
+		w := rng.Intn(words)
+		val := uint64(rng.Intn(64) + 1)
+		roll := rng.Float64()
+		switch {
+		case feats.HardwareLock && lockedBy[b] == proc && roll < 0.35:
+			trace = append(trace, mcheck.Action{Proc: proc, Op: protocol.OpUnlock, Block: uint64(b), Value: val})
+			lockedBy[b] = -1
+		case feats.HardwareLock && lockedBy[b] == -1 && roll < 0.15:
+			trace = append(trace, mcheck.Action{Proc: proc, Op: protocol.OpLock, Block: uint64(b)})
+			lockedBy[b] = proc
+		case feats.WriteNoFetch && roll < 0.25:
+			trace = append(trace, mcheck.Action{Proc: proc, Op: protocol.OpWriteBlock, Block: uint64(b), Value: val})
+		case roll < 0.6:
+			trace = append(trace, mcheck.Action{Proc: proc, Op: protocol.OpWrite, Block: uint64(b), Word: w, Value: val})
+		default:
+			trace = append(trace, mcheck.Action{Proc: proc, Op: protocol.OpRead, Block: uint64(b), Word: w})
+		}
+	}
+	// Release any lock still held so the trace quiesces unlocked.
+	for b, owner := range lockedBy {
+		if owner != -1 {
+			trace = append(trace, mcheck.Action{Proc: owner, Op: protocol.OpUnlock, Block: uint64(b), Value: uint64(rng.Intn(64) + 1)})
+		}
+	}
+	return trace
+}
+
+// diffStepGap spaces trace steps in simulated time so the sim
+// reproduces the exact global interleaving (same constant the
+// counterexample replay uses).
+const diffStepGap = 20000
+
+// RunDifferential executes one generated trace through both engines
+// and cross-checks them. Failures are reported on t with the step,
+// action, and both sides' views.
+func RunDifferential(t *testing.T, p protocol.Protocol, o DiffOptions) {
+	t.Helper()
+	trace := GenTrace(p, o)
+
+	// Model-checker side: apply each action, asserting the invariant
+	// suite after every step.
+	rep := mcheck.NewReplayer(mcheck.Options{
+		Protocol: p, Procs: o.Procs, Blocks: o.Blocks, Words: o.Words,
+	})
+	outcomes := make([]mcheck.Outcome, len(trace))
+	for i, a := range trace {
+		out, viols, err := rep.Apply(a)
+		if err != nil {
+			t.Fatalf("%s: step %d (%s): %v", p.Name(), i+1, a, err)
+		}
+		for _, v := range viols {
+			t.Errorf("%s: step %d (%s): machine invariant violated: %s", p.Name(), i+1, a, v)
+		}
+		if out.Denied {
+			t.Fatalf("%s: step %d (%s): generator produced a denied action", p.Name(), i+1, a)
+		}
+		outcomes[i] = out
+	}
+
+	// Engine side: the same trace through the real discrete-event
+	// simulator, each step paced to its global slot, with the online
+	// coherence checker running after every bus transaction.
+	words := rep.Options().Words
+	g := addr.MustGeometry(words, words)
+	s := sim.New(sim.Config{
+		Procs:     o.Procs,
+		Protocol:  p,
+		Geometry:  g,
+		Cache:     cache.Config{Sets: 1, Ways: o.Blocks},
+		Timing:    sim.DefaultTiming(),
+		MaxCycles: int64(len(trace)+2) * diffStepGap * 10,
+	})
+	AttachOnlineChecker(t, s)
+
+	perProc := make([][]int, o.Procs)
+	for k, a := range trace {
+		perProc[a.Proc] = append(perProc[a.Proc], k)
+	}
+	simVals := make([]uint64, len(trace))
+	simRead := make([]bool, len(trace))
+	ws := make([]func(*sim.Proc), o.Procs)
+	for pid := 0; pid < o.Procs; pid++ {
+		steps := perProc[pid]
+		ws[pid] = func(pr *sim.Proc) {
+			for _, k := range steps {
+				a := trace[k]
+				if wait := int64(k)*diffStepGap - pr.Now(); wait > 0 {
+					pr.Compute(wait)
+				}
+				at := g.Base(addr.Block(a.Block)) + addr.Addr(a.Word)
+				switch a.Op {
+				case protocol.OpRead:
+					simVals[k] = pr.Read(at)
+					simRead[k] = true
+				case protocol.OpWrite:
+					pr.Write(at, a.Value)
+				case protocol.OpLock:
+					simVals[k] = pr.LockRead(at)
+					simRead[k] = true
+				case protocol.OpUnlock:
+					pr.UnlockWrite(at, a.Value)
+				case protocol.OpWriteBlock:
+					vals := make([]uint64, g.BlockWords)
+					for i := range vals {
+						vals[i] = a.Value
+					}
+					pr.WriteBlock(g.Base(addr.Block(a.Block)), vals)
+				}
+			}
+		}
+	}
+	if err := s.Run(ws); err != nil {
+		t.Fatalf("%s: sim replay: %v", p.Name(), err)
+	}
+
+	// Cross-check 1: every read-class operation observed the same value
+	// in both engines.
+	for k, a := range trace {
+		if outcomes[k].DidRead != simRead[k] {
+			t.Errorf("%s: step %d (%s): machine didRead=%v, sim didRead=%v",
+				p.Name(), k+1, a, outcomes[k].DidRead, simRead[k])
+			continue
+		}
+		if outcomes[k].DidRead && outcomes[k].Value != simVals[k] {
+			t.Errorf("%s: step %d (%s): machine read %d, sim read %d",
+				p.Name(), k+1, a, outcomes[k].Value, simVals[k])
+		}
+	}
+
+	// Cross-check 2: both engines reached the same cache-line states
+	// and data.
+	for c := 0; c < o.Procs; c++ {
+		for b := 0; b < o.Blocks; b++ {
+			mName, mData, mPresent := rep.CacheState(c, b)
+			simState := s.Caches[c].State(addr.Block(b))
+			sName := p.StateName(simState)
+			sPresent := simState != protocol.Invalid
+			if mName != sName || mPresent != sPresent {
+				t.Errorf("%s: cache %d block %d: machine state %s (present=%v), sim state %s (present=%v)",
+					p.Name(), c, b, mName, mPresent, sName, sPresent)
+				continue
+			}
+			if mPresent && !wordsEqual(mData, s.Caches[c].Data(addr.Block(b))) {
+				t.Errorf("%s: cache %d block %d: machine data %v, sim data %v",
+					p.Name(), c, b, mData, s.Caches[c].Data(addr.Block(b)))
+			}
+		}
+	}
+
+	// Cross-check 3: identical final memory contents.
+	for b := 0; b < o.Blocks; b++ {
+		if got := s.Mem.ReadBlock(addr.Block(b)); !wordsEqual(rep.MemBlock(b), got) {
+			t.Errorf("%s: memory block %d: machine %v, sim %v", p.Name(), b, rep.MemBlock(b), got)
+		}
+	}
+
+	// And the engine's quiesced final state passes the full invariant
+	// suite (the machine side asserted its own after every step).
+	CheckInvariants(t, s)
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cachesync/internal/runner"
+)
+
+// TestSuiteByteIdenticalAcrossWorkers is the acceptance check for the
+// parallel experiment engine: regenerating the full suite with -j 8
+// (or any pool size) produces output byte-identical to -j 1.
+func TestSuiteByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the full experiment suite")
+	}
+	jobs := AllJobs(false)
+	seq, err := runner.Run(jobs, runner.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.AllPass() {
+		t.Fatalf("an artifact diverged from the paper:\n%s", seq.Output())
+	}
+	for _, workers := range []int{4, 8} {
+		par, err := runner.Run(jobs, runner.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Output() != seq.Output() {
+			t.Errorf("workers=%d output is not byte-identical to sequential (%d vs %d bytes)",
+				workers, len(par.Output()), len(seq.Output()))
+		}
+	}
+}
+
+func TestParseSweepSpec(t *testing.T) {
+	got, err := ParseSweepSpec("procs=2..5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != 2 || got[3] != 5 {
+		t.Fatalf("procs=2..5 -> %v", got)
+	}
+	for _, bad := range []string{"", "procs=", "procs=5..2", "procs=0..3", "ways=2..4", "procs=a..b"} {
+		if _, err := ParseSweepSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestSweepJobsAssembleIntoTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	protos := []string{"bitar", "illinois"}
+	jobs := SweepJobs(protos, []int{2, 3})
+	if len(jobs) != 4 {
+		t.Fatalf("want 4 sweep cells, got %d", len(jobs))
+	}
+	res, err := runner.Run(jobs, runner.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := SweepTable(res.Output())
+	if tb.NumRows() != 4 {
+		t.Fatalf("sweep table has %d rows, want 4", tb.NumRows())
+	}
+	rendered := tb.Render()
+	for _, want := range []string{"bitar", "illinois"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("sweep table missing %s:\n%s", want, rendered)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Cache is the on-disk result cache. Entries are keyed by
+// sha256(source hash | job name | config hash): any change to the Go
+// sources, the job's identity, or its parameters misses, so a warm
+// cache can only replay results the current code would reproduce.
+type Cache struct {
+	dir        string
+	sourceHash string
+}
+
+// DefaultCacheDir is the conventional cache location at the module
+// root (git-ignored).
+const DefaultCacheDir = ".runnercache"
+
+// OpenCache opens (creating if needed) the cache directory and
+// computes the source hash. An empty dir selects DefaultCacheDir
+// under the module root; a relative dir is also resolved against the
+// module root, so cached results are shared no matter which directory
+// the driver runs from.
+func OpenCache(dir string) (*Cache, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	if dir == "" {
+		dir = DefaultCacheDir
+	}
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(root, dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	src, err := SourceHash(root)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir, sourceHash: src}, nil
+}
+
+// SourceHashValue exposes the computed source hash (for artifact
+// metadata).
+func (c *Cache) SourceHashValue() string { return c.sourceHash }
+
+// key derives the entry filename for a job.
+func (c *Cache) key(j Job) string {
+	h := sha256.New()
+	io.WriteString(h, c.sourceHash)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, j.Name)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, j.ConfigHash)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is the stored form of one artifact.
+type cacheEntry struct {
+	Name       string   `json:"name"`
+	ConfigHash string   `json:"config_hash"`
+	SourceHash string   `json:"source_hash"`
+	Artifact   Artifact `json:"artifact"`
+}
+
+// Get recalls a job's artifact, reporting whether a valid entry
+// existed. Unreadable or mismatched entries are treated as misses.
+func (c *Cache) Get(j Job) (Artifact, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, c.key(j)+".json"))
+	if err != nil {
+		return Artifact{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Artifact{}, false
+	}
+	// The key already encodes all three fields; the body check guards
+	// against hash-file collisions from manual tampering.
+	if e.Name != j.Name || e.ConfigHash != j.ConfigHash || e.SourceHash != c.sourceHash {
+		return Artifact{}, false
+	}
+	return e.Artifact, true
+}
+
+// Put stores a job's artifact. Failures are deliberately silent: a
+// read-only disk degrades to an always-miss cache, never to a failed
+// regeneration.
+func (c *Cache) Put(j Job, art Artifact) {
+	e := cacheEntry{Name: j.Name, ConfigHash: j.ConfigHash, SourceHash: c.sourceHash, Artifact: art}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	path := filepath.Join(c.dir, c.key(j)+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+// moduleRoot finds the enclosing Go module root (the directory
+// holding go.mod) from the working directory.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("runner: no go.mod above the working directory (cache needs a module root)")
+		}
+		dir = parent
+	}
+}
+
+// SourceHash hashes every .go file plus go.mod under root (skipping
+// testdata, the cache itself, and dot-directories), in sorted path
+// order. It is the "git-clean source hash" of the cache key, computed
+// from working-tree contents rather than git metadata so uncommitted
+// edits invalidate the cache exactly like committed ones.
+func SourceHash(root string) (string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") || name == "go.mod" {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", fmt.Errorf("runner: source walk: %w", err)
+	}
+	sort.Strings(files)
+	h := sha256.New()
+	for _, f := range files {
+		rel, err := filepath.Rel(root, f)
+		if err != nil {
+			rel = f
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return "", fmt.Errorf("runner: source hash: %w", err)
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", filepath.ToSlash(rel), len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,297 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeJobs builds n jobs whose outputs are order-sensitive and whose
+// durations are staggered so completion order differs from submission
+// order under any parallel pool.
+func fakeJobs(n int, ran *atomic.Int64) []Job {
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job{
+			Name:       fmt.Sprintf("job-%02d", i),
+			ConfigHash: fmt.Sprintf("cfg-%d", i),
+			Run: func() (Artifact, error) {
+				// Earlier jobs sleep longer: with >1 worker they finish
+				// after later jobs, so any merge that follows completion
+				// order scrambles the output.
+				time.Sleep(time.Duration((n-i)%4) * time.Millisecond)
+				if ran != nil {
+					ran.Add(1)
+				}
+				return Artifact{Output: fmt.Sprintf("artifact %02d\n", i), Pass: true}, nil
+			},
+		}
+	}
+	return jobs
+}
+
+// TestDeterministicAcrossWorkers asserts the runner's core contract:
+// the merged output is byte-identical for any worker count — the same
+// guarantee the mcheck parallel BFS keeps for its exploration.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	jobs := fakeJobs(16, nil)
+	var want string
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := Run(jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := res.Output()
+		if workers == 1 {
+			want = got
+			for i := 0; i < 16; i++ {
+				if !strings.Contains(want, fmt.Sprintf("artifact %02d", i)) {
+					t.Fatalf("sequential output missing job %d:\n%s", i, want)
+				}
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d output differs from sequential:\n got: %q\nwant: %q", workers, got, want)
+		}
+	}
+}
+
+func TestRunErrorPropagates(t *testing.T) {
+	jobs := fakeJobs(4, nil)
+	jobs[2].Run = func() (Artifact, error) { return Artifact{}, fmt.Errorf("boom") }
+	if _, err := Run(jobs, Options{Workers: 2}); err == nil || !strings.Contains(err.Error(), "job-02") {
+		t.Fatalf("want error naming job-02, got %v", err)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	jobs := fakeJobs(3, nil)
+	jobs[1].Run = func() (Artifact, error) { panic("experiment exploded") }
+	_, err := Run(jobs, Options{Workers: 3})
+	if err == nil || !strings.Contains(err.Error(), "experiment exploded") {
+		t.Fatalf("want panic converted to error, got %v", err)
+	}
+}
+
+func TestRunValidatesJobs(t *testing.T) {
+	if _, err := Run([]Job{{Name: "x"}}, Options{}); err == nil {
+		t.Error("nil Run accepted")
+	}
+	if _, err := Run([]Job{{Run: func() (Artifact, error) { return Artifact{}, nil }}}, Options{}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+// testCache opens a cache rooted in a temp dir with a fixed source
+// hash, so tests control invalidation explicitly.
+func testCache(t *testing.T, dir, sourceHash string) *Cache {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return &Cache{dir: dir, sourceHash: sourceHash}
+}
+
+func TestCacheSkipsUnchangedJobs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c := testCache(t, dir, "src-v1")
+
+	var ran atomic.Int64
+	jobs := fakeJobs(8, &ran)
+
+	cold, err := Run(jobs, Options{Workers: 4, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("cold run executed %d jobs, want 8", got)
+	}
+	if cold.CachedCount() != 0 {
+		t.Fatalf("cold run reported %d cached jobs", cold.CachedCount())
+	}
+
+	warm, err := Run(jobs, Options{Workers: 4, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("warm run re-executed jobs: %d total runs, want 8", got)
+	}
+	if warm.CachedCount() != 8 {
+		t.Fatalf("warm run served %d/8 from cache", warm.CachedCount())
+	}
+	if warm.Output() != cold.Output() {
+		t.Errorf("cached output differs:\n got: %q\nwant: %q", warm.Output(), cold.Output())
+	}
+}
+
+func TestCacheInvalidatesOnSourceAndConfigChange(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	var ran atomic.Int64
+	jobs := fakeJobs(3, &ran)
+
+	if _, err := Run(jobs, Options{Workers: 1, Cache: testCache(t, dir, "src-v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("cold run executed %d jobs", got)
+	}
+
+	// A source change misses every entry.
+	res, err := Run(jobs, Options{Workers: 1, Cache: testCache(t, dir, "src-v2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CachedCount() != 0 || ran.Load() != 6 {
+		t.Fatalf("source change did not invalidate: cached=%d runs=%d", res.CachedCount(), ran.Load())
+	}
+
+	// A config change misses only the changed job.
+	jobs[1].ConfigHash = "cfg-1-reparameterized"
+	res, err = Run(jobs, Options{Workers: 1, Cache: testCache(t, dir, "src-v2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CachedCount() != 2 || ran.Load() != 7 {
+		t.Fatalf("config change: cached=%d runs=%d, want 2 and 7", res.CachedCount(), ran.Load())
+	}
+}
+
+func TestSourceHashStableAndSensitive(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module x\n")
+	write("a.go", "package x\n")
+	write("sub/b.go", "package sub\n")
+	write("sub/testdata/ignored.go", "package ignored\n")
+	write(".hidden/c.go", "package hidden\n")
+	write("README.md", "not source\n")
+
+	h1, err := SourceHash(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := SourceHash(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("source hash not stable across calls")
+	}
+
+	// Non-source and skipped-directory edits do not change the hash.
+	write("README.md", "still not source\n")
+	write("sub/testdata/ignored.go", "package changed\n")
+	write(".hidden/c.go", "package changed\n")
+	if h3, _ := SourceHash(root); h3 != h1 {
+		t.Error("hash changed on non-source / testdata / dot-dir edits")
+	}
+
+	// A source edit does.
+	write("sub/b.go", "package sub // edited\n")
+	if h4, _ := SourceHash(root); h4 == h1 {
+		t.Error("hash unchanged after .go edit")
+	}
+}
+
+func TestGateDetectsDriftAndFailures(t *testing.T) {
+	jobs := fakeJobs(4, nil)
+	res, err := Run(jobs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := res.Manifest()
+
+	// Identical run: clean gate.
+	var b strings.Builder
+	if bad := Gate(&b, baseline, res); bad != 0 {
+		t.Fatalf("identical run gated %d divergences:\n%s", bad, b.String())
+	}
+
+	// Drifted output, a failed artifact, and a vanished job.
+	jobs[0].Run = func() (Artifact, error) { return Artifact{Output: "drifted\n", Pass: true}, nil }
+	jobs[1].Run = func() (Artifact, error) { return Artifact{Output: "artifact 01\n", Pass: false}, nil }
+	res2, err := Run(jobs[:3], Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	bad := Gate(&b, baseline, res2)
+	if bad != 3 {
+		t.Fatalf("want 3 divergences (drift, fail, gone), got %d:\n%s", bad, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"DRIFT", "FAIL", "GONE", "job-03"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gate report missing %q:\n%s", want, out)
+		}
+	}
+
+	// A brand-new job is reported but does not fail the gate.
+	extra := append(fakeJobs(4, nil), Job{Name: "novel", ConfigHash: "n",
+		Run: func() (Artifact, error) { return Artifact{Output: "new\n", Pass: true}, nil }})
+	res3, err := Run(extra, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if bad := Gate(&b, baseline, res3); bad != 0 {
+		t.Fatalf("new job failed the gate (%d):\n%s", bad, b.String())
+	}
+	if !strings.Contains(b.String(), "NEW") {
+		t.Errorf("gate report missing NEW line:\n%s", b.String())
+	}
+}
+
+func TestArtifactFileRoundTrip(t *testing.T) {
+	jobs := fakeJobs(3, nil)
+	res, err := Run(jobs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "artifacts.json")
+	if err := WriteArtifacts(path, res.Manifest()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifacts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 3 {
+		t.Fatalf("round trip lost jobs: %d", len(got.Jobs))
+	}
+	var b strings.Builder
+	if bad := Gate(&b, got, res); bad != 0 {
+		t.Fatalf("round-tripped manifest gated %d divergences:\n%s", bad, b.String())
+	}
+}
+
+func TestSlowestReportsCriticalPath(t *testing.T) {
+	jobs := fakeJobs(6, nil)
+	res, err := Run(jobs, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Slowest(2)
+	if len(top) != 2 {
+		t.Fatalf("want 2 entries, got %d", len(top))
+	}
+	if top[0].Wall < top[1].Wall {
+		t.Error("Slowest not sorted longest-first")
+	}
+}

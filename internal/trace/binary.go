@@ -21,6 +21,11 @@ import (
 const (
 	binaryMagic   = "CSTR"
 	binaryVersion = 1
+
+	// Decode-side sanity bounds (corrupt streams must produce errors,
+	// never out-of-range Event fields).
+	maxTraceProcs  = 1 << 20
+	maxTraceCycles = 1 << 40
 )
 
 // EncodeBinary writes the trace in the compact binary format.
@@ -99,6 +104,12 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: truncated event: %w", err)
 		}
+		// Bound the decoded fields: an adversarial or corrupt stream can
+		// carry uvarints that overflow int (a negative Proc would index
+		// out of bounds in Workloads) or int64 cycle counts.
+		if proc > maxTraceProcs {
+			return nil, fmt.Errorf("trace: implausible processor id %d", proc)
+		}
 		e.Proc = int(proc)
 		switch e.Kind {
 		case Read, ReadEx, Lock, Atomic:
@@ -121,6 +132,9 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 			c, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, err
+			}
+			if c > maxTraceCycles {
+				return nil, fmt.Errorf("trace: implausible compute span %d", c)
 			}
 			e.Cycles = int64(c)
 		default:

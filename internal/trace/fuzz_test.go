@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceBinaryRoundTrip drives DecodeBinary with arbitrary bytes:
+// decoding must never panic, and for every stream that decodes, the
+// decode∘encode∘decode composition must be the identity on events.
+// (Byte-level identity is deliberately NOT required: uvarints are
+// non-canonical, so a valid stream can carry over-long varints that
+// re-encode shorter.)
+func FuzzTraceBinaryRoundTrip(f *testing.F) {
+	// A representative valid trace as the primary seed.
+	seedTrace := &Trace{Events: []Event{
+		{Proc: 0, Kind: Read, Addr: 5},
+		{Proc: 1, Kind: Write, Addr: 5, Value: 42},
+		{Proc: 2, Kind: Lock, Addr: 8},
+		{Proc: 2, Kind: Unlock, Addr: 8, Value: 7},
+		{Proc: 3, Kind: ReadEx, Addr: 12},
+		{Proc: 0, Kind: Atomic, Addr: 16},
+		{Proc: 1, Kind: Compute, Cycles: 100},
+	}}
+	var buf bytes.Buffer
+	if err := seedTrace.EncodeBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})                                                                                      // empty
+	f.Add([]byte("CSTR"))                                                                                // magic, no version
+	f.Add([]byte("CSTR\x01"))                                                                            // valid empty trace
+	f.Add([]byte("CSTR\x02R\x00\x05"))                                                                   // wrong version
+	f.Add([]byte("XXXX\x01"))                                                                            // bad magic
+	f.Add([]byte("CSTR\x01R\x00"))                                                                       // truncated event
+	f.Add([]byte("CSTR\x01Z\x00\x05"))                                                                   // unknown kind
+	f.Add([]byte("CSTR\x01W\x01\x05\x2a"))                                                               // single write
+	f.Add(append([]byte("CSTR\x01R"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x05)) // huge proc uvarint
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		for _, e := range tr.Events {
+			if e.Proc < 0 || e.Cycles < 0 {
+				t.Fatalf("decode accepted out-of-range event %+v", e)
+			}
+		}
+		var enc bytes.Buffer
+		if err := tr.EncodeBinary(&enc); err != nil {
+			t.Fatalf("re-encoding a decoded trace failed: %v", err)
+		}
+		tr2, err := DecodeBinary(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding a re-encoded trace failed: %v", err)
+		}
+		if len(tr.Events) != len(tr2.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(tr.Events), len(tr2.Events))
+		}
+		for i := range tr.Events {
+			if tr.Events[i] != tr2.Events[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, tr.Events[i], tr2.Events[i])
+			}
+		}
+	})
+}
+
+// FuzzTraceTextDecode drives the text parser: arbitrary text must
+// either decode or error, never panic, and whatever decodes must
+// survive the text round trip.
+func FuzzTraceTextDecode(f *testing.F) {
+	f.Add("0 R 5\n1 W 5 42\n2 L 8\n2 U 8 7\n0 A 16\n1 C 100\n")
+	f.Add("# comment\n\n0 E 3\n")
+	f.Add("not a trace")
+	f.Add("0 W 5")    // write without value
+	f.Add("-1 R 5\n") // negative proc
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := Decode(bytes.NewReader([]byte(text)))
+		if err != nil {
+			return
+		}
+		var enc bytes.Buffer
+		if err := tr.Encode(&enc); err != nil {
+			t.Fatalf("re-encoding a decoded trace failed: %v", err)
+		}
+		tr2, err := Decode(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding a re-encoded trace failed: %v", err)
+		}
+		if len(tr.Events) != len(tr2.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(tr.Events), len(tr2.Events))
+		}
+	})
+}

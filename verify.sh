@@ -1,7 +1,9 @@
 #!/bin/sh
 # Repository verification: formatting, static checks, the full test
-# suite, and a race-detector pass over the model checker's parallel
-# BFS (its only internally concurrent code path).
+# suite, race-detector passes over every internally concurrent path
+# (model-checker BFS, sim engine, runner worker pool, bus, scheduler
+# queue), the fuzz targets in seed-corpus mode, the differential
+# sim<->mcheck harness, and the two committed-baseline gates.
 set -eu
 cd "$(dirname "$0")"
 
@@ -26,11 +28,28 @@ echo "== go test -race (mcheck + sim smoke)"
 go test -race -short -run 'TestSmokeAllProtocols|TestDeterministicAcrossWorkers|TestSymmetryEquivalence|TestDeterministicWorkersMutant' ./internal/mcheck/
 go test -race -short ./internal/sim/
 
+echo "== go test -race (runner pool, bus, scheduler queue)"
+go test -race -short ./internal/runner/ ./internal/bus/ ./internal/schedqueue/
+
+echo "== differential sim<->mcheck harness"
+go test -short -run 'TestDifferentialSimMcheck|TestDifferentialHarnessDetectsSeededBug' ./internal/ptest/
+
+echo "== fuzz targets (seed-corpus mode: f.Add seeds + testdata/fuzz)"
+go test -run 'FuzzTraceBinaryRoundTrip|FuzzTraceTextDecode' ./internal/trace/
+go test -run 'FuzzWorkloadReplay' ./internal/workload/
+
 echo "== benchmark-regression gate"
 if [ -f BENCH_mcheck.json ]; then
 	go run ./cmd/mcheck -bench-json BENCH_mcheck.json -bench-gate 0.5
 else
 	echo "no BENCH_mcheck.json baseline; skipping (create one with: go run ./cmd/mcheck -bench-json BENCH_mcheck.json)"
+fi
+
+echo "== artifact gate (tables/experiments/figures manifest)"
+if [ -f ARTIFACTS.json ]; then
+	go run ./cmd/tables -gate ARTIFACTS.json
+else
+	echo "no ARTIFACTS.json baseline; skipping (create one with: go run ./cmd/tables -json ARTIFACTS.json)"
 fi
 
 echo "verify: OK"
