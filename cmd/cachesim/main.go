@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,16 +24,9 @@ import (
 	"strings"
 
 	"cachesync"
-	"cachesync/internal/addr"
-	"cachesync/internal/cache"
-	"cachesync/internal/coherence"
 	"cachesync/internal/mcheck"
-	"cachesync/internal/protocol"
 	"cachesync/internal/runner"
-	"cachesync/internal/sim"
-	"cachesync/internal/syncprim"
-	"cachesync/internal/trace"
-	"cachesync/internal/workload"
+	"cachesync/internal/simrun"
 )
 
 var (
@@ -59,184 +53,29 @@ var (
 	check      = flag.Bool("check", true, "run the online coherence checker after every bus transaction; violations make the run exit nonzero")
 )
 
-// runCfg captures one simulation's parameters (one runner job).
-type runCfg struct {
-	proto, inject string
-	procs, ways   int
-	blockW, unitW int
-	unitMode      bool
-	buses         int
-	wname         string
-	ops, iters    int
-	hold, seed    int64
-	traceFile     string
-	schemeStr     string
-	logN          int
-	check         bool
-}
-
-// hash summarizes every parameter the output depends on (the job's
-// ConfigHash).
-func (c runCfg) hash() string {
-	return fmt.Sprintf("%s inject=%s p=%d w=%d b=%d u=%d um=%v buses=%d %s ops=%d it=%d hold=%d seed=%d trace=%s scheme=%s log=%d check=%v",
-		c.proto, c.inject, c.procs, c.ways, c.blockW, c.unitW, c.unitMode, c.buses,
-		c.wname, c.ops, c.iters, c.hold, c.seed, c.traceFile, c.schemeStr, c.logN, c.check)
-}
-
-// buildSystem assembles the simulator, optionally wrapping the
-// protocol with an injected bug (which is why this does not go
-// through the cachesync facade: mutants are not registered names).
-func buildSystem(cfg runCfg) (*sim.System, error) {
-	p, err := protocol.New(cfg.proto)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.inject != "" {
-		if p, err = mcheck.Mutate(p, cfg.inject); err != nil {
-			return nil, err
-		}
-	}
-	bw := cfg.blockW
-	if bw == 0 {
-		bw = 4
-	}
-	if p.Features().OneWordBlocks {
-		bw = 1
-	}
-	unit := cfg.unitW
-	if unit == 0 || unit > bw {
-		unit = bw
-	}
-	g, err := addr.NewGeometry(bw, unit)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.buses < 1 || cfg.buses > 2 {
-		return nil, fmt.Errorf("cachesim: -buses must be 1 or 2, got %d", cfg.buses)
-	}
-	return sim.New(sim.Config{
-		Procs:    cfg.procs,
-		Protocol: p,
-		Geometry: g,
-		Cache:    cache.Config{Sets: 1, Ways: cfg.ways, UnitMode: cfg.unitMode},
-		Timing:   sim.DefaultTiming(),
-		NumBuses: cfg.buses,
-	}), nil
-}
-
-// buildWorkload constructs the per-processor workload closures.
-func buildWorkload(cfg runCfg, l workload.Layout, scheme syncprim.Scheme) ([]func(*sim.Proc), error) {
-	switch cfg.wname {
-	case "mixed":
-		return workload.Mixed{Ops: cfg.ops, SharedBlocks: 8, PrivBlocks: 24,
-			SharedFrac: 0.3, WriteFrac: 0.35, Seed: cfg.seed}.Build(l, cfg.procs), nil
-	case "lock":
-		return workload.LockContention{Locks: 1, Iters: cfg.iters, HoldCycles: cfg.hold,
-			ThinkCycles: 10, CSWrites: 2, Scheme: scheme, Seed: cfg.seed}.Build(l, cfg.procs), nil
-	case "pc":
-		return workload.ProducerConsumer{Items: cfg.iters, WritesPerItem: 4, Scheme: scheme}.Build(l, cfg.procs), nil
-	case "queues":
-		return workload.ServiceQueues{Requests: cfg.iters, Scheme: scheme, Seed: cfg.seed}.Build(l, cfg.procs), nil
-	case "statesave":
-		return workload.StateSave{Switches: cfg.iters, StateBlocks: 4}.Build(l, cfg.procs), nil
-	case "trace":
-		f, err := os.Open(cfg.traceFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		tr, err := trace.Decode(f)
-		if err != nil {
-			return nil, err
-		}
-		return tr.Workloads(cfg.procs), nil
-	default:
-		return nil, fmt.Errorf("unknown workload %q", cfg.wname)
-	}
-}
-
-// runOne executes one configured simulation and renders its report.
-// pass is false when the coherence checker found violations (they are
-// included in the rendered output).
-func runOne(cfg runCfg) (out string, pass bool, err error) {
-	sys, err := buildSystem(cfg)
+// runOne executes one configured simulation and renders its report —
+// delegated to internal/simrun, the layer cmd/cachesim now shares with
+// the cachesyncd daemon (which is what keeps daemon responses
+// byte-identical to this CLI's output). pass is false when the
+// coherence checker found violations (they are included in the
+// rendered output).
+func runOne(cfg simrun.Config) (out string, pass bool, err error) {
+	res, err := simrun.Run(context.Background(), cfg)
 	if err != nil {
 		return "", false, err
 	}
-	scheme, serr := cachesync.BestScheme(cfg.proto)
-	if serr == nil && cfg.schemeStr != "" {
-		for s := syncprim.CacheLock; s <= syncprim.TASMemory; s++ {
-			if s.String() == cfg.schemeStr {
-				scheme = s
-			}
-		}
-	}
-	l := workload.Layout{G: sys.Geometry()}
-	ws, err := buildWorkload(cfg, l, scheme)
-	if err != nil {
-		return "", false, err
-	}
-
-	var evlog *sim.EventLog
-	if cfg.logN > 0 {
-		evlog = sys.AttachLog(cfg.logN)
-	}
-	var violations []string
-	if cfg.check {
-		seen := map[string]bool{}
-		sys.OnTxn = func() {
-			for _, v := range coherence.Check(sys) {
-				if !seen[v] {
-					seen[v] = true
-					violations = append(violations, fmt.Sprintf("cycle %d: %s", sys.Clock(), v))
-				}
-			}
-		}
-	}
-	if err := sys.Run(ws); err != nil {
-		return "", false, err
-	}
-	if cfg.check {
-		// The checker runs between transactions, so transient in-flight
-		// states are quiesced; any report is a real incoherence.
-		violations = appendFinalCheck(sys, violations)
-	}
-
-	var b strings.Builder
-	if evlog != nil {
-		_ = evlog.Dump(&b)
-		b.WriteString("\n")
-	}
-	fmt.Fprintf(&b, "protocol=%s procs=%d workload=%s scheme=%v\n", sys.Protocol().Name(), cfg.procs, cfg.wname, scheme)
-	fmt.Fprintf(&b, "finished at cycle %d\n\n", sys.Clock())
-	h := &sys.LockLatency
-	if h.Count() > 0 {
-		fmt.Fprintf(&b, "hardware lock acquisitions: %d (mean %.1f cycles, max %d)\n\n", h.Count(), h.Mean(), h.Max())
-	}
-	b.WriteString(cachesync.RenderStats(sys.Stats().Snapshot()))
-	b.WriteString("\n")
-	if len(violations) > 0 {
-		fmt.Fprintf(&b, "coherence checker: %d violation(s):\n", len(violations))
-		for _, v := range violations {
-			b.WriteString("  " + v + "\n")
-		}
-		return b.String(), false, nil
-	}
-	if cfg.check {
-		b.WriteString("coherence checker: clean (every bus transaction and the final state)\n")
-	}
-	return b.String(), true, nil
+	return res.Output, res.Pass, nil
 }
 
 // jobs builds one runner job per protocol from the base config.
-func jobs(base runCfg, protos []string) []runner.Job {
+func jobs(base simrun.Config, protos []string) []runner.Job {
 	out := make([]runner.Job, 0, len(protos))
 	for _, p := range protos {
 		cfg := base
-		cfg.proto = p
+		cfg.Protocol = p
 		out = append(out, runner.Job{
 			Name:       "cachesim/" + p,
-			ConfigHash: cfg.hash(),
+			ConfigHash: cfg.Hash(),
 			Run: func() (runner.Artifact, error) {
 				text, pass, err := runOne(cfg)
 				if err != nil {
@@ -281,14 +120,14 @@ func main() {
 		return
 	}
 
-	base := runCfg{
-		proto: *protoName, inject: *inject,
-		procs: *procs, ways: *ways, blockW: *blockW, unitW: *unitW,
-		unitMode: *unitMode, buses: *buses,
-		wname: *wname, ops: *ops, iters: *iters,
-		hold: *hold, seed: *seed,
-		traceFile: *traceFile, schemeStr: *schemeStr,
-		logN: *logN, check: *check,
+	base := simrun.Config{
+		Protocol: *protoName, Inject: *inject,
+		Procs: *procs, Ways: *ways, BlockWords: *blockW, UnitWords: *unitW,
+		UnitMode: *unitMode, Buses: *buses,
+		Workload: *wname, Ops: *ops, Iters: *iters,
+		Hold: *hold, Seed: *seed,
+		TraceFile: *traceFile, Scheme: *schemeStr,
+		LogN: *logN, NoCheck: !*check,
 	}
 	protos := []string{*protoName}
 	if *protoList != "" {
@@ -310,23 +149,4 @@ func main() {
 		os.Exit(2)
 	}
 	os.Exit(finish(os.Stdout, os.Stderr, res))
-}
-
-// appendFinalCheck re-validates the quiesced final state (a run whose
-// last operation is a pure cache hit fires no OnTxn afterwards).
-func appendFinalCheck(sys *sim.System, violations []string) []string {
-	for _, v := range coherence.Check(sys) {
-		entry := fmt.Sprintf("final state: %s", v)
-		dup := false
-		for _, have := range violations {
-			if have == entry {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			violations = append(violations, entry)
-		}
-	}
-	return violations
 }

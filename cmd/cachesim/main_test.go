@@ -6,12 +6,13 @@ import (
 	"testing"
 
 	"cachesync/internal/runner"
+	"cachesync/internal/simrun"
 )
 
-func baseTestCfg() runCfg {
-	return runCfg{
-		proto: "bitar", procs: 4, ways: 64, blockW: 4,
-		buses: 1, wname: "mixed", ops: 300, seed: 1, check: true,
+func baseTestCfg() simrun.Config {
+	return simrun.Config{
+		Protocol: "bitar", Procs: 4, Ways: 64, BlockWords: 4,
+		Buses: 1, Workload: "mixed", Ops: 300, Seed: 1,
 	}
 }
 
@@ -39,7 +40,7 @@ func TestCleanRunPassesThroughRunner(t *testing.T) {
 // simulation runs as a runner job rather than inline in main.
 func TestInjectedViolationExitsNonzeroThroughRunner(t *testing.T) {
 	cfg := baseTestCfg()
-	cfg.inject = "drop-invalidate"
+	cfg.Inject = "drop-invalidate"
 	res, err := runner.Run(jobs(cfg, []string{"bitar"}), runner.Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +60,7 @@ func TestInjectedViolationExitsNonzeroThroughRunner(t *testing.T) {
 // path: the artifact a job produces is exactly what runOne renders.
 func TestInjectedRunMatchesDirectRun(t *testing.T) {
 	cfg := baseTestCfg()
-	cfg.inject = "skip-writeback"
+	cfg.Inject = "skip-writeback"
 	direct, pass, err := runOne(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,120 @@
+// Command cachesyncd serves the repository's engines over HTTP/JSON:
+// simulations (POST /v1/simulate), bounded model checks (POST
+// /v1/check), protocol×procs sweeps (POST /v1/sweep), NDJSON progress
+// streams (GET /v1/jobs/{id}), liveness (GET /healthz), and Prometheus
+// metrics (GET /metrics).
+//
+//	go run ./cmd/cachesyncd -addr 127.0.0.1:8344 -workers 4 -queue 64
+//	curl -d '{"protocol":"bitar","ops":500}' localhost:8344/v1/simulate
+//	curl -d '{"protocol":"bitar","inject":"drop-invalidate"}' localhost:8344/v1/check
+//
+// Requests execute on a bounded worker pool behind an admission queue:
+// overload is shed at the edge with 429 + Retry-After rather than
+// queued without bound. Identical concurrent requests collapse onto
+// one execution (single flight), and -cachedir adds an on-disk result
+// cache shared with the pool, so repeated configurations are answered
+// from disk across restarts. SIGINT/SIGTERM drains gracefully:
+// in-flight requests finish, new ones are rejected with 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	_ "cachesync/internal/protocol/all"
+	"cachesync/internal/runner"
+	"cachesync/internal/serve"
+)
+
+var (
+	addr     = flag.String("addr", "127.0.0.1:8344", "listen address (use :0 for an ephemeral port)")
+	portfile = flag.String("portfile", "", "write the bound host:port to this file once listening (for scripts using -addr :0)")
+	workers  = flag.Int("workers", 0, "concurrent executions (0 = GOMAXPROCS)")
+	queue    = flag.Int("queue", 64, "admitted requests that may wait for a slot; beyond this arrivals get 429")
+	timeout  = flag.Duration("timeout", 60*time.Second, "default per-request execution deadline (callers may lower it with ?timeout=)")
+	maxTime  = flag.Duration("maxtimeout", 5*time.Minute, "upper clamp on caller-requested deadlines")
+	cacheDir = flag.String("cachedir", "", "on-disk result cache directory (empty = no cache)")
+	grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
+)
+
+func run() error {
+	var cache *runner.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = runner.OpenCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+	s := serve.New(serve.Config{
+		Workers: *workers, Queue: *queue,
+		DefaultTimeout: *timeout, MaxTimeout: *maxTime,
+		Cache: cache,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *portfile != "" {
+		// Write-then-rename so a polling reader never sees a partial
+		// address.
+		tmp, err := os.CreateTemp(filepath.Dir(*portfile), ".portfile-*")
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(tmp, ln.Addr().String()); err != nil {
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp.Name(), *portfile); err != nil {
+			return err
+		}
+		defer os.Remove(*portfile)
+	}
+	fmt.Printf("cachesyncd listening on %s (workers=%d queue=%d cache=%v)\n",
+		ln.Addr(), *workers, *queue, cache != nil)
+
+	hs := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: advertise draining (healthz 503, new work 503),
+	// let in-flight requests finish, then stop the pool.
+	fmt.Println("cachesyncd: draining")
+	s.StartDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	s.Close()
+	fmt.Println("cachesyncd: stopped")
+	return nil
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

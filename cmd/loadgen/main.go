@@ -1,0 +1,392 @@
+// Command loadgen drives cachesyncd with a concurrent open-loop load:
+// requests fire at a fixed rate regardless of completions (the
+// arrival process a real service sees), drawn from a mixed
+// distribution of simulations, model checks, and sweeps with rotating
+// parameters, and the run reports throughput and latency percentiles.
+//
+//	go run ./cmd/loadgen -selfhost -rate 25 -duration 3s
+//	go run ./cmd/loadgen -addr 127.0.0.1:8344 -rate 50 -duration 10s
+//	go run ./cmd/loadgen -portfile /tmp/port -smoke
+//
+// Two phases enforce the serving SLO:
+//
+//   - below the admission limit (the main phase), every response must
+//     be 2xx — a 429 or 5xx here fails the run;
+//   - under deliberate overload (the second phase, ~10× the sustainable
+//     demand), the only acceptable non-2xx is a clean 429 from the
+//     admission gate — a 5xx, a hang, or a connection error fails.
+//
+// -out writes the results as a committed baseline (BENCH_serve.json);
+// with an existing baseline, -gate F fails the run when achieved
+// throughput drops below F × the baseline's (mirroring the
+// BENCH_mcheck.json regression gate). -update rewrites the baseline.
+// -selfhost embeds the daemon in-process on 127.0.0.1:0, so the
+// benchmark needs no process management; -smoke is the one-shot
+// health probe verify.sh uses against an externally started daemon.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	_ "cachesync/internal/protocol/all"
+	"cachesync/internal/serve"
+	"cachesync/internal/stats"
+)
+
+var (
+	addrFlag    = flag.String("addr", "", "daemon address (host:port)")
+	portfile    = flag.String("portfile", "", "read the daemon address from this file (polled until it appears)")
+	selfhost    = flag.Bool("selfhost", false, "embed the daemon in-process on 127.0.0.1:0")
+	shWork      = flag.Int("workers", 0, "selfhost: execution width (0 = GOMAXPROCS)")
+	shQueue     = flag.Int("queue", 64, "selfhost: admission queue length")
+	rate        = flag.Float64("rate", 25, "open-loop arrival rate, requests/second")
+	duration    = flag.Duration("duration", 3*time.Second, "main-phase length")
+	conc        = flag.Int("conc", 256, "client-side cap on outstanding requests")
+	overload    = flag.Bool("overload", true, "run the overload phase (expect only clean 429s)")
+	requireShed = flag.Bool("require-shed", false, "fail if the overload phase sheds nothing (use with -selfhost and pinned -workers/-queue, where capacity is known)")
+	smoke       = flag.Bool("smoke", false, "one-shot probe: /healthz, one simulate, one check; then exit")
+	wait        = flag.Duration("wait", 15*time.Second, "how long -portfile/-smoke wait for the daemon")
+	outFile     = flag.String("out", "", "benchmark baseline file (written if absent, gated if present)")
+	gate        = flag.Float64("gate", 0.3, "fail when throughput < gate × baseline throughput")
+	update      = flag.Bool("update", false, "rewrite the baseline even if it exists")
+)
+
+// bench is the BENCH_serve.json schema.
+type bench struct {
+	Updated       string  `json:"updated"`
+	Go            string  `json:"go"`
+	Gate          float64 `json:"gate"`
+	RateRPS       float64 `json:"rate_rps"`
+	DurationS     float64 `json:"duration_s"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	Non2xx        int     `json:"non2xx"`
+	ClientSkipped int     `json:"client_skipped"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P90MS         float64 `json:"p90_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	Overload      *obench `json:"overload,omitempty"`
+}
+
+// obench summarizes the overload phase.
+type obench struct {
+	Requests int `json:"requests"`
+	OK       int `json:"ok"`
+	Shed     int `json:"shed"`  // clean 429s
+	Other    int `json:"other"` // anything else: must be zero
+}
+
+type result struct {
+	code int
+	dur  time.Duration
+	err  error
+}
+
+// protocols rotated through by the mixed distribution.
+var mixProtocols = []string{"bitar", "illinois", "goodman", "berkeley"}
+
+// request builds the i-th request of the deterministic mix: 70%
+// simulations over 16 rotating seeds, 20% model checks over rotating
+// protocols, 10% small sweeps. Rotating parameters defeat the daemon's
+// dedup/cache enough that the pool does real work, while the repeats
+// exercise the coalescing and cache paths too.
+//
+// The heavy (overload) mix is all simulations with a unique seed per
+// request: every request then needs its own execution slot — the
+// single-flight dedup cannot absorb the burst — so the admission gate
+// itself is what gets exercised.
+func request(i int, heavy bool) (path string, body map[string]any) {
+	if heavy {
+		return "/v1/simulate", map[string]any{
+			"protocol": mixProtocols[i%len(mixProtocols)],
+			"ops":      1_000,
+			"seed":     1 + i,
+		}
+	}
+	switch {
+	case i%10 < 7:
+		return "/v1/simulate", map[string]any{
+			"protocol": mixProtocols[i%len(mixProtocols)],
+			"ops":      200,
+			"seed":     1 + i%16,
+		}
+	case i%10 < 9:
+		return "/v1/check", map[string]any{
+			"protocol": mixProtocols[i%len(mixProtocols)],
+			"depth":    4,
+		}
+	default:
+		return "/v1/sweep", map[string]any{
+			"protocols": []string{mixProtocols[i%len(mixProtocols)]},
+			"procs":     []int{1, 2},
+			"ops":       100,
+			"seed":      1 + i%16,
+		}
+	}
+}
+
+func post(client *http.Client, base, path string, body any) result {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return result{err: err}
+	}
+	t0 := time.Now()
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return result{err: err, dur: time.Since(t0)}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return result{code: resp.StatusCode, dur: time.Since(t0)}
+}
+
+// phase fires requests open-loop at rps for dur, capping outstanding
+// requests at conc (ticks beyond the cap are counted, not sent — a
+// client-side saturation signal, not a server verdict). heavy selects
+// the overload mix. Request indices start at off so phases draw
+// different slices of the rotation.
+func phase(client *http.Client, base string, rps float64, dur time.Duration, conc int, off int, heavy bool) ([]result, int) {
+	interval := time.Duration(float64(time.Second) / rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(dur)
+
+	var (
+		mu      sync.Mutex
+		results []result
+		wg      sync.WaitGroup
+		skipped int
+	)
+	slots := make(chan struct{}, conc)
+	i := off
+	for {
+		select {
+		case <-deadline:
+			wg.Wait()
+			return results, skipped
+		case <-ticker.C:
+			select {
+			case slots <- struct{}{}:
+			default:
+				skipped++
+				continue
+			}
+			path, body := request(i, heavy)
+			i++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := post(client, base, path, body)
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+				<-slots
+			}()
+		}
+	}
+}
+
+// waitHealthy polls /healthz until it answers 200.
+func waitHealthy(client *http.Client, base string, limit time.Duration) error {
+	deadline := time.Now().Add(limit)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("daemon not healthy after %v: %v", limit, err)
+			}
+			return fmt.Errorf("daemon not healthy after %v", limit)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// resolveBase finds the daemon: -addr, -portfile (polled), or
+// -selfhost. The returned stop function tears selfhost down.
+func resolveBase() (base string, stop func(), err error) {
+	stop = func() {}
+	switch {
+	case *selfhost:
+		s := serve.New(serve.Config{Workers: *shWork, Queue: *shQueue})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", stop, err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		return "http://" + ln.Addr().String(), func() {
+			_ = hs.Close()
+			s.Close()
+		}, nil
+	case *addrFlag != "":
+		return "http://" + *addrFlag, stop, nil
+	case *portfile != "":
+		deadline := time.Now().Add(*wait)
+		for {
+			raw, err := os.ReadFile(*portfile)
+			if err == nil && len(bytes.TrimSpace(raw)) > 0 {
+				return "http://" + string(bytes.TrimSpace(raw)), stop, nil
+			}
+			if time.Now().After(deadline) {
+				return "", stop, fmt.Errorf("portfile %s did not appear within %v", *portfile, *wait)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	default:
+		return "", stop, fmt.Errorf("one of -addr, -portfile, -selfhost is required")
+	}
+}
+
+// runSmoke is verify.sh's probe: healthz, one simulation, one check.
+func runSmoke(client *http.Client, base string) error {
+	if err := waitHealthy(client, base, *wait); err != nil {
+		return err
+	}
+	r := post(client, base, "/v1/simulate", map[string]any{"protocol": "bitar", "ops": 300})
+	if r.err != nil || r.code != http.StatusOK {
+		return fmt.Errorf("smoke simulate: code=%d err=%v", r.code, r.err)
+	}
+	r = post(client, base, "/v1/check", map[string]any{"protocol": "bitar", "depth": 4})
+	if r.err != nil || r.code != http.StatusOK {
+		return fmt.Errorf("smoke check: code=%d err=%v", r.code, r.err)
+	}
+	fmt.Println("smoke: OK (healthz, simulate, check)")
+	return nil
+}
+
+func run() error {
+	base, stop, err := resolveBase()
+	if err != nil {
+		return err
+	}
+	defer stop()
+	client := &http.Client{
+		Timeout:   60 * time.Second,
+		Transport: &http.Transport{MaxIdleConnsPerHost: *conc},
+	}
+	if *smoke {
+		return runSmoke(client, base)
+	}
+	if err := waitHealthy(client, base, *wait); err != nil {
+		return err
+	}
+
+	// Phase 1: below the admission limit. Zero tolerance for non-2xx.
+	fmt.Printf("phase 1: open loop at %.0f req/s for %v against %s\n", *rate, *duration, base)
+	t0 := time.Now()
+	results, skipped := phase(client, base, *rate, *duration, *conc, 0, false)
+	elapsed := time.Since(t0)
+
+	var lat stats.Histogram
+	ok, bad := 0, 0
+	for _, r := range results {
+		if r.err == nil && r.code >= 200 && r.code < 300 {
+			ok++
+			lat.Observe(r.dur.Microseconds())
+		} else {
+			bad++
+			fmt.Fprintf(os.Stderr, "below-limit failure: code=%d err=%v\n", r.code, r.err)
+		}
+	}
+	b := bench{
+		Updated: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		Gate:    *gate, RateRPS: *rate, DurationS: elapsed.Seconds(),
+		Requests: len(results), OK: ok, Non2xx: bad, ClientSkipped: skipped,
+		ThroughputRPS: float64(ok) / elapsed.Seconds(),
+		P50MS:         float64(lat.Percentile(50)) / 1000,
+		P90MS:         float64(lat.Percentile(90)) / 1000,
+		P99MS:         float64(lat.Percentile(99)) / 1000,
+	}
+	fmt.Printf("phase 1: %d requests, %d ok, %d non-2xx, %d client-skipped; %.1f req/s; p50=%.1fms p90=%.1fms p99=%.1fms\n",
+		b.Requests, b.OK, b.Non2xx, b.ClientSkipped, b.ThroughputRPS, b.P50MS, b.P90MS, b.P99MS)
+	if bad > 0 {
+		return fmt.Errorf("%d non-2xx responses below the admission limit", bad)
+	}
+	if ok == 0 {
+		return fmt.Errorf("no successful requests in phase 1")
+	}
+
+	// Phase 2: deliberate overload — heavy requests at high rate. The
+	// only acceptable outcome per request is success or a clean 429.
+	if *overload {
+		orate := *rate * 16
+		fmt.Printf("phase 2: overload at %.0f req/s (unique heavy simulations) for 1.5s\n", orate)
+		oresults, _ := phase(client, base, orate, 1500*time.Millisecond, *conc, 100_000, true)
+		ob := &obench{Requests: len(oresults)}
+		for _, r := range oresults {
+			switch {
+			case r.err == nil && r.code >= 200 && r.code < 300:
+				ob.OK++
+			case r.err == nil && r.code == http.StatusTooManyRequests:
+				ob.Shed++
+			default:
+				ob.Other++
+				fmt.Fprintf(os.Stderr, "overload non-429 failure: code=%d err=%v\n", r.code, r.err)
+			}
+		}
+		b.Overload = ob
+		fmt.Printf("phase 2: %d requests, %d ok, %d shed (429), %d other\n",
+			ob.Requests, ob.OK, ob.Shed, ob.Other)
+		if ob.Other > 0 {
+			return fmt.Errorf("overload produced %d responses that were neither 2xx nor 429", ob.Other)
+		}
+		if ob.Shed == 0 {
+			if *requireShed {
+				return fmt.Errorf("overload shed nothing: the admission gate never rejected — either capacity flags are too generous or backpressure is broken")
+			}
+			fmt.Println("note: overload phase shed nothing (server kept up); admission gate not exercised")
+		}
+	}
+
+	if *outFile == "" {
+		return nil
+	}
+	if old, err := os.ReadFile(*outFile); err == nil && !*update {
+		var prev bench
+		if err := json.Unmarshal(old, &prev); err != nil {
+			return fmt.Errorf("baseline %s: %v", *outFile, err)
+		}
+		floor := prev.ThroughputRPS * *gate
+		fmt.Printf("gate: achieved %.1f req/s vs baseline %.1f req/s (floor %.1f at gate %.2f)\n",
+			b.ThroughputRPS, prev.ThroughputRPS, floor, *gate)
+		if b.ThroughputRPS < floor {
+			return fmt.Errorf("throughput regression: %.1f req/s < %.1f req/s floor", b.ThroughputRPS, floor)
+		}
+		return nil
+	}
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outFile, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote baseline %s\n", *outFile)
+	return nil
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

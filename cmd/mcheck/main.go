@@ -14,11 +14,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"cachesync/internal/mcheck"
@@ -83,12 +87,21 @@ func main() {
 		names = []string{*protoName}
 	}
 
+	// Ctrl-C (or SIGTERM) cancels the exploration promptly mid-level
+	// instead of letting a deep run finish its frontier first.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	violated := false
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	for _, name := range names {
-		s, err := runOne(name)
+		s, err := runOne(ctx, name)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "mcheck: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -109,7 +122,7 @@ func main() {
 	}
 }
 
-func runOne(name string) (*summary, error) {
+func runOne(ctx context.Context, name string) (*summary, error) {
 	p := protocol.MustNew(name)
 	if *mutate != "" {
 		mp, err := mcheck.Mutate(p, *mutate)
@@ -121,7 +134,7 @@ func runOne(name string) (*summary, error) {
 	opts := mcheck.Options{
 		Protocol: p, Procs: *procs, Blocks: *blocks, Words: *words,
 		Depth: *depth, Workers: *workers, MaxStates: *maxStates,
-		RecordArcs: *arcs, Symmetry: *symmetry,
+		RecordArcs: *arcs, Symmetry: *symmetry, Context: ctx,
 	}
 	res, err := mcheck.Run(opts)
 	if err != nil {
@@ -152,6 +165,7 @@ func runOne(name string) (*summary, error) {
 		base, err := mcheck.Run(mcheck.Options{
 			Protocol: p, Procs: *procs, Blocks: *blocks, Words: *words,
 			Depth: *depth, Workers: 1, MaxStates: *maxStates, Symmetry: *symmetry,
+			Context: ctx,
 		})
 		if err != nil {
 			return nil, err

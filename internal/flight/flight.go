@@ -1,0 +1,87 @@
+// Package flight provides single-flight call deduplication: concurrent
+// calls with the same key share one execution of the underlying
+// function. The daemon uses it to collapse identical in-flight requests
+// onto one simulation or model-check run, and the runner's on-disk
+// result cache uses it to make concurrent same-key writers race-free —
+// one goroutine computes, everyone else waits for the shared result.
+//
+// Unlike golang.org/x/sync/singleflight (not vendored; the module has
+// no external dependencies), followers can abandon the wait when their
+// context ends while the leader's execution continues unharmed.
+package flight
+
+import (
+	"fmt"
+	"sync"
+
+	"context"
+)
+
+// call is one in-flight execution.
+type call[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+}
+
+// Group deduplicates concurrent calls by key. The zero value is ready
+// to use.
+type Group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+}
+
+// Do executes fn, ensuring that among concurrent calls with the same
+// key only one executes; the rest wait and receive the same result.
+// shared reports whether this caller received another call's result.
+// Once the leading call completes, the key is forgotten: a later Do
+// with the same key executes again.
+func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, shared bool, err error) {
+	return g.DoCtx(context.Background(), key, fn)
+}
+
+// DoCtx is Do with a caller-scoped wait: a follower whose ctx ends
+// before the leader finishes returns ctx.Err() immediately, while the
+// leader's execution — governed by whatever context fn itself captured
+// — continues for the remaining followers. The leader never aborts on
+// ctx here; cancellation of the work belongs inside fn.
+func (g *Group[V]) DoCtx(ctx context.Context, key string, fn func() (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, true, ctx.Err()
+		}
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			// Followers must not hang on a leader panic: record an
+			// error for them, then let the panic continue in the leader.
+			c.err = fmt.Errorf("flight: leader panicked: %v", r)
+			g.forget(key, c)
+			panic(r)
+		}
+		g.forget(key, c)
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}
+
+// forget removes the call and releases its waiters.
+func (g *Group[V]) forget(key string, c *call[V]) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}

@@ -1,0 +1,180 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoDeduplicatesConcurrentCalls(t *testing.T) {
+	var g Group[int]
+	var execs atomic.Int64
+	gate := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	vals := make([]int, n)
+	shareds := make([]bool, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], shareds[i], errs[i] = g.Do("k", func() (int, error) {
+				<-gate // hold every caller in the same flight
+				execs.Add(1)
+				return 42, nil
+			})
+		}(i)
+	}
+	// Let the followers pile up behind the leader, then release it.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executed %d times, want 1", got)
+	}
+	leaders := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("call %d: %v", i, errs[i])
+		}
+		if vals[i] != 42 {
+			t.Fatalf("call %d got %d, want 42", i, vals[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d callers report shared=false, want exactly 1", leaders)
+	}
+}
+
+func TestDoForgetsKeyAfterCompletion(t *testing.T) {
+	var g Group[int]
+	var execs atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do("k", func() (int, error) { execs.Add(1); return i, nil })
+		if err != nil || shared || v != i {
+			t.Fatalf("call %d: v=%d shared=%v err=%v", i, v, shared, err)
+		}
+	}
+	if execs.Load() != 3 {
+		t.Fatalf("sequential calls deduplicated: %d executions", execs.Load())
+	}
+}
+
+func TestDoCtxFollowerAbandonsWait(t *testing.T) {
+	var g Group[int]
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	leaderOut := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do("k", func() (int, error) {
+			close(leaderIn)
+			<-release
+			return 7, nil
+		})
+		leaderOut <- err
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, shared, err := g.DoCtx(ctx, "k", func() (int, error) { return 0, nil })
+	if !shared || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower: shared=%v err=%v, want shared deadline error", shared, err)
+	}
+
+	// The leader is unharmed by the follower's departure.
+	close(release)
+	if err := <-leaderOut; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+}
+
+func TestDoPropagatesErrorToAllCallers(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	boom := fmt.Errorf("boom")
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = g.Do("k", func() (int, error) { <-gate; return 0, boom })
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("call %d: err=%v, want boom", i, err)
+		}
+	}
+}
+
+func TestLeaderPanicReleasesFollowers(t *testing.T) {
+	var g Group[int]
+	leaderIn := make(chan struct{})
+	gate := make(chan struct{})
+	followerRes := make(chan struct {
+		shared bool
+		err    error
+	}, 1)
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		g.Do("k", func() (int, error) { close(leaderIn); <-gate; panic("exploded") })
+	}()
+	<-leaderIn // the leader is inside fn and owns the key
+	go func() {
+		_, shared, err := g.Do("k", func() (int, error) { return 0, nil })
+		followerRes <- struct {
+			shared bool
+			err    error
+		}{shared, err}
+	}()
+	time.Sleep(5 * time.Millisecond) // let the follower join the flight
+	close(gate)
+
+	if r := <-panicked; r == nil {
+		t.Fatal("leader panic swallowed")
+	}
+	select {
+	case r := <-followerRes:
+		// Either the follower joined the flight (shared, leader's panic
+		// error) or it arrived after the forget and ran its own fn
+		// cleanly; it must not hang or see a shared nil error.
+		if r.shared && r.err == nil {
+			t.Fatal("follower got shared nil error from panicked leader")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower hung after leader panic")
+	}
+}
+
+func TestDistinctKeysRunConcurrently(t *testing.T) {
+	var g Group[string]
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			v, shared, err := g.Do(key, func() (string, error) { return key, nil })
+			if err != nil || shared || v != key {
+				t.Errorf("key %s: v=%q shared=%v err=%v", key, v, shared, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package mcheck
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -68,6 +69,10 @@ func Run(opts Options) (*Result, error) {
 	}
 	if o.Blocks < 1 || o.Blocks > 4 {
 		return nil, fmt.Errorf("mcheck: blocks %d out of range [1,4]", o.Blocks)
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	start := time.Now()
@@ -146,6 +151,12 @@ func Run(opts Options) (*Result, error) {
 					if i >= len(frontier) {
 						break
 					}
+					// One poll per frontier state: cheap next to the
+					// state's expansion, prompt enough that a deadline
+					// aborts deep levels mid-flight.
+					if ctx.Err() != nil {
+						break
+					}
 					id := frontier[i]
 					enc := visited[id.shard()].key(id.index())
 					m.restoreKey(enc)
@@ -187,6 +198,10 @@ func Run(opts Options) (*Result, error) {
 			}(w)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mcheck: exploration canceled at depth %d after %d states: %w",
+				depth, res.States, err)
+		}
 
 		var best *violation
 		for _, v := range workerViol {
@@ -245,6 +260,9 @@ func Run(opts Options) (*Result, error) {
 		res.States += added
 		res.DepthReached = depth
 		frontier = next
+		if o.Progress != nil {
+			o.Progress(depth, res.States, atomic.LoadInt64(&transitions))
+		}
 		if res.States >= int64(o.MaxStates) {
 			res.Truncated = true
 			break

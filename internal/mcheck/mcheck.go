@@ -32,6 +32,7 @@
 package mcheck
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -67,6 +68,15 @@ type Options struct {
 	// canon.go). Counterexample traces are de-canonicalized, so they
 	// replay unchanged.
 	Symmetry bool
+	// Context, when non-nil, cancels the exploration: every BFS worker
+	// polls it per frontier state, so a deadline or Ctrl-C aborts
+	// mid-level rather than after the frontier drains. Run then returns
+	// an error wrapping ctx.Err() (test with errors.Is).
+	Context context.Context
+	// Progress, when set, is called from the coordinating goroutine
+	// after every completed BFS level with the cumulative state and
+	// transition counts — the daemon streams these to job watchers.
+	Progress func(depth int, states, transitions int64)
 
 	// stateHook, when set, is called once for every distinct visited
 	// state with its packed key (the canonical key under Symmetry).

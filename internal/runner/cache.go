@@ -11,15 +11,31 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"cachesync/internal/flight"
 )
 
 // Cache is the on-disk result cache. Entries are keyed by
 // sha256(source hash | job name | config hash): any change to the Go
 // sources, the job's identity, or its parameters misses, so a warm
 // cache can only replay results the current code would reproduce.
+//
+// A Cache is safe for concurrent use. Same-key writers are collapsed
+// by Do's in-process single flight, and every writer lands its entry
+// via a unique temp file renamed into place, so even independent
+// processes sharing the directory can only ever observe a complete
+// entry.
 type Cache struct {
 	dir        string
 	sourceHash string
+	flight     flight.Group[doResult]
+}
+
+// doResult is what one single-flight execution shares with its
+// followers.
+type doResult struct {
+	art    Artifact
+	cached bool
 }
 
 // DefaultCacheDir is the conventional cache location at the module
@@ -96,7 +112,11 @@ func (c *Cache) Get(j Job) (Artifact, bool) {
 
 // Put stores a job's artifact. Failures are deliberately silent: a
 // read-only disk degrades to an always-miss cache, never to a failed
-// regeneration.
+// regeneration. The entry is written to a unique temp file and renamed
+// into place, so concurrent writers of the same key — racing
+// goroutines, or entirely separate processes — can never leave a
+// truncated or interleaved entry behind: rename is atomic, and last
+// writer wins with an identical body.
 func (c *Cache) Put(j Job, art Artifact) {
 	e := cacheEntry{Name: j.Name, ConfigHash: j.ConfigHash, SourceHash: c.sourceHash, Artifact: art}
 	data, err := json.Marshal(e)
@@ -104,11 +124,45 @@ func (c *Cache) Put(j Job, art Artifact) {
 		return
 	}
 	path := filepath.Join(c.dir, c.key(j)+".json")
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
 		return
 	}
-	_ = os.Rename(tmp, path)
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+	}
+}
+
+// Do runs a job through the cache with single-flight semantics: a hit
+// returns the stored artifact; on a miss, exactly one of any set of
+// concurrent same-key callers executes run while the rest wait and
+// share its artifact. Successful executions are stored; errors are
+// shared with the waiting callers and never cached.
+func (c *Cache) Do(j Job, run func() (Artifact, error)) (art Artifact, cached, shared bool, err error) {
+	key := c.key(j)
+	r, shared, err := c.flight.Do(key, func() (doResult, error) {
+		// Recheck under the flight: a caller that queued behind a
+		// completed leader finds the entry the leader just stored.
+		if art, ok := c.Get(j); ok {
+			return doResult{art: art, cached: true}, nil
+		}
+		art, err := run()
+		if err != nil {
+			return doResult{}, err
+		}
+		c.Put(j, art)
+		return doResult{art: art}, nil
+	})
+	if err != nil {
+		return Artifact{}, false, shared, err
+	}
+	return r.art, r.cached, shared, nil
 }
 
 // moduleRoot finds the enclosing Go module root (the directory

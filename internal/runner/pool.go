@@ -1,0 +1,119 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = fmt.Errorf("runner: pool is closed")
+
+// Pool is a persistent worker pool for individually submitted jobs —
+// the long-running counterpart of Run's batch pool. The serving daemon
+// keeps one Pool for the process lifetime and funnels every request
+// through it, so the execution-width bound and the result cache are
+// shared across requests exactly as they are across the jobs of one
+// batch.
+type Pool struct {
+	tasks chan poolTask
+	cache *Cache
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup // workers
+	subs   sync.WaitGroup // submissions handed to workers
+}
+
+type poolTask struct {
+	ctx context.Context
+	job Job
+	res chan poolDone
+}
+
+type poolDone struct {
+	jr  JobResult
+	err error
+}
+
+// NewPool starts a pool of workers sharing cache (nil disables
+// caching). Workers < 1 means GOMAXPROCS.
+func NewPool(workers int, cache *Cache) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan poolTask), cache: cache}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				if err := t.ctx.Err(); err != nil {
+					// The submitter gave up while queued; don't burn a
+					// worker on a result nobody wants.
+					t.res <- poolDone{err: err}
+					p.subs.Done()
+					continue
+				}
+				jr, err := runOne(t.job, p.cache)
+				t.res <- poolDone{jr: jr, err: err}
+				p.subs.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit hands one job to the pool and waits for its result. While
+// waiting for a free worker the call can be abandoned via ctx; once a
+// worker picks the job up, Submit returns its outcome — the job itself
+// is responsible for honoring ctx (capture it in the Run closure), and
+// a caller that stops waiting leaves the worker to finish and discard
+// the result.
+func (p *Pool) Submit(ctx context.Context, j Job) (JobResult, error) {
+	if j.Run == nil {
+		return JobResult{}, fmt.Errorf("runner: job %q has no Run function", j.Name)
+	}
+	if j.Name == "" {
+		return JobResult{}, fmt.Errorf("runner: job has no name")
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return JobResult{}, ErrPoolClosed
+	}
+	p.subs.Add(1)
+	p.mu.Unlock()
+
+	t := poolTask{ctx: ctx, job: j, res: make(chan poolDone, 1)}
+	select {
+	case p.tasks <- t:
+	case <-ctx.Done():
+		p.subs.Done()
+		return JobResult{}, ctx.Err()
+	}
+	select {
+	case d := <-t.res:
+		return d.jr, d.err
+	case <-ctx.Done():
+		// The worker's buffered send still lands; the result is dropped.
+		return JobResult{}, ctx.Err()
+	}
+}
+
+// Close waits for every handed-off job to finish, then stops the
+// workers. Submit calls racing Close fail with ErrPoolClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.subs.Wait()
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -1,0 +1,248 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheDoSingleFlightStress races N goroutines on one cache key:
+// exactly one may execute the job; everyone must receive the same
+// artifact; and the on-disk entry must be a complete, valid record
+// (the atomic rename-into-place contract).
+func TestCacheDoSingleFlightStress(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c := testCache(t, dir, "src-stress")
+
+	const n = 64
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	j := Job{Name: "hot", ConfigHash: "cfg"}
+	run := func() (Artifact, error) {
+		<-gate // hold every racer in one flight
+		execs.Add(1)
+		return Artifact{Name: "hot", Output: "expensive result\n", Pass: true}, nil
+	}
+
+	var wg sync.WaitGroup
+	arts := make([]Artifact, n)
+	errs := make([]error, n)
+	shareds := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arts[i], _, shareds[i], errs[i] = c.Do(j, run)
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("ran the job %d times under single flight, want 1", got)
+	}
+	leaders := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("racer %d: %v", i, errs[i])
+		}
+		if arts[i].Output != "expensive result\n" {
+			t.Fatalf("racer %d got %q", i, arts[i].Output)
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d racers report shared=false, want 1", leaders)
+	}
+
+	// The stored entry must be complete and valid.
+	if art, ok := c.Get(j); !ok || art.Output != "expensive result\n" {
+		t.Fatalf("cache entry after stress: ok=%v art=%+v", ok, art)
+	}
+	assertNoTempDroppings(t, dir)
+}
+
+// TestCachePutConcurrentSameKey hammers raw Put from many goroutines —
+// the cross-process shape of the race, where single flight cannot help
+// — and asserts the surviving entry is whole.
+func TestCachePutConcurrentSameKey(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c := testCache(t, dir, "src-put")
+	j := Job{Name: "contended", ConfigHash: "cfg"}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Same key, same body: last rename wins, any winner is valid.
+			c.Put(j, Artifact{Name: "contended", Output: "payload\n", Pass: true})
+		}(i)
+	}
+	wg.Wait()
+
+	data, err := os.ReadFile(filepath.Join(dir, c.key(j)+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("entry is not valid JSON after concurrent puts: %v\n%s", err, data)
+	}
+	if e.Artifact.Output != "payload\n" {
+		t.Fatalf("entry corrupted: %+v", e)
+	}
+	assertNoTempDroppings(t, dir)
+}
+
+// assertNoTempDroppings fails if abandoned temp files remain.
+func assertNoTempDroppings(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("stray temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestPoolSubmitRunsJobs(t *testing.T) {
+	p := NewPool(4, nil)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := fmt.Sprintf("out-%d", i)
+			jr, err := p.Submit(context.Background(), Job{
+				Name: fmt.Sprintf("job-%d", i),
+				Run:  func() (Artifact, error) { return Artifact{Output: want, Pass: true}, nil },
+			})
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			if jr.Artifact.Output != want {
+				t.Errorf("job %d: got %q", i, jr.Artifact.Output)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestPoolSubmitAbandonsQueuedJobOnCancel(t *testing.T) {
+	p := NewPool(1, nil)
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(context.Background(), Job{Name: "hog", Run: func() (Artifact, error) {
+		close(started)
+		<-block
+		return Artifact{}, nil
+	}})
+	<-started // the only worker is busy
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := p.Submit(ctx, Job{Name: "queued", Run: func() (Artifact, error) {
+		t.Error("abandoned job ran")
+		return Artifact{}, nil
+	}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued submit: err=%v, want deadline exceeded", err)
+	}
+	close(block)
+}
+
+func TestPoolCloseDrainsAndRejects(t *testing.T) {
+	p := NewPool(2, nil)
+	var finished atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Submit(context.Background(), Job{Name: "j", Run: func() (Artifact, error) {
+				time.Sleep(5 * time.Millisecond)
+				finished.Add(1)
+				return Artifact{Pass: true}, nil
+			}})
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if got := finished.Load(); got != 6 {
+		t.Fatalf("close drained %d/6 jobs", got)
+	}
+	if _, err := p.Submit(context.Background(), Job{Name: "late", Run: func() (Artifact, error) { return Artifact{}, nil }}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after close: err=%v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolSharesCacheSingleFlight pins the daemon-shaped interaction:
+// concurrent identical submissions through one pool with a cache run
+// the job once and share the artifact.
+func TestPoolSharesCacheSingleFlight(t *testing.T) {
+	c := testCache(t, filepath.Join(t.TempDir(), "cache"), "src-pool")
+	p := NewPool(8, c)
+	defer p.Close()
+
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	j := Job{Name: "dedup", ConfigHash: "same", Run: func() (Artifact, error) {
+		<-gate
+		execs.Add(1)
+		return Artifact{Output: "once\n", Pass: true}, nil
+	}}
+	var wg sync.WaitGroup
+	results := make([]JobResult, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jr, err := p.Submit(context.Background(), j)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+			results[i] = jr
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("pool ran the job %d times, want 1", got)
+	}
+	// One leader executed; every other submission either joined its
+	// flight (Shared) or arrived just after it stored the entry
+	// (Cached). Either way, nobody re-ran the job.
+	leaders := 0
+	for _, jr := range results {
+		if jr.Artifact.Output != "once\n" {
+			t.Fatalf("wrong artifact: %+v", jr)
+		}
+		if !jr.Shared && !jr.Cached {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d submissions executed the job themselves, want 1", leaders)
+	}
+}

@@ -57,6 +57,10 @@ type JobResult struct {
 	Wall time.Duration
 	// Cached reports that the artifact came from the result cache.
 	Cached bool
+	// Shared reports that the artifact came from another concurrent
+	// execution of the same cache key (single flight), not from this
+	// caller running the job itself.
+	Shared bool
 }
 
 // Result is one pool run over a job list.
@@ -193,24 +197,35 @@ func Run(jobs []Job, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// runOne executes (or recalls) a single job.
+// runOne executes (or recalls) a single job. With a cache the
+// execution goes through Cache.Do, so concurrent same-key jobs —
+// possible when several pools share one cache, as the serving daemon's
+// request pool does — collapse to a single run.
 func runOne(j Job, c *Cache) (JobResult, error) {
-	if c != nil {
-		if art, ok := c.Get(j); ok {
-			return JobResult{Artifact: art, Cached: true}, nil
-		}
-	}
 	t0 := time.Now()
-	art, err := safeRun(j)
+	if c == nil {
+		art, err := safeRun(j)
+		if err != nil {
+			return JobResult{}, err
+		}
+		art.Name = j.Name
+		return JobResult{Artifact: art, Wall: time.Since(t0)}, nil
+	}
+	art, cached, shared, err := c.Do(j, func() (Artifact, error) {
+		art, err := safeRun(j)
+		if err == nil {
+			art.Name = j.Name
+		}
+		return art, err
+	})
 	if err != nil {
 		return JobResult{}, err
 	}
 	wall := time.Since(t0)
-	art.Name = j.Name
-	if c != nil {
-		c.Put(j, art)
+	if cached {
+		wall = 0
 	}
-	return JobResult{Artifact: art, Wall: wall}, nil
+	return JobResult{Artifact: art, Wall: wall, Cached: cached, Shared: shared}, nil
 }
 
 // safeRun converts a job panic into an error so one bad experiment

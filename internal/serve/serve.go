@@ -1,0 +1,725 @@
+// Package serve is the cachesyncd daemon core: an HTTP/JSON service
+// exposing the repository's engines — the protocol simulator
+// (internal/simrun), the bounded model checker (internal/mcheck), and
+// protocol×procs sweeps — as long-running endpoints on a shared worker
+// pool with bounded admission, per-request deadlines, single-flight
+// deduplication of identical in-flight requests, an on-disk result
+// cache, NDJSON progress streaming, and graceful drain.
+//
+// The serving discipline is the paper's bus-arbitration story applied
+// to a network service: the worker pool is the shared bus, the
+// admission gate is the bounded arbiter queue, and requests beyond its
+// capacity are rejected at the edge (429 + Retry-After) instead of
+// being allowed to queue without bound and degrade everyone's latency.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachesync"
+	"cachesync/internal/flight"
+	"cachesync/internal/mcheck"
+	"cachesync/internal/protocol"
+	"cachesync/internal/runner"
+	"cachesync/internal/simrun"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the execution width: how many simulations/checks run
+	// concurrently (< 1 means GOMAXPROCS). The admission gate's slot
+	// count and the worker pool's size are both set from it.
+	Workers int
+	// Queue bounds how many admitted requests may wait for a slot;
+	// arrivals beyond slots+queue are rejected with 429 (< 0 means the
+	// default of 64; 0 means reject whenever every slot is busy).
+	Queue int
+	// DefaultTimeout is the per-request execution deadline when the
+	// caller sets none (?timeout=); zero means 60s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps caller-requested deadlines; zero means 5m.
+	MaxTimeout time.Duration
+	// RetryAfter is the hint attached to 429/503 responses; zero means 1s.
+	RetryAfter time.Duration
+	// Cache, when non-nil, is the on-disk result cache shared with the
+	// worker pool: identical requests are answered from disk across
+	// process restarts, and concurrent identical requests collapse onto
+	// one execution.
+	Cache *runner.Cache
+	// MaxJobs bounds the in-memory job-record store for NDJSON
+	// streaming; zero means 512.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue < 0 {
+		c.Queue = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 512
+	}
+	return c
+}
+
+// execOut is what one deduplicated execution yields: the pool's result
+// plus the leading request's job ID, so coalesced followers can point
+// their watchers at the stream that actually ran.
+type execOut struct {
+	jr    runner.JobResult
+	jobID string
+}
+
+// Server is the daemon. Create with New, mount Handler, and Close when
+// done.
+type Server struct {
+	cfg  Config
+	pool *runner.Pool
+	gate *gate
+	jobs *jobStore
+	met  *metrics
+	fl   flight.Group[execOut]
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	closeMu  sync.Mutex
+	closed   bool
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:  cfg,
+		pool: runner.NewPool(cfg.Workers, cfg.Cache),
+		gate: newGate(cfg.Workers, cfg.Queue),
+		jobs: newJobStore(cfg.MaxJobs),
+		met:  newMetrics(),
+	}
+}
+
+// StartDrain flips the server into draining mode: /healthz reports 503
+// so load balancers stop routing here, and new work requests are
+// rejected with 503 + Retry-After while in-flight requests run to
+// completion.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains: it stops admitting work, waits for every in-flight
+// request (including ?async=1 executions), then stops the worker pool.
+// Safe to call more than once.
+func (s *Server) Close() {
+	s.StartDrain()
+	s.inflight.Wait()
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if !s.closed {
+		s.closed = true
+		s.pool.Close()
+	}
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.instrument(mux)
+}
+
+// route maps a request to its metrics label.
+func route(r *http.Request) string {
+	p := r.URL.Path
+	if strings.HasPrefix(p, "/v1/jobs/") {
+		p = "/v1/jobs/{id}"
+	}
+	return r.Method + " " + p
+}
+
+// statusWriter records the response code for metrics and forwards
+// Flush for NDJSON streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the mux with metrics, in-flight tracking, and the
+// drain gate.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt := route(r)
+		s.met.request(rt)
+		if s.draining.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
+			s.met.status(http.StatusServiceUnavailable)
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error": "draining", "retry_after_ms": s.cfg.RetryAfter.Milliseconds(),
+			}, true)
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.met.status(sw.code)
+		s.met.observe(time.Since(t0))
+	})
+}
+
+// timeoutFor resolves the request's execution deadline from ?timeout=,
+// defaulted and clamped by the server config.
+func (s *Server) timeoutFor(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad timeout %q: %w", raw, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("timeout %q must be positive", raw)
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// writeJSON renders one response. retry attaches the Retry-After hint.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, body any, retry bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if retry {
+		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+// writeError maps an execution error onto its status code.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.met.rejected.Add(1)
+		s.writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": "admission queue full", "retry_after_ms": s.cfg.RetryAfter.Milliseconds(),
+		}, true)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.timeouts.Add(1)
+		s.writeJSON(w, http.StatusGatewayTimeout, map[string]any{"error": err.Error()}, false)
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 follows the nginx convention. The
+		// response is written for the logs — nobody is reading it.
+		s.writeJSON(w, 499, map[string]any{"error": "client closed request"}, false)
+	case errors.Is(err, runner.ErrPoolClosed):
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "shutting down"}, true)
+	default:
+		s.writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()}, false)
+	}
+}
+
+// decodeBody parses one JSON request body strictly.
+func decodeBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// execute runs one deduplicated, admission-controlled request: the
+// single-flight group collapses concurrent identical requests so only
+// the leader passes the admission gate and occupies a pool worker;
+// followers wait on the leader's result without consuming capacity.
+// run receives the execution context and the job record to stream
+// progress into.
+func (s *Server) execute(ctx context.Context, jb *jobRec, kind, key string,
+	run func(ctx context.Context, jb *jobRec) (runner.Artifact, error)) (runner.Artifact, execMeta, error) {
+
+	jb.emit("queued", kind)
+	out, coalesced, err := s.fl.DoCtx(ctx, key, func() (execOut, error) {
+		release, err := s.gate.acquire(ctx)
+		if err != nil {
+			jb.finish("error", err.Error())
+			return execOut{}, err
+		}
+		defer release()
+		jb.emit("started", "")
+		jr, err := s.pool.Submit(ctx, runner.Job{
+			Name:       kind,
+			ConfigHash: key,
+			Run: func() (runner.Artifact, error) {
+				return run(ctx, jb)
+			},
+		})
+		if err != nil {
+			jb.finish("error", err.Error())
+			return execOut{}, err
+		}
+		if jr.Cached {
+			jb.emit("progress", "served from result cache")
+		}
+		jb.finish("done", fmt.Sprintf("pass=%v cached=%v", jr.Artifact.Pass, jr.Cached))
+		return execOut{jr: jr, jobID: jb.ID}, nil
+	})
+	if err != nil {
+		// A follower's record never saw the leader's events; close it out.
+		jb.finish("error", err.Error())
+		return runner.Artifact{}, execMeta{}, err
+	}
+	meta := execMeta{jobID: out.jobID, cached: out.jr.Cached, coalesced: coalesced || out.jr.Shared}
+	if coalesced {
+		s.met.coalesced.Add(1)
+		jb.finish("coalesced", "result shared with job "+out.jobID)
+	}
+	if out.jr.Cached {
+		s.met.cacheHits.Add(1)
+	}
+	return out.jr.Artifact, meta, nil
+}
+
+type execMeta struct {
+	jobID     string
+	cached    bool
+	coalesced bool
+}
+
+// respond is the shared synchronous/asynchronous tail of the three
+// work endpoints: ?async=1 detaches the execution from the connection
+// (202 + job id for streaming), otherwise the handler waits and
+// renders.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, kind, key string,
+	run func(ctx context.Context, jb *jobRec) (runner.Artifact, error),
+	render func(art runner.Artifact, meta execMeta) any) {
+
+	d, err := s.timeoutFor(r)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
+		return
+	}
+	jb := s.jobs.create(kind)
+	if r.URL.Query().Get("async") == "1" {
+		ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), d)
+		s.inflight.Add(1)
+		go func() {
+			defer s.inflight.Done()
+			defer cancel()
+			_, _, _ = s.execute(ctx, jb, kind, key, run)
+		}()
+		s.writeJSON(w, http.StatusAccepted, map[string]any{"job": jb.ID, "status": "accepted"}, false)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	art, meta, err := s.execute(ctx, jb, kind, key, run)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, render(art, meta), false)
+}
+
+// --- /v1/simulate ---
+
+// simPayload is the cached artifact body for a simulation: the
+// rendered report (byte-identical to cmd/cachesim's output for the
+// same configuration) plus the finishing cycle count.
+type simPayload struct {
+	Output string `json:"output"`
+	Cycles int64  `json:"cycles"`
+}
+
+// SimulateResponse is the /v1/simulate response body.
+type SimulateResponse struct {
+	Job       string `json:"job"`
+	Pass      bool   `json:"pass"`
+	Cycles    int64  `json:"cycles"`
+	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	// Output is byte-identical to cmd/cachesim's stdout for the same
+	// configuration (asserted by TestSimulateMatchesCLI).
+	Output string `json:"output"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var cfg simrun.Config
+	if err := decodeBody(r, &cfg); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
+		return
+	}
+	cfg = cfg.Normalize()
+	if cfg.TraceFile != "" || cfg.Workload == "trace" {
+		// Network callers must not name server-side files.
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": "trace workloads are CLI-only"}, false)
+		return
+	}
+	if cfg.LogN > 10_000 {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": "log must be <= 10000"}, false)
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
+		return
+	}
+	key := "simulate|" + cfg.Hash()
+	run := func(ctx context.Context, jb *jobRec) (runner.Artifact, error) {
+		var hooks simrun.Hooks
+		if cfg.LogN > 0 {
+			hooks.BusTxn = func(line string) { jb.emit("buslog", line) }
+		}
+		res, err := simrun.RunWithHooks(ctx, cfg, hooks)
+		if err != nil {
+			return runner.Artifact{}, err
+		}
+		body, err := json.Marshal(simPayload{Output: res.Output, Cycles: res.Cycles})
+		if err != nil {
+			return runner.Artifact{}, err
+		}
+		return runner.Artifact{Output: string(body), Pass: res.Pass}, nil
+	}
+	s.respond(w, r, "simulate", key, run, func(art runner.Artifact, meta execMeta) any {
+		var p simPayload
+		_ = json.Unmarshal([]byte(art.Output), &p)
+		return SimulateResponse{
+			Job: meta.jobID, Pass: art.Pass, Cycles: p.Cycles,
+			Cached: meta.cached, Coalesced: meta.coalesced, Output: p.Output,
+		}
+	})
+}
+
+// --- /v1/check ---
+
+// CheckRequest is the /v1/check request body: a bounded model-check
+// configuration. The BFS worker count is a server-side concern — the
+// exploration is deterministic for any worker count, so it is not part
+// of the request or the cache key.
+type CheckRequest struct {
+	Protocol  string `json:"protocol"`
+	Inject    string `json:"inject,omitempty"`
+	Procs     int    `json:"procs,omitempty"`
+	Blocks    int    `json:"blocks,omitempty"`
+	Words     int    `json:"words,omitempty"`
+	Depth     int    `json:"depth,omitempty"`
+	Symmetry  bool   `json:"symmetry,omitempty"`
+	MaxStates int    `json:"maxstates,omitempty"`
+}
+
+func (cr CheckRequest) normalize() CheckRequest {
+	if cr.Procs == 0 {
+		cr.Procs = 2
+	}
+	if cr.Blocks == 0 {
+		cr.Blocks = 1
+	}
+	if cr.Words == 0 {
+		cr.Words = 1
+	}
+	if cr.Depth == 0 {
+		cr.Depth = 6
+	}
+	if cr.MaxStates == 0 {
+		cr.MaxStates = 1 << 21
+	}
+	return cr
+}
+
+func (cr CheckRequest) validate() error {
+	if _, err := protocol.New(cr.Protocol); err != nil {
+		return err
+	}
+	if cr.Inject != "" {
+		if _, err := mcheck.Mutate(protocol.MustNew(cr.Protocol), cr.Inject); err != nil {
+			return err
+		}
+	}
+	if cr.Procs < 2 || cr.Procs > 4 {
+		return fmt.Errorf("procs %d out of range [2,4]", cr.Procs)
+	}
+	if cr.Blocks < 1 || cr.Blocks > 2 {
+		return fmt.Errorf("blocks %d out of range [1,2]", cr.Blocks)
+	}
+	if cr.Words < 1 || cr.Words > 4 {
+		return fmt.Errorf("words %d out of range [1,4]", cr.Words)
+	}
+	if cr.Depth < 1 || cr.Depth > 12 {
+		return fmt.Errorf("depth %d out of range [1,12]", cr.Depth)
+	}
+	if cr.MaxStates < 0 || cr.MaxStates > 1<<22 {
+		return fmt.Errorf("maxstates %d out of range", cr.MaxStates)
+	}
+	return nil
+}
+
+func (cr CheckRequest) hash() string {
+	return fmt.Sprintf("check|%s inject=%s p=%d b=%d w=%d d=%d sym=%v max=%d",
+		cr.Protocol, cr.Inject, cr.Procs, cr.Blocks, cr.Words, cr.Depth, cr.Symmetry, cr.MaxStates)
+}
+
+// CheckResponse is the /v1/check response body; Result is the
+// mcheck.Result JSON, counterexample included when one was found.
+type CheckResponse struct {
+	Job       string          `json:"job"`
+	Pass      bool            `json:"pass"`
+	Cached    bool            `json:"cached,omitempty"`
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Result    json.RawMessage `json:"result"`
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var cr CheckRequest
+	if err := decodeBody(r, &cr); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
+		return
+	}
+	cr = cr.normalize()
+	if err := cr.validate(); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
+		return
+	}
+	run := func(ctx context.Context, jb *jobRec) (runner.Artifact, error) {
+		p := protocol.MustNew(cr.Protocol)
+		if cr.Inject != "" {
+			var err error
+			if p, err = mcheck.Mutate(p, cr.Inject); err != nil {
+				return runner.Artifact{}, err
+			}
+		}
+		res, err := mcheck.Run(mcheck.Options{
+			Protocol: p, Procs: cr.Procs, Blocks: cr.Blocks, Words: cr.Words,
+			Depth: cr.Depth, Symmetry: cr.Symmetry, MaxStates: cr.MaxStates,
+			Workers: s.cfg.Workers, Context: ctx,
+			Progress: func(depth int, states, transitions int64) {
+				jb.emitf("progress", "depth %d: %d states, %d transitions", depth, states, transitions)
+			},
+		})
+		if err != nil {
+			return runner.Artifact{}, err
+		}
+		body, err := json.Marshal(res)
+		if err != nil {
+			return runner.Artifact{}, err
+		}
+		return runner.Artifact{Output: string(body), Pass: res.Counterexample == nil}, nil
+	}
+	s.respond(w, r, "check", cr.hash(), run, func(art runner.Artifact, meta execMeta) any {
+		return CheckResponse{
+			Job: meta.jobID, Pass: art.Pass,
+			Cached: meta.cached, Coalesced: meta.coalesced,
+			Result: json.RawMessage(art.Output),
+		}
+	})
+}
+
+// --- /v1/sweep ---
+
+// SweepRequest fans one workload out over protocols × processor
+// counts. Empty lists mean every registered protocol / {1,2,4,8}.
+type SweepRequest struct {
+	Protocols []string `json:"protocols,omitempty"`
+	Procs     []int    `json:"procs,omitempty"`
+	Workload  string   `json:"workload,omitempty"`
+	Ops       int      `json:"ops,omitempty"`
+	Iters     int      `json:"iters,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
+}
+
+// SweepPoint is one sweep cell's summary.
+type SweepPoint struct {
+	Protocol string `json:"protocol"`
+	Procs    int    `json:"procs"`
+	Pass     bool   `json:"pass"`
+	Cycles   int64  `json:"cycles"`
+}
+
+// SweepResponse is the /v1/sweep response body.
+type SweepResponse struct {
+	Job       string       `json:"job"`
+	Pass      bool         `json:"pass"`
+	Cached    bool         `json:"cached,omitempty"`
+	Coalesced bool         `json:"coalesced,omitempty"`
+	Points    []SweepPoint `json:"points"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sr SweepRequest
+	if err := decodeBody(r, &sr); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
+		return
+	}
+	if len(sr.Protocols) == 0 {
+		sr.Protocols = cachesync.Protocols()
+	}
+	if len(sr.Procs) == 0 {
+		sr.Procs = []int{1, 2, 4, 8}
+	}
+	if len(sr.Protocols)*len(sr.Procs) > 256 {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": "sweep exceeds 256 points"}, false)
+		return
+	}
+	// Validate every point up front so a bad cell fails fast as a 400,
+	// not mid-sweep as a 500.
+	cfgs := make([]simrun.Config, 0, len(sr.Protocols)*len(sr.Procs))
+	for _, p := range sr.Protocols {
+		for _, n := range sr.Procs {
+			cfg := simrun.Config{
+				Protocol: p, Procs: n,
+				Workload: sr.Workload, Ops: sr.Ops, Iters: sr.Iters, Seed: sr.Seed,
+			}.Normalize()
+			if err := cfg.Validate(); err != nil {
+				s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
+				return
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	var keyb strings.Builder
+	keyb.WriteString("sweep")
+	for _, cfg := range cfgs {
+		keyb.WriteString("|")
+		keyb.WriteString(cfg.Hash())
+	}
+	run := func(ctx context.Context, jb *jobRec) (runner.Artifact, error) {
+		// The whole sweep occupies one admission slot and runs its
+		// points sequentially: fairness across requests over speed of
+		// any single sweep.
+		points := make([]SweepPoint, 0, len(cfgs))
+		pass := true
+		for i, cfg := range cfgs {
+			res, err := simrun.Run(ctx, cfg)
+			if err != nil {
+				return runner.Artifact{}, err
+			}
+			points = append(points, SweepPoint{Protocol: cfg.Protocol, Procs: cfg.Procs, Pass: res.Pass, Cycles: res.Cycles})
+			pass = pass && res.Pass
+			jb.emitf("progress", "%d/%d %s p=%d: cycles=%d pass=%v",
+				i+1, len(cfgs), cfg.Protocol, cfg.Procs, res.Cycles, res.Pass)
+		}
+		body, err := json.Marshal(points)
+		if err != nil {
+			return runner.Artifact{}, err
+		}
+		return runner.Artifact{Output: string(body), Pass: pass}, nil
+	}
+	s.respond(w, r, "sweep", keyb.String(), run, func(art runner.Artifact, meta execMeta) any {
+		var points []SweepPoint
+		_ = json.Unmarshal([]byte(art.Output), &points)
+		return SweepResponse{
+			Job: meta.jobID, Pass: art.Pass,
+			Cached: meta.cached, Coalesced: meta.coalesced, Points: points,
+		}
+	})
+}
+
+// --- /v1/jobs/{id} ---
+
+// handleJob streams a job's events as NDJSON: everything recorded so
+// far replays immediately, then the stream follows live until the job
+// finishes or the client disconnects.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	jb := s.jobs.get(r.PathValue("id"))
+	if jb == nil {
+		s.writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown job"}, false)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	from := 0
+	for {
+		evs, done, changed := jb.snapshot(from)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		from += len(evs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// --- /healthz, /metrics ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true}, true)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "workers": s.cfg.Workers, "queue": s.cfg.Queue,
+		"uptime_ms": time.Since(s.met.start).Milliseconds(),
+	}, false)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(s.met.render(s.gate, s.jobs.count())))
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/protocol"
+	_ "cachesync/internal/protocol/all"
+)
+
+// longWorkloads builds per-processor loops long enough that a short
+// deadline always lands mid-run: every processor hammers a small set
+// of shared blocks with reads and writes (ops each, contended).
+func longWorkloads(s *System, procs, ops int) []func(*Proc) {
+	g := s.Geometry()
+	ws := make([]func(*Proc), procs)
+	for i := 0; i < procs; i++ {
+		i := i
+		ws[i] = func(p *Proc) {
+			for n := 0; n < ops; n++ {
+				a := g.Base(addr.Block((n + i) % 8))
+				if (n+i)%3 == 0 {
+					p.Write(a, uint64(n))
+				} else {
+					p.Read(a)
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// TestRunContextCancelsPromptlyWithoutLeaks aborts a long simulation
+// mid-run and asserts (a) the error identifies the deadline, (b) the
+// abort is prompt, and (c) every workload goroutine unwinds — the
+// leak check the daemon's 504 path depends on.
+func TestRunContextCancelsPromptlyWithoutLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 4; i++ {
+		s := New(DefaultConfig(protocol.MustNew("bitar")))
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+		start := time.Now()
+		err := s.RunContext(ctx, longWorkloads(s, 4, 2_000_000))
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("iteration %d: err = %v, want deadline exceeded", i, err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("iteration %d: cancellation took %v", i, elapsed)
+		}
+	}
+
+	// The four runs' workload goroutines (4 procs each) must all have
+	// unwound; give the scheduler a moment to retire them.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellations",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunContextExplicitCancel covers cancellation without a deadline.
+func TestRunContextExplicitCancel(t *testing.T) {
+	s := New(DefaultConfig(protocol.MustNew("illinois")))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := s.RunContext(ctx, longWorkloads(s, 4, 2_000_000)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCompletesUncanceled pins that a background context
+// changes nothing about a normal run.
+func TestRunContextCompletesUncanceled(t *testing.T) {
+	s := New(DefaultConfig(protocol.MustNew("bitar")))
+	if err := s.RunContext(context.Background(), longWorkloads(s, 4, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Clock() == 0 {
+		t.Fatal("simulation did not advance")
+	}
+}

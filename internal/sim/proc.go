@@ -52,10 +52,16 @@ type procOp struct {
 
 // procRes is the engine's reply unblocking the processor goroutine.
 type procRes struct {
-	value uint64
-	ok    bool
-	now   int64
+	value    uint64
+	ok       bool
+	now      int64
+	canceled bool // the run was aborted; the workload must unwind
 }
+
+// simCancelPanic is the sentinel Proc.do panics with when the engine
+// cancels the run; the workload-goroutine wrapper recovers exactly
+// this type, so workloads unwind without cooperating.
+type simCancelPanic struct{}
 
 // procStatus tracks where a processor is in the engine's event loop.
 type procStatus uint8
@@ -107,7 +113,11 @@ func (p *Proc) Now() int64 { return p.now }
 
 func (p *Proc) do(op procOp) procRes {
 	p.reqCh <- op
-	return <-p.resCh
+	r := <-p.resCh
+	if r.canceled {
+		panic(simCancelPanic{})
+	}
+	return r
 }
 
 // Read loads the word at a.

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"cachesync/internal/addr"
@@ -215,6 +216,16 @@ func (s *System) Stats() *stats.Counters {
 // on processor i; missing entries idle). It returns once every
 // workload has finished, or an error on deadlock or cycle overrun.
 func (s *System) Run(workloads []func(*Proc)) error {
+	return s.RunContext(context.Background(), workloads)
+}
+
+// RunContext is Run with cancellation: when ctx ends, the event loop
+// aborts between events, unblocks every live workload goroutine (their
+// Proc calls panic with an internal sentinel the goroutine wrapper
+// recovers, so none leak), and returns an error wrapping ctx.Err().
+// The System is abandoned mid-flight and — like any System after Run —
+// must not be reused.
+func (s *System) RunContext(ctx context.Context, workloads []func(*Proc)) error {
 	if s.started {
 		return fmt.Errorf("sim: a System runs exactly once; build a fresh one")
 	}
@@ -225,7 +236,14 @@ func (s *System) Run(workloads []func(*Proc)) error {
 			w = workloads[i]
 		}
 		go func(p *Proc, w func(*Proc)) {
-			defer func() { p.reqCh <- procOp{kind: opDone} }()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, canceled := r.(simCancelPanic); !canceled {
+						panic(r) // a genuine workload bug: keep crashing
+					}
+				}
+				p.reqCh <- procOp{kind: opDone}
+			}()
 			w(p)
 		}(p, w)
 	}
@@ -235,7 +253,14 @@ func (s *System) Run(workloads []func(*Proc)) error {
 		heap.Push(&s.ready, event{time: 0, proc: p.id})
 	}
 
+	pollCtx := 0
 	for s.doneN < len(s.Procs) {
+		// Poll cancellation every few events: between events the engine
+		// is quiescent (every live workload goroutine is parked on its
+		// result channel), which is exactly when cancelRun may unwind.
+		if pollCtx++; pollCtx&31 == 0 && ctx.Err() != nil {
+			return s.cancelRun(ctx)
+		}
 		if s.clock > s.hwm {
 			s.hwm = s.clock
 		}
@@ -275,6 +300,25 @@ func (s *System) Run(workloads []func(*Proc)) error {
 		}
 	}
 	return nil
+}
+
+// cancelRun unwinds an aborted simulation. Every processor whose
+// workload has not finished is parked on its result channel (the
+// engine only reaches the loop top with all live goroutines blocked),
+// so a canceled reply wakes each one; Proc.do converts it into the
+// sentinel panic that the Run wrapper recovers. Replies go out
+// non-blocking because a processor whose workload already returned
+// (its opDone still queued) has nobody listening.
+func (s *System) cancelRun(ctx context.Context) error {
+	for _, p := range s.Procs {
+		if p.status != statusDone {
+			select {
+			case p.resCh <- procRes{canceled: true}:
+			default:
+			}
+		}
+	}
+	return fmt.Errorf("sim: run canceled at cycle %d: %w", s.Clock(), ctx.Err())
 }
 
 func (s *System) deadlockError() error {

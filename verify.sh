@@ -2,8 +2,11 @@
 # Repository verification: formatting, static checks, the full test
 # suite, race-detector passes over every internally concurrent path
 # (model-checker BFS, sim engine, runner worker pool, bus, scheduler
-# queue), the fuzz targets in seed-corpus mode, the differential
-# sim<->mcheck harness, and the two committed-baseline gates.
+# queue, serving daemon, single-flight group), the fuzz targets in
+# seed-corpus mode, the differential sim<->mcheck harness, a live
+# cachesyncd smoke (start, probe, graceful stop), and the three
+# committed-baseline gates (mcheck perf, artifact manifest, serving
+# throughput).
 set -eu
 cd "$(dirname "$0")"
 
@@ -31,6 +34,9 @@ go test -race -short ./internal/sim/
 echo "== go test -race (runner pool, bus, scheduler queue)"
 go test -race -short ./internal/runner/ ./internal/bus/ ./internal/schedqueue/
 
+echo "== go test -race (serving daemon, single-flight)"
+go test -race -short ./internal/serve/ ./internal/flight/
+
 echo "== differential sim<->mcheck harness"
 go test -short -run 'TestDifferentialSimMcheck|TestDifferentialHarnessDetectsSeededBug' ./internal/ptest/
 
@@ -50,6 +56,35 @@ if [ -f ARTIFACTS.json ]; then
 	go run ./cmd/tables -gate ARTIFACTS.json
 else
 	echo "no ARTIFACTS.json baseline; skipping (create one with: go run ./cmd/tables -json ARTIFACTS.json)"
+fi
+
+echo "== cachesyncd smoke (start, /healthz, simulate, check, graceful stop)"
+smoketmp=$(mktemp -d)
+trap 'rm -rf "$smoketmp"' EXIT
+go build -o "$smoketmp/cachesyncd" ./cmd/cachesyncd
+go build -o "$smoketmp/loadgen" ./cmd/loadgen
+"$smoketmp/cachesyncd" -addr 127.0.0.1:0 -portfile "$smoketmp/port" >"$smoketmp/daemon.log" 2>&1 &
+dpid=$!
+if ! "$smoketmp/loadgen" -portfile "$smoketmp/port" -smoke; then
+	echo "cachesyncd smoke failed; daemon log:" >&2
+	cat "$smoketmp/daemon.log" >&2
+	kill "$dpid" 2>/dev/null || true
+	exit 1
+fi
+kill -TERM "$dpid"
+if ! wait "$dpid"; then
+	echo "cachesyncd did not exit cleanly on SIGTERM; daemon log:" >&2
+	cat "$smoketmp/daemon.log" >&2
+	exit 1
+fi
+echo "cachesyncd: clean start/probe/drain/stop"
+
+echo "== serving benchmark gate (open-loop load + overload shedding)"
+if [ -f BENCH_serve.json ]; then
+	go run ./cmd/loadgen -selfhost -workers 2 -queue 8 -rate 25 -duration 2s \
+		-require-shed -out BENCH_serve.json -gate 0.3
+else
+	echo "no BENCH_serve.json baseline; skipping (create one with: go run ./cmd/loadgen -selfhost -workers 2 -queue 8 -rate 25 -duration 3s -require-shed -out BENCH_serve.json -update)"
 fi
 
 echo "verify: OK"
