@@ -237,6 +237,66 @@ func BenchmarkEngineMixedReferences(b *testing.B) {
 	}
 }
 
+// BenchmarkSimEngine measures the direct-execution engine core:
+// simulated operations per real second with Program workloads pulled
+// inline by the event loop — no goroutine, channel handshake, or
+// scheduler park/unpark per operation. The shim variant runs the
+// identical operation stream through the blocking func(*Proc)
+// compatibility path, so the delta is the cost of lock-stepping
+// goroutines. BENCH_sim.json (via cmd/cachesim -bench-json) gates
+// regressions on these numbers.
+func BenchmarkSimEngine(b *testing.B) {
+	const procs, ops = 8, 2000
+	mixed := workload.Mixed{Ops: ops, SharedBlocks: 8, PrivBlocks: 24,
+		SharedFrac: 0.3, WriteFrac: 0.35, Seed: 1}
+	for _, proto := range []string{"bitar", "illinois", "dragon", "writethrough"} {
+		b.Run("mixed/"+proto, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := cachesync.New(cachesync.Config{Protocol: proto, Procs: procs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.RunPrograms(mixed.Programs(m.Layout(), procs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(procs*ops*b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+	for _, proto := range []string{"bitar", "illinois"} {
+		b.Run("lock/"+proto, func(b *testing.B) {
+			scheme, err := cachesync.BestScheme(proto)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lc := workload.LockContention{Locks: 1, Iters: 100, HoldCycles: 20,
+				ThinkCycles: 10, CSWrites: 2, Scheme: scheme, Seed: 1}
+			for i := 0; i < b.N; i++ {
+				m, err := cachesync.New(cachesync.Config{Protocol: proto, Procs: procs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.RunPrograms(lc.Programs(m.Layout(), procs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
+	b.Run("mixed/bitar/shim", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := cachesync.New(cachesync.Config{Protocol: "bitar", Procs: procs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Run(mixed.Build(m.Layout(), procs)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(procs*ops*b.N)/b.Elapsed().Seconds(), "ops/s")
+	})
+}
+
 // BenchmarkMcheck measures the bounded model checker's exploration
 // rate (states/sec) on the Bitar-Despain protocol at a mid-size
 // configuration: with one worker, with GOMAXPROCS workers (the ratio

@@ -42,6 +42,12 @@ type Proc = sim.Proc
 // Workload is one processor's program.
 type Workload = func(*Proc)
 
+// Program is a resumable direct-execution workload: the engine calls
+// its Next method inline for each operation, with no goroutine or
+// channel per processor (see sim.Program). The workload generators'
+// Programs methods return this form.
+type Program = sim.Program
+
 // Addr is a bus-wide-word address.
 type Addr = addr.Addr
 
@@ -174,6 +180,11 @@ func New(cfg Config) (*Machine, error) {
 // Run executes one workload per processor (missing entries idle) and
 // returns when all have finished, or on deadlock/cycle overrun.
 func (m *Machine) Run(ws []Workload) error { return m.sys.Run(ws) }
+
+// RunPrograms executes one Program per processor (nil entries idle) on
+// the direct goroutine-free path. It produces runs byte-identical to
+// Run given the same operation sequence, several times faster.
+func (m *Machine) RunPrograms(ps []Program) error { return m.sys.RunPrograms(ps) }
 
 // Clock returns the simulated time in cycles after Run.
 func (m *Machine) Clock() int64 { return m.sys.Clock() }

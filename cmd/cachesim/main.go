@@ -107,6 +107,9 @@ func finish(w, ew io.Writer, res *runner.Result) int {
 
 func main() {
 	flag.Parse()
+	if *simBenchJSON != "" {
+		os.Exit(runSimBench(*simBenchJSON))
+	}
 	if *list {
 		for _, n := range cachesync.Protocols() {
 			fmt.Println(n)

@@ -1,8 +1,10 @@
 // Command cachesyncd serves the repository's engines over HTTP/JSON:
 // simulations (POST /v1/simulate), bounded model checks (POST
 // /v1/check), protocol×procs sweeps (POST /v1/sweep), NDJSON progress
-// streams (GET /v1/jobs/{id}), liveness (GET /healthz), and Prometheus
-// metrics (GET /metrics).
+// streams (GET /v1/jobs/{id}), liveness (GET /healthz), Prometheus
+// metrics (GET /metrics), and — with -pprof, for operators — the
+// net/http/pprof diagnostics (GET /debug/pprof/), which bypass
+// admission and metrics and keep working during drain.
 //
 //	go run ./cmd/cachesyncd -addr 127.0.0.1:8344 -workers 4 -queue 64
 //	curl -d '{"protocol":"bitar","ops":500}' localhost:8344/v1/simulate
@@ -44,6 +46,7 @@ var (
 	maxTime  = flag.Duration("maxtimeout", 5*time.Minute, "upper clamp on caller-requested deadlines")
 	cacheDir = flag.String("cachedir", "", "on-disk result cache directory (empty = no cache)")
 	grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
+	pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator diagnostics; enable only on loopback or an admin-restricted listener)")
 )
 
 func run() error {
@@ -57,7 +60,7 @@ func run() error {
 	s := serve.New(serve.Config{
 		Workers: *workers, Queue: *queue,
 		DefaultTimeout: *timeout, MaxTimeout: *maxTime,
-		Cache: cache,
+		Cache: cache, Pprof: *pprofOn,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

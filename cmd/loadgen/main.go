@@ -49,12 +49,14 @@ var (
 	selfhost    = flag.Bool("selfhost", false, "embed the daemon in-process on 127.0.0.1:0")
 	shWork      = flag.Int("workers", 0, "selfhost: execution width (0 = GOMAXPROCS)")
 	shQueue     = flag.Int("queue", 64, "selfhost: admission queue length")
+	profile     = flag.String("profile", "mixed", "main-phase request mix: mixed (simulate/check/sweep rotation) | simheavy (all engine-bound simulations, unique seeds, checker off)")
 	rate        = flag.Float64("rate", 25, "open-loop arrival rate, requests/second")
 	duration    = flag.Duration("duration", 3*time.Second, "main-phase length")
 	conc        = flag.Int("conc", 256, "client-side cap on outstanding requests")
 	overload    = flag.Bool("overload", true, "run the overload phase (expect only clean 429s)")
 	requireShed = flag.Bool("require-shed", false, "fail if the overload phase sheds nothing (use with -selfhost and pinned -workers/-queue, where capacity is known)")
 	smoke       = flag.Bool("smoke", false, "one-shot probe: /healthz, one simulate, one check; then exit")
+	smokePprof  = flag.Bool("expect-pprof", false, "with -smoke, also require GET /debug/pprof/cmdline to answer 200 (daemon started with -pprof)")
 	wait        = flag.Duration("wait", 15*time.Second, "how long -portfile/-smoke wait for the daemon")
 	outFile     = flag.String("out", "", "benchmark baseline file (written if absent, gated if present)")
 	gate        = flag.Float64("gate", 0.3, "fail when throughput < gate × baseline throughput")
@@ -66,6 +68,7 @@ type bench struct {
 	Updated       string  `json:"updated"`
 	Go            string  `json:"go"`
 	Gate          float64 `json:"gate"`
+	Profile       string  `json:"profile,omitempty"`
 	RateRPS       float64 `json:"rate_rps"`
 	DurationS     float64 `json:"duration_s"`
 	Requests      int     `json:"requests"`
@@ -107,6 +110,22 @@ var mixProtocols = []string{"bitar", "illinois", "goodman", "berkeley"}
 // single-flight dedup cannot absorb the burst — so the admission gate
 // itself is what gets exercised.
 func request(i int, heavy bool) (path string, body map[string]any) {
+	// The simheavy profile is all simulation, sized so the simulator
+	// core — not the result cache, dedup, or coherence checker —
+	// dominates each request: unique seeds defeat caching, and the
+	// checker is off because it costs a full-machine scan per bus
+	// transaction and would drown the engine being measured. This is
+	// the profile where the direct-execution engine shows up in
+	// serving throughput.
+	if *profile == "simheavy" && !heavy {
+		return "/v1/simulate", map[string]any{
+			"protocol": mixProtocols[i%len(mixProtocols)],
+			"procs":    8,
+			"ops":      2_000,
+			"seed":     1 + i,
+			"nocheck":  true,
+		}
+	}
 	if heavy {
 		return "/v1/simulate", map[string]any{
 			"protocol": mixProtocols[i%len(mixProtocols)],
@@ -267,6 +286,19 @@ func runSmoke(client *http.Client, base string) error {
 	if r.err != nil || r.code != http.StatusOK {
 		return fmt.Errorf("smoke check: code=%d err=%v", r.code, r.err)
 	}
+	if *smokePprof {
+		resp, err := client.Get(base + "/debug/pprof/cmdline")
+		if err != nil {
+			return fmt.Errorf("smoke pprof: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("smoke pprof: code=%d, want 200", resp.StatusCode)
+		}
+		fmt.Println("smoke: OK (healthz, simulate, check, pprof)")
+		return nil
+	}
 	fmt.Println("smoke: OK (healthz, simulate, check)")
 	return nil
 }
@@ -283,6 +315,9 @@ func run() error {
 	}
 	if *smoke {
 		return runSmoke(client, base)
+	}
+	if *profile != "mixed" && *profile != "simheavy" {
+		return fmt.Errorf("unknown -profile %q (mixed | simheavy)", *profile)
 	}
 	if err := waitHealthy(client, base, *wait); err != nil {
 		return err
@@ -308,7 +343,7 @@ func run() error {
 	b := bench{
 		Updated: time.Now().UTC().Format(time.RFC3339),
 		Go:      runtime.Version(),
-		Gate:    *gate, RateRPS: *rate, DurationS: elapsed.Seconds(),
+		Gate:    *gate, Profile: *profile, RateRPS: *rate, DurationS: elapsed.Seconds(),
 		Requests: len(results), OK: ok, Non2xx: bad, ClientSkipped: skipped,
 		ThroughputRPS: float64(ok) / elapsed.Seconds(),
 		P50MS:         float64(lat.Percentile(50)) / 1000,

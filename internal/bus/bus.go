@@ -74,6 +74,24 @@ func (c Cmd) String() string {
 	return fmt.Sprintf("cmd(%d)", uint8(c))
 }
 
+// cmdCounterNames precomputes the "bus.<cmd>" statistic keys so the
+// per-transaction hot paths never build a string.
+var cmdCounterNames = func() (n [len(cmdNames)]string) {
+	for c := range n {
+		n[c] = "bus." + cmdNames[c]
+	}
+	return
+}()
+
+// CounterName returns the "bus.<cmd>" statistics key without
+// allocating.
+func (c Cmd) CounterName() string {
+	if int(c) < len(cmdCounterNames) {
+		return cmdCounterNames[c]
+	}
+	return "bus." + c.String()
+}
+
 // Lines is the set of wired-OR response lines observed during a
 // transaction. Any snooper (or memory) may assert a line; nobody can
 // deassert one.
@@ -108,6 +126,66 @@ type Transaction struct {
 
 	SupplyWordCount int    // bus words the supplier moved (transfer-unit mode, Section D.3)
 	DirtyUnits      []bool // per-unit dirty bits travelling with the block (Feature 7 "NF,S")
+
+	// blockBuf/dirtyBuf are retained scratch storage behind
+	// SupplyBlock/SupplyDirty, so a pooled Transaction supplies data
+	// without allocating. BlockData/DirtyUnits alias them only until
+	// the transaction completes; consumers copy what they keep.
+	blockBuf []uint64
+	dirtyBuf []bool
+}
+
+// Reset clears t for reuse as a fresh transaction while keeping its
+// scratch buffers, so engines can run every transaction through one
+// pooled record with zero steady-state allocation.
+func (t *Transaction) Reset() {
+	blockBuf, dirtyBuf, suppliers := t.blockBuf, t.dirtyBuf, t.Suppliers
+	*t = Transaction{blockBuf: blockBuf, dirtyBuf: dirtyBuf}
+	if suppliers != nil {
+		t.Suppliers = suppliers[:0]
+	}
+}
+
+// SupplyBlock copies words into t's scratch block buffer and points
+// BlockData at it — the no-allocation form of the supplier pattern
+// `t.BlockData = copyOf(words)`.
+func (t *Transaction) SupplyBlock(words []uint64) {
+	if cap(t.blockBuf) < len(words) {
+		t.blockBuf = make([]uint64, len(words))
+	}
+	t.blockBuf = t.blockBuf[:len(words)]
+	copy(t.blockBuf, words)
+	t.BlockData = t.blockBuf
+}
+
+// Clone returns a deep copy of t that is safe to retain: the engines
+// pool and reset their transaction records, so a snooper that keeps
+// transactions (monitors, recorders) must copy what it sees.
+func (t *Transaction) Clone() *Transaction {
+	cp := *t
+	cp.blockBuf, cp.dirtyBuf = nil, nil
+	if t.BlockData != nil {
+		cp.BlockData = append([]uint64(nil), t.BlockData...)
+	}
+	if t.DirtyUnits != nil {
+		cp.DirtyUnits = append([]bool(nil), t.DirtyUnits...)
+	}
+	if t.Suppliers != nil {
+		cp.Suppliers = append([]int(nil), t.Suppliers...)
+	}
+	return &cp
+}
+
+// SupplyDirty copies units into t's scratch dirty buffer and points
+// DirtyUnits at it (Feature 7 "NF,S": dirty bits travel with the
+// supplied block).
+func (t *Transaction) SupplyDirty(units []bool) {
+	if cap(t.dirtyBuf) < len(units) {
+		t.dirtyBuf = make([]bool, len(units))
+	}
+	t.dirtyBuf = t.dirtyBuf[:len(units)]
+	copy(t.dirtyBuf, units)
+	t.DirtyUnits = t.dirtyBuf
 }
 
 // String renders the transaction for traces and figure reproduction.
@@ -146,6 +224,22 @@ type Bus struct {
 	lastWinner int
 
 	Counts stats.Counters // bus.<cmd> transaction counts
+	cmdH   [len(cmdNames)]*int64
+}
+
+// CountTxn bumps the bus.<cmd> counter through a cached handle, so
+// the per-transaction path avoids a map lookup.
+func (b *Bus) CountTxn(cmd Cmd) {
+	if int(cmd) >= len(b.cmdH) {
+		b.Counts.Inc(cmd.CounterName())
+		return
+	}
+	h := b.cmdH[cmd]
+	if h == nil {
+		h = b.Counts.Handle(cmd.CounterName())
+		b.cmdH[cmd] = h
+	}
+	*h++
 }
 
 // New returns an empty bus. Attach snoopers before use.
@@ -257,7 +351,7 @@ func (b *Bus) ArbitrateAt(now int64) (id int, ok bool) {
 // Broadcast delivers the transaction to every snooper except the
 // requester and counts it. Snoopers assert lines and may supply data.
 func (b *Bus) Broadcast(t *Transaction) {
-	b.Counts.Inc("bus." + t.Cmd.String())
+	b.CountTxn(t.Cmd)
 	for _, s := range b.snoopers {
 		if s.ID() == t.Requester {
 			continue

@@ -30,6 +30,22 @@ type line struct {
 
 func (ln *line) valid() bool { return ln.hasTag && ln.state != protocol.Invalid }
 
+// Precomputed "proc.hit.<op>" / "proc.miss.<op>" / "proc.busop.<op>"
+// statistic keys: the probe path runs once per simulated access and
+// must not build strings.
+const maxCountedOps = 8
+
+var hitCounterNames, missCounterNames, busopCounterNames [maxCountedOps]string
+
+func init() {
+	for i := range hitCounterNames {
+		s := protocol.Op(i).String()
+		hitCounterNames[i] = "proc.hit." + s
+		missCounterNames[i] = "proc.miss." + s
+		busopCounterNames[i] = "proc.busop." + s
+	}
+}
+
 // BusyWaitRegister is the special register of Section E.3/E.4: it
 // remembers the block a denied lock request targeted and joins the
 // next arbitration, at high priority, when the unlock is broadcast.
@@ -74,7 +90,9 @@ type Config struct {
 }
 
 // Victim describes an eviction the engine must carry out before a
-// fill can proceed.
+// fill can proceed. Data aliases a per-cache scratch buffer that is
+// valid only until this cache's next PrepareFill; consumers copy what
+// they keep.
 type Victim struct {
 	Block  addr.Block
 	Data   []uint64
@@ -94,10 +112,31 @@ type Cache struct {
 	tick uint64
 	rng  uint64 // Random replacement state (seeded from the cache ID)
 
+	// idx maps a held tag to its frame, replacing the per-probe (and,
+	// worse, per-snoop-per-cache) linear way scan. Each tag lives in
+	// exactly one frame — Install reuses the tagged frame when present
+	// and PrepareFill only runs when the tag is absent — so the map is
+	// maintained at the six tag-mutation points. Frames are allocated
+	// once in New and never move, so the pointers stay valid.
+	idx map[addr.Block]*line
+
+	// Resolved stats handles for the per-access and per-snoop counters
+	// (see stats.Counters.Handle), filled on first use so a counter
+	// still only appears in snapshots once incremented.
+	hitH, missH, busopH              [maxCountedOps]*int64
+	snoopSeenH, tagmatchH, lockedH   *int64
+	supplyH, flushH, updateH, invalH *int64
+	wakeupH, dirWHCH                 *int64
+
 	// snoopsInvalid caches Features().SnoopsInvalid: Features() builds
 	// its descriptor (including a map) on every call, far too expensive
 	// for the per-snoop paths of the simulator and the model checker.
 	snoopsInvalid bool
+
+	// victimBuf is the scratch storage behind Victim.Data: at most one
+	// eviction is in flight per cache, and both engines consume the
+	// victim's data before the next PrepareFill.
+	victimBuf []uint64
 
 	BWReg  BusyWaitRegister
 	Counts stats.Counters
@@ -111,12 +150,22 @@ func New(id int, geom addr.Geometry, proto protocol.Protocol, cfg Config, mem *m
 		panic(fmt.Sprintf("cache: bad config %+v", cfg))
 	}
 	c := &Cache{id: id, geom: geom, proto: proto, cfg: cfg, mem: mem, rng: uint64(id)*2654435761 + 1,
-		snoopsInvalid: proto.Features().SnoopsInvalid}
+		snoopsInvalid: proto.Features().SnoopsInvalid,
+		idx:           make(map[addr.Block]*line, cfg.Sets*cfg.Ways)}
 	c.sets = make([][]line, cfg.Sets)
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)
 	}
 	return c
+}
+
+// bump increments the counter behind *h, resolving the handle on
+// first use.
+func (c *Cache) bump(h **int64, name string) {
+	if *h == nil {
+		*h = c.Counts.Handle(name)
+	}
+	**h++
 }
 
 // ID implements bus.Snooper.
@@ -136,12 +185,8 @@ func (c *Cache) setIndex(b addr.Block) int {
 // invalid lines with a matching tag are also returned (Rudolph-Segall
 // updates invalid copies, Section E.4).
 func (c *Cache) find(b addr.Block, snoopInvalid bool) *line {
-	set := c.sets[c.setIndex(b)]
-	for i := range set {
-		ln := &set[i]
-		if ln.hasTag && ln.tag == b && (ln.valid() || snoopInvalid) {
-			return ln
-		}
+	if ln := c.idx[b]; ln != nil && (ln.valid() || snoopInvalid) {
+		return ln
 	}
 	return nil
 }
@@ -224,21 +269,21 @@ func (c *Cache) probe(op protocol.Op, a addr.Addr, count bool) protocol.ProcResu
 				c.id, c.proto.Name(), b, op))
 		}
 		if count {
-			c.Counts.Inc("proc.hit." + op.String())
+			c.bump(&c.hitH[op], hitCounterNames[op])
 			// Feature 3 statistic: frequency of write hits to clean
 			// blocks (the events that update dirty status in the bus
 			// directory).
 			if op.IsWrite() && !c.proto.IsDirty(st) && c.proto.IsDirty(r.NewState) {
-				c.Counts.Inc("dir.write-hit-clean")
+				c.bump(&c.dirWHCH, "dir.write-hit-clean")
 			}
 		}
 		ln.state = r.NewState
 		c.touch(ln)
 	} else if count {
 		if ln == nil {
-			c.Counts.Inc("proc.miss." + op.String())
+			c.bump(&c.missH[op], missCounterNames[op])
 		} else {
-			c.Counts.Inc("proc.busop." + op.String())
+			c.bump(&c.busopH[op], busopCounterNames[op])
 		}
 	}
 	return r
@@ -298,11 +343,15 @@ func (c *Cache) PrepareFill(b addr.Block) Victim {
 	}
 	if !victim.valid() {
 		// Invalid tag-only frame: reusable with no obligations.
+		delete(c.idx, victim.tag)
 		victim.hasTag = false
 		return Victim{}
 	}
 	ev := c.proto.Evict(victim.state)
-	data := make([]uint64, len(victim.data))
+	if cap(c.victimBuf) < len(victim.data) {
+		c.victimBuf = make([]uint64, len(victim.data))
+	}
+	data := c.victimBuf[:len(victim.data)]
 	copy(data, victim.data)
 	return Victim{Block: victim.tag, Data: data, Evict: ev, Needed: true}
 }
@@ -332,6 +381,7 @@ func (c *Cache) EvictWords(b addr.Block) int {
 // Drop invalidates block b (post-eviction, or I/O invalidation).
 func (c *Cache) Drop(b addr.Block) {
 	if ln := c.find(b, true); ln != nil {
+		delete(c.idx, ln.tag)
 		ln.hasTag = false
 		ln.state = protocol.Invalid
 	}
@@ -357,6 +407,7 @@ func (c *Cache) Install(b addr.Block, data []uint64, st protocol.State) {
 	}
 	ln.hasTag = true
 	ln.tag = b
+	c.idx[b] = ln
 	ln.state = st
 	if ln.data == nil || len(ln.data) != c.geom.BlockWords {
 		ln.data = make([]uint64, c.geom.BlockWords)
@@ -368,7 +419,13 @@ func (c *Cache) Install(b addr.Block, data []uint64, st protocol.State) {
 			ln.data[i] = 0
 		}
 	}
-	ln.unitDirty = make([]bool, c.geom.Units())
+	if len(ln.unitDirty) != c.geom.Units() {
+		ln.unitDirty = make([]bool, c.geom.Units())
+	} else {
+		for i := range ln.unitDirty {
+			ln.unitDirty[i] = false
+		}
+	}
 	c.tick++
 	ln.installed = c.tick
 	ln.lru = c.tick
@@ -413,6 +470,7 @@ func (c *Cache) Snapshot() []LineSnapshot {
 func (c *Cache) Restore(lines []LineSnapshot) {
 	// Reset every frame but keep its data/unitDirty storage: Restore is
 	// the model checker's per-transition hot path.
+	clear(c.idx)
 	for _, set := range c.sets {
 		for i := range set {
 			ln := &set[i]
@@ -440,6 +498,7 @@ func (c *Cache) Restore(lines []LineSnapshot) {
 		c.tick++
 		ln.hasTag = true
 		ln.tag = snap.Block
+		c.idx[snap.Block] = ln
 		ln.state = snap.State
 		if len(ln.data) != c.geom.BlockWords {
 			ln.data = make([]uint64, c.geom.BlockWords)
@@ -480,8 +539,10 @@ func (c *Cache) SetState(b addr.Block, st protocol.State) {
 		panic(fmt.Sprintf("cache %d: SetState on absent block %d", c.id, b))
 	}
 	ln.state = st
-	if st == protocol.Invalid {
-		ln.hasTag = c.snoopsInvalid // keep tag only if invalid lines snoop
+	if st == protocol.Invalid && !c.snoopsInvalid {
+		// Keep the tag only if invalid lines snoop.
+		delete(c.idx, ln.tag)
+		ln.hasTag = false
 	}
 	c.touch(ln)
 }
@@ -540,19 +601,19 @@ func (c *Cache) SupplyWords(b addr.Block, a addr.Addr) int {
 // assertions, data supply, snoop-time flush, word updates, state
 // changes, and the busy-wait register reaction to Unlock broadcasts.
 func (c *Cache) Snoop(t *bus.Transaction) {
-	c.Counts.Inc("snoop.seen")
+	c.bump(&c.snoopSeenH, "snoop.seen")
 
 	// The busy-wait register watches Unlock broadcasts regardless of
 	// line state (the line is typically invalid while waiting).
 	if t.Cmd == bus.Unlock && c.BWReg.Armed && c.BWReg.Block == t.Block {
-		c.Counts.Inc("bwreg.wakeup")
+		c.bump(&c.wakeupH, "bwreg.wakeup")
 	}
 
 	ln := c.find(t.Block, c.snoopsInvalid)
 	if ln == nil {
 		return
 	}
-	c.Counts.Inc("snoop.tagmatch")
+	c.bump(&c.tagmatchH, "snoop.tagmatch")
 
 	res := c.proto.Snoop(ln.state, t)
 
@@ -561,7 +622,7 @@ func (c *Cache) Snoop(t *bus.Transaction) {
 	}
 	if res.Locked {
 		t.Lines.Locked = true
-		c.Counts.Inc("snoop.locked-denial")
+		c.bump(&c.lockedH, "snoop.locked-denial")
 	}
 	if res.Supply {
 		t.Lines.SourceHit = true
@@ -571,38 +632,36 @@ func (c *Cache) Snoop(t *bus.Transaction) {
 		}
 		t.Suppliers = append(t.Suppliers, c.id)
 		if t.BlockData == nil {
-			t.BlockData = make([]uint64, len(ln.data))
-			copy(t.BlockData, ln.data)
+			t.SupplyBlock(ln.data)
 			t.SupplyWordCount = c.SupplyWords(t.Block, t.Addr)
 			if res.Dirty {
-				t.DirtyUnits = make([]bool, len(ln.unitDirty))
-				copy(t.DirtyUnits, ln.unitDirty)
+				t.SupplyDirty(ln.unitDirty)
 			}
 		}
-		c.Counts.Inc("snoop.supply")
+		c.bump(&c.supplyH, "snoop.supply")
 	}
 	if res.Flush {
 		t.Flushed = true
 		if t.BlockData == nil {
-			t.BlockData = make([]uint64, len(ln.data))
-			copy(t.BlockData, ln.data)
+			t.SupplyBlock(ln.data)
 		}
 		if c.mem != nil && t.Cmd == bus.None {
 			// Direct flush outside a bus transaction (tests only).
 			c.mem.WriteBlock(t.Block, ln.data)
 		}
-		c.Counts.Inc("snoop.flush")
+		c.bump(&c.flushH, "snoop.flush")
 	}
 	if res.UpdateWord || res.TakeWord {
 		ln.data[c.geom.Offset(t.Addr)] = t.WordData
-		c.Counts.Inc("snoop.update")
+		c.bump(&c.updateH, "snoop.update")
 	}
 
 	if ln.state != protocol.Invalid && res.NewState == protocol.Invalid {
-		c.Counts.Inc("snoop.invalidated")
+		c.bump(&c.invalH, "snoop.invalidated")
 	}
 	ln.state = res.NewState
 	if res.NewState == protocol.Invalid && !c.snoopsInvalid {
+		delete(c.idx, ln.tag)
 		ln.hasTag = false
 	}
 }

@@ -86,11 +86,12 @@ func RenderCounterexample(opts Options, cex *Counterexample) string {
 }
 
 // recorder captures every bus transaction of a sim run (an extra
-// snooper, never a requester).
+// snooper, never a requester). It clones each transaction: the engine
+// pools its records.
 type recorder struct{ txns []*bus.Transaction }
 
 func (r *recorder) ID() int                  { return -2 }
-func (r *recorder) Snoop(t *bus.Transaction) { r.txns = append(r.txns, t) }
+func (r *recorder) Snoop(t *bus.Transaction) { r.txns = append(r.txns, t.Clone()) }
 
 // stepGap spaces the counterexample's steps far enough apart in
 // simulated time that the sim reproduces the exact interleaving.

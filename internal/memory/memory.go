@@ -38,6 +38,18 @@ type Memory struct {
 	Dir *Directory
 
 	Counts stats.Counters
+	// Cached stats handles for the per-snoop counters, resolved on
+	// first use (see stats.Counters.Handle).
+	cflushH, supplyH, wwordH, uwordH, flushH, iowH *int64
+}
+
+// bump increments the counter behind *h, resolving the handle on
+// first use.
+func (m *Memory) bump(h **int64, name string) {
+	if *h == nil {
+		*h = m.Counts.Handle(name)
+	}
+	**h++
 }
 
 // New returns an empty memory (all words read as zero).
@@ -149,7 +161,7 @@ func (m *Memory) Respond(t *bus.Transaction) (supplied bool) {
 	// updates memory (Feature 7).
 	if t.Flushed && t.Cmd != bus.Flush && len(t.BlockData) > 0 {
 		m.WriteBlock(t.Block, t.BlockData)
-		m.Counts.Inc("mem.concurrent-flush")
+		m.bump(&m.cflushH, "mem.concurrent-flush")
 	}
 
 	switch t.Cmd {
@@ -160,23 +172,23 @@ func (m *Memory) Respond(t *bus.Transaction) (supplied bool) {
 		if t.Lines.Inhibit {
 			return false // a source cache supplies the block
 		}
-		t.BlockData = m.ReadBlock(t.Block)
-		m.Counts.Inc("mem.supply")
+		t.SupplyBlock(m.block(t.Block))
+		m.bump(&m.supplyH, "mem.supply")
 		return true
 	case bus.WriteWord:
 		if t.Lines.Locked {
 			return false
 		}
 		m.WriteWord(t.Addr, t.WordData)
-		m.Counts.Inc("mem.writeword")
+		m.bump(&m.wwordH, "mem.writeword")
 	case bus.UpdateWord:
 		if t.MemUpdate {
 			m.WriteWord(t.Addr, t.WordData)
-			m.Counts.Inc("mem.updateword")
+			m.bump(&m.uwordH, "mem.updateword")
 		}
 	case bus.Flush:
 		m.WriteBlock(t.Block, t.BlockData)
-		m.Counts.Inc("mem.flush")
+		m.bump(&m.flushH, "mem.flush")
 	case bus.IOWrite:
 		if t.Lines.Locked {
 			// The block is locked in a cache: the input transfer is
@@ -184,7 +196,7 @@ func (m *Memory) Respond(t *bus.Transaction) (supplied bool) {
 			return false
 		}
 		m.WriteBlock(t.Block, t.BlockData)
-		m.Counts.Inc("mem.iowrite")
+		m.bump(&m.iowH, "mem.iowrite")
 	}
 	return false
 }

@@ -12,14 +12,16 @@ import (
 )
 
 // monitor records every bus transaction; it is attached as an extra
-// snooper (ID -2, never a requester) so figure reproductions can show
-// the bus activity of a scenario.
+// snooper (ID -2, never a requester, after every cache so all lines
+// are already asserted) so figure reproductions can show the bus
+// activity of a scenario. It clones what it sees: the engine pools
+// its transaction records.
 type monitor struct {
 	txns []*bus.Transaction
 }
 
 func (m *monitor) ID() int                  { return -2 }
-func (m *monitor) Snoop(t *bus.Transaction) { m.txns = append(m.txns, t) }
+func (m *monitor) Snoop(t *bus.Transaction) { m.txns = append(m.txns, t.Clone()) }
 
 // scenario runs workloads on a fresh bitar machine with a bus monitor
 // attached and returns the system and the recorded transactions.

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -59,6 +60,14 @@ type Config struct {
 	// MaxJobs bounds the in-memory job-record store for NDJSON
 	// streaming; zero means 512.
 	MaxJobs int
+	// Pprof mounts the net/http/pprof diagnostic endpoints under
+	// /debug/pprof/. They are an operator tool, off by default: enable
+	// only on loopback or an admin-restricted listener. Profiling
+	// requests bypass the instrumented route table, so they are not
+	// admission-counted, do not appear in /metrics, and keep working
+	// while the daemon drains — exactly what debugging an overloaded
+	// or draining daemon needs.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -151,7 +160,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.instrument(mux)
+	h := s.instrument(mux)
+	if !s.cfg.Pprof {
+		return h
+	}
+	// The pprof mount wraps the instrumented handler from outside:
+	// see Config.Pprof for why profiling skips instrumentation.
+	outer := http.NewServeMux()
+	outer.HandleFunc("/debug/pprof/", pprof.Index)
+	outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	outer.Handle("/", h)
+	return outer
 }
 
 // route maps a request to its metrics label.

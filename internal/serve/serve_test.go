@@ -566,3 +566,59 @@ func TestTimeoutParam(t *testing.T) {
 		}
 	}
 }
+
+// TestPprofMount covers the /debug/pprof/ diagnostic mount: present
+// only when Config.Pprof is set, served outside the instrumented
+// route table (no /metrics footprint, no admission), and still
+// answering while the daemon drains.
+func TestPprofMount(t *testing.T) {
+	t.Run("disabled-by-default", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{Workers: 1})
+		resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("pprof without Config.Pprof: code %d, want 404", resp.StatusCode)
+		}
+	})
+
+	t.Run("enabled", func(t *testing.T) {
+		s, ts := newTestServer(t, Config{Workers: 1, Pprof: true})
+		for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: code %d, want 200", path, resp.StatusCode)
+			}
+		}
+
+		// Not instrumented: the probes above must not appear in /metrics.
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), "pprof") {
+			t.Fatalf("/metrics mentions pprof routes:\n%s", body)
+		}
+
+		// Still served while draining (new work is 503 then).
+		s.StartDrain()
+		resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof while draining: code %d, want 200", resp.StatusCode)
+		}
+	})
+}

@@ -8,11 +8,25 @@ import (
 	"cachesync/internal/protocol"
 )
 
+// ioCounterName returns the precomputed "io.<cmd>" statistic key for
+// the three commands an I/O transfer can issue.
+func ioCounterName(c bus.Cmd) string {
+	switch c {
+	case bus.IOWrite:
+		return "io.iowrite"
+	case bus.ReadX:
+		return "io.readx"
+	case bus.IORead:
+		return "io.ioread"
+	}
+	return "io." + c.String()
+}
+
 // serveBus is called when ctx's processor wins bus arbitration. The
 // access is re-run against the (possibly snooped-upon) line state; it
 // may complete locally, run a transaction, or park in busy wait.
 func (s *System) serveBus(ctx *opCtx) {
-	delete(s.ctxs, ctx.arbID)
+	ctx.active = false
 	switch ctx.op.kind {
 	case opIO:
 		s.serveIO(ctx)
@@ -87,18 +101,21 @@ func (s *System) advanceRMW(ctx *opCtx) {
 	s.serveTxn(ctx)
 }
 
-// buildTxn materializes the pending bus command of ctx.
+// buildTxn materializes the pending bus command of ctx in the pooled
+// transaction record. The record is live only until the transaction's
+// completion is applied; every consumer that keeps block data copies
+// it out.
 func (s *System) buildTxn(ctx *opCtx) *bus.Transaction {
 	b := s.cfg.Geometry.BlockOf(ctx.op.addr)
-	t := &bus.Transaction{
-		Cmd:        ctx.pr.Cmd,
-		Block:      b,
-		Addr:       ctx.op.addr,
-		Requester:  ctx.p.id,
-		LockIntent: ctx.pr.LockIntent,
-		AfterWait:  ctx.afterWait,
-		MemUpdate:  ctx.pr.MemUpdate,
-	}
+	t := &s.txnScratch
+	t.Reset()
+	t.Cmd = ctx.pr.Cmd
+	t.Block = b
+	t.Addr = ctx.op.addr
+	t.Requester = ctx.p.id
+	t.LockIntent = ctx.pr.LockIntent
+	t.AfterWait = ctx.afterWait
+	t.MemUpdate = ctx.pr.MemUpdate
 	if ctx.protoOp == protocol.OpUnlock && (t.Cmd == bus.ReadX || t.Cmd == bus.Upgrade) {
 		t.UnlockIntent = true
 	}
@@ -129,7 +146,13 @@ func (s *System) needsFrame(cmd bus.Cmd) bool {
 func (s *System) evict(c *cache.Cache, v cache.Victim) {
 	if v.Evict.Writeback {
 		words := c.EvictWords(v.Block)
-		t := &bus.Transaction{Cmd: bus.Flush, Block: v.Block, Addr: s.cfg.Geometry.Base(v.Block), Requester: c.ID(), BlockData: v.Data}
+		t := &s.txnScratch
+		t.Reset()
+		t.Cmd = bus.Flush
+		t.Block = v.Block
+		t.Addr = s.cfg.Geometry.Base(v.Block)
+		t.Requester = c.ID()
+		t.BlockData = v.Data
 		bi := s.busOf(v.Block)
 		if s.clock < s.busFree[bi] {
 			s.clock = s.busFree[bi]
@@ -140,8 +163,7 @@ func (s *System) evict(c *cache.Cache, v cache.Victim) {
 		start := s.clock
 		s.busFree[bi] = s.clock + cost
 		s.clock = s.busFree[bi]
-		s.Counts.Add("bus.cycles", cost)
-		s.Counts.Add("bus.words", int64(words))
+		s.countBus(cost, int64(words))
 		s.Counts.Inc("evict.flush")
 		s.logTxn(bi, t, start, cost)
 	}
@@ -183,7 +205,7 @@ func (s *System) serveTxn(ctx *opCtx) {
 		for _, id := range targets {
 			s.Caches[id].Snoop(t)
 		}
-		s.Buses[bi].Counts.Inc("bus." + t.Cmd.String())
+		s.Buses[bi].CountTxn(t.Cmd)
 		dirCost = int64(s.cfg.Timing.DirLookupCycles + len(targets)*s.cfg.Timing.DirMsgCycles)
 		s.Counts.Add("dir.msgs", int64(len(targets)))
 	} else {
@@ -214,8 +236,7 @@ func (s *System) serveTxn(ctx *opCtx) {
 	start := s.clock
 	s.busFree[bi] = s.clock + cost
 	s.clock = s.busFree[bi]
-	s.Counts.Add("bus.cycles", cost)
-	s.Counts.Add("bus.words", int64(words))
+	s.countBus(cost, int64(words))
 	s.logTxn(bi, t, start, cost)
 
 	if s.feats.PartialBroadcast && !t.Lines.Locked {
@@ -259,11 +280,23 @@ func (s *System) park(ctx *opCtx, b addr.Block) {
 	if !ctx.prefetch {
 		p.status = statusWaiting
 	}
-	s.ctxs[ctx.arbID] = ctx
+	ctx.active = true
 	s.Caches[p.id].BWReg = cache.BusyWaitRegister{Armed: true, Block: b}
-	s.waiters[b] = append(s.waiters[b], ctx.arbID)
+	s.addWaiter(b, ctx.arbID)
 	s.Counts.Inc("lock.denied")
 	p.Counts.Inc("proc.busywait")
+}
+
+// addWaiter appends id to block b's waiter list, reusing a retired
+// slice from the pool when the list is fresh.
+func (s *System) addWaiter(b addr.Block, id int) {
+	w, ok := s.waiters[b]
+	if !ok && len(s.waiterPool) > 0 {
+		n := len(s.waiterPool) - 1
+		w = s.waiterPool[n]
+		s.waiterPool = s.waiterPool[:n]
+	}
+	s.waiters[b] = append(w, id)
 }
 
 // wakeWaiters reacts to an Unlock broadcast on block b (Figure 9):
@@ -275,8 +308,8 @@ func (s *System) wakeWaiters(b addr.Block) {
 	}
 	delete(s.waiters, b)
 	for _, id := range ids {
-		ctx := s.ctxs[id]
-		if ctx == nil {
+		ctx := &s.ctxs[id]
+		if !ctx.active {
 			continue
 		}
 		ctx.afterWait = true
@@ -287,6 +320,7 @@ func (s *System) wakeWaiters(b addr.Block) {
 		s.Buses[s.busOf(b)].RequestAt(id, !s.cfg.NoWaiterPriority, s.clock)
 		s.Counts.Inc("lock.rearb")
 	}
+	s.waiterPool = append(s.waiterPool, ids[:0])
 }
 
 // withdrawLosers implements the losing half of Figure 9: once a
@@ -294,8 +328,9 @@ func (s *System) wakeWaiters(b addr.Block) {
 // their bus requests — no retry ever reaches the bus — and go back to
 // waiting on the (new) holder's unlock broadcast.
 func (s *System) withdrawLosers(b addr.Block, winner int) {
-	for id, ctx := range s.ctxs {
-		if id == winner || !ctx.afterWait {
+	for id := range s.ctxs {
+		ctx := &s.ctxs[id]
+		if id == winner || !ctx.active || !ctx.afterWait {
 			continue
 		}
 		if !ctx.prefetch && ctx.p.status != statusBlocked {
@@ -309,7 +344,7 @@ func (s *System) withdrawLosers(b addr.Block, winner int) {
 		if !ctx.prefetch {
 			ctx.p.status = statusWaiting
 		}
-		s.waiters[b] = append(s.waiters[b], id)
+		s.addWaiter(b, id)
 		s.Counts.Inc("lock.backoff")
 	}
 }
@@ -354,7 +389,8 @@ func (s *System) applyCompletion(ctx *opCtx, t *bus.Transaction, cres protocol.C
 	case bus.WriteWord:
 		if newState != protocol.Invalid {
 			if c.State(b) == protocol.Invalid {
-				c.Install(b, s.Mem.ReadBlock(b), newState)
+				// BlockView: Install copies, so the no-copy accessor is safe.
+				c.Install(b, s.Mem.BlockView(b), newState)
 			} else {
 				c.SetState(b, newState)
 			}
@@ -519,16 +555,21 @@ func (s *System) finishOp(ctx *opCtx, t int64) {
 func (s *System) serveIO(ctx *opCtx) {
 	g := s.cfg.Geometry
 	b := g.BlockOf(ctx.op.addr)
-	var t *bus.Transaction
+	t := &s.txnScratch
+	t.Reset()
+	t.Block = b
+	t.Addr = ctx.op.addr
+	t.Requester = -1
 	switch ctx.op.io {
 	case IOInput:
+		t.Cmd = bus.IOWrite
 		data := make([]uint64, g.BlockWords)
 		copy(data, ctx.op.vals)
-		t = &bus.Transaction{Cmd: bus.IOWrite, Block: b, Addr: ctx.op.addr, Requester: -1, BlockData: data}
+		t.BlockData = data
 	case IOPageOut:
-		t = &bus.Transaction{Cmd: bus.ReadX, Block: b, Addr: ctx.op.addr, Requester: -1}
+		t.Cmd = bus.ReadX
 	case IOOutput:
-		t = &bus.Transaction{Cmd: bus.IORead, Block: b, Addr: ctx.op.addr, Requester: -1}
+		t.Cmd = bus.IORead
 	}
 	bi := s.busOf(b)
 	if s.clock < s.busFree[bi] {
@@ -545,9 +586,8 @@ func (s *System) serveIO(ctx *opCtx) {
 	start := s.clock
 	s.busFree[bi] = s.clock + cost
 	s.clock = s.busFree[bi]
-	s.Counts.Add("bus.cycles", cost)
-	s.Counts.Add("bus.words", int64(words))
-	s.Counts.Inc("io." + t.Cmd.String())
+	s.countBus(cost, int64(words))
+	s.Counts.Inc(ioCounterName(t.Cmd))
 	s.logTxn(bi, t, start, cost)
 	s.respond(ctx.p, s.clock, procRes{ok: !t.Lines.Locked})
 	s.notifyTxn()
@@ -565,7 +605,14 @@ func (s *System) serveRMWMemory(ctx *opCtx) {
 	if s.clock < s.busFree[bi] {
 		s.clock = s.busFree[bi]
 	}
-	read := &bus.Transaction{Cmd: bus.Read, Block: b, Addr: ctx.op.addr, Requester: -1}
+	// Both pooled records are live at once here: the read transaction
+	// must survive until its TxnCost below, after the write broadcast.
+	read := &s.txnScratch
+	read.Reset()
+	read.Cmd = bus.Read
+	read.Block = b
+	read.Addr = ctx.op.addr
+	read.Requester = -1
 	s.Buses[bi].Broadcast(read)
 	memSupplied := s.Mem.Respond(read)
 	if !memSupplied && read.BlockData != nil {
@@ -574,7 +621,13 @@ func (s *System) serveRMWMemory(ctx *opCtx) {
 	}
 	old := s.Mem.ReadWord(ctx.op.addr)
 
-	write := &bus.Transaction{Cmd: bus.WriteWord, Block: b, Addr: ctx.op.addr, Requester: -1, WordData: ctx.op.f(old)}
+	write := &s.txnScratch2
+	write.Reset()
+	write.Cmd = bus.WriteWord
+	write.Block = b
+	write.Addr = ctx.op.addr
+	write.Requester = -1
+	write.WordData = ctx.op.f(old)
 	s.Buses[bi].Broadcast(write)
 	s.Mem.Respond(write)
 

@@ -50,7 +50,10 @@ func TestRunContextCancelsPromptlyWithoutLeaks(t *testing.T) {
 		if !errors.Is(err, context.DeadlineExceeded) {
 			t.Fatalf("iteration %d: err = %v, want deadline exceeded", i, err)
 		}
-		if elapsed := time.Since(start); elapsed > 5*time.Second {
+		// The engine checks ctx before every event, so the abort must
+		// land within one event of the deadline; 500ms of wall-clock
+		// headroom covers scheduler noise, nothing more.
+		if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
 			t.Fatalf("iteration %d: cancellation took %v", i, elapsed)
 		}
 	}
@@ -80,6 +83,77 @@ func TestRunContextExplicitCancel(t *testing.T) {
 		cancel()
 	}()
 	if err := s.RunContext(ctx, longWorkloads(s, 4, 2_000_000)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// hammerProg is the Program form of longWorkloads' loop body: an
+// endless-enough read/write stream over eight contended blocks.
+type hammerProg struct {
+	g   addr.Geometry
+	id  int
+	n   int
+	ops int
+}
+
+func (h *hammerProg) Next(p *Proc, last Result) (Op, bool) {
+	if h.n >= h.ops {
+		return Op{}, false
+	}
+	a := h.g.Base(addr.Block((h.n + h.id) % 8))
+	n := h.n
+	h.n++
+	if (n+h.id)%3 == 0 {
+		return WriteOp(a, uint64(n)), true
+	}
+	return ReadOp(a), true
+}
+
+// TestRunProgramsContextCancelsPromptly is the direct-path twin of
+// the shim cancellation test: ctx expiry must abort the event loop
+// within one event, and — the whole point of the direct engine —
+// without a single goroutine to unwind.
+func TestRunProgramsContextCancelsPromptly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		s := New(DefaultConfig(protocol.MustNew("bitar")))
+		progs := make([]Program, 4)
+		for id := range progs {
+			progs[id] = &hammerProg{g: s.Geometry(), id: id, ops: 2_000_000}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+		start := time.Now()
+		err := s.RunProgramsContext(ctx, progs)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("iteration %d: err = %v, want deadline exceeded", i, err)
+		}
+		if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+			t.Fatalf("iteration %d: cancellation took %v", i, elapsed)
+		}
+		if s.Clock() == 0 {
+			t.Fatalf("iteration %d: canceled run never advanced", i)
+		}
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("direct path grew goroutines: %d before, %d after", before, after)
+	}
+}
+
+// TestRunProgramsContextExplicitCancel covers plain cancel() on the
+// direct path.
+func TestRunProgramsContextExplicitCancel(t *testing.T) {
+	s := New(DefaultConfig(protocol.MustNew("illinois")))
+	progs := make([]Program, 4)
+	for id := range progs {
+		progs[id] = &hammerProg{g: s.Geometry(), id: id, ops: 2_000_000}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := s.RunProgramsContext(ctx, progs); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

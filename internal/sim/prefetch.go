@@ -40,14 +40,14 @@ func (s *System) startLockPrefetch(p *Proc, t int64, op procOp) {
 		s.respond(p, t, procRes{ok: true})
 		return
 	}
-	ctx := &opCtx{
+	ctx := &s.ctxs[s.prefetchArbID(p)]
+	*ctx = opCtx{
 		p: p, op: op, protoOp: protocol.OpLock, pr: r,
-		arbID: s.prefetchArbID(p), prefetch: true, start: t,
+		arbID: s.prefetchArbID(p), prefetch: true, start: t, active: true,
 	}
 	p.plock.armed = true
 	p.plock.acquired = false
 	p.plock.addr = op.addr
-	s.ctxs[ctx.arbID] = ctx
 	s.Buses[s.busOf(s.cfg.Geometry.BlockOf(op.addr))].RequestAt(ctx.arbID, false, t)
 	s.Counts.Inc("lock.prefetch")
 	// The processor continues immediately: this is the ready section.

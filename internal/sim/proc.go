@@ -73,14 +73,18 @@ const (
 	statusDone
 )
 
-// Proc is the processor-side handle a workload program runs against.
-// All methods block until the simulated operation completes, so
-// workloads read as ordinary sequential code; the engine lock-steps
-// every processor goroutine deterministically.
+// Proc is the processor-side handle a workload runs against. On the
+// direct path the engine pulls ops from prog inline; on the shim path
+// the blocking methods ferry ops over the channel pair, and the
+// engine lock-steps every workload goroutine deterministically.
 type Proc struct {
 	id  int
 	sys *System
 
+	// prog, when set, is the direct-execution workload; the channels
+	// stay nil. Otherwise RunContext creates the channels and runs the
+	// blocking workload on its own goroutine.
+	prog  Program
 	reqCh chan procOp
 	resCh chan procRes
 
@@ -118,6 +122,35 @@ func (p *Proc) do(op procOp) procRes {
 		panic(simCancelPanic{})
 	}
 	return r
+}
+
+// firstOp pulls the processor's first operation: Program.Next with a
+// zero Result on the direct path, the workload goroutine's first
+// channel send on the shim path.
+func (p *Proc) firstOp() procOp {
+	if p.prog != nil {
+		op, ok := p.prog.Next(p, Result{})
+		if !ok {
+			return procOp{kind: opDone}
+		}
+		return op.raw
+	}
+	return <-p.reqCh
+}
+
+// nextOp delivers the completed result and pulls the next operation —
+// an inline Program.Next call on the direct path, a resume/park
+// channel round-trip on the shim path.
+func (p *Proc) nextOp(res procRes) procOp {
+	if p.prog != nil {
+		op, ok := p.prog.Next(p, Result{Value: res.value, OK: res.ok, Now: res.now})
+		if !ok {
+			return procOp{kind: opDone}
+		}
+		return op.raw
+	}
+	p.resCh <- res
+	return <-p.reqCh
 }
 
 // Read loads the word at a.

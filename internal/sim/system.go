@@ -1,13 +1,14 @@
 // Package sim is the deterministic discrete-event engine that drives
 // processors, caches, the broadcast bus, and main memory through a
-// workload. Each processor runs its workload as a goroutine against
-// the blocking Proc API; the engine lock-steps the goroutines in
-// global time order, so runs are bit-reproducible while workloads
-// read as ordinary concurrent programs.
+// workload. The engine executes workloads directly: a Program's Next
+// method is called inline from the event loop (no goroutines, no
+// channels, no per-op synchronization), so the hot loop is a plain
+// single-threaded function. The blocking func(*Proc) API remains as a
+// compatibility shim — each blocking workload runs as one goroutine
+// lock-stepped over a channel pair — and produces bit-identical runs.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -52,33 +53,87 @@ func DefaultConfig(p protocol.Protocol) Config {
 	}
 }
 
-// event is a ready-heap entry.
+// event is a ready-queue entry.
 type event struct {
 	time int64
 	proc int
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func eventLess(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].proc < h[j].proc
+	return a.proc < b.proc
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// eventQueue is a typed 4-ary min-heap of ready events, ordered by
+// (time, proc). It replaces container/heap in the hot loop: no
+// interface boxing, no allocation per push, and a shallower tree than
+// a binary heap (the queue holds at most one event per processor).
+// Keys are unique, so the pop order is the unique sorted order — any
+// correct heap yields the identical event sequence.
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) min() event { return q.ev[0] }
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(q.ev[i], q.ev[parent]) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev = q.ev[:n]
+	i := 0
+	for {
+		least := i
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if eventLess(q.ev[c], q.ev[least]) {
+				least = c
+			}
+		}
+		if least == i {
+			break
+		}
+		q.ev[i], q.ev[least] = q.ev[least], q.ev[i]
+		i = least
+	}
+	return top
+}
 
 // opCtx is the engine-side state of an in-flight processor operation
-// that needs the bus.
+// that needs the bus. Contexts live in a fixed per-arbitration-slot
+// array (System.ctxs); active marks a slot that holds a queued or
+// parked request, playing the role a map membership test used to.
 type opCtx struct {
 	p          *Proc
 	op         procOp
 	protoOp    protocol.Op
 	pr         protocol.ProcResult
 	afterWait  bool // re-arbitrated after an Unlock broadcast (Figure 9)
+	active     bool
 	rmwOld     uint64
 	rmwHaveOld bool
 
@@ -107,13 +162,24 @@ type System struct {
 	clock   int64 // current event time (may regress across independent buses)
 	hwm     int64 // high-water mark of simulated time
 	busFree []int64
-	ready   eventHeap
-	ctxs    map[int]*opCtx
-	waiters map[addr.Block][]int // busy-wait parked processors per block
-	doneN   int
-	started bool
+	ready   eventQueue
+	// ctxs[i] is arbitration slot i: processor i for i < Procs, the
+	// busy-wait (prefetch) register of processor i-Procs above that.
+	ctxs       []opCtx
+	waiters    map[addr.Block][]int // busy-wait parked processors per block
+	waiterPool [][]int              // retired waiter slices for reuse
+	doneN      int
+	started    bool
+
+	// txnScratch/txnScratch2 are the pooled bus-transaction records:
+	// every transaction the engine issues reuses one of them (two are
+	// live at once only inside serveRMWMemory's read+write pair).
+	txnScratch  bus.Transaction
+	txnScratch2 bus.Transaction
 
 	Counts      stats.Counters
+	busCyclesH  *int64 // cached handles for the per-transaction
+	busWordsH   *int64 // bus.cycles / bus.words accounting
 	LockLatency stats.Histogram
 	log         *EventLog
 
@@ -121,6 +187,17 @@ type System struct {
 	// (used by the online coherence checker). The system state is
 	// quiescent with respect to the transaction when it fires.
 	OnTxn func()
+}
+
+// countBus charges a completed transaction's cycle and word costs
+// through cached counter handles.
+func (s *System) countBus(cycles, words int64) {
+	if s.busCyclesH == nil {
+		s.busCyclesH = s.Counts.Handle("bus.cycles")
+		s.busWordsH = s.Counts.Handle("bus.words")
+	}
+	*s.busCyclesH += cycles
+	*s.busWordsH += words
 }
 
 // New builds a System from cfg.
@@ -150,7 +227,8 @@ func New(cfg Config) *System {
 		proto:   cfg.Protocol,
 		feats:   f,
 		Mem:     memory.New(cfg.Geometry),
-		ctxs:    make(map[int]*opCtx),
+		ctxs:    make([]opCtx, 2*cfg.Procs),
+		ready:   eventQueue{ev: make([]event, 0, cfg.Procs)},
 		waiters: make(map[addr.Block][]int),
 	}
 	for i := 0; i < cfg.NumBuses; i++ {
@@ -164,12 +242,7 @@ func New(cfg Config) *System {
 		for _, b := range s.Buses {
 			b.Attach(c)
 		}
-		s.Procs = append(s.Procs, &Proc{
-			id:    i,
-			sys:   s,
-			reqCh: make(chan procOp, 1),
-			resCh: make(chan procRes, 1),
-		})
+		s.Procs = append(s.Procs, &Proc{id: i, sys: s})
 	}
 	return s
 }
@@ -213,8 +286,10 @@ func (s *System) Stats() *stats.Counters {
 }
 
 // Run executes one workload function per processor (workloads[i] runs
-// on processor i; missing entries idle). It returns once every
-// workload has finished, or an error on deadlock or cycle overrun.
+// on processor i; missing entries idle) on the goroutine shim. It
+// returns once every workload has finished, or an error on deadlock
+// or cycle overrun. Workloads that can be expressed as a Program
+// should prefer RunPrograms — same semantics, no goroutines.
 func (s *System) Run(workloads []func(*Proc)) error {
 	return s.RunContext(context.Background(), workloads)
 }
@@ -235,6 +310,8 @@ func (s *System) RunContext(ctx context.Context, workloads []func(*Proc)) error 
 		if i < len(workloads) && workloads[i] != nil {
 			w = workloads[i]
 		}
+		p.reqCh = make(chan procOp, 1)
+		p.resCh = make(chan procRes, 1)
 		go func(p *Proc, w func(*Proc)) {
 			defer func() {
 				if r := recover(); r != nil {
@@ -250,16 +327,28 @@ func (s *System) RunContext(ctx context.Context, workloads []func(*Proc)) error 
 	for _, p := range s.Procs {
 		p.pending = <-p.reqCh
 		p.status = statusReady
-		heap.Push(&s.ready, event{time: 0, proc: p.id})
+		s.ready.push(event{time: 0, proc: p.id})
 	}
+	return s.run(ctx)
+}
 
-	pollCtx := 0
+// run is the event loop shared by the direct and shim paths.
+func (s *System) run(ctx context.Context) error {
+	// ctx.Done() is nil for context.Background(), making the per-event
+	// cancellation check a single nil comparison on uncancellable runs.
+	done := ctx.Done()
 	for s.doneN < len(s.Procs) {
-		// Poll cancellation every few events: between events the engine
-		// is quiescent (every live workload goroutine is parked on its
-		// result channel), which is exactly when cancelRun may unwind.
-		if pollCtx++; pollCtx&31 == 0 && ctx.Err() != nil {
-			return s.cancelRun(ctx)
+		if done != nil {
+			// Checked before every event: between events the engine is
+			// quiescent (on the shim path every live workload goroutine
+			// is parked on its result channel), which is exactly when
+			// cancelRun may unwind — and the abort lands within one
+			// event of ctx expiry.
+			select {
+			case <-done:
+				return s.cancelRun(ctx)
+			default:
+			}
 		}
 		if s.clock > s.hwm {
 			s.hwm = s.clock
@@ -284,8 +373,8 @@ func (s *System) RunContext(ctx context.Context, workloads []func(*Proc)) error 
 			}
 		}
 		switch {
-		case len(s.ready) > 0 && (nextBus == -1 || s.ready[0].time <= nextGrant):
-			ev := heap.Pop(&s.ready).(event)
+		case s.ready.len() > 0 && (nextBus == -1 || s.ready.min().time <= nextGrant):
+			ev := s.ready.pop()
 			s.clock = ev.time
 			s.step(s.Procs[ev.proc], ev.time)
 		case nextBus != -1:
@@ -294,7 +383,7 @@ func (s *System) RunContext(ctx context.Context, workloads []func(*Proc)) error 
 			if !ok {
 				return fmt.Errorf("sim: bus %d grant at %d found no eligible request", nextBus, nextGrant)
 			}
-			s.serveBus(s.ctxs[id])
+			s.serveBus(&s.ctxs[id])
 		default:
 			return s.deadlockError()
 		}
@@ -302,16 +391,17 @@ func (s *System) RunContext(ctx context.Context, workloads []func(*Proc)) error 
 	return nil
 }
 
-// cancelRun unwinds an aborted simulation. Every processor whose
-// workload has not finished is parked on its result channel (the
-// engine only reaches the loop top with all live goroutines blocked),
-// so a canceled reply wakes each one; Proc.do converts it into the
-// sentinel panic that the Run wrapper recovers. Replies go out
-// non-blocking because a processor whose workload already returned
-// (its opDone still queued) has nobody listening.
+// cancelRun unwinds an aborted simulation. On the direct path the
+// loop simply stops stepping programs. On the shim path every
+// processor whose workload has not finished is parked on its result
+// channel (the engine only reaches the loop top with all live
+// goroutines blocked), so a canceled reply wakes each one; Proc.do
+// converts it into the sentinel panic that the Run wrapper recovers.
+// Replies go out non-blocking because a processor whose workload
+// already returned (its opDone still queued) has nobody listening.
 func (s *System) cancelRun(ctx context.Context) error {
 	for _, p := range s.Procs {
-		if p.status != statusDone {
+		if p.prog == nil && p.resCh != nil && p.status != statusDone {
 			select {
 			case p.resCh <- procRes{canceled: true}:
 			default:
@@ -332,14 +422,23 @@ func (s *System) deadlockError() error {
 }
 
 // respond completes the processor's pending operation at time t and
-// pulls its next one.
+// pulls its next one — a direct Program.Next call, or a channel
+// round-trip to the workload goroutine on the shim path.
 func (s *System) respond(p *Proc, t int64, res procRes) {
 	res.now = t
 	p.now = t
-	p.resCh <- res
-	p.pending = <-p.reqCh
+	p.pending = p.nextOp(res)
 	p.status = statusReady
-	heap.Push(&s.ready, event{time: t, proc: p.id})
+	s.ready.push(event{time: t, proc: p.id})
+}
+
+// slot claims processor p's arbitration slot for a new ordinary
+// (non-prefetch) bus operation and returns it zeroed. A processor has
+// at most one ordinary op in flight, so the slot is necessarily free.
+func (s *System) slot(p *Proc) *opCtx {
+	ctx := &s.ctxs[p.id]
+	*ctx = opCtx{p: p, arbID: p.id}
+	return ctx
 }
 
 // step dispatches a processor's pending operation at time t.
@@ -360,7 +459,10 @@ func (s *System) step(p *Proc, t int64) {
 		s.startRMW(p, t, op)
 	case opRMWMem:
 		p.opStart = t
-		s.queueBus(&opCtx{p: p, op: op, protoOp: protocol.OpWrite}, false)
+		ctx := s.slot(p)
+		ctx.op = op
+		ctx.protoOp = protocol.OpWrite
+		s.queueBus(ctx, false)
 	case opTryWrite:
 		p.opStart = t
 		s.startTryWrite(p, t, op)
@@ -369,7 +471,9 @@ func (s *System) step(p *Proc, t int64) {
 		s.startBlockWrite(p, t, op)
 	case opIO:
 		p.opStart = t
-		s.queueBus(&opCtx{p: p, op: op}, false)
+		ctx := s.slot(p)
+		ctx.op = op
+		s.queueBus(ctx, false)
 	case opLockPrefetch:
 		s.startLockPrefetch(p, t, op)
 	case opLockWait:
@@ -389,7 +493,11 @@ func (s *System) startMemOp(p *Proc, t int64, op procOp, protoOp protocol.Op) {
 		s.finishLocal(p, t, op, protoOp)
 		return
 	}
-	s.queueBus(&opCtx{p: p, op: op, protoOp: protoOp, pr: r}, false)
+	ctx := s.slot(p)
+	ctx.op = op
+	ctx.protoOp = protoOp
+	ctx.pr = r
+	s.queueBus(ctx, false)
 }
 
 // finishLocal completes a zero-bus-traffic operation.
@@ -422,13 +530,12 @@ func (s *System) recordLockAcquired(p *Proc, t int64) {
 	s.LockLatency.Observe(t - p.opStart)
 }
 
-// queueBus registers an op context and joins bus arbitration.
+// queueBus activates an op context and joins bus arbitration.
 func (s *System) queueBus(ctx *opCtx, high bool) {
 	if !ctx.prefetch {
-		ctx.arbID = ctx.p.id
 		ctx.p.status = statusBlocked
 	}
-	s.ctxs[ctx.arbID] = ctx
+	ctx.active = true
 	s.Buses[s.busOf(s.cfg.Geometry.BlockOf(ctx.op.addr))].RequestAt(ctx.arbID, high, ctx.p.now)
 }
 
@@ -446,7 +553,9 @@ func (s *System) startRMW(p *Proc, t int64, op procOp) {
 		s.respond(p, t+2*int64(s.cfg.Timing.HitCycles), procRes{value: old, ok: true})
 		return
 	}
-	ctx := &opCtx{p: p, op: op, protoOp: protocol.OpWrite}
+	ctx := s.slot(p)
+	ctx.op = op
+	ctx.protoOp = protocol.OpWrite
 	if st != protocol.Invalid {
 		// A readable copy exists: capture the old value now; the write
 		// phase upgrades privilege.
@@ -488,7 +597,11 @@ func (s *System) startTryWrite(p *Proc, t int64, op procOp) {
 		s.respond(p, t+int64(s.cfg.Timing.HitCycles), procRes{ok: true})
 		return
 	}
-	s.queueBus(&opCtx{p: p, op: op, protoOp: protocol.OpWrite, pr: r}, false)
+	ctx := s.slot(p)
+	ctx.op = op
+	ctx.protoOp = protocol.OpWrite
+	ctx.pr = r
+	s.queueBus(ctx, false)
 }
 
 // startBlockWrite begins a whole-block write. With Feature 9 the
@@ -530,7 +643,11 @@ func (s *System) writeRemainder(p *Proc, t int64, op procOp) {
 		rest.idx = i
 		rest.addr = a
 		rest.value = op.vals[i]
-		s.queueBus(&opCtx{p: p, op: rest, protoOp: protocol.OpWrite, pr: r}, false)
+		ctx := s.slot(p)
+		ctx.op = rest
+		ctx.protoOp = protocol.OpWrite
+		ctx.pr = r
+		s.queueBus(ctx, false)
 		return
 	}
 	s.respond(p, t, procRes{ok: true})

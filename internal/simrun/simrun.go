@@ -195,6 +195,29 @@ func BuildSystem(cfg Config) (*sim.System, error) {
 	}), nil
 }
 
+// buildPrograms constructs the direct-execution Program form of the
+// generator workloads. Trace replay returns nil: its closures carry
+// decoder state that has no resumable form yet, so it stays on the
+// blocking shim.
+func buildPrograms(cfg Config, l workload.Layout, scheme syncprim.Scheme) []sim.Program {
+	switch cfg.Workload {
+	case "mixed":
+		return workload.Mixed{Ops: cfg.Ops, SharedBlocks: 8, PrivBlocks: 24,
+			SharedFrac: 0.3, WriteFrac: 0.35, Seed: cfg.Seed}.Programs(l, cfg.Procs)
+	case "lock":
+		return workload.LockContention{Locks: 1, Iters: cfg.Iters, HoldCycles: cfg.Hold,
+			ThinkCycles: 10, CSWrites: 2, Scheme: scheme, Seed: cfg.Seed}.Programs(l, cfg.Procs)
+	case "pc":
+		return workload.ProducerConsumer{Items: cfg.Iters, WritesPerItem: 4, Scheme: scheme}.Programs(l, cfg.Procs)
+	case "queues":
+		return workload.ServiceQueues{Requests: cfg.Iters, Scheme: scheme, Seed: cfg.Seed}.Programs(l, cfg.Procs)
+	case "statesave":
+		return workload.StateSave{Switches: cfg.Iters, StateBlocks: 4}.Programs(l, cfg.Procs)
+	default:
+		return nil
+	}
+}
+
 // buildWorkload constructs the per-processor workload closures.
 func buildWorkload(cfg Config, l workload.Layout, scheme syncprim.Scheme) ([]func(*sim.Proc), error) {
 	switch cfg.Workload {
@@ -248,9 +271,15 @@ func RunWithHooks(ctx context.Context, cfg Config, h Hooks) (Result, error) {
 		}
 	}
 	l := workload.Layout{G: sys.Geometry()}
-	ws, err := buildWorkload(cfg, l, scheme)
-	if err != nil {
-		return Result{}, err
+	// Generator workloads run on the direct (goroutine-free) engine;
+	// trace replay falls back to the blocking shim. Both paths produce
+	// byte-identical runs (workload.TestDirectMatchesShim).
+	progs := buildPrograms(cfg, l, scheme)
+	var ws []func(*sim.Proc)
+	if progs == nil {
+		if ws, err = buildWorkload(cfg, l, scheme); err != nil {
+			return Result{}, err
+		}
 	}
 
 	var evlog *sim.EventLog
@@ -278,7 +307,12 @@ func RunWithHooks(ctx context.Context, cfg Config, h Hooks) (Result, error) {
 			}
 		}
 	}
-	if err := sys.RunContext(ctx, ws); err != nil {
+	if progs != nil {
+		err = sys.RunProgramsContext(ctx, progs)
+	} else {
+		err = sys.RunContext(ctx, ws)
+	}
+	if err != nil {
 		return Result{}, err
 	}
 	if check {

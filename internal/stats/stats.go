@@ -11,10 +11,32 @@ import (
 )
 
 // Counters is a set of named monotonically increasing counters.
-// The zero value is ready to use.
+// The zero value is ready to use. Counters are stored behind stable
+// pointers so hot paths can resolve a Handle once and increment
+// through it without a per-event map operation.
 type Counters struct {
-	m   map[string]int64
-	off bool
+	m    map[string]*int64
+	off  bool
+	sink int64
+}
+
+// Handle returns a stable pointer to the named counter, registering
+// it at zero if new. The pointer stays valid for the life of the
+// Counters, so per-event code resolves it once and increments through
+// it. A disabled set hands back a shared sink.
+func (c *Counters) Handle(name string) *int64 {
+	if c.off {
+		return &c.sink
+	}
+	if c.m == nil {
+		c.m = make(map[string]*int64)
+	}
+	p := c.m[name]
+	if p == nil {
+		p = new(int64)
+		c.m[name] = p
+	}
+	return p
 }
 
 // Add increments counter name by delta.
@@ -22,23 +44,25 @@ func (c *Counters) Add(name string, delta int64) {
 	if c.off {
 		return
 	}
-	if c.m == nil {
-		c.m = make(map[string]int64)
-	}
-	c.m[name] += delta
+	*c.Handle(name) += delta
 }
 
 // Disable turns the counter set into a no-op sink. The model checker
 // disables the counters of its caches and memory: counting costs a
-// string concatenation plus a map update on paths it executes hundreds
-// of thousands of times per second, and the counts are never read.
+// map update on paths it executes hundreds of thousands of times per
+// second, and the counts are never read.
 func (c *Counters) Disable() { c.off = true }
 
 // Inc increments counter name by one.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
 // Get returns the value of counter name (zero if never incremented).
-func (c *Counters) Get(name string) int64 { return c.m[name] }
+func (c *Counters) Get(name string) int64 {
+	if p := c.m[name]; p != nil {
+		return *p
+	}
+	return 0
+}
 
 // Names returns all counter names in sorted order.
 func (c *Counters) Names() []string {
@@ -53,7 +77,7 @@ func (c *Counters) Names() []string {
 // Merge adds every counter of other into c.
 func (c *Counters) Merge(other *Counters) {
 	for n, v := range other.m {
-		c.Add(n, v)
+		c.Add(n, *v)
 	}
 }
 
@@ -62,7 +86,7 @@ func (c *Counters) Total(prefix string) int64 {
 	var t int64
 	for n, v := range c.m {
 		if strings.HasPrefix(n, prefix) {
-			t += v
+			t += *v
 		}
 	}
 	return t
@@ -72,7 +96,7 @@ func (c *Counters) Total(prefix string) int64 {
 func (c *Counters) Snapshot() map[string]int64 {
 	out := make(map[string]int64, len(c.m))
 	for n, v := range c.m {
-		out[n] = v
+		out[n] = *v
 	}
 	return out
 }

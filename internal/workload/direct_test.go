@@ -1,0 +1,159 @@
+package workload_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/cache"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/all"
+	"cachesync/internal/sim"
+	"cachesync/internal/syncprim"
+	"cachesync/internal/workload"
+)
+
+// builder is any generator offering both execution forms.
+type builder interface {
+	Build(l workload.Layout, procs int) []func(*sim.Proc)
+	Programs(l workload.Layout, procs int) []sim.Program
+}
+
+func newDiffSystem(name string, procs int) *sim.System {
+	p := protocol.MustNew(name)
+	cfg := sim.DefaultConfig(p)
+	cfg.Procs = procs
+	if p.Features().OneWordBlocks {
+		cfg.Geometry = addr.MustGeometry(1, 1)
+	}
+	// Small caches force evictions, so the comparison also covers the
+	// victim/flush paths.
+	cfg.Cache = cache.Config{Sets: 1, Ways: 16}
+	return sim.New(cfg)
+}
+
+// runDiff executes the same generator through the blocking shim
+// (goroutine per workload) and the direct Program path on two
+// identically configured machines, then requires byte-identical event
+// logs, final clock, statistics, cache contents, and memory.
+func runDiff(t *testing.T, protoName string, procs int, w builder) {
+	t.Helper()
+	shim := newDiffSystem(protoName, procs)
+	direct := newDiffSystem(protoName, procs)
+	shimLog := shim.AttachLog(0)
+	directLog := direct.AttachLog(0)
+	l := workload.Layout{G: shim.Geometry()}
+
+	if err := shim.Run(w.Build(l, procs)); err != nil {
+		t.Fatalf("shim run: %v", err)
+	}
+	if err := direct.RunPrograms(w.Programs(l, procs)); err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+
+	if shim.Clock() != direct.Clock() {
+		t.Errorf("final clock: shim %d, direct %d", shim.Clock(), direct.Clock())
+	}
+
+	if len(shimLog.Entries) != len(directLog.Entries) {
+		t.Errorf("event log length: shim %d, direct %d", len(shimLog.Entries), len(directLog.Entries))
+	} else {
+		for i := range shimLog.Entries {
+			if shimLog.Entries[i] != directLog.Entries[i] {
+				t.Errorf("event log entry %d:\n  shim:   %s\n  direct: %s",
+					i, shimLog.Entries[i], directLog.Entries[i])
+				break
+			}
+		}
+	}
+
+	ss, ds := shim.Stats().Snapshot(), direct.Stats().Snapshot()
+	for k, v := range ss {
+		if dv, ok := ds[k]; !ok || dv != v {
+			t.Errorf("stat %q: shim %d, direct %d", k, v, dv)
+		}
+	}
+	for k, v := range ds {
+		if _, ok := ss[k]; !ok {
+			t.Errorf("stat %q: only on direct path (= %d)", k, v)
+		}
+	}
+
+	blocks := map[addr.Block]bool{}
+	for i := range shim.Caches {
+		sl, dl := shim.Caches[i].Snapshot(), direct.Caches[i].Snapshot()
+		if len(sl) != len(dl) {
+			t.Errorf("cache %d: %d lines on shim, %d on direct", i, len(sl), len(dl))
+			continue
+		}
+		for j := range sl {
+			if sl[j].Block != dl[j].Block || sl[j].State != dl[j].State ||
+				!wordsEqual(sl[j].Data, dl[j].Data) {
+				t.Errorf("cache %d line %d: shim %+v, direct %+v", i, j, sl[j], dl[j])
+			}
+			blocks[sl[j].Block] = true
+		}
+	}
+	for _, e := range shimLog.Entries {
+		blocks[addr.Block(e.Block)] = true
+	}
+	for b := range blocks {
+		if !wordsEqual(shim.Mem.ReadBlock(b), direct.Mem.ReadBlock(b)) {
+			t.Errorf("memory block %d: shim %v, direct %v", b, shim.Mem.ReadBlock(b), direct.Mem.ReadBlock(b))
+		}
+	}
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDirectMatchesShim is the differential gate for the
+// direct-execution engine: for every protocol, the Program form of a
+// generator must reproduce the blocking form's run exactly — same bus
+// transactions at the same cycles, same final machine state, same
+// counters.
+func TestDirectMatchesShim(t *testing.T) {
+	const procs = 4
+	for _, name := range all.Everything {
+		name := name
+		scheme := syncprim.SchemeFor(protocol.MustNew(name))
+		for _, seed := range []int64{1, 2, 3} {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/mixed/seed%d", name, seed), func(t *testing.T) {
+				t.Parallel()
+				runDiff(t, name, procs, workload.Mixed{Ops: 400, SharedBlocks: 8,
+					PrivBlocks: 24, SharedFrac: 0.3, WriteFrac: 0.35, Seed: seed})
+			})
+			t.Run(fmt.Sprintf("%s/lock/seed%d", name, seed), func(t *testing.T) {
+				t.Parallel()
+				runDiff(t, name, procs, workload.LockContention{Locks: 2, Iters: 25,
+					HoldCycles: 20, ThinkCycles: 10, CSWrites: 2, Scheme: scheme, Seed: seed})
+			})
+		}
+		t.Run(name+"/pc", func(t *testing.T) {
+			t.Parallel()
+			runDiff(t, name, procs, workload.ProducerConsumer{Items: 20, WritesPerItem: 4, Scheme: scheme})
+		})
+		t.Run(name+"/queues", func(t *testing.T) {
+			t.Parallel()
+			runDiff(t, name, procs, workload.ServiceQueues{Requests: 15, Scheme: scheme, Seed: 7})
+		})
+		t.Run(name+"/privateruns", func(t *testing.T) {
+			t.Parallel()
+			runDiff(t, name, procs, workload.PrivateRuns{Blocks: 12, Sweeps: 4, WriteBack: 0.5, Static: true, Seed: 5})
+		})
+		t.Run(name+"/statesave", func(t *testing.T) {
+			t.Parallel()
+			runDiff(t, name, procs, workload.StateSave{Switches: 10, StateBlocks: 4})
+		})
+	}
+}

@@ -4,8 +4,10 @@
 # (model-checker BFS, sim engine, runner worker pool, bus, scheduler
 # queue, serving daemon, single-flight group), the fuzz targets in
 # seed-corpus mode, the differential sim<->mcheck harness, a live
-# cachesyncd smoke (start, probe, graceful stop), and the three
-# committed-baseline gates (mcheck perf, artifact manifest, serving
+# cachesyncd smoke (start, probe — including the -pprof diagnostic
+# mount — graceful stop), the steady-state allocation gate of the
+# direct-execution engine, and the four committed-baseline gates
+# (mcheck perf, sim-engine ops/s, artifact manifest, serving
 # throughput).
 set -eu
 cd "$(dirname "$0")"
@@ -44,11 +46,24 @@ echo "== fuzz targets (seed-corpus mode: f.Add seeds + testdata/fuzz)"
 go test -run 'FuzzTraceBinaryRoundTrip|FuzzTraceTextDecode' ./internal/trace/
 go test -run 'FuzzWorkloadReplay' ./internal/workload/
 
+echo "== direct-vs-shim differential gate (12 protocols x generators)"
+go test -run 'TestDirectMatchesShim' ./internal/workload/
+
+echo "== steady-state allocation gate (0 allocs/op in the sim hot loop)"
+go test -run 'TestSimSteadyStateAllocs' .
+
 echo "== benchmark-regression gate"
 if [ -f BENCH_mcheck.json ]; then
 	go run ./cmd/mcheck -bench-json BENCH_mcheck.json -bench-gate 0.5
 else
 	echo "no BENCH_mcheck.json baseline; skipping (create one with: go run ./cmd/mcheck -bench-json BENCH_mcheck.json)"
+fi
+
+echo "== sim-engine benchmark gate (direct-execution ops/s)"
+if [ -f BENCH_sim.json ]; then
+	go run ./cmd/cachesim -bench-json BENCH_sim.json -bench-gate 0.7
+else
+	echo "no BENCH_sim.json baseline; skipping (create one with: go run ./cmd/cachesim -bench-json BENCH_sim.json)"
 fi
 
 echo "== artifact gate (tables/experiments/figures manifest)"
@@ -58,14 +73,14 @@ else
 	echo "no ARTIFACTS.json baseline; skipping (create one with: go run ./cmd/tables -json ARTIFACTS.json)"
 fi
 
-echo "== cachesyncd smoke (start, /healthz, simulate, check, graceful stop)"
+echo "== cachesyncd smoke (start, /healthz, simulate, check, pprof, graceful stop)"
 smoketmp=$(mktemp -d)
 trap 'rm -rf "$smoketmp"' EXIT
 go build -o "$smoketmp/cachesyncd" ./cmd/cachesyncd
 go build -o "$smoketmp/loadgen" ./cmd/loadgen
-"$smoketmp/cachesyncd" -addr 127.0.0.1:0 -portfile "$smoketmp/port" >"$smoketmp/daemon.log" 2>&1 &
+"$smoketmp/cachesyncd" -addr 127.0.0.1:0 -portfile "$smoketmp/port" -pprof >"$smoketmp/daemon.log" 2>&1 &
 dpid=$!
-if ! "$smoketmp/loadgen" -portfile "$smoketmp/port" -smoke; then
+if ! "$smoketmp/loadgen" -portfile "$smoketmp/port" -smoke -expect-pprof; then
 	echo "cachesyncd smoke failed; daemon log:" >&2
 	cat "$smoketmp/daemon.log" >&2
 	kill "$dpid" 2>/dev/null || true
