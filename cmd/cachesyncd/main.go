@@ -17,6 +17,12 @@
 // cache shared with the pool, so repeated configurations are answered
 // from disk across restarts. SIGINT/SIGTERM drains gracefully:
 // in-flight requests finish, new ones are rejected with 503.
+//
+// -peerdir joins a fleet artifact exchange: daemons sharing the
+// directory discover each other through their portfiles and serve each
+// other's cached results (GET /v1/artifact/{key}) on a local cache
+// miss, so a result computed anywhere in the fleet is a hit everywhere.
+// cmd/cachesyncc spawns and routes such a fleet.
 package main
 
 import (
@@ -28,10 +34,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
+	"cachesync/internal/portfile"
 	_ "cachesync/internal/protocol/all"
 	"cachesync/internal/runner"
 	"cachesync/internal/serve"
@@ -39,12 +45,13 @@ import (
 
 var (
 	addr     = flag.String("addr", "127.0.0.1:8344", "listen address (use :0 for an ephemeral port)")
-	portfile = flag.String("portfile", "", "write the bound host:port to this file once listening (for scripts using -addr :0)")
+	portPath = flag.String("portfile", "", "write the bound host:port to this file once listening (for scripts using -addr :0)")
 	workers  = flag.Int("workers", 0, "concurrent executions (0 = GOMAXPROCS)")
 	queue    = flag.Int("queue", 64, "admitted requests that may wait for a slot; beyond this arrivals get 429")
 	timeout  = flag.Duration("timeout", 60*time.Second, "default per-request execution deadline (callers may lower it with ?timeout=)")
 	maxTime  = flag.Duration("maxtimeout", 5*time.Minute, "upper clamp on caller-requested deadlines")
 	cacheDir = flag.String("cachedir", "", "on-disk result cache directory (empty = no cache)")
+	peerDir  = flag.String("peerdir", "", "shared portfile directory for the fleet artifact exchange: on a local cache miss, ask the replicas registered here before computing (needs -cachedir)")
 	grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
 	pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator diagnostics; enable only on loopback or an admin-restricted listener)")
 )
@@ -57,33 +64,31 @@ func run() error {
 			return err
 		}
 	}
+	var peers *serve.PeerSource
+	if *peerDir != "" {
+		if cache == nil {
+			return fmt.Errorf("-peerdir needs -cachedir: the artifact exchange trades result-cache entries")
+		}
+		peers = serve.NewPeerSource(*peerDir)
+	}
 	s := serve.New(serve.Config{
 		Workers: *workers, Queue: *queue,
 		DefaultTimeout: *timeout, MaxTimeout: *maxTime,
-		Cache: cache, Pprof: *pprofOn,
+		Cache: cache, Peers: peers, Pprof: *pprofOn,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	if *portfile != "" {
-		// Write-then-rename so a polling reader never sees a partial
-		// address.
-		tmp, err := os.CreateTemp(filepath.Dir(*portfile), ".portfile-*")
-		if err != nil {
+	if peers != nil {
+		peers.SetSelf(ln.Addr().String())
+	}
+	if *portPath != "" {
+		if err := portfile.Write(*portPath, ln.Addr().String()); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintln(tmp, ln.Addr().String()); err != nil {
-			return err
-		}
-		if err := tmp.Close(); err != nil {
-			return err
-		}
-		if err := os.Rename(tmp.Name(), *portfile); err != nil {
-			return err
-		}
-		defer os.Remove(*portfile)
+		defer os.Remove(*portPath)
 	}
 	fmt.Printf("cachesyncd listening on %s (workers=%d queue=%d cache=%v)\n",
 		ln.Addr(), *workers, *queue, cache != nil)

@@ -23,29 +23,45 @@
 // -selfhost embeds the daemon in-process on 127.0.0.1:0, so the
 // benchmark needs no process management; -smoke is the one-shot
 // health probe verify.sh uses against an externally started daemon.
+//
+// Fleet runs: -addr takes a comma-separated target list (client-side
+// round-robin), or point a single -addr/-portfile at a cachesyncc
+// coordinator. -retries honors 429 Retry-After hints with jitter.
+// -chaos-kill SIGKILLs a replica (by pidfile) mid-run and summarizes
+// the kill window separately — the run still demands zero responses
+// that are neither 2xx nor clean 429, and -chaos-recover additionally
+// requires the coordinator to report the fleet fully healthy again.
+// X-Cache headers are tallied into a fleet cache-hit ratio
+// (BENCH_cluster.json's cluster section).
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"cachesync/internal/portfile"
 	_ "cachesync/internal/protocol/all"
 	"cachesync/internal/serve"
 	"cachesync/internal/stats"
 )
 
 var (
-	addrFlag    = flag.String("addr", "", "daemon address (host:port)")
-	portfile    = flag.String("portfile", "", "read the daemon address from this file (polled until it appears)")
+	addrFlag    = flag.String("addr", "", "target address (host:port); a comma-separated list round-robins client-side across targets")
+	portFlag    = flag.String("portfile", "", "read the target address from this file (polled until it appears)")
 	selfhost    = flag.Bool("selfhost", false, "embed the daemon in-process on 127.0.0.1:0")
 	shWork      = flag.Int("workers", 0, "selfhost: execution width (0 = GOMAXPROCS)")
 	shQueue     = flag.Int("queue", 64, "selfhost: admission queue length")
@@ -61,6 +77,12 @@ var (
 	outFile     = flag.String("out", "", "benchmark baseline file (written if absent, gated if present)")
 	gate        = flag.Float64("gate", 0.3, "fail when throughput < gate × baseline throughput")
 	update      = flag.Bool("update", false, "rewrite the baseline even if it exists")
+	retries     = flag.Int("retries", 2, "main-phase retries of a 429, honoring the server's Retry-After hint plus jitter (0 = report the 429 as-is)")
+	warmup      = flag.Duration("warmup", 0, "fire the request mix unmeasured for this long before phase 1")
+	chaosKill   = flag.String("chaos-kill", "", "pidfile of a replica to SIGKILL mid-run (fleet chaos; the run still demands zero non-2xx/non-429)")
+	chaosAt     = flag.Duration("chaos-at", 300*time.Millisecond, "when after phase-1 start to deliver the chaos kill")
+	chaosDur    = flag.Duration("chaos-duration", 1500*time.Millisecond, "reporting window after the kill, summarized separately in the baseline")
+	chaosWait   = flag.Bool("chaos-recover", false, "after phase 1, require the target's /healthz to report every replica healthy again (coordinator respawn)")
 )
 
 // bench is the BENCH_serve.json schema.
@@ -79,7 +101,10 @@ type bench struct {
 	P50MS         float64 `json:"p50_ms"`
 	P90MS         float64 `json:"p90_ms"`
 	P99MS         float64 `json:"p99_ms"`
+	Retried       int     `json:"retried,omitempty"` // requests that needed a Retry-After-honoring retry
 	Overload      *obench `json:"overload,omitempty"`
+	Cluster       *cbench `json:"cluster,omitempty"`
+	Chaos         *chaosb `json:"chaos,omitempty"`
 }
 
 // obench summarizes the overload phase.
@@ -90,10 +115,34 @@ type obench struct {
 	Other    int `json:"other"` // anything else: must be zero
 }
 
+// cbench is the fleet cache view, computed from X-Cache headers.
+type cbench struct {
+	Targets   int     `json:"targets"`
+	Hits      int     `json:"hits"`
+	Coalesced int     `json:"coalesced"`
+	Misses    int     `json:"misses"`
+	HitRatio  float64 `json:"hit_ratio"` // hits / (hits + misses)
+}
+
+// chaosb summarizes the replica-kill window: requests in flight while
+// a fleet member was dead must still come back 2xx or clean 429.
+type chaosb struct {
+	KillAtS   float64 `json:"kill_at_s"`
+	WindowS   float64 `json:"window_s"`
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Shed      int     `json:"shed"`
+	Other     int     `json:"other"` // must be zero
+	Recovered bool    `json:"recovered,omitempty"`
+}
+
 type result struct {
-	code int
-	dur  time.Duration
-	err  error
+	code    int
+	dur     time.Duration
+	err     error
+	at      time.Time // send time, for chaos-window attribution
+	xcache  string    // X-Cache header: hit | coalesced | miss
+	retried bool
 }
 
 // protocols rotated through by the mixed distribution.
@@ -163,19 +212,69 @@ func post(client *http.Client, base, path string, body any) result {
 	t0 := time.Now()
 	resp, err := client.Post(base+path, "application/json", bytes.NewReader(buf))
 	if err != nil {
-		return result{err: err, dur: time.Since(t0)}
+		return result{err: err, dur: time.Since(t0), at: t0}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return result{code: resp.StatusCode, dur: time.Since(t0)}
+	r := result{code: resp.StatusCode, dur: time.Since(t0), at: t0, xcache: resp.Header.Get("X-Cache")}
+	if r.code == http.StatusTooManyRequests {
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			r.dur = time.Duration(s) * time.Second // reused as the hint, not a latency
+		}
+	}
+	return r
+}
+
+// postRetry posts and, when the server sheds with a 429, honors its
+// Retry-After hint (clamped to a second, fuzzed with jitter so a
+// synchronized burst doesn't re-arrive as a synchronized burst) up to
+// maxRetries times. The returned latency covers the whole exchange,
+// backoff included — the client-visible cost of being shed.
+func postRetry(client *http.Client, base, path string, body any, maxRetries int, jit *lockedRand) result {
+	t0 := time.Now()
+	var r result
+	for attempt := 0; ; attempt++ {
+		r = post(client, base, path, body)
+		if attempt >= maxRetries || r.err != nil || r.code != http.StatusTooManyRequests {
+			break
+		}
+		hint := r.dur
+		if hint <= 0 || hint > time.Second {
+			hint = time.Second
+		}
+		time.Sleep(hint/2 + jit.durn(hint/2))
+		r.retried = true
+	}
+	retried := r.retried
+	r = result{code: r.code, err: r.err, xcache: r.xcache, at: t0, dur: time.Since(t0), retried: retried}
+	return r
+}
+
+// lockedRand is a mutex-guarded jitter source shared by the phase
+// workers; seeded fixed so runs are as repeatable as scheduling allows.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand() *lockedRand { return &lockedRand{r: rand.New(rand.NewSource(1))} }
+
+func (l *lockedRand) durn(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return time.Duration(l.r.Int63n(int64(max)))
 }
 
 // phase fires requests open-loop at rps for dur, capping outstanding
 // requests at conc (ticks beyond the cap are counted, not sent — a
 // client-side saturation signal, not a server verdict). heavy selects
 // the overload mix. Request indices start at off so phases draw
-// different slices of the rotation.
-func phase(client *http.Client, base string, rps float64, dur time.Duration, conc int, off int, heavy bool) ([]result, int) {
+// different slices of the rotation. Multiple bases are rotated
+// per-request (client-side load balancing across targets).
+func phase(client *http.Client, bases []string, rps float64, dur time.Duration, conc int, off int, heavy bool) ([]result, int) {
 	interval := time.Duration(float64(time.Second) / rps)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -188,6 +287,7 @@ func phase(client *http.Client, base string, rps float64, dur time.Duration, con
 		skipped int
 	)
 	slots := make(chan struct{}, conc)
+	jit := newLockedRand()
 	i := off
 	for {
 		select {
@@ -202,11 +302,17 @@ func phase(client *http.Client, base string, rps float64, dur time.Duration, con
 				continue
 			}
 			path, body := request(i, heavy)
+			base := bases[i%len(bases)]
 			i++
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				r := post(client, base, path, body)
+				var r result
+				if heavy || *retries <= 0 {
+					r = post(client, base, path, body)
+				} else {
+					r = postRetry(client, base, path, body, *retries, jit)
+				}
 				mu.Lock()
 				results = append(results, r)
 				mu.Unlock()
@@ -237,40 +343,103 @@ func waitHealthy(client *http.Client, base string, limit time.Duration) error {
 	}
 }
 
-// resolveBase finds the daemon: -addr, -portfile (polled), or
-// -selfhost. The returned stop function tears selfhost down.
-func resolveBase() (base string, stop func(), err error) {
+// resolveBases finds the targets: -addr (possibly a comma list),
+// -portfile (polled until complete), or -selfhost. The returned stop
+// function tears selfhost down.
+func resolveBases() (bases []string, stop func(), err error) {
 	stop = func() {}
 	switch {
 	case *selfhost:
 		s := serve.New(serve.Config{Workers: *shWork, Queue: *shQueue})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return "", stop, err
+			return nil, stop, err
 		}
 		hs := &http.Server{Handler: s.Handler()}
 		go func() { _ = hs.Serve(ln) }()
-		return "http://" + ln.Addr().String(), func() {
+		return []string{"http://" + ln.Addr().String()}, func() {
 			_ = hs.Close()
 			s.Close()
 		}, nil
 	case *addrFlag != "":
-		return "http://" + *addrFlag, stop, nil
-	case *portfile != "":
-		deadline := time.Now().Add(*wait)
-		for {
-			raw, err := os.ReadFile(*portfile)
-			if err == nil && len(bytes.TrimSpace(raw)) > 0 {
-				return "http://" + string(bytes.TrimSpace(raw)), stop, nil
+		for _, a := range strings.Split(*addrFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				bases = append(bases, "http://"+a)
 			}
-			if time.Now().After(deadline) {
-				return "", stop, fmt.Errorf("portfile %s did not appear within %v", *portfile, *wait)
-			}
-			time.Sleep(50 * time.Millisecond)
 		}
+		if len(bases) == 0 {
+			return nil, stop, fmt.Errorf("-addr lists no usable address")
+		}
+		return bases, stop, nil
+	case *portFlag != "":
+		ctx, cancel := context.WithTimeout(context.Background(), *wait)
+		defer cancel()
+		addr, err := portfile.Wait(ctx, *portFlag)
+		if err != nil {
+			return nil, stop, fmt.Errorf("portfile %s did not appear within %v", *portFlag, *wait)
+		}
+		return []string{"http://" + addr}, stop, nil
 	default:
-		return "", stop, fmt.Errorf("one of -addr, -portfile, -selfhost is required")
+		return nil, stop, fmt.Errorf("one of -addr, -portfile, -selfhost is required")
 	}
+}
+
+// scheduleChaos arms the replica kill: chaosAt after now, SIGKILL the
+// pid in the pidfile. Returns a function reporting the actual kill
+// time (zero until fired).
+func scheduleChaos() func() time.Time {
+	var mu sync.Mutex
+	var killedAt time.Time
+	start := time.Now()
+	go func() {
+		time.Sleep(*chaosAt)
+		raw, err := os.ReadFile(*chaosKill)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: read pidfile: %v\n", err)
+			return
+		}
+		pid, err := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if err != nil || pid <= 0 {
+			fmt.Fprintf(os.Stderr, "chaos: bad pidfile %q\n", raw)
+			return
+		}
+		if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: kill %d: %v\n", pid, err)
+			return
+		}
+		mu.Lock()
+		killedAt = time.Now()
+		mu.Unlock()
+		fmt.Printf("chaos: SIGKILL pid %d at +%v\n", pid, time.Since(start).Round(time.Millisecond))
+	}()
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return killedAt
+	}
+}
+
+// waitRecovered polls the coordinator's /healthz until every replica
+// is healthy again (respawn + re-admission complete).
+func waitRecovered(client *http.Client, base string, limit time.Duration) bool {
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			var hz struct {
+				OK      bool `json:"ok"`
+				Healthy int  `json:"healthy"`
+				Total   int  `json:"total"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&hz)
+			resp.Body.Close()
+			if err == nil && hz.OK && hz.Healthy == hz.Total {
+				return true
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return false
 }
 
 // runSmoke is verify.sh's probe: healthz, one simulation, one check.
@@ -304,7 +473,7 @@ func runSmoke(client *http.Client, base string) error {
 }
 
 func run() error {
-	base, stop, err := resolveBase()
+	bases, stop, err := resolveBases()
 	if err != nil {
 		return err
 	}
@@ -314,44 +483,87 @@ func run() error {
 		Transport: &http.Transport{MaxIdleConnsPerHost: *conc},
 	}
 	if *smoke {
-		return runSmoke(client, base)
+		return runSmoke(client, bases[0])
 	}
 	if *profile != "mixed" && *profile != "simheavy" {
 		return fmt.Errorf("unknown -profile %q (mixed | simheavy)", *profile)
 	}
-	if err := waitHealthy(client, base, *wait); err != nil {
-		return err
+	for _, base := range bases {
+		if err := waitHealthy(client, base, *wait); err != nil {
+			return err
+		}
 	}
 
-	// Phase 1: below the admission limit. Zero tolerance for non-2xx.
-	fmt.Printf("phase 1: open loop at %.0f req/s for %v against %s\n", *rate, *duration, base)
+	if *warmup > 0 {
+		fmt.Printf("warmup: %v of the mix, unmeasured\n", *warmup)
+		_, _ = phase(client, bases, *rate, *warmup, *conc, 200_000, false)
+	}
+	var killedAt func() time.Time
+	if *chaosKill != "" {
+		killedAt = scheduleChaos()
+	}
+
+	// Phase 1: below the admission limit. Zero tolerance for non-2xx —
+	// with chaos enabled, for non-2xx-non-429: a mid-run replica kill
+	// may legitimately shed load for a beat, but must never corrupt or
+	// drop a request.
+	fmt.Printf("phase 1: open loop at %.0f req/s for %v against %s\n", *rate, *duration, strings.Join(bases, ","))
 	t0 := time.Now()
-	results, skipped := phase(client, base, *rate, *duration, *conc, 0, false)
+	results, skipped := phase(client, bases, *rate, *duration, *conc, 0, false)
 	elapsed := time.Since(t0)
 
 	var lat stats.Histogram
-	ok, bad := 0, 0
+	cb := &cbench{Targets: len(bases)}
+	ok, bad, shed, retried, tagged := 0, 0, 0, 0, 0
 	for _, r := range results {
-		if r.err == nil && r.code >= 200 && r.code < 300 {
+		if r.retried {
+			retried++
+		}
+		switch {
+		case r.err == nil && r.code >= 200 && r.code < 300:
 			ok++
 			lat.Observe(r.dur.Microseconds())
-		} else {
+			switch r.xcache {
+			case "hit":
+				cb.Hits++
+				tagged++
+			case "coalesced":
+				cb.Coalesced++
+				tagged++
+			case "miss":
+				cb.Misses++
+				tagged++
+			}
+		case r.err == nil && r.code == http.StatusTooManyRequests && *chaosKill != "":
+			shed++
+		default:
 			bad++
 			fmt.Fprintf(os.Stderr, "below-limit failure: code=%d err=%v\n", r.code, r.err)
 		}
+	}
+	if cb.Hits+cb.Misses > 0 {
+		cb.HitRatio = float64(cb.Hits) / float64(cb.Hits+cb.Misses)
 	}
 	b := bench{
 		Updated: time.Now().UTC().Format(time.RFC3339),
 		Go:      runtime.Version(),
 		Gate:    *gate, Profile: *profile, RateRPS: *rate, DurationS: elapsed.Seconds(),
-		Requests: len(results), OK: ok, Non2xx: bad, ClientSkipped: skipped,
+		Requests: len(results), OK: ok, Non2xx: bad + shed, ClientSkipped: skipped,
 		ThroughputRPS: float64(ok) / elapsed.Seconds(),
 		P50MS:         float64(lat.Percentile(50)) / 1000,
 		P90MS:         float64(lat.Percentile(90)) / 1000,
 		P99MS:         float64(lat.Percentile(99)) / 1000,
+		Retried:       retried,
+	}
+	if tagged > 0 {
+		b.Cluster = cb
 	}
 	fmt.Printf("phase 1: %d requests, %d ok, %d non-2xx, %d client-skipped; %.1f req/s; p50=%.1fms p90=%.1fms p99=%.1fms\n",
 		b.Requests, b.OK, b.Non2xx, b.ClientSkipped, b.ThroughputRPS, b.P50MS, b.P90MS, b.P99MS)
+	if tagged > 0 {
+		fmt.Printf("phase 1: fleet cache: %d hit, %d coalesced, %d miss (hit ratio %.2f); %d retried\n",
+			cb.Hits, cb.Coalesced, cb.Misses, cb.HitRatio, retried)
+	}
 	if bad > 0 {
 		return fmt.Errorf("%d non-2xx responses below the admission limit", bad)
 	}
@@ -359,12 +571,52 @@ func run() error {
 		return fmt.Errorf("no successful requests in phase 1")
 	}
 
+	if *chaosKill != "" {
+		ka := time.Time{}
+		if killedAt != nil {
+			ka = killedAt()
+		}
+		if ka.IsZero() {
+			return fmt.Errorf("chaos kill never fired (pidfile %s)", *chaosKill)
+		}
+		ch := &chaosb{KillAtS: ka.Sub(t0).Seconds(), WindowS: chaosDur.Seconds()}
+		for _, r := range results {
+			if r.at.Before(ka) || r.at.After(ka.Add(*chaosDur)) {
+				continue
+			}
+			ch.Requests++
+			switch {
+			case r.err == nil && r.code >= 200 && r.code < 300:
+				ch.OK++
+			case r.err == nil && r.code == http.StatusTooManyRequests:
+				ch.Shed++
+			default:
+				ch.Other++
+			}
+		}
+		if *chaosWait {
+			ch.Recovered = waitRecovered(client, bases[0], *wait)
+		}
+		b.Chaos = ch
+		fmt.Printf("chaos: kill at +%.2fs; window: %d requests, %d ok, %d shed, %d other; recovered=%v\n",
+			ch.KillAtS, ch.Requests, ch.OK, ch.Shed, ch.Other, ch.Recovered)
+		if ch.Other > 0 {
+			return fmt.Errorf("chaos window saw %d responses that were neither 2xx nor 429", ch.Other)
+		}
+		if ch.Requests == 0 {
+			return fmt.Errorf("chaos window covered no requests: lengthen -duration or move -chaos-at earlier")
+		}
+		if *chaosWait && !ch.Recovered {
+			return fmt.Errorf("fleet did not recover to full health within %v of the kill", *wait)
+		}
+	}
+
 	// Phase 2: deliberate overload — heavy requests at high rate. The
 	// only acceptable outcome per request is success or a clean 429.
 	if *overload {
 		orate := *rate * 16
 		fmt.Printf("phase 2: overload at %.0f req/s (unique heavy simulations) for 1.5s\n", orate)
-		oresults, _ := phase(client, base, orate, 1500*time.Millisecond, *conc, 100_000, true)
+		oresults, _ := phase(client, bases, orate, 1500*time.Millisecond, *conc, 100_000, true)
 		ob := &obench{Requests: len(oresults)}
 		for _, r := range oresults {
 			switch {

@@ -1,0 +1,443 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"cachesync/internal/portfile"
+)
+
+// Options sizes and populates the fleet.
+type Options struct {
+	// Spawn is how many cachesyncd replicas the coordinator starts as
+	// child processes.
+	Spawn int
+	// Binary is the cachesyncd executable to spawn (required when
+	// Spawn > 0).
+	Binary string
+	// Dir is the fleet state directory: per-replica portfiles
+	// (<name>.port), pidfiles (<name>.pid), result caches
+	// (cache-<name>/), and log files (<name>.log). Spawned replicas
+	// also use it as their peer-discovery directory, so every
+	// replica's cache is reachable from every other's miss path.
+	Dir string
+	// Attach lists externally managed replicas to route to, as
+	// host:port addresses.
+	Attach []string
+	// ReplicaWorkers/ReplicaQueue are passed to spawned replicas
+	// (cachesyncd -workers/-queue).
+	ReplicaWorkers int
+	ReplicaQueue   int
+	// HealthInterval is the probe period (default 250ms).
+	HealthInterval time.Duration
+	// FailAfter ejects a replica after this many consecutive failed
+	// probes (default 2). One healthy probe re-admits it.
+	FailAfter int
+	// Respawn restarts a spawned replica whose process exits while the
+	// cluster is running — the recovery half of the chaos story.
+	Respawn bool
+	// StartTimeout bounds the portfile+health handshake of a spawned
+	// replica (default 15s).
+	StartTimeout time.Duration
+	// RetryBaseDelay seeds the bounded backoff between routing
+	// attempts (default 10ms, doubling per attempt, capped at 160ms).
+	RetryBaseDelay time.Duration
+	// Logf, when set, receives coordinator events (spawns, ejections,
+	// re-admissions).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = 250 * time.Millisecond
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 2
+	}
+	if o.StartTimeout <= 0 {
+		o.StartTimeout = 15 * time.Second
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 10 * time.Millisecond
+	}
+	return o
+}
+
+// replica is one fleet member.
+type replica struct {
+	name    string
+	spawned bool
+
+	mu   sync.Mutex
+	addr string
+	cmd  *exec.Cmd
+	gen  int // respawn generation
+
+	healthy  atomic.Bool
+	fails    int // consecutive probe failures; health loop only
+	respawns atomic.Int64
+}
+
+func (r *replica) address() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addr
+}
+
+// ReplicaStatus is one replica's externally visible state (healthz).
+type ReplicaStatus struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Spawned  bool   `json:"spawned"`
+	Respawns int64  `json:"respawns,omitempty"`
+}
+
+// Cluster is the coordinator: fleet membership, health, and the
+// router handler.
+type Cluster struct {
+	opts     Options
+	ring     *ring
+	replicas map[string]*replica
+	order    []string
+	client   *http.Client
+	met      *rmetrics
+	rr       atomic.Int64 // round-robin cursor for keyless requests
+
+	stopping atomic.Bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	closeMu  sync.Mutex
+	closed   bool
+}
+
+// New spawns and attaches the fleet, waits for spawned replicas to
+// come up, and starts health supervision. It fails only when no
+// replica at all is healthy: a partially degraded fleet starts and
+// serves, with the dead members ejected until their health probes
+// recover (the stale-portfile case — an address that reads fine but
+// refuses connections — lands here by design).
+func New(opts Options) (*Cluster, error) {
+	opts = opts.withDefaults()
+	if opts.Spawn > 0 && opts.Binary == "" {
+		return nil, fmt.Errorf("cluster: Spawn=%d needs Binary", opts.Spawn)
+	}
+	if opts.Spawn > 0 && opts.Dir == "" {
+		return nil, fmt.Errorf("cluster: Spawn=%d needs Dir", opts.Spawn)
+	}
+	if opts.Spawn == 0 && len(opts.Attach) == 0 {
+		return nil, fmt.Errorf("cluster: nothing to do (Spawn=0, no Attach)")
+	}
+	c := &Cluster{
+		opts:     opts,
+		replicas: make(map[string]*replica),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+		}},
+		met:  newRMetrics(),
+		stop: make(chan struct{}),
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < opts.Spawn; i++ {
+		name := fmt.Sprintf("r%d", i)
+		rep := &replica{name: name, spawned: true}
+		c.replicas[name] = rep
+		c.order = append(c.order, name)
+	}
+	for i, addr := range opts.Attach {
+		name := fmt.Sprintf("a%d", i)
+		rep := &replica{name: name, addr: addr}
+		c.replicas[name] = rep
+		c.order = append(c.order, name)
+	}
+	c.ring = newRing(c.order)
+
+	// Launch every spawned replica, then wait for the fleet handshake.
+	for _, name := range c.order {
+		rep := c.replicas[name]
+		if rep.spawned {
+			if err := c.launch(rep); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), opts.StartTimeout)
+	defer cancel()
+	healthyAny := false
+	for _, name := range c.order {
+		rep := c.replicas[name]
+		if rep.spawned {
+			addr, err := portfile.Wait(ctx, c.portfilePath(rep))
+			if err != nil {
+				c.logf("cluster: %s: no portfile: %v", rep.name, err)
+				continue
+			}
+			rep.mu.Lock()
+			rep.addr = addr
+			rep.mu.Unlock()
+		}
+		if c.probe(rep) {
+			rep.healthy.Store(true)
+			healthyAny = true
+		} else {
+			c.logf("cluster: %s (%s) not healthy at startup; ejected until probes recover", rep.name, rep.address())
+		}
+	}
+	if !healthyAny {
+		c.Close()
+		return nil, fmt.Errorf("cluster: no healthy replica after startup")
+	}
+
+	c.wg.Add(1)
+	go c.healthLoop()
+	return c, nil
+}
+
+func (c *Cluster) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+func (c *Cluster) portfilePath(r *replica) string {
+	return filepath.Join(c.opts.Dir, r.name+".port")
+}
+
+func (c *Cluster) pidfilePath(r *replica) string {
+	return filepath.Join(c.opts.Dir, r.name+".pid")
+}
+
+// launch starts one spawned replica's process and its exit watcher.
+// Callers hold no replica lock.
+func (c *Cluster) launch(rep *replica) error {
+	// Remove the old portfile first so the handshake can only observe
+	// the new process's address, never a dead generation's.
+	_ = os.Remove(c.portfilePath(rep))
+	cmd := exec.Command(c.opts.Binary,
+		"-addr", "127.0.0.1:0",
+		"-portfile", c.portfilePath(rep),
+		"-peerdir", c.opts.Dir,
+		"-cachedir", filepath.Join(c.opts.Dir, "cache-"+rep.name),
+		"-workers", strconv.Itoa(c.opts.ReplicaWorkers),
+		"-queue", strconv.Itoa(c.opts.ReplicaQueue),
+	)
+	logf, err := os.OpenFile(filepath.Join(c.opts.Dir, rep.name+".log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("cluster: spawn %s: %w", rep.name, err)
+	}
+	rep.mu.Lock()
+	rep.cmd = cmd
+	rep.gen++
+	gen := rep.gen
+	rep.mu.Unlock()
+	_ = os.WriteFile(c.pidfilePath(rep), []byte(strconv.Itoa(cmd.Process.Pid)+"\n"), 0o644)
+	c.logf("cluster: %s: spawned pid %d", rep.name, cmd.Process.Pid)
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer logf.Close()
+		err := cmd.Wait()
+		if c.stopping.Load() {
+			return
+		}
+		// The replica died under us. Eject immediately; optionally
+		// bring a fresh process up on the same name (same ring range,
+		// same portfile, fresh ephemeral port).
+		if rep.healthy.CompareAndSwap(true, false) {
+			c.met.ejections.Add(1)
+		}
+		c.logf("cluster: %s: process exited unexpectedly: %v", rep.name, err)
+		if !c.opts.Respawn {
+			return
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-c.stop:
+			return
+		}
+		rep.mu.Lock()
+		stale := rep.gen != gen
+		rep.mu.Unlock()
+		if stale || c.stopping.Load() {
+			return
+		}
+		rep.respawns.Add(1)
+		c.met.respawns.Add(1)
+		if err := c.launch(rep); err != nil {
+			c.logf("cluster: %s: respawn failed: %v", rep.name, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.opts.StartTimeout)
+		defer cancel()
+		addr, err := portfile.Wait(ctx, c.portfilePath(rep))
+		if err != nil {
+			c.logf("cluster: %s: respawned but no portfile: %v", rep.name, err)
+			return
+		}
+		rep.mu.Lock()
+		rep.addr = addr
+		rep.mu.Unlock()
+		// The health loop re-admits once probes pass.
+	}()
+	return nil
+}
+
+// probe is one synchronous health check.
+func (c *Cluster) probe(r *replica) bool {
+	addr := r.address()
+	if addr == "" {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	drainClose(resp)
+	return resp.StatusCode == http.StatusOK
+}
+
+// healthLoop drives ejection and re-admission: FailAfter consecutive
+// probe failures eject, one success re-admits. The loop is the only
+// writer of rep.fails.
+func (c *Cluster) healthLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for _, name := range c.order {
+			rep := c.replicas[name]
+			if c.probe(rep) {
+				rep.fails = 0
+				if rep.healthy.CompareAndSwap(false, true) {
+					c.met.readmissions.Add(1)
+					c.logf("cluster: %s (%s) re-admitted", rep.name, rep.address())
+				}
+				continue
+			}
+			rep.fails++
+			if rep.fails >= c.opts.FailAfter {
+				if rep.healthy.CompareAndSwap(true, false) {
+					c.met.ejections.Add(1)
+					c.logf("cluster: %s (%s) ejected after %d failed probes", rep.name, rep.address(), rep.fails)
+				}
+			}
+		}
+	}
+}
+
+// markDown ejects a replica on direct routing evidence (a transport
+// error), without waiting for the next probe cycle.
+func (c *Cluster) markDown(rep *replica) {
+	if rep.healthy.CompareAndSwap(true, false) {
+		c.met.ejections.Add(1)
+		c.logf("cluster: %s (%s) ejected on routing failure", rep.name, rep.address())
+	}
+}
+
+// Statuses reports the fleet, in roster order.
+func (c *Cluster) Statuses() []ReplicaStatus {
+	out := make([]ReplicaStatus, 0, len(c.order))
+	for _, name := range c.order {
+		rep := c.replicas[name]
+		out = append(out, ReplicaStatus{
+			Name: rep.name, Addr: rep.address(),
+			Healthy: rep.healthy.Load(), Spawned: rep.spawned,
+			Respawns: rep.respawns.Load(),
+		})
+	}
+	return out
+}
+
+// healthyCount returns how many replicas are currently admitted.
+func (c *Cluster) healthyCount() int {
+	n := 0
+	for _, name := range c.order {
+		if c.replicas[name].healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops supervision and tears down spawned replicas: SIGTERM
+// for a graceful drain, SIGKILL after a grace period. Safe to call
+// more than once.
+func (c *Cluster) Close() {
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	c.stopping.Store(true)
+	close(c.stop)
+	c.closeMu.Unlock()
+
+	var kills sync.WaitGroup
+	for _, name := range c.order {
+		rep := c.replicas[name]
+		rep.mu.Lock()
+		cmd := rep.cmd
+		rep.mu.Unlock()
+		if cmd == nil || cmd.Process == nil {
+			continue
+		}
+		kills.Add(1)
+		go func(cmd *exec.Cmd) {
+			defer kills.Done()
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+			done := make(chan struct{})
+			go func() {
+				// The launch watcher owns cmd.Wait; poll for exit.
+				for {
+					if err := cmd.Process.Signal(syscall.Signal(0)); err != nil {
+						close(done)
+						return
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				_ = cmd.Process.Kill()
+			}
+		}(cmd)
+	}
+	kills.Wait()
+	c.wg.Wait()
+}

@@ -1,0 +1,416 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cachesync/internal/runner"
+	"cachesync/internal/serve"
+	"cachesync/internal/simrun"
+)
+
+// backend is one in-process replica for attach-mode cluster tests.
+type backend struct {
+	srv  *serve.Server
+	ts   *httptest.Server
+	addr string
+}
+
+func newBackend(t *testing.T) *backend {
+	t.Helper()
+	cache, err := runner.OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{Workers: 2, Cache: cache})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	return &backend{srv: srv, ts: ts, addr: strings.TrimPrefix(ts.URL, "http://")}
+}
+
+// newAttachCluster builds a coordinator over already-running backends
+// with fast health probes, and serves its router on httptest.
+func newAttachCluster(t *testing.T, addrs ...string) (*Cluster, *httptest.Server) {
+	t.Helper()
+	c, err := New(Options{
+		Attach:         addrs,
+		HealthInterval: 40 * time.Millisecond,
+		FailAfter:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+	return c, ts
+}
+
+func postSim(t *testing.T, url string, cfg simrun.Config) (int, http.Header, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(cfg)
+	resp, err := http.Post(url+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// configOwnedBy searches seeds until it finds a config whose ring
+// owner is the named replica.
+func configOwnedBy(t *testing.T, c *Cluster, name string) simrun.Config {
+	t.Helper()
+	for seed := int64(1); seed < 500; seed++ {
+		cfg := simrun.Config{Protocol: "bitar", Ops: 120, Seed: seed}.Normalize()
+		if c.ring.pick("simulate|" + cfg.Hash())[0] == name {
+			return cfg
+		}
+	}
+	t.Fatalf("no config owned by %s in 500 seeds", name)
+	return simrun.Config{}
+}
+
+// TestClusterAffinity: identical requests land on the ring owner every
+// time (X-Replica constant), so dedup and caching concentrate; the
+// second request is a cache hit.
+func TestClusterAffinity(t *testing.T) {
+	b0, b1 := newBackend(t), newBackend(t)
+	c, ts := newAttachCluster(t, b0.addr, b1.addr)
+
+	for _, owner := range []string{"a0", "a1"} {
+		cfg := configOwnedBy(t, c, owner)
+		var replicas []string
+		for i := 0; i < 3; i++ {
+			code, hdr, body := postSim(t, ts.URL, cfg)
+			if code != http.StatusOK {
+				t.Fatalf("simulate via router: %d %s", code, body)
+			}
+			replicas = append(replicas, hdr.Get("X-Replica"))
+			if i > 0 && hdr.Get("X-Cache") != "hit" {
+				t.Fatalf("repeat %d: X-Cache=%q, want hit", i, hdr.Get("X-Cache"))
+			}
+		}
+		for _, r := range replicas {
+			if r != owner {
+				t.Fatalf("affinity broken: owner %s, routed to %v", owner, replicas)
+			}
+		}
+	}
+}
+
+// TestClusterReroute: when the owning backend dies, its keys reroute
+// to the survivor with no client-visible failure.
+func TestClusterReroute(t *testing.T) {
+	b0, b1 := newBackend(t), newBackend(t)
+	c, ts := newAttachCluster(t, b0.addr, b1.addr)
+
+	cfg := configOwnedBy(t, c, "a0")
+	if code, hdr, _ := postSim(t, ts.URL, cfg); code != http.StatusOK || hdr.Get("X-Replica") != "a0" {
+		t.Fatalf("pre-kill: code=%d replica=%q", code, hdr.Get("X-Replica"))
+	}
+
+	b0.ts.Close()
+	code, hdr, body := postSim(t, ts.URL, cfg)
+	if code != http.StatusOK {
+		t.Fatalf("post-kill simulate: %d %s", code, body)
+	}
+	if got := hdr.Get("X-Replica"); got != "a1" {
+		t.Fatalf("post-kill routed to %q, want a1", got)
+	}
+	if c.met.reroutes.Load() == 0 && c.met.ejections.Load() == 0 {
+		t.Fatal("kill left no reroute/ejection evidence in metrics")
+	}
+}
+
+// TestClusterReadmission: a replica ejected on routing evidence is
+// re-admitted by the health loop once probes succeed, restoring its
+// old key range (same ring position).
+func TestClusterReadmission(t *testing.T) {
+	b0, b1 := newBackend(t), newBackend(t)
+	c, ts := newAttachCluster(t, b0.addr, b1.addr)
+
+	cfg := configOwnedBy(t, c, "a0")
+	rep := c.replicas["a0"]
+	rep.healthy.Store(false) // simulated ejection; the process is fine
+
+	if code, hdr, _ := postSim(t, ts.URL, cfg); code != http.StatusOK || hdr.Get("X-Replica") != "a1" {
+		t.Fatalf("while ejected: code=%d replica=%q, want 200/a1", code, hdr.Get("X-Replica"))
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for !rep.healthy.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never re-admitted a live replica")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if c.met.readmissions.Load() == 0 {
+		t.Fatal("re-admission not counted")
+	}
+	if code, hdr, _ := postSim(t, ts.URL, cfg); code != http.StatusOK || hdr.Get("X-Replica") != "a0" {
+		t.Fatalf("after re-admission: code=%d replica=%q, want 200/a0 (affinity restored)", code, hdr.Get("X-Replica"))
+	}
+}
+
+// TestClusterDeadAttach: a roster with one dead address still starts,
+// ejects the dead member, and serves from the live one; aggregate
+// healthz reports the split.
+func TestClusterDeadAttach(t *testing.T) {
+	b0 := newBackend(t)
+	c, ts := newAttachCluster(t, b0.addr, "127.0.0.1:1")
+
+	if n := c.healthyCount(); n != 1 {
+		t.Fatalf("healthy = %d, want 1", n)
+	}
+	code, _, _ := postSim(t, ts.URL, simrun.Config{Protocol: "bitar", Ops: 100, Seed: 1})
+	if code != http.StatusOK {
+		t.Fatalf("simulate with half-dead fleet: %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		OK      bool `json:"ok"`
+		Healthy int  `json:"healthy"`
+		Total   int  `json:"total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if !hz.OK || hz.Healthy != 1 || hz.Total != 2 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+}
+
+// TestClusterNoHealthy: a fleet with nothing alive refuses to start.
+func TestClusterNoHealthy(t *testing.T) {
+	if _, err := New(Options{Attach: []string{"127.0.0.1:1"}, StartTimeout: time.Second}); err == nil {
+		t.Fatal("New succeeded with a dead-only roster")
+	}
+}
+
+// TestClusterSweepMerge: a sharded sweep returns exactly the points a
+// single replica would, in the same order.
+func TestClusterSweepMerge(t *testing.T) {
+	b0, b1 := newBackend(t), newBackend(t)
+	_, ts := newAttachCluster(t, b0.addr, b1.addr)
+
+	req := serve.SweepRequest{Protocols: []string{"bitar", "illinois", "goodman"}, Procs: []int{1, 2}, Ops: 100, Seed: 7}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged struct {
+		Pass   bool               `json:"pass"`
+		Shards int                `json:"shards"`
+		Points []serve.SweepPoint `json:"points"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&merged)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster sweep: code=%d err=%v", resp.StatusCode, err)
+	}
+
+	single := newBackend(t)
+	resp, err = http.Post(single.ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref serve.SweepResponse
+	err = json.NewDecoder(resp.Body).Decode(&ref)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(merged.Points) != len(ref.Points) {
+		t.Fatalf("merged %d points, single replica %d", len(merged.Points), len(ref.Points))
+	}
+	for i := range ref.Points {
+		if merged.Points[i] != ref.Points[i] {
+			t.Fatalf("point %d: cluster %+v vs single %+v", i, merged.Points[i], ref.Points[i])
+		}
+	}
+	if merged.Shards < 2 {
+		t.Fatalf("sweep used %d shards; expected the fleet to split it", merged.Shards)
+	}
+}
+
+// TestClusterSweepStream: ?stream=1 interleaves shard events in
+// shard-index order and ends with the merged result line.
+func TestClusterSweepStream(t *testing.T) {
+	b0, b1 := newBackend(t), newBackend(t)
+	_, ts := newAttachCluster(t, b0.addr, b1.addr)
+
+	req := serve.SweepRequest{Protocols: []string{"bitar", "illinois", "goodman", "firefly"}, Procs: []int{1, 2}, Ops: 100, Seed: 11}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/sweep?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+
+	lastShard := -1
+	var result struct {
+		T      string             `json:"t"`
+		Pass   bool               `json:"pass"`
+		Points []serve.SweepPoint `json:"points"`
+	}
+	sawResult := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Shard int    `json:"shard"`
+			T     string `json:"t"`
+			Msg   string `json:"msg"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if ev.T == "error" {
+			t.Fatalf("stream error event: %s", ev.Msg)
+		}
+		if ev.T == "result" {
+			if err := json.Unmarshal(sc.Bytes(), &result); err != nil {
+				t.Fatal(err)
+			}
+			sawResult = true
+			continue
+		}
+		if sawResult {
+			t.Fatal("events after the result line")
+		}
+		if ev.Shard < lastShard {
+			t.Fatalf("shard order regressed: %d after %d", ev.Shard, lastShard)
+		}
+		lastShard = ev.Shard
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawResult {
+		t.Fatal("stream ended without a result line")
+	}
+	if len(result.Points) != 8 || !result.Pass {
+		t.Fatalf("stream result: pass=%v points=%d, want pass/8", result.Pass, len(result.Points))
+	}
+	for i, want := range []string{"bitar", "bitar", "illinois", "illinois", "goodman", "goodman", "firefly", "firefly"} {
+		if result.Points[i].Protocol != want {
+			t.Fatalf("point %d protocol %q, want %q (cell order must survive the merge)", i, result.Points[i].Protocol, want)
+		}
+	}
+}
+
+// TestClusterJobBroadcast: an async job accepted by one replica is
+// findable through the coordinator without knowing which replica runs
+// it.
+func TestClusterJobBroadcast(t *testing.T) {
+	b0, b1 := newBackend(t), newBackend(t)
+	_, ts := newAttachCluster(t, b0.addr, b1.addr)
+
+	cfg := simrun.Config{Protocol: "bitar", Ops: 150, Seed: 3}
+	body, _ := json.Marshal(cfg)
+	resp, err := http.Post(ts.URL+"/v1/simulate?async=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc struct {
+		Job string `json:"job"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || acc.Job == "" {
+		t.Fatalf("async accept: code=%d job=%q err=%v", resp.StatusCode, acc.Job, err)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + acc.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job via broadcast: %d", resp.StatusCode)
+	}
+	sawDone := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev serve.JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err == nil && (ev.T == "done" || ev.T == "error") {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Fatal("job stream never finished")
+	}
+
+	if r, err := http.Get(ts.URL + "/v1/jobs/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job: %d, want 404", r.StatusCode)
+		}
+	}
+}
+
+// TestClusterMetrics: the coordinator's exposition includes per-replica
+// routing counters and fleet health.
+func TestClusterMetrics(t *testing.T) {
+	b0 := newBackend(t)
+	_, ts := newAttachCluster(t, b0.addr)
+	if code, _, _ := postSim(t, ts.URL, simrun.Config{Protocol: "bitar", Ops: 100, Seed: 2}); code != http.StatusOK {
+		t.Fatal("simulate failed")
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	text := string(data)
+	for _, want := range []string{
+		`cachesyncc_routed_total{replica="a0"} 1`,
+		"cachesyncc_healthy 1",
+		"cachesyncc_reroutes_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestOptionsValidation covers the constructor's refusals.
+func TestOptionsValidation(t *testing.T) {
+	cases := []Options{
+		{},
+		{Spawn: 1},
+		{Spawn: 1, Binary: "x"},
+	}
+	for i, o := range cases {
+		if _, err := New(o); err == nil {
+			t.Fatalf("case %d: New(%+v) succeeded", i, o)
+		}
+	}
+}

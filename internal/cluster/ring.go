@@ -1,0 +1,90 @@
+// Package cluster is the cachesync serving fleet: a coordinator that
+// spawns or attaches to N cachesyncd replicas (reusing the portfile
+// handshake), routes each request to a replica by consistent-hashing
+// its configuration key — so the replicas' single-flight dedup and
+// result caches concentrate instead of fragmenting — reroutes around
+// failed replicas with bounded backoff, ejects and re-admits replicas
+// on health evidence, and shards sweeps across the fleet with a
+// deterministic merge.
+//
+// The design maps the paper's coherence problem onto serving: each
+// replica's result cache is a processor cache, the router's hash ring
+// is the address-to-cache mapping, and the artifact exchange
+// (internal/serve's peer fetch) is the cache-to-cache transfer that
+// turns N private caches into one logical fleet cache without a
+// broadcast bus.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring with virtual nodes. Membership is
+// static after construction (the fleet roster); liveness is a
+// per-replica property filtered at pick time, so a replica that
+// leaves and returns keeps exactly its old key range — re-admission
+// restores cache affinity instead of reshuffling the fleet.
+type ring struct {
+	points []ringPoint // sorted by hash
+	names  []string    // distinct member names
+}
+
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// vnodesPerMember spreads each member around the ring so key ranges
+// even out. 64 keeps the per-member load imbalance low at fleet sizes
+// this package targets (units to tens of replicas).
+const vnodesPerMember = 64
+
+func newRing(names []string) *ring {
+	r := &ring{names: append([]string(nil), names...)}
+	for _, n := range names {
+		for v := 0; v < vnodesPerMember; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", n, v)), name: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].name < r.points[j].name
+	})
+	return r
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// pick returns every member in preference order for key: the owner
+// first (the first virtual node at or after the key's hash), then each
+// subsequent distinct member walking the ring — the reroute order when
+// the owner is down. The order depends only on membership and the key,
+// never on liveness, so two routers with the same roster agree.
+func (r *ring) pick(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	order := make([]string, 0, len(r.names))
+	seen := make(map[string]bool, len(r.names))
+	for i := 0; i < len(r.points) && len(order) < len(r.names); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.name] {
+			seen[p.name] = true
+			order = append(order, p.name)
+		}
+	}
+	return order
+}

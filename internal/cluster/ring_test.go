@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingPickStable: the preference order is a pure function of the
+// roster and the key — two rings built from the same names agree on
+// every key, and each order lists each member exactly once.
+func TestRingPickStable(t *testing.T) {
+	names := []string{"r0", "r1", "r2"}
+	a, b := newRing(names), newRing(names)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("simulate|key-%d", i)
+		pa, pb := a.pick(key), b.pick(key)
+		if len(pa) != len(names) {
+			t.Fatalf("pick(%q) = %v: want %d distinct members", key, pa, len(names))
+		}
+		seen := map[string]bool{}
+		for _, n := range pa {
+			if seen[n] {
+				t.Fatalf("pick(%q) = %v: duplicate member", key, pa)
+			}
+			seen[n] = true
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("pick(%q) differs between identical rings: %v vs %v", key, pa, pb)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, no member owns a wildly
+// disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	r := newRing([]string{"r0", "r1", "r2"})
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.pick(fmt.Sprintf("simulate|%d", i))[0]]++
+	}
+	for name, n := range counts {
+		if n < keys/6 || n > keys/2+keys/10 {
+			t.Fatalf("owner share out of range: %s owns %d of %d (%v)", name, n, keys, counts)
+		}
+	}
+}
+
+// TestRingFailover: the second preference differs from the first, so a
+// down owner has somewhere to send the key; and removing liveness is
+// not the ring's job — pick ignores it by design.
+func TestRingFailover(t *testing.T) {
+	r := newRing([]string{"r0", "r1", "r2"})
+	moved := 0
+	for i := 0; i < 100; i++ {
+		p := r.pick(fmt.Sprintf("k%d", i))
+		if p[0] == p[1] {
+			t.Fatalf("pick returned the same member twice: %v", p)
+		}
+		if p[1] != p[0] {
+			moved++
+		}
+	}
+	if moved != 100 {
+		t.Fatalf("failover preference missing for %d keys", 100-moved)
+	}
+}
+
+// TestRingEmpty: an empty roster yields no candidates rather than
+// panicking.
+func TestRingEmpty(t *testing.T) {
+	if got := newRing(nil).pick("anything"); got != nil {
+		t.Fatalf("empty ring pick = %v", got)
+	}
+}

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"cachesync/internal/serve"
+	"cachesync/internal/simrun"
+)
+
+// sweepShard is one replica's slice of a sweep: the cell indices it
+// owns (positions in the expanded request) and the sub-request that
+// names exactly those cells.
+type sweepShard struct {
+	index   int   // shard number, in first-owned-cell order
+	indices []int // positions in the full expansion
+	req     serve.SweepRequest
+	prefs   []string // replica preference order (owner of the shard's first cell)
+}
+
+// handleSweep shards a sweep across the fleet and merges the results
+// back into cell order. Each cell is assigned to the replica that owns
+// its simulate key on the ring, so a sweep warms exactly the caches
+// that later /v1/simulate requests for the same cells will hit, and a
+// repeated sweep is answered shard-by-shard from replica caches.
+//
+// Plain requests return the merged SweepResponse; ?stream=1 returns an
+// NDJSON stream: every shard's job events in shard-index order (shard
+// 1's events buffer at its replica while shard 0 streams — merge by
+// shard index is what makes the interleaving deterministic), then a
+// final "result" line carrying the merged points.
+func (c *Cluster) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var sr serve.SweepRequest
+	if err := json.Unmarshal(body, &sr); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	cfgs, err := sr.Expand()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	shards := c.shardSweep(sr, cfgs)
+	if len(shards) == 0 {
+		c.met.unrouted.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no healthy replica"})
+		return
+	}
+	c.met.sweepShards.Add(int64(len(shards)))
+	if r.URL.Query().Get("stream") == "1" {
+		c.streamSweep(w, r, cfgs, shards)
+		return
+	}
+
+	points, errs := c.runShards(r.Context(), cfgs, shards)
+	if errs != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]any{"error": errs.Error()})
+		return
+	}
+	pass := true
+	for _, p := range points {
+		pass = pass && p.Pass
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"pass": pass, "shards": len(shards), "points": points,
+	})
+}
+
+// shardSweep groups the expanded cells by owning replica. Shard order
+// (and therefore stream order) follows each shard's first cell, so it
+// is a pure function of the request and the roster.
+func (c *Cluster) shardSweep(sr serve.SweepRequest, cfgs []simrun.Config) []*sweepShard {
+	byOwner := make(map[string]*sweepShard)
+	var order []*sweepShard
+	for i, cfg := range cfgs {
+		prefs := c.ring.pick("simulate|" + cfg.Hash())
+		owner := ""
+		for _, n := range prefs {
+			if c.replicas[n].healthy.Load() {
+				owner = n
+				break
+			}
+		}
+		if owner == "" {
+			return nil
+		}
+		sh := byOwner[owner]
+		if sh == nil {
+			sh = &sweepShard{
+				index: len(order),
+				prefs: prefs,
+				req: serve.SweepRequest{
+					Workload: sr.Workload, Ops: sr.Ops, Iters: sr.Iters, Seed: sr.Seed,
+				},
+			}
+			byOwner[owner] = sh
+			order = append(order, sh)
+		}
+		sh.indices = append(sh.indices, i)
+		sh.req.Cells = append(sh.req.Cells, serve.SweepCell{Protocol: cfg.Protocol, Procs: cfg.Procs})
+	}
+	return order
+}
+
+// postShard runs one shard synchronously on the best live replica in
+// its preference order, retrying down the ring on transport errors —
+// mid-sweep replica death surfaces here, and the retry is cheap
+// because completed cells answer from the artifact exchange.
+func (c *Cluster) postShard(ctx context.Context, sh *sweepShard, query string) (*http.Response, string, error) {
+	payload, err := json.Marshal(sh.req)
+	if err != nil {
+		return nil, "", err
+	}
+	var lastErr error
+	for _, name := range sh.prefs {
+		rep := c.replicas[name]
+		if !rep.healthy.Load() {
+			continue
+		}
+		url := "http://" + rep.address() + "/v1/sweep" + query
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+		if err != nil {
+			return nil, "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, "", ctx.Err()
+			}
+			c.markDown(rep)
+			c.met.reroutes.Add(1)
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			drainClose(resp)
+			c.met.reroutes.Add(1)
+			lastErr = fmt.Errorf("%s: 503", name)
+			continue
+		}
+		c.met.route(name)
+		return resp, name, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no healthy replica for shard %d", sh.index)
+	}
+	return nil, "", lastErr
+}
+
+// runShards executes every shard concurrently and scatters each
+// shard's points back to their positions in the full expansion.
+func (c *Cluster) runShards(ctx context.Context, cfgs []simrun.Config, shards []*sweepShard) ([]serve.SweepPoint, error) {
+	points := make([]serve.SweepPoint, len(cfgs))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for si, sh := range shards {
+		wg.Add(1)
+		go func(si int, sh *sweepShard) {
+			defer wg.Done()
+			resp, name, err := c.postShard(ctx, sh, "")
+			if err != nil {
+				errs[si] = fmt.Errorf("shard %d: %w", sh.index, err)
+				return
+			}
+			defer drainClose(resp)
+			if resp.StatusCode != http.StatusOK {
+				errs[si] = fmt.Errorf("shard %d on %s: status %d", sh.index, name, resp.StatusCode)
+				return
+			}
+			var sresp serve.SweepResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sresp); err != nil {
+				errs[si] = fmt.Errorf("shard %d on %s: %w", sh.index, name, err)
+				return
+			}
+			if len(sresp.Points) != len(sh.indices) {
+				errs[si] = fmt.Errorf("shard %d on %s: %d points for %d cells",
+					sh.index, name, len(sresp.Points), len(sh.indices))
+				return
+			}
+			for j, idx := range sh.indices {
+				points[idx] = sresp.Points[j]
+			}
+		}(si, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// sweepEvent is one line of the cluster sweep stream.
+type sweepEvent struct {
+	Shard   int    `json:"shard"`
+	Replica string `json:"replica,omitempty"`
+	Seq     int    `json:"seq,omitempty"`
+	T       string `json:"t"`
+	Msg     string `json:"msg,omitempty"`
+}
+
+// streamSweep is the ?stream=1 path: kick every shard off
+// asynchronously, then relay each shard's job events in shard-index
+// order, then emit the merged result (a sync re-POST per shard,
+// answered from the replicas' now-warm caches).
+func (c *Cluster) streamSweep(w http.ResponseWriter, r *http.Request, cfgs []simrun.Config, shards []*sweepShard) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev sweepEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return true
+	}
+
+	// Launch all shards before streaming any: the replicas execute
+	// concurrently while we relay in order.
+	type launched struct {
+		job     string
+		replica string
+		err     error
+	}
+	jobs := make([]launched, len(shards))
+	for si, sh := range shards {
+		resp, name, err := c.postShard(r.Context(), sh, "?async=1")
+		if err != nil {
+			jobs[si] = launched{err: err}
+			continue
+		}
+		var acc struct {
+			Job string `json:"job"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&acc)
+		drainClose(resp)
+		if err != nil || acc.Job == "" {
+			jobs[si] = launched{err: fmt.Errorf("shard %d on %s: bad accept", sh.index, name)}
+			continue
+		}
+		jobs[si] = launched{job: acc.Job, replica: name}
+	}
+
+	for si, sh := range shards {
+		if jobs[si].err != nil {
+			emit(sweepEvent{Shard: sh.index, T: "error", Msg: jobs[si].err.Error()})
+			continue
+		}
+		if !c.relayJob(r.Context(), sh, jobs[si].replica, jobs[si].job, emit) {
+			return
+		}
+	}
+
+	points, err := c.runShards(r.Context(), cfgs, shards)
+	if err != nil {
+		emit(sweepEvent{T: "error", Msg: err.Error()})
+		return
+	}
+	pass := true
+	for _, p := range points {
+		pass = pass && p.Pass
+	}
+	out := struct {
+		T      string             `json:"t"`
+		Pass   bool               `json:"pass"`
+		Shards int                `json:"shards"`
+		Points []serve.SweepPoint `json:"points"`
+	}{T: "result", Pass: pass, Shards: len(shards), Points: points}
+	if err := enc.Encode(out); err == nil && fl != nil {
+		fl.Flush()
+	}
+}
+
+// relayJob streams one shard's replica-side job events, re-tagged
+// with the shard index. Returns false when the client went away.
+func (c *Cluster) relayJob(ctx context.Context, sh *sweepShard, replica, job string, emit func(sweepEvent) bool) bool {
+	rep := c.replicas[replica]
+	url := "http://" + rep.address() + "/v1/jobs/" + job
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return emit(sweepEvent{Shard: sh.index, T: "error", Msg: err.Error()})
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false
+		}
+		return emit(sweepEvent{Shard: sh.index, T: "error", Msg: err.Error()})
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return emit(sweepEvent{Shard: sh.index, T: "error",
+			Msg: fmt.Sprintf("job stream on %s: status %d", replica, resp.StatusCode)})
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev serve.JobEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue
+		}
+		if !emit(sweepEvent{Shard: sh.index, Replica: replica, Seq: ev.Seq, T: ev.T, Msg: ev.Msg}) {
+			return false
+		}
+	}
+	return true
+}

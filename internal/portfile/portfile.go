@@ -1,0 +1,86 @@
+// Package portfile is the daemon-address handshake shared by
+// cachesyncd (which writes the file once its listener is bound),
+// cmd/loadgen, and the cluster coordinator (which wait for it): a tiny
+// file holding one "host:port" line. The write is atomic
+// (unique temp file + rename), and readers treat a file without a
+// terminating newline as still being written — so a reader polling the
+// path can never act on a truncated address, even against a writer
+// that skips the rename discipline.
+package portfile
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// pollInterval is how often Wait re-reads the path.
+const pollInterval = 20 * time.Millisecond
+
+// Write lands addr at path atomically: a unique temp file in the same
+// directory, newline-terminated, renamed into place. A concurrent
+// Read/Wait observes either the old content or the complete new
+// content, never a prefix.
+func Write(path, addr string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".portfile-*")
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(tmp, addr); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Read returns the address in path, reporting ok only for a complete
+// file: non-empty and newline-terminated. A missing file, an empty
+// file, or a partial write (no trailing newline yet) all read as "not
+// there yet" — Wait keeps polling through them.
+func Read(path string) (addr string, ok bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", false
+	}
+	s := string(raw)
+	if !strings.HasSuffix(s, "\n") {
+		return "", false
+	}
+	addr = strings.TrimSpace(s)
+	if addr == "" {
+		return "", false
+	}
+	return addr, true
+}
+
+// Wait polls path until a complete address appears or ctx ends. The
+// address is returned as written; liveness of whatever it names is the
+// caller's problem (the file may be stale — left over from a process
+// that died without cleaning up — so callers that care must follow up
+// with a health probe).
+func Wait(ctx context.Context, path string) (string, error) {
+	t := time.NewTicker(pollInterval)
+	defer t.Stop()
+	for {
+		if addr, ok := Read(path); ok {
+			return addr, nil
+		}
+		select {
+		case <-ctx.Done():
+			return "", fmt.Errorf("portfile %s: %w", path, ctx.Err())
+		case <-t.C:
+		}
+	}
+}

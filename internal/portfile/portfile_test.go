@@ -1,0 +1,137 @@
+package portfile
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "port")
+	if err := Write(path, "127.0.0.1:4321"); err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := Read(path)
+	if !ok || addr != "127.0.0.1:4321" {
+		t.Fatalf("Read = %q, %v; want 127.0.0.1:4321, true", addr, ok)
+	}
+	// No temp droppings left behind.
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries after Write, want 1 (no temp files)", len(ents))
+	}
+}
+
+func TestReadMissingAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok := Read(filepath.Join(dir, "absent")); ok {
+		t.Fatal("Read reported ok for a missing file")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Read(empty); ok {
+		t.Fatal("Read reported ok for an empty file")
+	}
+	blank := filepath.Join(dir, "blank")
+	if err := os.WriteFile(blank, []byte("\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Read(blank); ok {
+		t.Fatal("Read reported ok for a whitespace-only file")
+	}
+}
+
+// TestPartialWriteNotObserved: a file that exists but has no
+// terminating newline is a write in progress, not an address. Wait
+// must poll through it and return only the completed content.
+func TestPartialWriteNotObserved(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "port")
+	if err := os.WriteFile(path, []byte("127.0.0.1:43"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if addr, ok := Read(path); ok {
+		t.Fatalf("Read returned partial address %q", addr)
+	}
+	done := make(chan struct{})
+	var got string
+	var gotErr error
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		got, gotErr = Wait(ctx, path)
+	}()
+	// Give Wait a few polls over the partial file, then complete it.
+	time.Sleep(60 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatalf("Wait returned on a partial portfile: %q, %v", got, gotErr)
+	default:
+	}
+	if err := Write(path, "127.0.0.1:4388"); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if gotErr != nil || got != "127.0.0.1:4388" {
+		t.Fatalf("Wait = %q, %v; want completed address", got, gotErr)
+	}
+}
+
+func TestWaitAppears(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "port")
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		_ = Write(path, "10.0.0.1:80")
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	addr, err := Wait(ctx, path)
+	if err != nil || addr != "10.0.0.1:80" {
+		t.Fatalf("Wait = %q, %v", addr, err)
+	}
+}
+
+func TestWaitContextExpires(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "never")
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	if _, err := Wait(ctx, path); err == nil {
+		t.Fatal("Wait returned nil error for a file that never appears")
+	}
+}
+
+// TestStalePortfileReadsButAddressIsDead documents the stale-portfile
+// contract: a file left behind by a dead process reads fine — Wait
+// cannot tell — and the address refuses connections. Higher layers
+// (the cluster's health probes) own that failure; this pins the
+// division of responsibility.
+func TestStalePortfileReadsButAddressIsDead(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // the "process" dies, leaving its portfile behind
+
+	path := filepath.Join(t.TempDir(), "port")
+	if err := Write(path, addr); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	got, err := Wait(ctx, path)
+	if err != nil || got != addr {
+		t.Fatalf("Wait = %q, %v; want the stale address %q", got, err, addr)
+	}
+	if _, err := net.DialTimeout("tcp", got, 200*time.Millisecond); err == nil {
+		t.Fatal("stale address unexpectedly accepts connections")
+	}
+}

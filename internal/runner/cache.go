@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"cachesync/internal/flight"
 )
@@ -29,6 +30,28 @@ type Cache struct {
 	dir        string
 	sourceHash string
 	flight     flight.Group[doResult]
+	fetcher    atomic.Pointer[Fetcher]
+}
+
+// Fetcher consults an external source — in the cluster, the other
+// replicas' GET /v1/artifact/{key} endpoints — for a cache entry by
+// raw key, returning the entry's stored bytes. It runs on the Do miss
+// path, so it must bound its own latency; a slow fetcher delays every
+// cold request.
+type Fetcher func(key string) ([]byte, bool)
+
+// SetFetcher installs (or, with nil, removes) the external entry
+// source consulted on local misses. Entries a fetcher returns are
+// validated against the requested key and this cache's source hash
+// before being trusted, then stored locally — a warm entry anywhere in
+// a fleet of same-source processes becomes a local hit everywhere it
+// is asked for.
+func (c *Cache) SetFetcher(f Fetcher) {
+	if f == nil {
+		c.fetcher.Store(nil)
+		return
+	}
+	c.fetcher.Store(&f)
 }
 
 // doResult is what one single-flight execution shares with its
@@ -74,13 +97,38 @@ func (c *Cache) SourceHashValue() string { return c.sourceHash }
 
 // key derives the entry filename for a job.
 func (c *Cache) key(j Job) string {
+	return c.KeyFor(j.Name, j.ConfigHash)
+}
+
+// KeyFor derives the content-addressed raw key for a (job name, config
+// hash) pair under this cache's source tree. Two processes built from
+// the same sources compute identical keys, which is what makes raw
+// keys exchangeable between replicas.
+func (c *Cache) KeyFor(name, configHash string) string {
 	h := sha256.New()
 	io.WriteString(h, c.sourceHash)
 	io.WriteString(h, "\x00")
-	io.WriteString(h, j.Name)
+	io.WriteString(h, name)
 	io.WriteString(h, "\x00")
-	io.WriteString(h, j.ConfigHash)
+	io.WriteString(h, configHash)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// validKey reports whether key has the shape KeyFor produces —
+// exactly 64 lowercase hex digits. Raw keys arrive over the network
+// (GET /v1/artifact/{key}); anything else must not touch the
+// filesystem.
+func validKey(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // cacheEntry is the stored form of one artifact.
@@ -107,6 +155,50 @@ func (c *Cache) Get(j Job) (Artifact, bool) {
 	if e.Name != j.Name || e.ConfigHash != j.ConfigHash || e.SourceHash != c.sourceHash {
 		return Artifact{}, false
 	}
+	return e.Artifact, true
+}
+
+// GetRaw recalls an entry's stored bytes by raw key — the serving
+// side of the fleet artifact exchange. It only answers for well-formed
+// keys whose stored entry verifies: the embedded fields must re-derive
+// the requested key under this cache's source hash, so a process built
+// from different sources (or a tampered file) reads as a miss.
+func (c *Cache) GetRaw(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.SourceHash != c.sourceHash || c.KeyFor(e.Name, e.ConfigHash) != key {
+		return nil, false
+	}
+	return data, true
+}
+
+// PutRaw validates and stores fetched entry bytes under key,
+// returning the contained artifact. The entry is rejected — not
+// stored — unless its embedded name, config hash, and source hash
+// re-derive exactly the key it was requested under: a peer cannot
+// poison this cache with an entry for a different job, a different
+// configuration, or a different source tree.
+func (c *Cache) PutRaw(key string, data []byte) (Artifact, bool) {
+	if !validKey(key) {
+		return Artifact{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Artifact{}, false
+	}
+	if e.SourceHash != c.sourceHash || c.KeyFor(e.Name, e.ConfigHash) != key {
+		return Artifact{}, false
+	}
+	c.Put(Job{Name: e.Name, ConfigHash: e.ConfigHash}, e.Artifact)
 	return e.Artifact, true
 }
 
@@ -151,6 +243,16 @@ func (c *Cache) Do(j Job, run func() (Artifact, error)) (art Artifact, cached, s
 		// completed leader finds the entry the leader just stored.
 		if art, ok := c.Get(j); ok {
 			return doResult{art: art, cached: true}, nil
+		}
+		// Local miss: ask the fleet before computing. A validated peer
+		// entry is stored locally and counts as a cache hit — it was
+		// produced by the same sources from the same configuration.
+		if fp := c.fetcher.Load(); fp != nil {
+			if data, ok := (*fp)(key); ok {
+				if art, ok := c.PutRaw(key, data); ok {
+					return doResult{art: art, cached: true}, nil
+				}
+			}
 		}
 		art, err := run()
 		if err != nil {

@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openCacheAt opens a cache rooted in its own directory. OpenCache
+// resolves relative dirs against the module root, so tests hand it an
+// absolute temp dir.
+func openCacheAt(t *testing.T, dir string) *Cache {
+	t.Helper()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestKeyForStableAcrossCaches(t *testing.T) {
+	a := openCacheAt(t, filepath.Join(t.TempDir(), "a"))
+	b := openCacheAt(t, filepath.Join(t.TempDir(), "b"))
+	if a.KeyFor("simulate", "cfg1") != b.KeyFor("simulate", "cfg1") {
+		t.Fatal("same source tree, same job: keys differ between cache instances")
+	}
+	if a.KeyFor("simulate", "cfg1") == a.KeyFor("simulate", "cfg2") {
+		t.Fatal("different configs produced the same key")
+	}
+	if !validKey(a.KeyFor("x", "y")) {
+		t.Fatal("KeyFor produced an invalid raw key")
+	}
+}
+
+func TestGetRawRejectsBadKeysAndTampering(t *testing.T) {
+	c := openCacheAt(t, filepath.Join(t.TempDir(), "cache"))
+	j := Job{Name: "simulate", ConfigHash: "cfg"}
+	c.Put(j, Artifact{Name: "simulate", Output: "out", Pass: true})
+	key := c.KeyFor(j.Name, j.ConfigHash)
+
+	if _, ok := c.GetRaw(key); !ok {
+		t.Fatal("GetRaw missed a stored entry")
+	}
+	for _, bad := range []string{"", "..", "../../etc/passwd", strings.Repeat("Z", 64), key[:40]} {
+		if _, ok := c.GetRaw(bad); ok {
+			t.Fatalf("GetRaw answered for malformed key %q", bad)
+		}
+	}
+
+	// An entry renamed to a key it does not derive to must read as a miss.
+	other := c.KeyFor("simulate", "other-cfg")
+	data, _ := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err := os.WriteFile(filepath.Join(c.dir, other+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetRaw(other); ok {
+		t.Fatal("GetRaw served an entry under a key it does not verify against")
+	}
+}
+
+func TestPutRawValidates(t *testing.T) {
+	a := openCacheAt(t, filepath.Join(t.TempDir(), "a"))
+	b := openCacheAt(t, filepath.Join(t.TempDir(), "b"))
+	j := Job{Name: "simulate", ConfigHash: "cfg"}
+	a.Put(j, Artifact{Name: "simulate", Output: "payload", Pass: true})
+	key := a.KeyFor(j.Name, j.ConfigHash)
+	data, ok := a.GetRaw(key)
+	if !ok {
+		t.Fatal("GetRaw missed")
+	}
+
+	if art, ok := b.PutRaw(key, data); !ok || art.Output != "payload" {
+		t.Fatalf("PutRaw rejected a valid peer entry (ok=%v art=%+v)", ok, art)
+	}
+	if got, ok := b.Get(j); !ok || got.Output != "payload" {
+		t.Fatal("PutRaw did not land the entry in the local cache")
+	}
+
+	wrongKey := b.KeyFor("simulate", "different")
+	if _, ok := b.PutRaw(wrongKey, data); ok {
+		t.Fatal("PutRaw accepted an entry under a mismatched key")
+	}
+	if _, ok := b.PutRaw(key, []byte("{not json")); ok {
+		t.Fatal("PutRaw accepted garbage bytes")
+	}
+}
+
+func TestDoConsultsFetcherOnMiss(t *testing.T) {
+	a := openCacheAt(t, filepath.Join(t.TempDir(), "a"))
+	b := openCacheAt(t, filepath.Join(t.TempDir(), "b"))
+	j := Job{Name: "simulate", ConfigHash: "cfg"}
+
+	// Warm A the normal way.
+	if _, _, _, err := a.Do(j, func() (Artifact, error) {
+		return Artifact{Name: "simulate", Output: "computed-on-a", Pass: true}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fetches := 0
+	b.SetFetcher(func(key string) ([]byte, bool) {
+		fetches++
+		return a.GetRaw(key)
+	})
+	ran := false
+	art, cached, _, err := b.Do(j, func() (Artifact, error) {
+		ran = true
+		return Artifact{Name: "simulate", Output: "computed-on-b", Pass: true}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("B computed despite a fleet-warm entry")
+	}
+	if !cached || art.Output != "computed-on-a" {
+		t.Fatalf("peer entry not served as a cache hit: cached=%v output=%q", cached, art.Output)
+	}
+	if fetches != 1 {
+		t.Fatalf("fetcher ran %d times, want 1", fetches)
+	}
+
+	// Second call is a pure local hit: the fetched entry was stored.
+	art, cached, _, err = b.Do(j, func() (Artifact, error) {
+		t.Fatal("recomputed after a peer fetch")
+		return Artifact{}, nil
+	})
+	if err != nil || !cached || art.Output != "computed-on-a" {
+		t.Fatalf("local re-read failed: cached=%v err=%v", cached, err)
+	}
+	if fetches != 1 {
+		t.Fatalf("fetcher consulted again on a local hit (%d fetches)", fetches)
+	}
+}
+
+// TestDoFetcherMissFallsThrough: a fetcher with no answer must not
+// block computation, and invalid peer bytes must be ignored.
+func TestDoFetcherMissFallsThrough(t *testing.T) {
+	c := openCacheAt(t, filepath.Join(t.TempDir(), "c"))
+	c.SetFetcher(func(key string) ([]byte, bool) { return []byte("junk"), true })
+	art, cached, _, err := c.Do(Job{Name: "simulate", ConfigHash: "x"}, func() (Artifact, error) {
+		return Artifact{Name: "simulate", Output: "fresh"}, nil
+	})
+	if err != nil || cached || art.Output != "fresh" {
+		t.Fatalf("junk peer bytes disturbed the compute path: cached=%v err=%v", cached, err)
+	}
+}

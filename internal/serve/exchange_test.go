@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cachesync/internal/portfile"
+	"cachesync/internal/runner"
+	"cachesync/internal/simrun"
+)
+
+// openCache opens a result cache rooted in its own temp dir.
+func openCache(t *testing.T, dir string) *runner.Cache {
+	t.Helper()
+	c, err := runner.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func getHeader(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestXCacheHeader pins the X-Cache contract: first execution is a
+// miss, a repeat with a result cache is a hit, and concurrent
+// identical requests mark exactly the followers as coalesced.
+func TestXCacheHeader(t *testing.T) {
+	cache := openCache(t, filepath.Join(t.TempDir(), "cache"))
+	_, ts := newTestServer(t, Config{Workers: 2, Cache: cache})
+
+	cfg := simrun.Config{Protocol: "bitar", Ops: 150, Seed: 77}
+	code, hdr, _ := postJSON(t, ts.URL+"/v1/simulate", cfg)
+	if code != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("first request: code=%d X-Cache=%q, want 200/miss", code, hdr.Get("X-Cache"))
+	}
+	code, hdr, _ = postJSON(t, ts.URL+"/v1/simulate", cfg)
+	if code != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("repeat request: code=%d X-Cache=%q, want 200/hit", code, hdr.Get("X-Cache"))
+	}
+}
+
+// TestXCacheCoalesced: among concurrent identical uncached requests,
+// followers carry X-Cache: coalesced.
+func TestXCacheCoalesced(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	cfg := simrun.Config{Protocol: "illinois", Ops: 400, Seed: 31}
+	const n = 6
+	var wg sync.WaitGroup
+	headers := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, hdr, _ := postJSON(t, ts.URL+"/v1/simulate", cfg)
+			if code == http.StatusOK {
+				headers[i] = hdr.Get("X-Cache")
+			}
+		}(i)
+	}
+	wg.Wait()
+	var miss, coal int
+	for _, h := range headers {
+		switch h {
+		case "miss":
+			miss++
+		case "coalesced":
+			coal++
+		}
+	}
+	// Scheduling may let some requests arrive after the leader
+	// finished (they re-execute as misses); what must never happen is
+	// zero coalescing with zero extra misses, or an unlabeled success.
+	if miss+coal != n {
+		t.Fatalf("X-Cache headers = %q: %d miss + %d coalesced != %d requests", headers, miss, coal, n)
+	}
+	if miss < 1 {
+		t.Fatalf("no leader marked miss among %q", headers)
+	}
+}
+
+// TestArtifactEndpoint: raw entries are served by key, bad keys are
+// rejected, unknown keys 404, and a cacheless daemon has no artifacts.
+func TestArtifactEndpoint(t *testing.T) {
+	cache := openCache(t, filepath.Join(t.TempDir(), "cache"))
+	_, ts := newTestServer(t, Config{Workers: 1, Cache: cache})
+
+	cfg := simrun.Config{Protocol: "bitar", Ops: 120, Seed: 5}.Normalize()
+	if code, _, body := postJSON(t, ts.URL+"/v1/simulate", cfg); code != http.StatusOK {
+		t.Fatalf("simulate: %d %s", code, body)
+	}
+	key := cache.KeyFor("simulate", "simulate|"+cfg.Hash())
+	code, hdr, body := getHeader(t, ts.URL+"/v1/artifact/"+key)
+	if code != http.StatusOK {
+		t.Fatalf("artifact by key: %d %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("artifact content type %q", ct)
+	}
+	var entry struct {
+		Name       string `json:"name"`
+		ConfigHash string `json:"config_hash"`
+	}
+	if err := json.Unmarshal(body, &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Name != "simulate" {
+		t.Fatalf("entry name %q", entry.Name)
+	}
+
+	if code, _, _ := getHeader(t, ts.URL+"/v1/artifact/zz"); code != http.StatusBadRequest {
+		t.Fatalf("short key: %d, want 400", code)
+	}
+	unknown := strings.Repeat("a", 64)
+	if code, _, _ := getHeader(t, ts.URL+"/v1/artifact/"+unknown); code != http.StatusNotFound {
+		t.Fatalf("unknown key: %d, want 404", code)
+	}
+
+	_, noCache := newTestServer(t, Config{Workers: 1})
+	if code, _, _ := getHeader(t, noCache.URL+"/v1/artifact/"+unknown); code != http.StatusNotFound {
+		t.Fatalf("cacheless daemon: %d, want 404", code)
+	}
+}
+
+// TestPeerArtifactExchange is the fleet cache story end to end: two
+// daemons with separate cache directories discover each other through
+// a shared portfile directory; after A computes a configuration, B's
+// first request for it is a fleet-wide hit served from A's cache —
+// X-Cache: hit, peer-hit counter incremented, entry landed in B's own
+// cache for subsequent local hits.
+func TestPeerArtifactExchange(t *testing.T) {
+	peerDir := t.TempDir()
+
+	cacheA := openCache(t, filepath.Join(t.TempDir(), "cache-a"))
+	peersA := NewPeerSource(peerDir)
+	_, tsA := newTestServer(t, Config{Workers: 1, Cache: cacheA, Peers: peersA})
+	addrA := strings.TrimPrefix(tsA.URL, "http://")
+	peersA.SetSelf(addrA)
+	if err := portfile.Write(filepath.Join(peerDir, "a.port"), addrA); err != nil {
+		t.Fatal(err)
+	}
+
+	cacheB := openCache(t, filepath.Join(t.TempDir(), "cache-b"))
+	peersB := NewPeerSource(peerDir)
+	sB, tsB := newTestServer(t, Config{Workers: 1, Cache: cacheB, Peers: peersB})
+	addrB := strings.TrimPrefix(tsB.URL, "http://")
+	peersB.SetSelf(addrB)
+	if err := portfile.Write(filepath.Join(peerDir, "b.port"), addrB); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := simrun.Config{Protocol: "goodman", Ops: 130, Seed: 9}
+	code, hdr, bodyA := postJSON(t, tsA.URL+"/v1/simulate", cfg)
+	if code != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("A first: code=%d X-Cache=%q", code, hdr.Get("X-Cache"))
+	}
+
+	code, hdr, bodyB := postJSON(t, tsB.URL+"/v1/simulate", cfg)
+	if code != http.StatusOK {
+		t.Fatalf("B: code=%d %s", code, bodyB)
+	}
+	if got := hdr.Get("X-Cache"); got != "hit" {
+		t.Fatalf("B X-Cache = %q, want hit (served from A's cache)", got)
+	}
+	if n := sB.met.peerHits.Load(); n != 1 {
+		t.Fatalf("B peer hits = %d, want 1", n)
+	}
+	var ra, rb SimulateResponse
+	if err := json.Unmarshal(bodyA, &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyB, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Output != rb.Output || ra.Cycles != rb.Cycles {
+		t.Fatal("peer-served result differs from the origin's")
+	}
+
+	// Entry landed locally: a repeat on B needs no peer traffic.
+	code, hdr, _ = postJSON(t, tsB.URL+"/v1/simulate", cfg)
+	if code != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("B repeat: code=%d X-Cache=%q", code, hdr.Get("X-Cache"))
+	}
+	if n := sB.met.peerHits.Load(); n != 1 {
+		t.Fatalf("B peer hits grew to %d on a local hit", n)
+	}
+}
+
+// TestPerRouteMetrics: /metrics exposes per-route request counts and
+// latency sums.
+func TestPerRouteMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if code, _, _ := postJSON(t, ts.URL+"/v1/simulate", simrun.Config{Protocol: "bitar", Ops: 100}); code != http.StatusOK {
+		t.Fatal("simulate failed")
+	}
+	_, _, body := getHeader(t, ts.URL+"/metrics")
+	text := string(body)
+	for _, want := range []string{
+		`cachesyncd_requests_total{route="POST /v1/simulate"} 1`,
+		`cachesyncd_route_seconds_count{route="POST /v1/simulate"} 1`,
+		`cachesyncd_route_seconds_sum{route="POST /v1/simulate"}`,
+		"cachesyncd_cache_misses_total 1",
+		"cachesyncd_peer_hits_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestSweepCells: explicit cells execute exactly those coordinates in
+// order, and mixing cells with the cross-product lists is rejected.
+func TestSweepCells(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	req := SweepRequest{
+		Cells: []SweepCell{{Protocol: "bitar", Procs: 2}, {Protocol: "illinois", Procs: 1}},
+		Ops:   100, Seed: 3,
+	}
+	code, _, body := postJSON(t, ts.URL+"/v1/sweep", req)
+	if code != http.StatusOK {
+		t.Fatalf("cells sweep: %d %s", code, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 2 ||
+		resp.Points[0].Protocol != "bitar" || resp.Points[0].Procs != 2 ||
+		resp.Points[1].Protocol != "illinois" || resp.Points[1].Procs != 1 {
+		t.Fatalf("cells sweep points: %+v", resp.Points)
+	}
+
+	bad := SweepRequest{
+		Cells:     []SweepCell{{Protocol: "bitar", Procs: 2}},
+		Protocols: []string{"illinois"},
+	}
+	if code, _, _ := postJSON(t, ts.URL+"/v1/sweep", bad); code != http.StatusBadRequest {
+		t.Fatalf("cells+protocols: %d, want 400", code)
+	}
+
+	// A cells sweep and the equivalent cross-product sweep agree cell
+	// for cell.
+	prod := SweepRequest{Protocols: []string{"bitar"}, Procs: []int{2}, Ops: 100, Seed: 3}
+	_, _, pbody := postJSON(t, ts.URL+"/v1/sweep", prod)
+	var presp SweepResponse
+	if err := json.Unmarshal(pbody, &presp); err != nil {
+		t.Fatal(err)
+	}
+	if len(presp.Points) != 1 || presp.Points[0].Cycles != resp.Points[0].Cycles {
+		t.Fatalf("cells vs product cycles: %+v vs %+v", resp.Points[0], presp.Points)
+	}
+}

@@ -9,6 +9,14 @@ import (
 	"time"
 )
 
+// routeStat accumulates one route's request count and latency — the
+// per-route view the cluster router and BENCH_cluster read to compute
+// fleet hit ratios and route-level latencies without parsing bodies.
+type routeStat struct {
+	count  int64
+	micros int64
+}
+
 // metrics is the daemon's counter set, rendered in Prometheus text
 // exposition format at GET /metrics. Everything is atomic or
 // mutex-guarded: handlers update concurrently.
@@ -16,30 +24,36 @@ type metrics struct {
 	start time.Time
 
 	mu       sync.Mutex
-	requests map[string]int64 // by route
-	statuses map[int]int64    // by HTTP status
+	routes   map[string]*routeStat // by route
+	statuses map[int]int64         // by HTTP status
 
-	inflight  atomic.Int64
-	rejected  atomic.Int64 // 429s from the admission gate
-	timeouts  atomic.Int64 // 504s from expired deadlines
-	coalesced atomic.Int64 // requests served by another's execution
-	cacheHits atomic.Int64 // requests served from the result cache
-
-	reqMicros atomic.Int64 // summed request latency
-	reqCount  atomic.Int64
+	inflight     atomic.Int64
+	rejected     atomic.Int64 // 429s from the admission gate
+	timeouts     atomic.Int64 // 504s from expired deadlines
+	coalesced    atomic.Int64 // requests served by another's execution
+	cacheHits    atomic.Int64 // requests served from the result cache
+	peerHits     atomic.Int64 // cache entries fetched from fleet peers
+	artifactHits atomic.Int64 // GET /v1/artifact answered 200
+	artifactMiss atomic.Int64 // GET /v1/artifact answered 404
+	cacheMisses  atomic.Int64 // requests that executed fresh (X-Cache: miss)
+	reqMicros    atomic.Int64 // summed request latency
+	reqCount     atomic.Int64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		start:    time.Now(),
-		requests: make(map[string]int64),
+		routes:   make(map[string]*routeStat),
 		statuses: make(map[int]int64),
 	}
 }
 
 func (m *metrics) request(route string) {
 	m.mu.Lock()
-	m.requests[route]++
+	if m.routes[route] == nil {
+		m.routes[route] = &routeStat{}
+	}
+	m.routes[route].count++
 	m.mu.Unlock()
 }
 
@@ -49,9 +63,15 @@ func (m *metrics) status(code int) {
 	m.mu.Unlock()
 }
 
-func (m *metrics) observe(d time.Duration) {
+func (m *metrics) observe(route string, d time.Duration) {
 	m.reqMicros.Add(d.Microseconds())
 	m.reqCount.Add(1)
+	m.mu.Lock()
+	if m.routes[route] == nil {
+		m.routes[route] = &routeStat{}
+	}
+	m.routes[route].micros += d.Microseconds()
+	m.mu.Unlock()
 }
 
 // render writes the exposition text.
@@ -61,14 +81,22 @@ func (m *metrics) render(g *gate, jobs int) string {
 	fmt.Fprintf(&b, "cachesyncd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
 
 	m.mu.Lock()
-	routes := make([]string, 0, len(m.requests))
-	for r := range m.requests {
+	routes := make([]string, 0, len(m.routes))
+	for r := range m.routes {
 		routes = append(routes, r)
 	}
 	sort.Strings(routes)
 	fmt.Fprintf(&b, "# TYPE cachesyncd_requests_total counter\n")
 	for _, r := range routes {
-		fmt.Fprintf(&b, "cachesyncd_requests_total{route=%q} %d\n", r, m.requests[r])
+		fmt.Fprintf(&b, "cachesyncd_requests_total{route=%q} %d\n", r, m.routes[r].count)
+	}
+	fmt.Fprintf(&b, "# TYPE cachesyncd_route_seconds_sum counter\n")
+	for _, r := range routes {
+		fmt.Fprintf(&b, "cachesyncd_route_seconds_sum{route=%q} %.6f\n", r, float64(m.routes[r].micros)/1e6)
+	}
+	fmt.Fprintf(&b, "# TYPE cachesyncd_route_seconds_count counter\n")
+	for _, r := range routes {
+		fmt.Fprintf(&b, "cachesyncd_route_seconds_count{route=%q} %d\n", r, m.routes[r].count)
 	}
 	codes := make([]int, 0, len(m.statuses))
 	for c := range m.statuses {
@@ -88,6 +116,10 @@ func (m *metrics) render(g *gate, jobs int) string {
 	fmt.Fprintf(&b, "# TYPE cachesyncd_timeout_total counter\ncachesyncd_timeout_total %d\n", m.timeouts.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncd_coalesced_total counter\ncachesyncd_coalesced_total %d\n", m.coalesced.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncd_cache_hits_total counter\ncachesyncd_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(&b, "# TYPE cachesyncd_cache_misses_total counter\ncachesyncd_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(&b, "# TYPE cachesyncd_peer_hits_total counter\ncachesyncd_peer_hits_total %d\n", m.peerHits.Load())
+	fmt.Fprintf(&b, "# TYPE cachesyncd_artifact_hits_total counter\ncachesyncd_artifact_hits_total %d\n", m.artifactHits.Load())
+	fmt.Fprintf(&b, "# TYPE cachesyncd_artifact_misses_total counter\ncachesyncd_artifact_misses_total %d\n", m.artifactMiss.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncd_jobs_stored gauge\ncachesyncd_jobs_stored %d\n", jobs)
 	fmt.Fprintf(&b, "# TYPE cachesyncd_request_seconds_sum counter\ncachesyncd_request_seconds_sum %.6f\n",
 		float64(m.reqMicros.Load())/1e6)

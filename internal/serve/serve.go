@@ -60,6 +60,12 @@ type Config struct {
 	// MaxJobs bounds the in-memory job-record store for NDJSON
 	// streaming; zero means 512.
 	MaxJobs int
+	// Peers, when non-nil (and Cache is non-nil), is the fleet artifact
+	// exchange: on a local result-cache miss the daemon asks its peer
+	// replicas for the entry via GET /v1/artifact/{key} before
+	// computing, so a warm entry anywhere in the fleet is a hit
+	// everywhere.
+	Peers *PeerSource
 	// Pprof mounts the net/http/pprof diagnostic endpoints under
 	// /debug/pprof/. They are an operator tool, off by default: enable
 	// only on loopback or an admin-restricted listener. Profiling
@@ -119,13 +125,25 @@ type Server struct {
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:  cfg,
 		pool: runner.NewPool(cfg.Workers, cfg.Cache),
 		gate: newGate(cfg.Workers, cfg.Queue),
 		jobs: newJobStore(cfg.MaxJobs),
 		met:  newMetrics(),
 	}
+	if cfg.Cache != nil && cfg.Peers != nil {
+		// Count fleet hits here so /metrics reports them; the cache
+		// itself validates and stores whatever the peers return.
+		cfg.Cache.SetFetcher(func(key string) ([]byte, bool) {
+			data, ok := cfg.Peers.Fetch(key)
+			if ok {
+				s.met.peerHits.Add(1)
+			}
+			return data, ok
+		})
+	}
+	return s
 }
 
 // StartDrain flips the server into draining mode: /healthz reports 503
@@ -158,6 +176,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/artifact/{key}", s.handleArtifact)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	h := s.instrument(mux)
@@ -181,6 +200,9 @@ func route(r *http.Request) string {
 	p := r.URL.Path
 	if strings.HasPrefix(p, "/v1/jobs/") {
 		p = "/v1/jobs/{id}"
+	}
+	if strings.HasPrefix(p, "/v1/artifact/") {
+		p = "/v1/artifact/{key}"
 	}
 	return r.Method + " " + p
 }
@@ -236,7 +258,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			sw.code = http.StatusOK
 		}
 		s.met.status(sw.code)
-		s.met.observe(time.Since(t0))
+		s.met.observe(rt, time.Since(t0))
 	})
 }
 
@@ -354,8 +376,26 @@ func (s *Server) execute(ctx context.Context, jb *jobRec, kind, key string,
 	}
 	if out.jr.Cached {
 		s.met.cacheHits.Add(1)
+	} else if !meta.coalesced {
+		s.met.cacheMisses.Add(1)
 	}
 	return out.jr.Artifact, meta, nil
+}
+
+// xcache is the X-Cache response-header value for an execution: "hit"
+// (served from the result cache — local disk or a fleet peer),
+// "coalesced" (shared another in-flight request's execution), or
+// "miss" (executed fresh). The cluster router and BENCH_cluster read
+// this header to measure fleet hit ratio without parsing bodies.
+func (m execMeta) xcache() string {
+	switch {
+	case m.cached:
+		return "hit"
+	case m.coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
 }
 
 type execMeta struct {
@@ -396,6 +436,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, kind, key strin
 		s.writeError(w, err)
 		return
 	}
+	w.Header().Set("X-Cache", meta.xcache())
 	s.writeJSON(w, http.StatusOK, render(art, meta), false)
 }
 
@@ -484,7 +525,10 @@ type CheckRequest struct {
 	MaxStates int    `json:"maxstates,omitempty"`
 }
 
-func (cr CheckRequest) normalize() CheckRequest {
+// Normalize fills defaulted fields, mirroring the server's handling
+// of a sparse request body (exported for the cluster router, which
+// must compute the same routing key the replica will cache under).
+func (cr CheckRequest) Normalize() CheckRequest {
 	if cr.Procs == 0 {
 		cr.Procs = 2
 	}
@@ -530,7 +574,9 @@ func (cr CheckRequest) validate() error {
 	return nil
 }
 
-func (cr CheckRequest) hash() string {
+// Hash is the request's cache/single-flight/routing key. Hash a
+// normalized request so equivalent bodies collide.
+func (cr CheckRequest) Hash() string {
 	return fmt.Sprintf("check|%s inject=%s p=%d b=%d w=%d d=%d sym=%v max=%d",
 		cr.Protocol, cr.Inject, cr.Procs, cr.Blocks, cr.Words, cr.Depth, cr.Symmetry, cr.MaxStates)
 }
@@ -551,7 +597,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
 		return
 	}
-	cr = cr.normalize()
+	cr = cr.Normalize()
 	if err := cr.validate(); err != nil {
 		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
 		return
@@ -581,7 +627,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		}
 		return runner.Artifact{Output: string(body), Pass: res.Counterexample == nil}, nil
 	}
-	s.respond(w, r, "check", cr.hash(), run, func(art runner.Artifact, meta execMeta) any {
+	s.respond(w, r, "check", cr.Hash(), run, func(art runner.Artifact, meta execMeta) any {
 		return CheckResponse{
 			Job: meta.jobID, Pass: art.Pass,
 			Cached: meta.cached, Coalesced: meta.coalesced,
@@ -594,13 +640,69 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 
 // SweepRequest fans one workload out over protocols × processor
 // counts. Empty lists mean every registered protocol / {1,2,4,8}.
+// Cells, when set, names the exact (protocol, procs) pairs instead of
+// the cross product — the form the cluster router uses to hand each
+// replica its shard of a sweep, which is rarely a full product.
 type SweepRequest struct {
-	Protocols []string `json:"protocols,omitempty"`
-	Procs     []int    `json:"procs,omitempty"`
-	Workload  string   `json:"workload,omitempty"`
-	Ops       int      `json:"ops,omitempty"`
-	Iters     int      `json:"iters,omitempty"`
-	Seed      int64    `json:"seed,omitempty"`
+	Protocols []string    `json:"protocols,omitempty"`
+	Procs     []int       `json:"procs,omitempty"`
+	Cells     []SweepCell `json:"cells,omitempty"`
+	Workload  string      `json:"workload,omitempty"`
+	Ops       int         `json:"ops,omitempty"`
+	Iters     int         `json:"iters,omitempty"`
+	Seed      int64       `json:"seed,omitempty"`
+}
+
+// SweepCell is one explicit sweep coordinate.
+type SweepCell struct {
+	Protocol string `json:"protocol"`
+	Procs    int    `json:"procs"`
+}
+
+// Expand resolves the request into its normalized, validated cell
+// configurations in deterministic order (protocols outer, procs
+// inner; or Cells verbatim). The router and the replica both call
+// this, so a sharded sweep executes exactly the cells — in exactly
+// the per-shard order — that a single-replica sweep would.
+func (sr SweepRequest) Expand() ([]simrun.Config, error) {
+	var cells []SweepCell
+	if len(sr.Cells) > 0 {
+		if len(sr.Protocols) > 0 || len(sr.Procs) > 0 {
+			return nil, fmt.Errorf("cells and protocols/procs are mutually exclusive")
+		}
+		cells = sr.Cells
+	} else {
+		protos := sr.Protocols
+		if len(protos) == 0 {
+			protos = cachesync.Protocols()
+		}
+		procs := sr.Procs
+		if len(procs) == 0 {
+			procs = []int{1, 2, 4, 8}
+		}
+		for _, p := range protos {
+			for _, n := range procs {
+				cells = append(cells, SweepCell{Protocol: p, Procs: n})
+			}
+		}
+	}
+	if len(cells) > 256 {
+		return nil, fmt.Errorf("sweep exceeds 256 points")
+	}
+	// Validate every point up front so a bad cell fails fast as a 400,
+	// not mid-sweep as a 500.
+	cfgs := make([]simrun.Config, 0, len(cells))
+	for _, c := range cells {
+		cfg := simrun.Config{
+			Protocol: c.Protocol, Procs: c.Procs,
+			Workload: sr.Workload, Ops: sr.Ops, Iters: sr.Iters, Seed: sr.Seed,
+		}.Normalize()
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs, nil
 }
 
 // SweepPoint is one sweep cell's summary.
@@ -626,31 +728,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
 		return
 	}
-	if len(sr.Protocols) == 0 {
-		sr.Protocols = cachesync.Protocols()
-	}
-	if len(sr.Procs) == 0 {
-		sr.Procs = []int{1, 2, 4, 8}
-	}
-	if len(sr.Protocols)*len(sr.Procs) > 256 {
-		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": "sweep exceeds 256 points"}, false)
+	cfgs, err := sr.Expand()
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
 		return
-	}
-	// Validate every point up front so a bad cell fails fast as a 400,
-	// not mid-sweep as a 500.
-	cfgs := make([]simrun.Config, 0, len(sr.Protocols)*len(sr.Procs))
-	for _, p := range sr.Protocols {
-		for _, n := range sr.Procs {
-			cfg := simrun.Config{
-				Protocol: p, Procs: n,
-				Workload: sr.Workload, Ops: sr.Ops, Iters: sr.Iters, Seed: sr.Seed,
-			}.Normalize()
-			if err := cfg.Validate(); err != nil {
-				s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
-				return
-			}
-			cfgs = append(cfgs, cfg)
-		}
 	}
 	var keyb strings.Builder
 	keyb.WriteString("sweep")
@@ -726,6 +807,38 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// --- /v1/artifact/{key} ---
+
+// handleArtifact serves one raw result-cache entry by content-addressed
+// key — the fleet artifact exchange's read side. It is a pure disk
+// lookup: no admission slot, no computation, no recursion into the
+// peer fetcher (a replica that does not hold the entry answers 404,
+// never "let me go ask around"). Entries are only served when they
+// verify against the requested key and this process's source hash, so
+// a mixed-version fleet degrades to misses instead of serving results
+// the local code would not produce.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cache == nil {
+		s.writeJSON(w, http.StatusNotFound, map[string]any{"error": "no result cache"}, false)
+		return
+	}
+	key := r.PathValue("key")
+	if len(key) != 64 {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": "malformed artifact key"}, false)
+		return
+	}
+	data, ok := s.cfg.Cache.GetRaw(key)
+	if !ok {
+		s.met.artifactMiss.Add(1)
+		s.writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown artifact"}, false)
+		return
+	}
+	s.met.artifactHits.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }
 
 // --- /healthz, /metrics ---

@@ -6,9 +6,12 @@
 # seed-corpus mode, the differential sim<->mcheck harness, a live
 # cachesyncd smoke (start, probe — including the -pprof diagnostic
 # mount — graceful stop), the steady-state allocation gate of the
-# direct-execution engine, and the four committed-baseline gates
+# direct-execution engine, and the five committed-baseline gates
 # (mcheck perf, sim-engine ops/s, artifact manifest, serving
-# throughput).
+# throughput, and cluster throughput — the last driven through a
+# 3-replica cachesyncc fleet with a mid-run replica SIGKILL that must
+# produce zero responses other than 2xx/clean-429, plus respawn and
+# re-admission to full health).
 set -eu
 cd "$(dirname "$0")"
 
@@ -38,6 +41,9 @@ go test -race -short ./internal/runner/ ./internal/bus/ ./internal/schedqueue/
 
 echo "== go test -race (serving daemon, single-flight)"
 go test -race -short ./internal/serve/ ./internal/flight/
+
+echo "== go test -race (cluster coordinator, portfile handshake)"
+go test -race -short ./internal/cluster/ ./internal/portfile/
 
 echo "== differential sim<->mcheck harness"
 go test -short -run 'TestDifferentialSimMcheck|TestDifferentialHarnessDetectsSeededBug' ./internal/ptest/
@@ -100,6 +106,33 @@ if [ -f BENCH_serve.json ]; then
 		-require-shed -out BENCH_serve.json -gate 0.3
 else
 	echo "no BENCH_serve.json baseline; skipping (create one with: go run ./cmd/loadgen -selfhost -workers 2 -queue 8 -rate 25 -duration 3s -require-shed -out BENCH_serve.json -update)"
+fi
+
+echo "== cluster benchmark gate (3-replica fleet, artifact exchange, chaos kill)"
+if [ -f BENCH_cluster.json ]; then
+	go build -o "$smoketmp/cachesyncc" ./cmd/cachesyncc
+	fleet="$smoketmp/fleet"
+	"$smoketmp/cachesyncc" -replicas 3 -workers 1 -queue 16 -dir "$fleet" \
+		-addr 127.0.0.1:0 -portfile "$smoketmp/ccport" >"$smoketmp/cc.log" 2>&1 &
+	cpid=$!
+	if ! "$smoketmp/loadgen" -portfile "$smoketmp/ccport" -rate 60 -duration 2s \
+		-warmup 500ms -overload=false \
+		-chaos-kill "$fleet/r1.pid" -chaos-at 500ms -chaos-recover \
+		-out BENCH_cluster.json -gate 0.3; then
+		echo "cluster benchmark failed; coordinator log:" >&2
+		cat "$smoketmp/cc.log" >&2
+		kill "$cpid" 2>/dev/null || true
+		exit 1
+	fi
+	kill -TERM "$cpid"
+	if ! wait "$cpid"; then
+		echo "cachesyncc did not exit cleanly on SIGTERM; log:" >&2
+		cat "$smoketmp/cc.log" >&2
+		exit 1
+	fi
+	echo "cachesyncc: fleet served through a replica kill, respawn, and re-admission"
+else
+	echo "no BENCH_cluster.json baseline; skipping (create one with the same command plus -update)"
 fi
 
 echo "verify: OK"
