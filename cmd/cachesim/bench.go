@@ -43,13 +43,16 @@ type simBenchConfig struct {
 	Protocol string `json:"protocol"`
 	Workload string `json:"workload"` // mixed | lock
 	Procs    int    `json:"procs"`
-	Ops      int    `json:"ops"`   // per-processor operations (mixed)
-	Iters    int    `json:"iters"` // lock iterations (lock)
+	Ops      int    `json:"ops"`        // per-processor operations (mixed)
+	LockIter int    `json:"lock_iters"` // lock iterations (lock)
 }
 
-// simBenchEntry is one measured result.
+// simBenchEntry is one measured result. Iters is the best-of-N repeat
+// count simMeasureOne actually ran — a measurement-quality indicator
+// (it used to be a misrendered config field that always read 0).
 type simBenchEntry struct {
 	simBenchConfig
+	Iters     int     `json:"iters"`
 	Cycles    int64   `json:"cycles"` // final simulated clock — exact-match gated
 	OpsPerSec float64 `json:"ops_per_sec"`
 }
@@ -72,7 +75,7 @@ var simBenchSuite = []simBenchConfig{
 	{Name: "mixed-illinois-p8", Protocol: "illinois", Workload: "mixed", Procs: 8, Ops: 2000},
 	{Name: "mixed-dragon-p8", Protocol: "dragon", Workload: "mixed", Procs: 8, Ops: 2000},
 	{Name: "mixed-writethrough-p8", Protocol: "writethrough", Workload: "mixed", Procs: 8, Ops: 2000},
-	{Name: "lock-bitar-p8", Protocol: "bitar", Workload: "lock", Procs: 8, Iters: 100},
+	{Name: "lock-bitar-p8", Protocol: "bitar", Workload: "lock", Procs: 8, LockIter: 100},
 }
 
 // simBenchPrograms builds the Program set for one config (a fresh set
@@ -80,10 +83,10 @@ var simBenchSuite = []simBenchConfig{
 func simBenchPrograms(c simBenchConfig, l workload.Layout, scheme syncprim.Scheme) ([]cachesync.Program, int64) {
 	switch c.Workload {
 	case "lock":
-		lc := workload.LockContention{Locks: 1, Iters: c.Iters, HoldCycles: 20,
+		lc := workload.LockContention{Locks: 1, Iters: c.LockIter, HoldCycles: 20,
 			ThinkCycles: 10, CSWrites: 2, Scheme: scheme, Seed: 1}
 		// Count one "op" per acquire/release pair per processor.
-		return lc.Programs(l, c.Procs), int64(c.Procs * c.Iters)
+		return lc.Programs(l, c.Procs), int64(c.Procs * c.LockIter)
 	default:
 		m := workload.Mixed{Ops: c.Ops, SharedBlocks: 8, PrivBlocks: 24,
 			SharedFrac: 0.3, WriteFrac: 0.35, Seed: 1}
@@ -100,11 +103,13 @@ func simMeasureOne(c simBenchConfig) (simBenchEntry, error) {
 		totalTime  time.Duration
 		best       float64
 		lastCycles int64
+		repeats    int
 	)
 	// Best-of-N: ops/s on a shared machine varies run to run far more
 	// than the engine does, and the fastest run is the least disturbed
 	// measurement of the code under test.
 	for totalTime < 500*time.Millisecond {
+		repeats++
 		m, err := cachesync.New(cachesync.Config{Protocol: c.Protocol, Procs: c.Procs})
 		if err != nil {
 			return simBenchEntry{}, err
@@ -123,6 +128,7 @@ func simMeasureOne(c simBenchConfig) (simBenchEntry, error) {
 	}
 	return simBenchEntry{
 		simBenchConfig: c,
+		Iters:          repeats,
 		Cycles:         lastCycles,
 		OpsPerSec:      best,
 	}, nil

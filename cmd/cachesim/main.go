@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"cachesync"
@@ -51,7 +52,62 @@ var (
 	buses      = flag.Int("buses", 1, "broadcast buses (1 or 2, Section A.2)")
 	logN       = flag.Int("log", 0, "print the first N bus transactions (0 = off)")
 	check      = flag.Bool("check", true, "run the online coherence checker after every bus transaction; violations make the run exit nonzero")
+	sweepProcs = flag.String("sweep-procs", "", "processor counts to sweep, e.g. 2..8 or 1,2,4,8: run every selected protocol at each count on the in-process parallel cell executor (width -j), output merged in cell order")
 )
+
+// parseProcCounts accepts "a..b" ranges and comma lists.
+func parseProcCounts(spec string) ([]int, error) {
+	if lo, hi, ok := strings.Cut(spec, ".."); ok {
+		a, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		b, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil || a < 1 || b < a {
+			return nil, fmt.Errorf("bad -sweep-procs range %q", spec)
+		}
+		var out []int
+		for n := a; n <= b; n++ {
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -sweep-procs entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runSweep fans protos × counts over the in-process parallel cell
+// executor. Cells merge in submission order, so the printed output is
+// byte-identical to a sequential loop at any worker count.
+func runSweep(base simrun.Config, protos []string, counts []int) int {
+	var cfgs []simrun.Config
+	for _, p := range protos {
+		for _, n := range counts {
+			cfg := base
+			cfg.Protocol = p
+			cfg.Procs = n
+			cfgs = append(cfgs, cfg.Normalize())
+		}
+	}
+	pass := true
+	err := simrun.RunCells(context.Background(), cfgs, *workers, func(i int, res simrun.Result) {
+		fmt.Printf("=== %s procs=%d ===\n%s\n", cfgs[i].Protocol, cfgs[i].Procs, res.Output)
+		pass = pass && res.Pass
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if !pass {
+		fmt.Fprintln(os.Stderr, "coherence checker: violations in at least one sweep cell")
+		return 1
+	}
+	return 0
+}
 
 // runOne executes one configured simulation and renders its report —
 // delegated to internal/simrun, the layer cmd/cachesim now shares with
@@ -142,6 +198,15 @@ func main() {
 				protos[i] = strings.TrimSpace(protos[i])
 			}
 		}
+	}
+
+	if *sweepProcs != "" {
+		counts, err := parseProcCounts(*sweepProcs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Exit(runSweep(base, protos, counts))
 	}
 
 	// No result cache here: cachesim is the interactive exploration

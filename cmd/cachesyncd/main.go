@@ -47,6 +47,7 @@ var (
 	addr     = flag.String("addr", "127.0.0.1:8344", "listen address (use :0 for an ephemeral port)")
 	portPath = flag.String("portfile", "", "write the bound host:port to this file once listening (for scripts using -addr :0)")
 	workers  = flag.Int("workers", 0, "concurrent executions (0 = GOMAXPROCS)")
+	sweepW   = flag.Int("sweep-workers", 0, "concurrent cells within one sweep request (0 = workers); output is identical at any setting")
 	queue    = flag.Int("queue", 64, "admitted requests that may wait for a slot; beyond this arrivals get 429")
 	timeout  = flag.Duration("timeout", 60*time.Second, "default per-request execution deadline (callers may lower it with ?timeout=)")
 	maxTime  = flag.Duration("maxtimeout", 5*time.Minute, "upper clamp on caller-requested deadlines")
@@ -72,7 +73,7 @@ func run() error {
 		peers = serve.NewPeerSource(*peerDir)
 	}
 	s := serve.New(serve.Config{
-		Workers: *workers, Queue: *queue,
+		Workers: *workers, SweepWorkers: *sweepW, Queue: *queue,
 		DefaultTimeout: *timeout, MaxTimeout: *maxTime,
 		Cache: cache, Peers: peers, Pprof: *pprofOn,
 	})

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cachesync/internal/protocol"
+	_ "cachesync/internal/protocol/all"
+)
+
+// Transition-table golden maintenance. The compiled protocol tables
+// (internal/protocol/table.go) are committed as one text file per
+// protocol under internal/protocol/goldens/; -write-transition-goldens
+// regenerates them and -check-transition-goldens verifies the
+// committed files match a fresh compilation — the freshness gate
+// verify.sh runs, so a protocol edit cannot land without its
+// regenerated tables.
+
+// writeTransitionGoldens regenerates every golden file and reports
+// how many changed.
+func writeTransitionGoldens(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	texts := protocol.GoldenTexts()
+	names := make([]string, 0, len(texts))
+	for name := range texts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	changed := 0
+	for _, name := range names {
+		path := filepath.Join(dir, name+".txt")
+		want := []byte(texts[name])
+		if have, err := os.ReadFile(path); err == nil && string(have) == string(want) {
+			continue
+		}
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			return err
+		}
+		changed++
+	}
+	fmt.Printf("transition goldens: %d protocol(s), %d file(s) rewritten in %s\n", len(names), changed, dir)
+	return nil
+}
+
+// checkTransitionGoldens diffs the committed goldens against a fresh
+// compilation of every registered protocol. Missing files, stale
+// contents, and stray files for unregistered protocols are all drift.
+func checkTransitionGoldens(dir string) error {
+	texts := protocol.GoldenTexts()
+	var drift []string
+	for name, want := range texts {
+		path := filepath.Join(dir, name+".txt")
+		have, err := os.ReadFile(path)
+		switch {
+		case err != nil:
+			drift = append(drift, fmt.Sprintf("%s: missing golden (%v)", name, err))
+		case string(have) != want:
+			drift = append(drift, fmt.Sprintf("%s: committed golden is stale", name))
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".txt")
+		if _, ok := texts[name]; !ok {
+			drift = append(drift, fmt.Sprintf("%s: stray golden for an unregistered protocol", e.Name()))
+		}
+	}
+	if len(drift) > 0 {
+		sort.Strings(drift)
+		for _, d := range drift {
+			fmt.Fprintln(os.Stderr, "transition goldens: "+d)
+		}
+		return fmt.Errorf("%d golden(s) out of date; run: go generate ./internal/protocol", len(drift))
+	}
+	fmt.Printf("transition goldens: all %d protocols match %s\n", len(texts), dir)
+	return nil
+}

@@ -34,6 +34,10 @@ var (
 	jsonOut = flag.String("json", "", "run the full suite (tables, experiments, ablations, figures) and write the JSON artifact manifest to this file")
 	gate    = flag.String("gate", "", "run the full suite and diff it against a committed artifact manifest (e.g. ARTIFACTS.json); exit nonzero on drift")
 	sweep   = flag.String("sweep", "", "fan the mixed workload across processor counts and all protocols, e.g. -sweep procs=2..8")
+
+	writeGoldens = flag.Bool("write-transition-goldens", false, "regenerate the compiled-transition-table goldens and exit")
+	checkGoldens = flag.Bool("check-transition-goldens", false, "verify the committed transition-table goldens match a fresh compilation; exit nonzero on drift")
+	goldenDir    = flag.String("transition-golden-dir", "internal/protocol/goldens", "directory holding the committed transition-table goldens")
 )
 
 // runJobs executes a job list on the pool, with the result cache
@@ -58,6 +62,20 @@ func runJobs(jobs []runner.Job) *runner.Result {
 
 func main() {
 	flag.Parse()
+
+	if *writeGoldens || *checkGoldens {
+		var err error
+		if *writeGoldens {
+			err = writeTransitionGoldens(*goldenDir)
+		} else {
+			err = checkTransitionGoldens(*goldenDir)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *sweep != "" {
 		procs, err := report.ParseSweepSpec(*sweep)

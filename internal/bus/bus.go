@@ -252,6 +252,17 @@ func (b *Bus) Attach(s Snooper) {
 	b.snoopers = append(b.snoopers, s)
 }
 
+// SnoopersFrom returns the snoopers attached at index n and beyond.
+// The sim engine fans transactions out to its caches directly (they
+// are always the first attachments) and uses this to reach anything
+// attached afterwards — bus monitors, test probes.
+func (b *Bus) SnoopersFrom(n int) []Snooper {
+	if n >= len(b.snoopers) {
+		return nil
+	}
+	return b.snoopers[n:]
+}
+
 // Request enqueues an arbitration request for the requester with the
 // given priority. A requester may hold at most one pending request;
 // duplicate requests are coalesced (the high bit is sticky).

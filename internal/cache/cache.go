@@ -87,6 +87,10 @@ type Config struct {
 	UnitMode bool
 	// Replace selects the victim policy (default LRU).
 	Replace Replacement
+	// NoTables disables the compiled transition tables, keeping every
+	// protocol decision on the method path — the oracle side of the
+	// table-vs-method differential tests.
+	NoTables bool
 }
 
 // Victim describes an eviction the engine must carry out before a
@@ -105,6 +109,7 @@ type Cache struct {
 	id    int
 	geom  addr.Geometry
 	proto protocol.Protocol
+	tab   *protocol.Table // compiled transition tables; nil = method path
 	cfg   Config
 	mem   *memory.Memory // flush target for snoop-time flushes
 
@@ -115,10 +120,19 @@ type Cache struct {
 	// idx maps a held tag to its frame, replacing the per-probe (and,
 	// worse, per-snoop-per-cache) linear way scan. Each tag lives in
 	// exactly one frame — Install reuses the tagged frame when present
-	// and PrepareFill only runs when the tag is absent — so the map is
-	// maintained at the six tag-mutation points. Frames are allocated
-	// once in New and never move, so the pointers stay valid.
-	idx map[addr.Block]*line
+	// and PrepareFill only runs when the tag is absent — so the index
+	// is maintained at the six tag-mutation points. Frames are
+	// allocated once in New and never move, so the pointers stay valid.
+	idx *tagIndex
+
+	// mruKey/mruLn cache the last successful lookup (key is block+1; 0
+	// means empty): a bus transaction touches the same block several
+	// times in a row (reprobe, completion state change, data access),
+	// and the repeat lookups skip the hash probe. The entry is valid
+	// only while the pair is in idx — idxDel clears a matching entry,
+	// and Restore clears it with the index.
+	mruKey uint64
+	mruLn  *line
 
 	// Resolved stats handles for the per-access and per-snoop counters
 	// (see stats.Counters.Handle), filled on first use so a counter
@@ -151,7 +165,10 @@ func New(id int, geom addr.Geometry, proto protocol.Protocol, cfg Config, mem *m
 	}
 	c := &Cache{id: id, geom: geom, proto: proto, cfg: cfg, mem: mem, rng: uint64(id)*2654435761 + 1,
 		snoopsInvalid: proto.Features().SnoopsInvalid,
-		idx:           make(map[addr.Block]*line, cfg.Sets*cfg.Ways)}
+		idx:           newTagIndex(cfg.Sets * cfg.Ways)}
+	if !cfg.NoTables {
+		c.tab = protocol.TableFor(proto)
+	}
 	c.sets = make([][]line, cfg.Sets)
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)
@@ -174,6 +191,14 @@ func (c *Cache) ID() int { return c.id }
 // Protocol returns the protocol instance driving this cache.
 func (c *Cache) Protocol() protocol.Protocol { return c.proto }
 
+// isDirty consults the compiled table when present.
+func (c *Cache) isDirty(st protocol.State) bool {
+	if c.tab != nil {
+		return c.tab.IsDirty(st)
+	}
+	return c.proto.IsDirty(st)
+}
+
 // Geometry returns the cache's address geometry.
 func (c *Cache) Geometry() addr.Geometry { return c.geom }
 
@@ -183,12 +208,31 @@ func (c *Cache) setIndex(b addr.Block) int {
 
 // find returns the line holding block b. When snoopInvalid is set,
 // invalid lines with a matching tag are also returned (Rudolph-Segall
-// updates invalid copies, Section E.4).
+// updates invalid copies, Section E.4). Indexed frames always have
+// their tag set — put/del straddle every hasTag mutation — so only the
+// state filter applies here.
 func (c *Cache) find(b addr.Block, snoopInvalid bool) *line {
-	if ln := c.idx[b]; ln != nil && (ln.valid() || snoopInvalid) {
+	k := uint64(b) + 1
+	ln := c.mruLn
+	if c.mruKey != k {
+		ln = c.idx.get(b)
+		if ln != nil {
+			c.mruKey, c.mruLn = k, ln
+		}
+	}
+	if ln != nil && (ln.state != protocol.Invalid || snoopInvalid) {
 		return ln
 	}
 	return nil
+}
+
+// idxDel removes block b from the tag index, keeping the MRU entry
+// consistent. All index removals must go through here.
+func (c *Cache) idxDel(b addr.Block) {
+	if c.mruKey == uint64(b)+1 {
+		c.mruKey, c.mruLn = 0, nil
+	}
+	c.idx.del(b)
 }
 
 // State returns the protocol state of block b (Invalid if absent).
@@ -245,24 +289,51 @@ func (c *Cache) touch(ln *line) {
 // hit that needs the bus) the returned ProcResult carries the bus
 // command to issue.
 func (c *Cache) Probe(op protocol.Op, a addr.Addr) protocol.ProcResult {
-	return c.probe(op, a, true)
+	r, _ := c.probe(op, a, true)
+	return r
 }
 
 // Reprobe is Probe without statistics: the engine re-runs the access
 // at bus-grant time, because snooped transactions may have changed the
 // line state since the original probe.
 func (c *Cache) Reprobe(op protocol.Op, a addr.Addr) protocol.ProcResult {
-	return c.probe(op, a, false)
+	r, _ := c.probe(op, a, false)
+	return r
 }
 
-func (c *Cache) probe(op protocol.Op, a addr.Addr, count bool) protocol.ProcResult {
+// ProbeWord is Probe fused with the hit-time data access: on a hit a
+// write-class op stores v (marking the transfer unit dirty) and a
+// read-class op loads the word, reusing the probe's tag lookup instead
+// of a second one. The returned value is the loaded word (reads) or v
+// (writes); it is meaningless on a miss. Not for OpWriteBlock, whose
+// hit action spans the whole block.
+func (c *Cache) ProbeWord(op protocol.Op, a addr.Addr, v uint64) (protocol.ProcResult, uint64) {
+	r, ln := c.probe(op, a, true)
+	if !r.Hit {
+		return r, 0
+	}
+	off := c.geom.Offset(a)
+	if op.IsWrite() {
+		ln.data[off] = v
+		ln.unitDirty[c.geom.UnitOf(a)] = true
+		return r, v
+	}
+	return r, ln.data[off]
+}
+
+func (c *Cache) probe(op protocol.Op, a addr.Addr, count bool) (protocol.ProcResult, *line) {
 	b := c.geom.BlockOf(a)
 	st := protocol.Invalid
 	ln := c.find(b, false)
 	if ln != nil {
 		st = ln.state
 	}
-	r := c.proto.ProcAccess(st, op)
+	var r protocol.ProcResult
+	if c.tab != nil {
+		r = c.tab.ProcAccess(st, op)
+	} else {
+		r = c.proto.ProcAccess(st, op)
+	}
 	if r.Hit {
 		if ln == nil {
 			panic(fmt.Sprintf("cache %d: protocol %s reported hit on absent block %d (op %s)",
@@ -273,7 +344,7 @@ func (c *Cache) probe(op protocol.Op, a addr.Addr, count bool) protocol.ProcResu
 			// Feature 3 statistic: frequency of write hits to clean
 			// blocks (the events that update dirty status in the bus
 			// directory).
-			if op.IsWrite() && !c.proto.IsDirty(st) && c.proto.IsDirty(r.NewState) {
+			if op.IsWrite() && !c.isDirty(st) && c.isDirty(r.NewState) {
 				c.bump(&c.dirWHCH, "dir.write-hit-clean")
 			}
 		}
@@ -286,7 +357,7 @@ func (c *Cache) probe(op protocol.Op, a addr.Addr, count bool) protocol.ProcResu
 			c.bump(&c.busopH[op], busopCounterNames[op])
 		}
 	}
-	return r
+	return r, ln
 }
 
 // SetUnitDirty overrides block b's per-unit dirty bits (used when
@@ -343,11 +414,16 @@ func (c *Cache) PrepareFill(b addr.Block) Victim {
 	}
 	if !victim.valid() {
 		// Invalid tag-only frame: reusable with no obligations.
-		delete(c.idx, victim.tag)
+		c.idxDel(victim.tag)
 		victim.hasTag = false
 		return Victim{}
 	}
-	ev := c.proto.Evict(victim.state)
+	var ev protocol.Evict
+	if c.tab != nil {
+		ev = c.tab.Evict(victim.state)
+	} else {
+		ev = c.proto.Evict(victim.state)
+	}
 	if cap(c.victimBuf) < len(victim.data) {
 		c.victimBuf = make([]uint64, len(victim.data))
 	}
@@ -381,7 +457,7 @@ func (c *Cache) EvictWords(b addr.Block) int {
 // Drop invalidates block b (post-eviction, or I/O invalidation).
 func (c *Cache) Drop(b addr.Block) {
 	if ln := c.find(b, true); ln != nil {
-		delete(c.idx, ln.tag)
+		c.idxDel(ln.tag)
 		ln.hasTag = false
 		ln.state = protocol.Invalid
 	}
@@ -407,7 +483,7 @@ func (c *Cache) Install(b addr.Block, data []uint64, st protocol.State) {
 	}
 	ln.hasTag = true
 	ln.tag = b
-	c.idx[b] = ln
+	c.idx.put(b, ln)
 	ln.state = st
 	if ln.data == nil || len(ln.data) != c.geom.BlockWords {
 		ln.data = make([]uint64, c.geom.BlockWords)
@@ -470,7 +546,8 @@ func (c *Cache) Snapshot() []LineSnapshot {
 func (c *Cache) Restore(lines []LineSnapshot) {
 	// Reset every frame but keep its data/unitDirty storage: Restore is
 	// the model checker's per-transition hot path.
-	clear(c.idx)
+	c.idx.reset()
+	c.mruKey, c.mruLn = 0, nil
 	for _, set := range c.sets {
 		for i := range set {
 			ln := &set[i]
@@ -498,7 +575,7 @@ func (c *Cache) Restore(lines []LineSnapshot) {
 		c.tick++
 		ln.hasTag = true
 		ln.tag = snap.Block
-		c.idx[snap.Block] = ln
+		c.idx.put(snap.Block, ln)
 		ln.state = snap.State
 		if len(ln.data) != c.geom.BlockWords {
 			ln.data = make([]uint64, c.geom.BlockWords)
@@ -541,7 +618,7 @@ func (c *Cache) SetState(b addr.Block, st protocol.State) {
 	ln.state = st
 	if st == protocol.Invalid && !c.snoopsInvalid {
 		// Keep the tag only if invalid lines snoop.
-		delete(c.idx, ln.tag)
+		c.idxDel(ln.tag)
 		ln.hasTag = false
 	}
 	c.touch(ln)
@@ -615,7 +692,12 @@ func (c *Cache) Snoop(t *bus.Transaction) {
 	}
 	c.bump(&c.tagmatchH, "snoop.tagmatch")
 
-	res := c.proto.Snoop(ln.state, t)
+	var res protocol.SnoopResult
+	if c.tab != nil {
+		res = c.tab.Snoop(ln.state, t)
+	} else {
+		res = c.proto.Snoop(ln.state, t)
+	}
 
 	if res.Hit {
 		t.Lines.Hit = true
@@ -661,7 +743,7 @@ func (c *Cache) Snoop(t *bus.Transaction) {
 	}
 	ln.state = res.NewState
 	if res.NewState == protocol.Invalid && !c.snoopsInvalid {
-		delete(c.idx, ln.tag)
+		c.idxDel(ln.tag)
 		ln.hasTag = false
 	}
 }

@@ -18,8 +18,14 @@ import (
 // repeatedly restores it to a frontier state, applies an action, and
 // re-encodes.
 type machine struct {
-	opts   Options
-	proto  protocol.Protocol
+	opts  Options
+	proto protocol.Protocol
+	// tab is the compiled transition table of proto (nil for mutant
+	// wrappers and under Options.NoTables): the atomic-step executor
+	// makes the same protocol decisions through the same tables the
+	// simulator uses, keeping exploration off the interface-dispatch
+	// path.
+	tab    *protocol.Table
 	feats  protocol.Features
 	geom   addr.Geometry
 	caches []*cache.Cache
@@ -102,6 +108,37 @@ type stepResult struct {
 	addr    addr.Addr
 }
 
+// complete, privilege, evictOf, and isDirty consult the compiled
+// table when present, falling back to the protocol methods (mutants,
+// NoTables).
+func (m *machine) complete(st protocol.State, op protocol.Op, t *bus.Transaction) protocol.CompleteResult {
+	if m.tab != nil {
+		return m.tab.Complete(st, op, t)
+	}
+	return m.proto.Complete(st, op, t)
+}
+
+func (m *machine) privilege(st protocol.State) protocol.Priv {
+	if m.tab != nil {
+		return m.tab.Privilege(st)
+	}
+	return m.proto.Privilege(st)
+}
+
+func (m *machine) evictOf(st protocol.State) protocol.Evict {
+	if m.tab != nil {
+		return m.tab.Evict(st)
+	}
+	return m.proto.Evict(st)
+}
+
+func (m *machine) isDirty(st protocol.State) bool {
+	if m.tab != nil {
+		return m.tab.IsDirty(st)
+	}
+	return m.proto.IsDirty(st)
+}
+
 const maxPhases = 16
 
 func newMachine(opts Options) *machine {
@@ -115,11 +152,14 @@ func newMachine(opts Options) *machine {
 		shadow: make([]uint64, opts.Blocks*opts.Words),
 		arcs:   make(map[arcKey]string),
 	}
+	if !opts.NoTables {
+		m.tab = protocol.TableFor(opts.Protocol) // nil for mutants: they stay on methods
+	}
 	// The checker never reads simulation counters; disabling them takes
 	// the per-probe/per-snoop counting off the exploration hot path.
 	m.mem.Counts.Disable()
 	for i := 0; i < opts.Procs; i++ {
-		c := cache.New(i, geom, m.proto, cache.Config{Sets: 1, Ways: opts.Blocks}, m.mem)
+		c := cache.New(i, geom, m.proto, cache.Config{Sets: 1, Ways: opts.Blocks, NoTables: opts.NoTables}, m.mem)
 		c.Counts.Disable()
 		m.caches = append(m.caches, c)
 	}
@@ -169,7 +209,7 @@ func (m *machine) actions() []Action {
 				// holder — by cache state, or by the memory lock tag a
 				// purge left behind (Section E.3).
 				tag := m.mem.GetLockTag(blk)
-				if m.proto.Privilege(st) == protocol.PrivLock || (tag.Locked && tag.Owner == p) {
+				if m.privilege(st) == protocol.PrivLock || (tag.Locked && tag.Owner == p) {
 					out = append(out, Action{Proc: p, Op: protocol.OpUnlock, Block: uint64(b), Value: uint64(p + 1)})
 				}
 			}
@@ -227,7 +267,7 @@ func (m *machine) apply(a Action) (stepResult, error) {
 				m.mem.Dir.SetSole(blk, a.Proc)
 			}
 		}
-		cres := m.proto.Complete(c.State(blk), op, t)
+		cres := m.complete(c.State(blk), op, t)
 		if cres.BusyWait {
 			// Denied: the cache would arm its busy-wait register and
 			// the processor would park. The model leaves the operation
@@ -406,7 +446,7 @@ func (m *machine) evictBlock(a Action) {
 	if st == protocol.Invalid {
 		return
 	}
-	ev := m.proto.Evict(st)
+	ev := m.evictOf(st)
 	if ev.Writeback {
 		t := &bus.Transaction{Cmd: bus.Flush, Block: blk, Addr: m.geom.Base(blk),
 			Requester: c.ID(), BlockData: c.Data(blk)}
@@ -472,7 +512,7 @@ func (m *machine) checkInvariants(a Action, res stepResult) []string {
 func (m *machine) ownerView(b addr.Block) []uint64 {
 	for _, c := range m.caches {
 		st := c.State(b)
-		if st != protocol.Invalid && m.proto.IsDirty(st) {
+		if st != protocol.Invalid && m.isDirty(st) {
 			return c.DataView(b)
 		}
 	}

@@ -1,0 +1,114 @@
+package memory
+
+import (
+	"math/bits"
+
+	"cachesync/internal/addr"
+)
+
+// blockStore maps a block number to its word storage: a growable
+// open-addressing table with linear probing, replacing the runtime map
+// on the per-word and per-transaction paths. Block data lives in
+// fixed-size chunks that are never reallocated, so a returned slice
+// stays valid for the life of the store (the map gave the same
+// guarantee).
+type blockStore struct {
+	keys  []uint64   // block+1; 0 marks an empty slot
+	vals  [][]uint64 // the block's words, aliasing a chunk
+	n     int        // occupied slots
+	mask  uint64
+	shift uint
+
+	bw     int // words per block
+	chunks [][]uint64
+	used   int // blocks carved off the last chunk
+}
+
+// storeHashMult is 2^64 divided by the golden ratio (Fibonacci
+// hashing), as in the caches' tag index.
+const storeHashMult = 0x9e3779b97f4a7c15
+
+// chunkBlocks is how many blocks one storage chunk holds.
+const chunkBlocks = 256
+
+func newBlockStore(blockWords int) *blockStore {
+	const n = 256
+	return &blockStore{
+		keys:  make([]uint64, n),
+		vals:  make([][]uint64, n),
+		mask:  n - 1,
+		shift: uint(64 - bits.TrailingZeros(n)),
+		bw:    blockWords,
+	}
+}
+
+func (s *blockStore) home(k uint64) uint64 { return (k * storeHashMult) >> s.shift }
+
+// get returns block b's words, or nil when the block has never been
+// touched (it reads as zero).
+func (s *blockStore) get(b addr.Block) []uint64 {
+	k := uint64(b) + 1
+	for i := s.home(k); ; i = (i + 1) & s.mask {
+		switch s.keys[i] {
+		case k:
+			return s.vals[i]
+		case 0:
+			return nil
+		}
+	}
+}
+
+// getOrCreate returns block b's words, allocating zeroed storage from
+// the current chunk on first touch.
+func (s *blockStore) getOrCreate(b addr.Block) []uint64 {
+	k := uint64(b) + 1
+	for i := s.home(k); ; i = (i + 1) & s.mask {
+		switch s.keys[i] {
+		case k:
+			return s.vals[i]
+		case 0:
+			d := s.alloc()
+			s.keys[i] = k
+			s.vals[i] = d
+			s.n++
+			if 2*s.n > len(s.keys) {
+				s.grow()
+			}
+			return d
+		}
+	}
+}
+
+func (s *blockStore) alloc() []uint64 {
+	if len(s.chunks) == 0 || s.used == chunkBlocks {
+		s.chunks = append(s.chunks, make([]uint64, chunkBlocks*s.bw))
+		s.used = 0
+	}
+	c := s.chunks[len(s.chunks)-1]
+	d := c[s.used*s.bw : (s.used+1)*s.bw : (s.used+1)*s.bw]
+	s.used++
+	return d
+}
+
+// grow doubles the table and reinserts every entry; block storage is
+// untouched, so outstanding slices stay valid.
+func (s *blockStore) grow() {
+	oldKeys, oldVals := s.keys, s.vals
+	n := 2 * len(oldKeys)
+	s.keys = make([]uint64, n)
+	s.vals = make([][]uint64, n)
+	s.mask = uint64(n - 1)
+	s.shift = uint(64 - bits.TrailingZeros(uint(n)))
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		for j := s.home(k); ; j = (j + 1) & s.mask {
+			if s.keys[j] == 0 {
+				s.keys[j] = k
+				s.vals[j] = oldVals[i]
+				break
+			}
+		}
+	}
+}

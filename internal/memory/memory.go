@@ -29,7 +29,7 @@ type LockTag struct {
 // access latency from its Timing model.
 type Memory struct {
 	geom      addr.Geometry
-	data      map[addr.Block][]uint64
+	data      *blockStore
 	notSource map[addr.Block]bool // Frank: true when a cache, not memory, is source
 	lockTags  map[addr.Block]LockTag
 
@@ -56,7 +56,7 @@ func (m *Memory) bump(h **int64, name string) {
 func New(g addr.Geometry) *Memory {
 	return &Memory{
 		geom:      g,
-		data:      make(map[addr.Block][]uint64),
+		data:      newBlockStore(g.BlockWords),
 		notSource: make(map[addr.Block]bool),
 		lockTags:  make(map[addr.Block]LockTag),
 		Dir:       NewDirectory(),
@@ -67,12 +67,7 @@ func New(g addr.Geometry) *Memory {
 func (m *Memory) Geometry() addr.Geometry { return m.geom }
 
 func (m *Memory) block(b addr.Block) []uint64 {
-	d, ok := m.data[b]
-	if !ok {
-		d = make([]uint64, m.geom.BlockWords)
-		m.data[b] = d
-	}
-	return d
+	return m.data.getOrCreate(b)
 }
 
 // ReadBlock returns a copy of block b's contents.
@@ -127,7 +122,13 @@ func (m *Memory) SetLockTag(b addr.Block, t LockTag) {
 }
 
 // GetLockTag returns block b's lock tag.
-func (m *Memory) GetLockTag(b addr.Block) LockTag { return m.lockTags[b] }
+func (m *Memory) GetLockTag(b addr.Block) LockTag {
+	if len(m.lockTags) == 0 {
+		// Most protocols never purge a lock to memory; skip the map.
+		return LockTag{}
+	}
+	return m.lockTags[b]
+}
 
 // Respond applies memory's role in a bus transaction after all caches
 // have snooped. It supplies data when no cache inhibited it, absorbs
@@ -137,8 +138,9 @@ func (m *Memory) GetLockTag(b addr.Block) LockTag { return m.lockTags[b] }
 func (m *Memory) Respond(t *bus.Transaction) (supplied bool) {
 	// A lock pushed to memory denies fetches by anyone but the owner
 	// (Section E.3): the lock is still held even though no cache holds
-	// the locked line.
-	if tag := m.lockTags[t.Block]; tag.Locked {
+	// the locked line. The len guard keeps the common no-locks case off
+	// the map entirely.
+	if tag := m.GetLockTag(t.Block); tag.Locked {
 		switch t.Cmd {
 		case bus.Read, bus.ReadX, bus.Upgrade, bus.WriteNoFetch:
 			if t.Requester != tag.Owner {

@@ -9,6 +9,11 @@
 // implementations table-like and directly unit-testable.
 package protocol
 
+// The compiled transition tables (table.go) are committed as diffable
+// goldens under goldens/, one file per registered protocol; verify.sh
+// gates on their freshness, so regenerate after any protocol change.
+//go:generate go run ../../cmd/tables -write-transition-goldens -transition-golden-dir goldens
+
 import (
 	"fmt"
 	"sort"

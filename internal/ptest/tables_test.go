@@ -1,0 +1,154 @@
+package ptest
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"cachesync"
+	"cachesync/internal/addr"
+	"cachesync/internal/cache"
+	"cachesync/internal/protocol"
+	"cachesync/internal/protocol/all"
+	"cachesync/internal/sim"
+	"cachesync/internal/simrun"
+	"cachesync/internal/workload"
+)
+
+// The table-vs-method differential: every protocol runs the same
+// workload twice, once on the compiled transition tables and once on
+// the method path (cache.Config.NoTables, the oracle), and the two
+// runs must be indistinguishable — byte-identical bus logs and
+// rendered statistics, and identical final cache states, cache data,
+// and memory images. The tables are generated from the methods by
+// exhaustive enumeration (internal/protocol/table.go), so any
+// divergence here is a compiler bug, not a protocol disagreement.
+
+// tableDiffRun executes the mixed workload on one path and returns
+// everything observable: the bus event log, the rendered statistics,
+// and the final machine image.
+func tableDiffRun(t *testing.T, p protocol.Protocol, noTables bool, seed int64) (logText, statsText, image string) {
+	t.Helper()
+	cfg := sim.DefaultConfig(p)
+	cfg.Procs = 4
+	if p.Features().OneWordBlocks {
+		cfg.Geometry = addr.MustGeometry(1, 1)
+	}
+	cfg.Cache = cache.Config{Sets: 1, Ways: 4, NoTables: noTables}
+	s := sim.New(cfg)
+	evlog := s.AttachLog(1 << 20)
+	progs := workload.Mixed{Ops: 300, SharedBlocks: 6, PrivBlocks: 8,
+		SharedFrac: 0.4, WriteFrac: 0.4, Seed: seed}.Programs(workload.Layout{G: s.Geometry()}, cfg.Procs)
+	if err := s.RunPrograms(progs); err != nil {
+		t.Fatalf("%s (notables=%v): %v", p.Name(), noTables, err)
+	}
+	var lb strings.Builder
+	if err := evlog.Dump(&lb); err != nil {
+		t.Fatal(err)
+	}
+	blocks := 6 + 8*cfg.Procs + 2 // the mixed workload's address pool
+	return lb.String(), cachesync.RenderStats(s.Stats().Snapshot()), machineImage(s, cfg.Procs, blocks)
+}
+
+// machineImage renders cache states, cache data, and memory contents
+// into one comparable string.
+func machineImage(s *sim.System, procs, blocks int) string {
+	var b strings.Builder
+	p := s.Protocol()
+	for c := 0; c < procs; c++ {
+		for blk := 0; blk < blocks; blk++ {
+			st := s.Caches[c].State(addr.Block(blk))
+			writeKV(&b, "cache", c, blk, p.StateName(st), nil)
+			if st != protocol.Invalid {
+				writeKV(&b, "data", c, blk, "", s.Caches[c].Data(addr.Block(blk)))
+			}
+		}
+	}
+	for blk := 0; blk < blocks; blk++ {
+		writeKV(&b, "mem", 0, blk, "", s.Mem.ReadBlock(addr.Block(blk)))
+	}
+	return b.String()
+}
+
+func writeKV(b *strings.Builder, kind string, c, blk int, s string, words []uint64) {
+	b.WriteString(kind)
+	b.WriteByte(' ')
+	b.WriteByte(byte('0' + c))
+	b.WriteByte(':')
+	writeInt(b, blk)
+	if s != "" {
+		b.WriteByte(' ')
+		b.WriteString(s)
+	}
+	for _, w := range words {
+		b.WriteByte(' ')
+		writeInt(b, int(w))
+	}
+	b.WriteByte('\n')
+}
+
+func writeInt(b *strings.Builder, v int) {
+	if v >= 10 {
+		writeInt(b, v/10)
+	}
+	b.WriteByte(byte('0' + v%10))
+}
+
+// TestTableVsMethodDifferential runs the differential for every
+// registered protocol over several seeds.
+func TestTableVsMethodDifferential(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, name := range all.Everything {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := protocol.MustNew(name)
+			for _, seed := range seeds {
+				mLog, mStats, mImg := tableDiffRun(t, p, true, seed) // method oracle
+				tLog, tStats, tImg := tableDiffRun(t, p, false, seed)
+				if mLog != tLog {
+					t.Errorf("seed %d: bus logs diverge between table and method paths", seed)
+				}
+				if mStats != tStats {
+					t.Errorf("seed %d: statistics diverge:\n--- method ---\n%s\n--- table ---\n%s", seed, mStats, tStats)
+				}
+				if mImg != tImg {
+					t.Errorf("seed %d: final machine images diverge:\n--- method ---\n%s\n--- table ---\n%s", seed, mImg, tImg)
+				}
+			}
+		})
+	}
+}
+
+// TestTableVsMethodLockWorkload repeats the differential over the
+// lock-contention workload through the simrun layer (the daemon/CLI
+// path), covering the hardware-lock and syncprim-lowered lock
+// transitions the mixed workload never issues. The full rendered
+// report — bus log, cycle count, statistics — must match bytewise.
+func TestTableVsMethodLockWorkload(t *testing.T) {
+	for _, name := range all.Everything {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			base := simrun.Config{Protocol: name, Procs: 4, Workload: "lock",
+				Iters: 12, LogN: 4096}.Normalize()
+			oracle := base
+			oracle.NoTables = true
+			mRes, err := simrun.Run(context.Background(), oracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tRes, err := simrun.Run(context.Background(), base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mRes.Output != tRes.Output {
+				t.Errorf("rendered reports diverge between table and method paths")
+			}
+			if mRes.Cycles != tRes.Cycles {
+				t.Errorf("cycles diverge: method %d, table %d", mRes.Cycles, tRes.Cycles)
+			}
+		})
+	}
+}

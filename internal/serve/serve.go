@@ -41,6 +41,13 @@ type Config struct {
 	// concurrently (< 1 means GOMAXPROCS). The admission gate's slot
 	// count and the worker pool's size are both set from it.
 	Workers int
+	// SweepWorkers is the in-process parallelism of one sweep request:
+	// how many of a sweep's cells run concurrently inside the sweep's
+	// single admission slot (simrun.RunCells). < 1 means Workers —
+	// sweeps use the daemon's execution width by default. Results
+	// merge in submission order, so the response and the streamed
+	// progress events are byte-identical at any setting.
+	SweepWorkers int
 	// Queue bounds how many admitted requests may wait for a slot;
 	// arrivals beyond slots+queue are rejected with 429 (< 0 means the
 	// default of 64; 0 means reject whenever every slot is busy).
@@ -79,6 +86,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers < 1 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SweepWorkers < 1 {
+		c.SweepWorkers = c.Workers
 	}
 	if c.Queue < 0 {
 		c.Queue = 64
@@ -740,20 +750,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		keyb.WriteString(cfg.Hash())
 	}
 	run := func(ctx context.Context, jb *jobRec) (runner.Artifact, error) {
-		// The whole sweep occupies one admission slot and runs its
-		// points sequentially: fairness across requests over speed of
-		// any single sweep.
+		// The whole sweep occupies one admission slot (fairness across
+		// requests), but its cells fan out over the in-process worker
+		// pool. RunCells delivers in submission order on this
+		// goroutine, so the points slice and the streamed progress
+		// events are byte-identical to a sequential loop at any
+		// SweepWorkers setting.
 		points := make([]SweepPoint, 0, len(cfgs))
 		pass := true
-		for i, cfg := range cfgs {
-			res, err := simrun.Run(ctx, cfg)
-			if err != nil {
-				return runner.Artifact{}, err
-			}
+		err := simrun.RunCells(ctx, cfgs, s.cfg.SweepWorkers, func(i int, res simrun.Result) {
+			cfg := cfgs[i]
 			points = append(points, SweepPoint{Protocol: cfg.Protocol, Procs: cfg.Procs, Pass: res.Pass, Cycles: res.Cycles})
 			pass = pass && res.Pass
 			jb.emitf("progress", "%d/%d %s p=%d: cycles=%d pass=%v",
 				i+1, len(cfgs), cfg.Protocol, cfg.Procs, res.Cycles, res.Pass)
+		})
+		if err != nil {
+			return runner.Artifact{}, err
 		}
 		body, err := json.Marshal(points)
 		if err != nil {

@@ -193,6 +193,38 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 }
 
+// TestSweepWorkerCountInvariant pins the parallel sweep executor's
+// contract at the HTTP layer: the response body is byte-identical at
+// every SweepWorkers setting (cells merge in submission order).
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	req := SweepRequest{
+		Protocols: []string{"bitar", "dragon", "illinois"}, Procs: []int{1, 2}, Ops: 150,
+	}
+	var want []byte
+	for _, sweepWorkers := range []int{1, 2, 8} {
+		_, ts := newTestServer(t, Config{Workers: 2, SweepWorkers: sweepWorkers})
+		code, _, body := postJSON(t, ts.URL+"/v1/sweep", req)
+		if code != http.StatusOK {
+			t.Fatalf("sweep-workers=%d: status %d: %s", sweepWorkers, code, body)
+		}
+		// The job ID differs per server instance; compare the payload.
+		var resp SweepResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		resp.Job = ""
+		canon, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = canon
+		} else if string(canon) != string(want) {
+			t.Errorf("sweep-workers=%d: response diverges:\n%s\nwant:\n%s", sweepWorkers, canon, want)
+		}
+	}
+}
+
 // TestQueueFullReturns429WithRetryAfter fills the single execution
 // slot with a slow request, sets queue capacity to zero, and asserts
 // the next arrival is shed with 429 + Retry-After.

@@ -141,6 +141,30 @@ func (s *System) needsFrame(cmd bus.Cmd) bool {
 	return false
 }
 
+// broadcast delivers t to every cache except the requester, bumping
+// the bus's transaction counter. It is bus.Broadcast specialized to
+// the simulator's topology — every cache snoops every bus, and cache
+// IDs equal their slice index — so the fan-out runs over the concrete
+// slice with no per-snooper interface dispatch. Snoopers attached
+// after the caches (bus monitors, test probes) still get every
+// transaction, after all caches, exactly as under bus.Broadcast.
+func (s *System) broadcast(bi int, t *bus.Transaction) {
+	b := s.Buses[bi]
+	b.CountTxn(t.Cmd)
+	for i, c := range s.Caches {
+		if i == t.Requester {
+			continue
+		}
+		c.Snoop(t)
+	}
+	for _, sn := range b.SnoopersFrom(len(s.Caches)) {
+		if sn.ID() == t.Requester {
+			continue
+		}
+		sn.Snoop(t)
+	}
+}
+
 // evict performs a victim writeback (and lock purge) for cache c,
 // advancing the bus clock.
 func (s *System) evict(c *cache.Cache, v cache.Victim) {
@@ -157,7 +181,7 @@ func (s *System) evict(c *cache.Cache, v cache.Victim) {
 		if s.clock < s.busFree[bi] {
 			s.clock = s.busFree[bi]
 		}
-		s.Buses[bi].Broadcast(t)
+		s.broadcast(bi, t)
 		s.Mem.Respond(t)
 		cost := s.cfg.Timing.TxnCost(t, words, false)
 		start := s.clock
@@ -209,7 +233,7 @@ func (s *System) serveTxn(ctx *opCtx) {
 		dirCost = int64(s.cfg.Timing.DirLookupCycles + len(targets)*s.cfg.Timing.DirMsgCycles)
 		s.Counts.Add("dir.msgs", int64(len(targets)))
 	} else {
-		s.Buses[bi].Broadcast(t)
+		s.broadcast(bi, t)
 	}
 	memSupplied := s.Mem.Respond(t)
 
@@ -249,7 +273,7 @@ func (s *System) serveTxn(ctx *opCtx) {
 	}
 
 	st := c.State(b)
-	cres := s.proto.Complete(st, ctx.protoOp, t)
+	cres := s.complete(st, ctx.protoOp, t)
 
 	if cres.BusyWait {
 		if ctx.op.kind == opTryWrite {
@@ -406,7 +430,7 @@ func (s *System) applyCompletion(ctx *opCtx, t *bus.Transaction, cres protocol.C
 		if t.Flushed || t.Cmd == bus.WriteWord {
 			s.Mem.SetSource(b, true)
 		}
-		if s.proto.IsDirty(newState) {
+		if s.isDirty(newState) {
 			s.Mem.SetSource(b, false)
 		}
 	}
@@ -516,7 +540,7 @@ func (s *System) finishOp(ctx *opCtx, t int64) {
 	case opBlockWrite:
 		if !s.feats.WriteNoFetch {
 			// The first word's write completed; handle the rest.
-			s.writeRemainder(ctx.p, t, ctx.op)
+			s.writeRemainder(ctx.p, t, &ctx.op)
 			return
 		}
 	case opTryWrite:
@@ -575,7 +599,7 @@ func (s *System) serveIO(ctx *opCtx) {
 	if s.clock < s.busFree[bi] {
 		s.clock = s.busFree[bi]
 	}
-	s.Buses[bi].Broadcast(t)
+	s.broadcast(bi, t)
 	memSupplied := s.Mem.Respond(t)
 	words := g.BlockWords
 	if t.Lines.Locked {
@@ -613,7 +637,7 @@ func (s *System) serveRMWMemory(ctx *opCtx) {
 	read.Block = b
 	read.Addr = ctx.op.addr
 	read.Requester = -1
-	s.Buses[bi].Broadcast(read)
+	s.broadcast(bi, read)
 	memSupplied := s.Mem.Respond(read)
 	if !memSupplied && read.BlockData != nil {
 		// A source cache supplied; memory takes the flush.
@@ -628,7 +652,7 @@ func (s *System) serveRMWMemory(ctx *opCtx) {
 	write.Addr = ctx.op.addr
 	write.Requester = -1
 	write.WordData = ctx.op.f(old)
-	s.Buses[bi].Broadcast(write)
+	s.broadcast(bi, write)
 	s.Mem.Respond(write)
 
 	cost := s.cfg.Timing.TxnCost(read, g.BlockWords, memSupplied) +

@@ -19,7 +19,7 @@ func (s *System) prefetchArbID(p *Proc) int { return p.id + len(s.Procs) }
 
 // startLockPrefetch begins an asynchronous lock acquisition and
 // responds immediately so the processor can keep working.
-func (s *System) startLockPrefetch(p *Proc, t int64, op procOp) {
+func (s *System) startLockPrefetch(p *Proc, t int64, op *procOp) {
 	if p.plock.armed {
 		// Already prefetching (or holding) a lock: a second prefetch
 		// is a no-op per the API contract.
@@ -42,12 +42,13 @@ func (s *System) startLockPrefetch(p *Proc, t int64, op procOp) {
 	}
 	ctx := &s.ctxs[s.prefetchArbID(p)]
 	*ctx = opCtx{
-		p: p, op: op, protoOp: protocol.OpLock, pr: r,
+		p: p, op: *op, protoOp: protocol.OpLock, pr: r,
 		arbID: s.prefetchArbID(p), prefetch: true, start: t, active: true,
 	}
 	p.plock.armed = true
 	p.plock.acquired = false
 	p.plock.addr = op.addr
+	s.busDirty = true
 	s.Buses[s.busOf(s.cfg.Geometry.BlockOf(op.addr))].RequestAt(ctx.arbID, false, t)
 	s.Counts.Inc("lock.prefetch")
 	// The processor continues immediately: this is the ready section.
@@ -56,7 +57,7 @@ func (s *System) startLockPrefetch(p *Proc, t int64, op procOp) {
 
 // startLockWait joins a prefetched lock: immediate if already
 // acquired, blocking until the busy-wait register wins otherwise.
-func (s *System) startLockWait(p *Proc, t int64, op procOp) {
+func (s *System) startLockWait(p *Proc, t int64, op *procOp) {
 	if !p.plock.armed {
 		// No prefetch outstanding: degrade to a plain lock-read.
 		p.opStart = t

@@ -37,17 +37,19 @@ const (
 	IOOutput
 )
 
-// procOp is one request from a processor goroutine to the engine.
+// procOp is one request from a processor goroutine to the engine. It
+// is copied on every simulated operation (Program.Next returns it by
+// value), so it is kept narrow: opCompute's cycle count shares the
+// value field, and the block-write progress index is 32-bit.
 type procOp struct {
 	kind  opKind
 	op    protocol.Op
-	addr  addr.Addr
-	value uint64
-	vals  []uint64 // opBlockWrite
-	idx   int      // progress index of a lowered block write
-	f     func(uint64) uint64
-	n     int64 // opCompute cycles
 	io    ioKind
+	idx   int32 // progress index of a lowered block write
+	addr  addr.Addr
+	value uint64   // written word, or opCompute cycles
+	vals  []uint64 // opBlockWrite
+	f     func(uint64) uint64
 }
 
 // procRes is the engine's reply unblocking the processor goroutine.
@@ -247,7 +249,7 @@ func (p *Proc) Compute(n int64) {
 	if n <= 0 {
 		return
 	}
-	p.do(procOp{kind: opCompute, n: n})
+	p.do(procOp{kind: opCompute, value: uint64(n)})
 }
 
 // IO issues an I/O-processor transfer against the block containing a

@@ -116,7 +116,7 @@ func WriteBlockOp(a addr.Addr, vals []uint64) Op {
 // blocking code should skip the op instead (as Proc.Compute does) to
 // keep op streams identical.
 func ComputeOp(n int64) Op {
-	return Op{procOp{kind: opCompute, n: n}}
+	return Op{procOp{kind: opCompute, value: uint64(n)}}
 }
 
 // IOOp issues an I/O-processor transfer against the block containing
@@ -150,7 +150,7 @@ func (s *System) RunProgramsContext(ctx context.Context, progs []Program) error 
 			p.pending = procOp{kind: opDone} // no program: idle
 		}
 		p.status = statusReady
-		s.ready.push(event{time: 0, proc: p.id})
+		s.ready.push(p.id, 0)
 	}
 	return s.run(ctx)
 }

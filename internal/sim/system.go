@@ -53,74 +53,50 @@ func DefaultConfig(p protocol.Protocol) Config {
 	}
 }
 
-// event is a ready-queue entry.
-type event struct {
-	time int64
-	proc int
+// readyQueue tracks which processors have an operation ready to
+// dispatch and when. The engine holds at most one ready event per
+// processor, so a per-processor time array with a linear minimum scan
+// beats a heap on the hot loop: push and remove are single stores, and
+// the scan over a handful of entries is branch-predictable. Absent
+// entries hold MaxInt64 and lose every comparison; ties keep the first
+// (lowest-id) processor, matching the old heap's (time, proc) order.
+type readyQueue struct {
+	times []int64
+	n     int
 }
 
-func eventLess(a, b event) bool {
-	if a.time != b.time {
-		return a.time < b.time
+const readyAbsent = int64(1<<63 - 1)
+
+func newReadyQueue(procs int) readyQueue {
+	t := make([]int64, procs)
+	for i := range t {
+		t[i] = readyAbsent
 	}
-	return a.proc < b.proc
+	return readyQueue{times: t}
 }
 
-// eventQueue is a typed 4-ary min-heap of ready events, ordered by
-// (time, proc). It replaces container/heap in the hot loop: no
-// interface boxing, no allocation per push, and a shallower tree than
-// a binary heap (the queue holds at most one event per processor).
-// Keys are unique, so the pop order is the unique sorted order — any
-// correct heap yields the identical event sequence.
-type eventQueue struct {
-	ev []event
+// push marks proc ready at time t; proc must not already be ready.
+func (q *readyQueue) push(proc int, t int64) {
+	q.times[proc] = t
+	q.n++
 }
 
-func (q *eventQueue) len() int { return len(q.ev) }
-
-func (q *eventQueue) min() event { return q.ev[0] }
-
-func (q *eventQueue) push(e event) {
-	q.ev = append(q.ev, e)
-	i := len(q.ev) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !eventLess(q.ev[i], q.ev[parent]) {
-			break
+// minProc returns the ready processor with the earliest time (lowest
+// id on ties). Call only when n > 0.
+func (q *readyQueue) minProc() (proc int, t int64) {
+	t = readyAbsent
+	for i, ti := range q.times {
+		if ti < t {
+			proc, t = i, ti
 		}
-		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
-		i = parent
 	}
+	return proc, t
 }
 
-func (q *eventQueue) pop() event {
-	top := q.ev[0]
-	n := len(q.ev) - 1
-	q.ev[0] = q.ev[n]
-	q.ev = q.ev[:n]
-	i := 0
-	for {
-		least := i
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first; c < last; c++ {
-			if eventLess(q.ev[c], q.ev[least]) {
-				least = c
-			}
-		}
-		if least == i {
-			break
-		}
-		q.ev[i], q.ev[least] = q.ev[least], q.ev[i]
-		i = least
-	}
-	return top
+// remove clears proc's ready entry.
+func (q *readyQueue) remove(proc int) {
+	q.times[proc] = readyAbsent
+	q.n--
 }
 
 // opCtx is the engine-side state of an in-flight processor operation
@@ -150,6 +126,7 @@ type opCtx struct {
 type System struct {
 	cfg   Config
 	proto protocol.Protocol
+	tab   *protocol.Table // compiled transition tables; nil = method path
 	feats protocol.Features
 
 	Mem *memory.Memory
@@ -162,7 +139,14 @@ type System struct {
 	clock   int64 // current event time (may regress across independent buses)
 	hwm     int64 // high-water mark of simulated time
 	busFree []int64
-	ready   eventQueue
+	ready   readyQueue
+	// busDirty invalidates the cached (nextBus, nextGrant) pair: the
+	// event loop rescans the buses only after something changed a bus —
+	// a new request, a withdrawal, or a served transaction. Processor
+	// steps that stay in their cache leave the cache valid.
+	busDirty  bool
+	nextBus   int
+	nextGrant int64
 	// ctxs[i] is arbitration slot i: processor i for i < Procs, the
 	// busy-wait (prefetch) register of processor i-Procs above that.
 	ctxs       []opCtx
@@ -223,13 +207,18 @@ func New(cfg Config) *System {
 		panic(fmt.Sprintf("sim: NumBuses must be 1 or 2 (Section A.2), got %d", cfg.NumBuses))
 	}
 	s := &System{
-		cfg:     cfg,
-		proto:   cfg.Protocol,
-		feats:   f,
-		Mem:     memory.New(cfg.Geometry),
-		ctxs:    make([]opCtx, 2*cfg.Procs),
-		ready:   eventQueue{ev: make([]event, 0, cfg.Procs)},
-		waiters: make(map[addr.Block][]int),
+		cfg:      cfg,
+		proto:    cfg.Protocol,
+		feats:    f,
+		Mem:      memory.New(cfg.Geometry),
+		ctxs:     make([]opCtx, 2*cfg.Procs),
+		ready:    newReadyQueue(cfg.Procs),
+		waiters:  make(map[addr.Block][]int),
+		busDirty: true,
+		nextBus:  -1,
+	}
+	if !cfg.Cache.NoTables {
+		s.tab = protocol.TableFor(cfg.Protocol)
 	}
 	for i := 0; i < cfg.NumBuses; i++ {
 		s.Buses = append(s.Buses, bus.New())
@@ -266,6 +255,30 @@ func (s *System) Geometry() addr.Geometry { return s.cfg.Geometry }
 
 // Protocol returns the protocol instance.
 func (s *System) Protocol() protocol.Protocol { return s.proto }
+
+// complete/privilege/isDirty consult the compiled transition tables
+// when present, else the protocol methods — the engine's half of the
+// table fast path (the caches hold their own table reference).
+func (s *System) complete(st protocol.State, op protocol.Op, t *bus.Transaction) protocol.CompleteResult {
+	if s.tab != nil {
+		return s.tab.Complete(st, op, t)
+	}
+	return s.proto.Complete(st, op, t)
+}
+
+func (s *System) privilege(st protocol.State) protocol.Priv {
+	if s.tab != nil {
+		return s.tab.Privilege(st)
+	}
+	return s.proto.Privilege(st)
+}
+
+func (s *System) isDirty(st protocol.State) bool {
+	if s.tab != nil {
+		return s.tab.IsDirty(st)
+	}
+	return s.proto.IsDirty(st)
+}
 
 // Stats merges the counters of the bus, memory, caches, and
 // processors with the engine's own counters into one snapshot.
@@ -327,7 +340,7 @@ func (s *System) RunContext(ctx context.Context, workloads []func(*Proc)) error 
 	for _, p := range s.Procs {
 		p.pending = <-p.reqCh
 		p.status = statusReady
-		s.ready.push(event{time: 0, proc: p.id})
+		s.ready.push(p.id, 0)
 	}
 	return s.run(ctx)
 }
@@ -358,31 +371,40 @@ func (s *System) run(ctx context.Context) error {
 		}
 		// The earliest grantable bus: a bus grants at the later of its
 		// free time and the earliest pending request's issue time.
-		nextBus := -1
-		var nextGrant int64
-		for i, b := range s.Buses {
-			if !b.HasPending() {
-				continue
-			}
-			g := s.busFree[i]
-			if at := b.EarliestRequest(); at > g {
-				g = at
-			}
-			if nextBus == -1 || g < nextGrant {
-				nextBus, nextGrant = i, g
+		// Recomputed only after an event touched a bus.
+		if s.busDirty {
+			s.busDirty = false
+			s.nextBus = -1
+			for i, b := range s.Buses {
+				if !b.HasPending() {
+					continue
+				}
+				g := s.busFree[i]
+				if at := b.EarliestRequest(); at > g {
+					g = at
+				}
+				if s.nextBus == -1 || g < s.nextGrant {
+					s.nextBus, s.nextGrant = i, g
+				}
 			}
 		}
+		rp := -1
+		var rt int64
+		if s.ready.n > 0 {
+			rp, rt = s.ready.minProc()
+		}
 		switch {
-		case s.ready.len() > 0 && (nextBus == -1 || s.ready.min().time <= nextGrant):
-			ev := s.ready.pop()
-			s.clock = ev.time
-			s.step(s.Procs[ev.proc], ev.time)
-		case nextBus != -1:
-			s.clock = nextGrant
-			id, ok := s.Buses[nextBus].ArbitrateAt(nextGrant)
+		case rp != -1 && (s.nextBus == -1 || rt <= s.nextGrant):
+			s.ready.remove(rp)
+			s.clock = rt
+			s.step(s.Procs[rp], rt)
+		case s.nextBus != -1:
+			s.clock = s.nextGrant
+			id, ok := s.Buses[s.nextBus].ArbitrateAt(s.nextGrant)
 			if !ok {
-				return fmt.Errorf("sim: bus %d grant at %d found no eligible request", nextBus, nextGrant)
+				return fmt.Errorf("sim: bus %d grant at %d found no eligible request", s.nextBus, s.nextGrant)
 			}
+			s.busDirty = true
 			s.serveBus(&s.ctxs[id])
 		default:
 			return s.deadlockError()
@@ -423,13 +445,24 @@ func (s *System) deadlockError() error {
 
 // respond completes the processor's pending operation at time t and
 // pulls its next one — a direct Program.Next call, or a channel
-// round-trip to the workload goroutine on the shim path.
+// round-trip to the workload goroutine on the shim path. The direct
+// path is inlined here so the wide procOp is copied once, from the
+// program's return value into pending.
 func (s *System) respond(p *Proc, t int64, res procRes) {
 	res.now = t
 	p.now = t
-	p.pending = p.nextOp(res)
+	if p.prog != nil {
+		op, ok := p.prog.Next(p, Result{Value: res.value, OK: res.ok, Now: res.now})
+		if !ok {
+			p.pending = procOp{kind: opDone}
+		} else {
+			p.pending = op.raw
+		}
+	} else {
+		p.pending = p.nextOp(res)
+	}
 	p.status = statusReady
-	s.ready.push(event{time: t, proc: p.id})
+	s.ready.push(p.id, t)
 }
 
 // slot claims processor p's arbitration slot for a new ordinary
@@ -441,16 +474,20 @@ func (s *System) slot(p *Proc) *opCtx {
 	return ctx
 }
 
-// step dispatches a processor's pending operation at time t.
+// step dispatches a processor's pending operation at time t. The
+// pending op is read through a pointer — procOp is too wide to copy on
+// every event — so callees must finish with it before respond installs
+// the next one.
 func (s *System) step(p *Proc, t int64) {
-	op := p.pending
+	op := &p.pending
 	switch op.kind {
 	case opDone:
 		p.status = statusDone
 		s.doneN++
 	case opCompute:
-		p.Counts.Add("proc.compute-cycles", op.n)
-		s.respond(p, t+op.n, procRes{})
+		n := int64(op.value)
+		p.Counts.Add("proc.compute-cycles", n)
+		s.respond(p, t+n, procRes{})
 	case opMem:
 		p.opStart = t
 		s.startMemOp(p, t, op, op.op)
@@ -460,7 +497,7 @@ func (s *System) step(p *Proc, t int64) {
 	case opRMWMem:
 		p.opStart = t
 		ctx := s.slot(p)
-		ctx.op = op
+		ctx.op = *op
 		ctx.protoOp = protocol.OpWrite
 		s.queueBus(ctx, false)
 	case opTryWrite:
@@ -472,7 +509,7 @@ func (s *System) step(p *Proc, t int64) {
 	case opIO:
 		p.opStart = t
 		ctx := s.slot(p)
-		ctx.op = op
+		ctx.op = *op
 		s.queueBus(ctx, false)
 	case opLockPrefetch:
 		s.startLockPrefetch(p, t, op)
@@ -484,24 +521,52 @@ func (s *System) step(p *Proc, t int64) {
 }
 
 // startMemOp probes the cache for a protocol operation; hits complete
-// locally, misses queue a bus request.
-func (s *System) startMemOp(p *Proc, t int64, op procOp, protoOp protocol.Op) {
+// locally, misses queue a bus request. Single-word operations fuse the
+// probe with the hit-time data access (cache.ProbeWord), so the common
+// hit costs one tag lookup.
+func (s *System) startMemOp(p *Proc, t int64, op *procOp, protoOp protocol.Op) {
 	c := s.Caches[p.id]
-	r := c.Probe(protoOp, op.addr)
-	t += int64(s.cfg.Timing.HitCycles)
-	if r.Hit {
-		s.finishLocal(p, t, op, protoOp)
+	if protoOp == protocol.OpWriteBlock {
+		r := c.Probe(protoOp, op.addr)
+		t += int64(s.cfg.Timing.HitCycles)
+		if r.Hit {
+			s.finishLocal(p, t, op, protoOp)
+			return
+		}
+		s.queueMiss(p, op, protoOp, r)
 		return
 	}
+	r, v := c.ProbeWord(protoOp, op.addr, op.value)
+	t += int64(s.cfg.Timing.HitCycles)
+	if !r.Hit {
+		s.queueMiss(p, op, protoOp, r)
+		return
+	}
+	var res procRes
+	res.ok = true
+	switch protoOp {
+	case protocol.OpRead, protocol.OpReadEx:
+		res.value = v
+	case protocol.OpLock:
+		res.value = v
+		s.recordLockAcquired(p, t)
+	case protocol.OpUnlock:
+		s.Counts.Inc("lock.unlock-silent")
+	}
+	s.respond(p, t, res)
+}
+
+// queueMiss claims the processor's slot for a probe that needs the bus.
+func (s *System) queueMiss(p *Proc, op *procOp, protoOp protocol.Op, r protocol.ProcResult) {
 	ctx := s.slot(p)
-	ctx.op = op
+	ctx.op = *op
 	ctx.protoOp = protoOp
 	ctx.pr = r
 	s.queueBus(ctx, false)
 }
 
 // finishLocal completes a zero-bus-traffic operation.
-func (s *System) finishLocal(p *Proc, t int64, op procOp, protoOp protocol.Op) {
+func (s *System) finishLocal(p *Proc, t int64, op *procOp, protoOp protocol.Op) {
 	c := s.Caches[p.id]
 	var res procRes
 	switch protoOp {
@@ -536,16 +601,17 @@ func (s *System) queueBus(ctx *opCtx, high bool) {
 		ctx.p.status = statusBlocked
 	}
 	ctx.active = true
+	s.busDirty = true
 	s.Buses[s.busOf(s.cfg.Geometry.BlockOf(ctx.op.addr))].RequestAt(ctx.arbID, high, ctx.p.now)
 }
 
 // startRMW begins an atomic read-modify-write held in the cache
 // (Feature 6, method 2).
-func (s *System) startRMW(p *Proc, t int64, op procOp) {
+func (s *System) startRMW(p *Proc, t int64, op *procOp) {
 	c := s.Caches[p.id]
 	b := s.cfg.Geometry.BlockOf(op.addr)
 	st := c.State(b)
-	if s.proto.Privilege(st) >= protocol.PrivWrite {
+	if s.privilege(st) >= protocol.PrivWrite {
 		// Sole access already held: entirely local.
 		old, _ := c.ReadWord(op.addr)
 		c.Probe(protocol.OpWrite, op.addr)
@@ -554,7 +620,7 @@ func (s *System) startRMW(p *Proc, t int64, op procOp) {
 		return
 	}
 	ctx := s.slot(p)
-	ctx.op = op
+	ctx.op = *op
 	ctx.protoOp = protocol.OpWrite
 	if st != protocol.Invalid {
 		// A readable copy exists: capture the old value now; the write
@@ -582,7 +648,7 @@ func (s *System) startRMW(p *Proc, t int64, op procOp) {
 }
 
 // startTryWrite begins the abort-on-steal write (Feature 6, method 3).
-func (s *System) startTryWrite(p *Proc, t int64, op procOp) {
+func (s *System) startTryWrite(p *Proc, t int64, op *procOp) {
 	c := s.Caches[p.id]
 	b := s.cfg.Geometry.BlockOf(op.addr)
 	if c.State(b) == protocol.Invalid {
@@ -598,7 +664,7 @@ func (s *System) startTryWrite(p *Proc, t int64, op procOp) {
 		return
 	}
 	ctx := s.slot(p)
-	ctx.op = op
+	ctx.op = *op
 	ctx.protoOp = protocol.OpWrite
 	ctx.pr = r
 	s.queueBus(ctx, false)
@@ -608,7 +674,7 @@ func (s *System) startTryWrite(p *Proc, t int64, op procOp) {
 // protocol skips the fetch; otherwise the first word's write runs as
 // a normal (fetching) write and the rest complete locally or as
 // further write-throughs.
-func (s *System) startBlockWrite(p *Proc, t int64, op procOp) {
+func (s *System) startBlockWrite(p *Proc, t int64, op *procOp) {
 	if s.feats.WriteNoFetch {
 		s.startMemOp(p, t, op, protocol.OpWriteBlock)
 		return
@@ -616,20 +682,22 @@ func (s *System) startBlockWrite(p *Proc, t int64, op procOp) {
 	// Lowered path: op.vals[0] via a full write op; the completion
 	// handler writes the remaining words (writeRemainder), tracking
 	// progress in op.idx.
-	first := op
+	first := *op
 	first.idx = 0
 	first.value = op.vals[0]
-	s.startMemOp(p, t, first, protocol.OpWrite)
+	s.startMemOp(p, t, &first, protocol.OpWrite)
 }
 
 // writeRemainder finishes a lowered block write after word op.idx
 // completed: under write-in protocols the remaining
 // words are cache hits; under write-through they are further bus
-// writes, issued one by one.
-func (s *System) writeRemainder(p *Proc, t int64, op procOp) {
+// writes, issued one by one. op may alias the processor's arbitration
+// slot, so the copy for the next bus phase is taken before slot()
+// zeroes it.
+func (s *System) writeRemainder(p *Proc, t int64, op *procOp) {
 	c := s.Caches[p.id]
 	base := s.cfg.Geometry.Base(s.cfg.Geometry.BlockOf(op.addr))
-	for i := op.idx + 1; i < len(op.vals); i++ {
+	for i := int(op.idx) + 1; i < len(op.vals); i++ {
 		a := base + addr.Addr(i)
 		r := c.Probe(protocol.OpWrite, a)
 		if r.Hit {
@@ -639,8 +707,8 @@ func (s *System) writeRemainder(p *Proc, t int64, op procOp) {
 		}
 		// Write-through: each word is its own bus transaction; issue
 		// the next one and resume from its completion.
-		rest := op
-		rest.idx = i
+		rest := *op
+		rest.idx = int32(i)
 		rest.addr = a
 		rest.value = op.vals[i]
 		ctx := s.slot(p)

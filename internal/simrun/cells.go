@@ -1,0 +1,93 @@
+package simrun
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// CellResult pairs one sweep cell's outcome with its error, so a
+// failed cell does not hide the cells that completed before it.
+type CellResult struct {
+	Res Result
+	Err error
+}
+
+// RunCells executes a batch of simulation configs on an in-process
+// worker pool and delivers the results in submission order: deliver
+// is called exactly once per completed cell, on the caller's
+// goroutine, with deliver(i, ...) strictly after deliver(i-1, ...).
+// Output is therefore byte-identical to a sequential loop at any
+// worker count — each cell builds its own sim.System, so cells share
+// nothing but read-only configuration.
+//
+// workers < 1 means GOMAXPROCS; the pool never exceeds the number of
+// cells. The first cell error cancels the remaining cells and is
+// returned (cells already finished are still delivered first);
+// cancellation of ctx does the same via the per-cell context.
+func RunCells(ctx context.Context, cfgs []Config, workers int, deliver func(int, Result)) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			res, err := Run(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			deliver(i, res)
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]CellResult, len(cfgs))
+	done := make([]chan struct{}, len(cfgs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var wg sync.WaitGroup
+	next := 0
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(cfgs) {
+					return
+				}
+				res, err := Run(cctx, cfgs[i])
+				results[i] = CellResult{Res: res, Err: err}
+				if err != nil {
+					cancel() // first failure aborts the cells behind it
+				}
+				close(done[i])
+			}
+		}()
+	}
+
+	// Merge on the caller's goroutine, strictly in submission order.
+	var firstErr error
+	for i := range cfgs {
+		<-done[i]
+		if results[i].Err != nil {
+			firstErr = results[i].Err
+			break
+		}
+		deliver(i, results[i].Res)
+	}
+	if firstErr != nil {
+		cancel() // abort cells still in flight behind the failed one
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,138 @@
+package simrun
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// sweepCfgs builds a small protocol×procs sweep with bus logging on,
+// so the merged output exercises real report bytes.
+func sweepCfgs() []Config {
+	var cfgs []Config
+	for _, proto := range []string{"bitar", "dragon", "illinois", "writethrough"} {
+		for _, procs := range []int{2, 4} {
+			cfgs = append(cfgs, Config{
+				Protocol: proto, Procs: procs, Ops: 120, LogN: 16,
+			}.Normalize())
+		}
+	}
+	return cfgs
+}
+
+// merge renders a sweep the way a caller would: one labeled section
+// per cell, in delivery order.
+func merge(t *testing.T, cfgs []Config, workers int) string {
+	t.Helper()
+	var b strings.Builder
+	err := RunCells(context.Background(), cfgs, workers, func(i int, r Result) {
+		fmt.Fprintf(&b, "=== cell %d %s p%d ===\n%s", i, cfgs[i].Protocol, cfgs[i].Procs, r.Output)
+	})
+	if err != nil {
+		t.Fatalf("RunCells(workers=%d): %v", workers, err)
+	}
+	return b.String()
+}
+
+// TestRunCellsWorkerCountInvariant is the executor's core contract:
+// the merged sweep output is byte-identical at any worker count.
+func TestRunCellsWorkerCountInvariant(t *testing.T) {
+	cfgs := sweepCfgs()
+	want := merge(t, cfgs, 1)
+	for _, workers := range []int{0, 2, 8} {
+		if got := merge(t, cfgs, workers); got != want {
+			t.Errorf("workers=%d: merged output differs from sequential run", workers)
+		}
+	}
+}
+
+// TestRunCellsDeliveryOrder pins strict submission-order delivery
+// even when later cells finish first (smaller cells behind a big one).
+func TestRunCellsDeliveryOrder(t *testing.T) {
+	cfgs := []Config{
+		Config{Protocol: "bitar", Ops: 2000}.Normalize(), // slowest first
+		Config{Protocol: "bitar", Ops: 10}.Normalize(),
+		Config{Protocol: "bitar", Ops: 10}.Normalize(),
+		Config{Protocol: "bitar", Ops: 10}.Normalize(),
+	}
+	var order []int
+	err := RunCells(context.Background(), cfgs, 4, func(i int, r Result) {
+		order = append(order, i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("delivery order %v, want submission order", order)
+		}
+	}
+}
+
+// TestRunCellsErrorPropagation: an invalid cell fails the batch, the
+// cells before it are still delivered, and the cells after it are
+// not.
+func TestRunCellsErrorPropagation(t *testing.T) {
+	cfgs := []Config{
+		Config{Protocol: "bitar", Ops: 10}.Normalize(),
+		Config{Protocol: "no-such-protocol"}.Normalize(),
+		Config{Protocol: "bitar", Ops: 10}.Normalize(),
+	}
+	var delivered []int
+	err := RunCells(context.Background(), cfgs, 2, func(i int, r Result) {
+		delivered = append(delivered, i)
+	})
+	if err == nil {
+		t.Fatal("want error from the invalid cell")
+	}
+	for _, i := range delivered {
+		if i >= 1 {
+			t.Errorf("cell %d delivered after the failing cell", i)
+		}
+	}
+}
+
+// cellsMallocs runs one RunCells batch and returns total heap
+// allocations across all its workers.
+func cellsMallocs(t *testing.T, cfgs []Config, workers int) uint64 {
+	t.Helper()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := RunCells(context.Background(), cfgs, workers, func(int, Result) {}); err != nil {
+		t.Fatalf("RunCells(workers=%d): %v", workers, err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestRunCellsParallelMachineryOverhead bounds the allocation cost of
+// the worker pool itself: fanning a sweep over 4 workers must cost at
+// most a few hundred extra allocations over the sequential path —
+// goroutines, channels, and result slots, not per-operation garbage.
+func TestRunCellsParallelMachineryOverhead(t *testing.T) {
+	cfgs := sweepCfgs()
+	seq := cellsMallocs(t, cfgs, 1)
+	par := cellsMallocs(t, cfgs, 4)
+	// The cells themselves dominate both counts; the budget below is
+	// ~50 allocs per cell of pool machinery plus slack for runtime
+	// bookkeeping on the extra goroutines.
+	budget := seq + 200 + 50*uint64(len(cfgs))
+	if par > budget {
+		t.Errorf("parallel run allocated %d times, sequential %d: machinery overhead above budget %d",
+			par, seq, budget)
+	}
+}
+
+// TestRunCellsCancel: context cancellation aborts the batch.
+func TestRunCellsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := []Config{Config{Protocol: "bitar", Ops: 5000}.Normalize()}
+	err := RunCells(ctx, cfgs, 2, func(int, Result) {})
+	if err == nil {
+		t.Fatal("want error from a canceled context")
+	}
+}

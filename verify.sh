@@ -1,9 +1,12 @@
 #!/bin/sh
 # Repository verification: formatting, static checks, the full test
 # suite, race-detector passes over every internally concurrent path
-# (model-checker BFS, sim engine, runner worker pool, bus, scheduler
-# queue, serving daemon, single-flight group), the fuzz targets in
-# seed-corpus mode, the differential sim<->mcheck harness, a live
+# (model-checker BFS, sim engine, runner worker pool, parallel sweep
+# executor, bus, scheduler queue, serving daemon, single-flight
+# group), the fuzz targets in seed-corpus mode, the differential
+# sim<->mcheck harness, the table-vs-method differential plus the
+# transition-table freshness gate (committed goldens must match the
+# tables compiled from the protocol code), a live
 # cachesyncd smoke (start, probe — including the -pprof diagnostic
 # mount — graceful stop), the steady-state allocation gate of the
 # direct-execution engine, and the five committed-baseline gates
@@ -36,8 +39,8 @@ echo "== go test -race (mcheck + sim smoke)"
 go test -race -short -run 'TestSmokeAllProtocols|TestDeterministicAcrossWorkers|TestSymmetryEquivalence|TestDeterministicWorkersMutant' ./internal/mcheck/
 go test -race -short ./internal/sim/
 
-echo "== go test -race (runner pool, bus, scheduler queue)"
-go test -race -short ./internal/runner/ ./internal/bus/ ./internal/schedqueue/
+echo "== go test -race (runner pool, parallel sweep executor, bus, scheduler queue)"
+go test -race -short ./internal/runner/ ./internal/simrun/ ./internal/bus/ ./internal/schedqueue/
 
 echo "== go test -race (serving daemon, single-flight)"
 go test -race -short ./internal/serve/ ./internal/flight/
@@ -47,6 +50,12 @@ go test -race -short ./internal/cluster/ ./internal/portfile/
 
 echo "== differential sim<->mcheck harness"
 go test -short -run 'TestDifferentialSimMcheck|TestDifferentialHarnessDetectsSeededBug' ./internal/ptest/
+
+echo "== table-vs-method differential (compiled tables against the method oracle)"
+go test -run 'TestTableVsMethod' ./internal/ptest/
+
+echo "== transition-table freshness gate (goldens vs compiled tables)"
+go run ./cmd/tables -check-transition-goldens
 
 echo "== fuzz targets (seed-corpus mode: f.Add seeds + testdata/fuzz)"
 go test -run 'FuzzTraceBinaryRoundTrip|FuzzTraceTextDecode' ./internal/trace/
