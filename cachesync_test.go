@@ -29,7 +29,7 @@ func TestNewErrors(t *testing.T) {
 
 func TestProtocolsList(t *testing.T) {
 	ps := Protocols()
-	if len(ps) != 12 {
+	if len(ps) != 13 {
 		t.Fatalf("Protocols() = %v", ps)
 	}
 	for _, name := range ps {

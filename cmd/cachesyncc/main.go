@@ -15,7 +15,10 @@
 // -respawn is set, and re-admitted — to exactly their old hash range —
 // once probes recover. POST /v1/sweep is sharded across the fleet and
 // merged back in cell order (?stream=1 interleaves the shards' NDJSON
-// progress deterministically).
+// progress deterministically). POST /v1/check with "shards": N > 1
+// partitions one model-checking run's state space across the fleet
+// (each replica owns the states that hash to it) and merges a result
+// byte-identical to a single replica's, counterexamples included.
 package main
 
 import (

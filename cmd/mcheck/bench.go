@@ -39,6 +39,7 @@ type benchConfig struct {
 	Words    int    `json:"words"`
 	Depth    int    `json:"depth"`
 	Symmetry bool   `json:"symmetry"`
+	POR      bool   `json:"por,omitempty"`
 }
 
 // benchEntry is one measured result.
@@ -68,6 +69,13 @@ var benchSuite = []benchConfig{
 	{Name: "bitar-p3-d7-sym", Protocol: "bitar", Procs: 3, Blocks: 1, Words: 2, Depth: 7, Symmetry: true},
 	{Name: "illinois-p3-b2-d7", Protocol: "illinois", Procs: 3, Blocks: 2, Words: 2, Depth: 7},
 	{Name: "dragon-p3-b2-d7-sym", Protocol: "dragon", Procs: 3, Blocks: 2, Words: 2, Depth: 7, Symmetry: true},
+	// The reduction pair: same exploration with and without POR. The
+	// count-match clause of the gate pins both the unreduced state
+	// count (POR must not change what -por=false explores) and the
+	// reduced one (the measured reduction factor is baseline data for
+	// EXPERIMENTS.md and must not silently erode).
+	{Name: "bitar-p3-b2-d6", Protocol: "bitar", Procs: 3, Blocks: 2, Words: 2, Depth: 6, Symmetry: true},
+	{Name: "bitar-p3-b2-d6-por", Protocol: "bitar", Procs: 3, Blocks: 2, Words: 2, Depth: 6, Symmetry: true, POR: true},
 }
 
 func runBench(path string) int {
@@ -134,6 +142,7 @@ func measureSuite() ([]benchEntry, error) {
 		res, err := mcheck.Run(mcheck.Options{
 			Protocol: protocol.MustNew(c.Protocol), Procs: c.Procs, Blocks: c.Blocks,
 			Words: c.Words, Depth: c.Depth, Workers: *workers, Symmetry: c.Symmetry,
+			POR: c.POR,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %w", c.Name, err)

@@ -44,6 +44,7 @@ var (
 	noSpeed   = flag.Bool("nospeedup", false, "skip the workers=1 rerun that measures parallel speedup")
 	jsonOut   = flag.Bool("json", false, "emit one JSON summary per run instead of text")
 	symmetry  = flag.Bool("symmetry", true, "explore modulo processor permutations (identical verdicts, up to procs! fewer states)")
+	por       = flag.Bool("por", false, "partial-order reduction: explore each block's subsystem separately (identical verdicts and counterexamples, far fewer states at blocks>1)")
 
 	benchJSON   = flag.String("bench-json", "", "run the fixed perf suite and gate against this baseline file (created when absent)")
 	benchGate   = flag.Float64("bench-gate", 0.7, "with -bench-json: fail when states/s falls below this fraction of the baseline")
@@ -134,7 +135,7 @@ func runOne(ctx context.Context, name string) (*summary, error) {
 	opts := mcheck.Options{
 		Protocol: p, Procs: *procs, Blocks: *blocks, Words: *words,
 		Depth: *depth, Workers: *workers, MaxStates: *maxStates,
-		RecordArcs: *arcs, Symmetry: *symmetry, Context: ctx,
+		RecordArcs: *arcs, Symmetry: *symmetry, POR: *por, Context: ctx,
 	}
 	res, err := mcheck.Run(opts)
 	if err != nil {
@@ -154,6 +155,9 @@ func runOne(ctx context.Context, name string) (*summary, error) {
 		if res.Symmetry {
 			mode = ", sym"
 		}
+		if res.POR {
+			mode += ", por"
+		}
 		fmt.Printf("%-28s %-10s states=%-8d transitions=%-9d depth=%d/%d  %.0f states/s (%d workers%s, %v)\n",
 			p.Name(), status, res.States, res.Transitions, res.DepthReached, res.Depth,
 			res.StatesPerSec, res.Workers, mode, res.Elapsed.Round(time.Millisecond))
@@ -165,7 +169,7 @@ func runOne(ctx context.Context, name string) (*summary, error) {
 		base, err := mcheck.Run(mcheck.Options{
 			Protocol: p, Procs: *procs, Blocks: *blocks, Words: *words,
 			Depth: *depth, Workers: 1, MaxStates: *maxStates, Symmetry: *symmetry,
-			Context: ctx,
+			POR: *por, Context: ctx,
 		})
 		if err != nil {
 			return nil, err

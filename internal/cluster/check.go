@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"cachesync/internal/mcheck"
+	"cachesync/internal/serve"
+)
+
+// Distributed model checking: a /v1/check body may carry a
+// coordinator-only "shards" field. shards > 1 partitions the visited
+// state space across the healthy fleet — each shard session lives on
+// one replica, reached through the /v1/shard/* endpoints — and the
+// coordinator drives mcheck.RunSharded over the HTTP peers. The merged
+// Result is byte-identical (timing aside) to what one replica would
+// produce for the same request, a property the differential test in
+// this package asserts end to end.
+
+// maxCheckShards bounds the fan-out of one distributed check; each
+// shard occupies a session slot on its replica for the whole run.
+const maxCheckShards = 16
+
+// shardedCheckRequest is the coordinator's view of a /v1/check body:
+// the replica request plus the shard count, which is never forwarded.
+type shardedCheckRequest struct {
+	serve.CheckRequest
+	Shards int `json:"shards,omitempty"`
+}
+
+// checkSeq disambiguates concurrent distributed checks of the same
+// configuration: session ids must be unique per replica.
+var checkSeq atomic.Int64
+
+// handleShardedCheck runs one check partitioned over the fleet. Shard
+// i is pinned to the i-th healthy replica (mod fleet size) for the
+// whole run: shard sessions are stateful, so unlike the stateless
+// proxy path there is no mid-run rerouting — a replica lost mid-check
+// fails the request and the client retries.
+func (c *Cluster) handleShardedCheck(w http.ResponseWriter, r *http.Request, cr serve.CheckRequest, shards int) {
+	if shards > maxCheckShards {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": fmt.Sprintf("shards %d out of range [1,%d]", shards, maxCheckShards)})
+		return
+	}
+	cr = cr.Normalize()
+	opts, err := cr.Options()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	if cr.POR {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": "por does not compose with sharded checking (run por unsharded)"})
+		return
+	}
+
+	var reps []*replica
+	for _, name := range c.order {
+		if rep := c.replicas[name]; rep.healthy.Load() {
+			reps = append(reps, rep)
+		}
+	}
+	if len(reps) == 0 {
+		c.met.unrouted.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no healthy replica"})
+		return
+	}
+
+	base := fmt.Sprintf("check-%d", checkSeq.Add(1))
+	peers := make([]mcheck.ShardPeer, shards)
+	for i := range peers {
+		rep := reps[i%len(reps)]
+		peers[i] = &httpPeer{
+			c: c, rep: rep, ctx: r.Context(),
+			session: fmt.Sprintf("%s/%d", base, i),
+			cr:      cr, self: i, total: shards,
+		}
+		c.met.route(rep.name)
+	}
+	c.met.checkShards.Add(int64(shards))
+	defer func() {
+		for _, p := range peers {
+			_ = p.Close()
+		}
+	}()
+
+	res, err := mcheck.RunSharded(opts, peers)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		writeJSON(w, http.StatusBadGateway, map[string]any{"error": err.Error()})
+		return
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, serve.CheckResponse{
+		Pass: res.Counterexample == nil, Result: body,
+	})
+}
+
+// httpPeer is one remote shard session: mcheck.ShardPeer spoken over
+// the owning replica's /v1/shard/* endpoints.
+type httpPeer struct {
+	c       *Cluster
+	rep     *replica
+	ctx     context.Context
+	session string
+	cr      serve.CheckRequest
+	self    int
+	total   int
+}
+
+// shardOpenMsg mirrors the replica's open body: the check request
+// flattened with the session coordinates.
+type shardOpenMsg struct {
+	serve.CheckRequest
+	Session string `json:"session"`
+	Self    int    `json:"self"`
+	Total   int    `json:"total"`
+}
+
+// shardCallMsg mirrors the replica's phase-call body.
+type shardCallMsg struct {
+	Session string            `json:"session"`
+	Cands   []mcheck.WireCand `json:"cands,omitempty"`
+	ID      uint64            `json:"id,omitempty"`
+}
+
+func (p *httpPeer) Open() (*mcheck.ShardOpenReply, error) {
+	var reply mcheck.ShardOpenReply
+	err := p.post(p.ctx, "open", shardOpenMsg{
+		CheckRequest: p.cr, Session: p.session, Self: p.self, Total: p.total,
+	}, &reply)
+	if err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+func (p *httpPeer) Expand() (*mcheck.ShardExpandReply, error) {
+	var reply mcheck.ShardExpandReply
+	if err := p.post(p.ctx, "expand", shardCallMsg{Session: p.session}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+func (p *httpPeer) Absorb(cands []mcheck.WireCand) (*mcheck.ShardAbsorbReply, error) {
+	var reply mcheck.ShardAbsorbReply
+	if err := p.post(p.ctx, "absorb", shardCallMsg{Session: p.session, Cands: cands}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+func (p *httpPeer) TraceHop(id uint64) (*mcheck.ShardHopReply, error) {
+	var reply mcheck.ShardHopReply
+	if err := p.post(p.ctx, "trace", shardCallMsg{Session: p.session, ID: id}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Close is best-effort and deliberately not bound to the request
+// context: a canceled check should still free its replica sessions.
+// Whatever slips through, the replica's session TTL reclaims.
+func (p *httpPeer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return p.post(ctx, "close", shardCallMsg{Session: p.session}, &struct {
+		Closed bool `json:"closed"`
+	}{})
+}
+
+// post sends one phase call to the peer's replica and decodes the
+// reply. Any transport error or non-200 fails the call — and with it
+// the whole distributed check — because session state cannot move.
+func (p *httpPeer) post(ctx context.Context, phase string, msg, into any) error {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	url := "http://" + p.rep.address() + "/v1/shard/" + phase
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.c.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			p.c.markDown(p.rep)
+		}
+		return fmt.Errorf("shard %d on %s: %s: %w", p.self, p.rep.name, phase, err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = fmt.Sprintf("status %d", resp.StatusCode)
+		}
+		return fmt.Errorf("shard %d on %s: %s: %s", p.self, p.rep.name, phase, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("shard %d on %s: %s: %w", p.self, p.rep.name, phase, err)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"cachesync/internal/serve"
+)
+
+// postCheck posts one /v1/check body and returns the status and body.
+func postCheck(t *testing.T, url string, req map[string]any) (int, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+// checkResult extracts the mcheck.Result from a /v1/check response
+// and re-marshals it with the timing fields zeroed, so two runs of
+// the same exploration compare byte for byte.
+func checkResult(t *testing.T, body []byte) (bool, []byte) {
+	t.Helper()
+	var cr serve.CheckResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatalf("bad check response %s: %v", body, err)
+	}
+	// Result is normalized as a generic map: mcheck.Action marshals to
+	// its human trace string and does not parse back into the struct.
+	var res map[string]any
+	if err := json.Unmarshal(cr.Result, &res); err != nil {
+		t.Fatalf("bad result %s: %v", cr.Result, err)
+	}
+	delete(res, "elapsed_ns")
+	delete(res, "states_per_sec")
+	out, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cr.Pass, out
+}
+
+// TestShardedCheckMatchesSingle is the HTTP half of the distributed-
+// exploration equivalence story: a /v1/check sharded across three
+// replicas must return byte-identical results (timing aside) to the
+// same request answered by one replica — verdict, state and
+// transition counts, and the counterexample trace on a seeded mutant.
+func TestShardedCheckMatchesSingle(t *testing.T) {
+	b0, b1, b2 := newBackend(t), newBackend(t), newBackend(t)
+	_, ts := newAttachCluster(t, b0.addr, b1.addr, b2.addr)
+	single := newBackend(t)
+
+	cases := []struct {
+		name   string
+		req    map[string]any
+		shards int
+		pass   bool
+	}{
+		{"bitar-clean", map[string]any{
+			"protocol": "bitar", "procs": 3, "blocks": 2, "depth": 4, "symmetry": true,
+		}, 3, true},
+		{"locke-clean", map[string]any{
+			"protocol": "locke", "procs": 2, "blocks": 2, "depth": 5, "symmetry": true,
+		}, 3, true},
+		{"locke-stale-lock-grant", map[string]any{
+			"protocol": "locke", "inject": "stale-lock-grant", "procs": 2, "blocks": 2, "depth": 6,
+		}, 3, false},
+		{"illinois-skip-writeback", map[string]any{
+			"protocol": "illinois", "inject": "skip-writeback", "procs": 3, "blocks": 2, "depth": 6, "symmetry": true,
+		}, 4, false}, // more shards than replicas: assignment wraps
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postCheck(t, single.ts.URL, tc.req)
+			if code != http.StatusOK {
+				t.Fatalf("single replica: status %d: %s", code, body)
+			}
+			wantPass, want := checkResult(t, body)
+
+			req := map[string]any{"shards": tc.shards}
+			for k, v := range tc.req {
+				req[k] = v
+			}
+			code, body = postCheck(t, ts.URL, req)
+			if code != http.StatusOK {
+				t.Fatalf("sharded: status %d: %s", code, body)
+			}
+			gotPass, got := checkResult(t, body)
+
+			if wantPass != tc.pass || gotPass != tc.pass {
+				t.Fatalf("pass: single=%v sharded=%v want %v", wantPass, gotPass, tc.pass)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("sharded result differs from single replica\nsingle:  %s\nsharded: %s", want, got)
+			}
+		})
+	}
+
+	// The sessions a check opens must not leak: every replica's table
+	// should be empty once the responses are in.
+	for i, b := range []*backend{b0, b1, b2} {
+		code, body := postJSONStatus(t, b.ts.URL+"/v1/shard/expand", map[string]any{"session": "nope"})
+		if code != http.StatusNotFound {
+			t.Fatalf("replica %d: probe expand: status %d: %s", i, code, body)
+		}
+	}
+}
+
+// postJSONStatus posts an arbitrary JSON body and returns status+body.
+func postJSONStatus(t *testing.T, url string, req map[string]any) (int, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestShardedCheckValidation covers the coordinator-side rejections
+// and the shards=1 passthrough.
+func TestShardedCheckValidation(t *testing.T) {
+	b := newBackend(t)
+	_, ts := newAttachCluster(t, b.addr)
+
+	// POR cannot shard: per-block sub-runs would each need a fleet pass.
+	code, body := postCheck(t, ts.URL, map[string]any{
+		"protocol": "bitar", "por": true, "shards": 2,
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("por+shards: status %d: %s", code, body)
+	}
+
+	// Out-of-range shard counts are the coordinator's error, not a
+	// replica's.
+	for _, shards := range []int{-1, maxCheckShards + 1} {
+		code, body = postCheck(t, ts.URL, map[string]any{"protocol": "bitar", "shards": shards})
+		if code != http.StatusBadRequest {
+			t.Fatalf("shards=%d: status %d: %s", shards, code, body)
+		}
+	}
+
+	// shards=1 is the plain proxy path; the coordinator-only field is
+	// stripped before the replica's strict decoder sees the body.
+	code, body = postCheck(t, ts.URL, map[string]any{
+		"protocol": "bitar", "procs": 2, "depth": 3, "shards": 1,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("shards=1: status %d: %s", code, body)
+	}
+	if pass, _ := checkResult(t, body); !pass {
+		t.Fatalf("shards=1: expected pass: %s", body)
+	}
+}

@@ -12,7 +12,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"cachesync/internal/serve"
 	"cachesync/internal/simrun"
 )
 
@@ -29,6 +28,7 @@ type rmetrics struct {
 	readmissions atomic.Int64
 	respawns     atomic.Int64
 	sweepShards  atomic.Int64
+	checkShards  atomic.Int64 // shard sessions opened for distributed checks
 }
 
 func newRMetrics() *rmetrics {
@@ -75,9 +75,22 @@ func (c *Cluster) Handler() http.Handler {
 			return
 		}
 		key := ""
-		var cr serve.CheckRequest
-		if err := json.Unmarshal(body, &cr); err == nil {
-			key = "check|" + cr.Normalize().Hash()
+		var req shardedCheckRequest
+		if err := json.Unmarshal(body, &req); err == nil {
+			if req.Shards < 0 {
+				writeJSON(w, http.StatusBadRequest, map[string]any{"error": "shards must be non-negative"})
+				return
+			}
+			if req.Shards > 1 {
+				c.handleShardedCheck(w, r, req.CheckRequest, req.Shards)
+				return
+			}
+			if req.Shards == 1 {
+				// "shards" is a coordinator-only field; strip it before
+				// proxying to a replica's strict decoder.
+				body, _ = json.Marshal(req.CheckRequest)
+			}
+			key = "check|" + req.CheckRequest.Normalize().Hash()
 		}
 		c.proxy(w, r, key, body)
 	})
@@ -290,6 +303,7 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# TYPE cachesyncc_readmissions_total counter\ncachesyncc_readmissions_total %d\n", c.met.readmissions.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncc_respawns_total counter\ncachesyncc_respawns_total %d\n", c.met.respawns.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncc_sweep_shards_total counter\ncachesyncc_sweep_shards_total %d\n", c.met.sweepShards.Load())
+	fmt.Fprintf(&b, "# TYPE cachesyncc_check_shards_total counter\ncachesyncc_check_shards_total %d\n", c.met.checkShards.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncc_healthy gauge\ncachesyncc_healthy %d\n", c.healthyCount())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, b.String())

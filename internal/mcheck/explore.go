@@ -61,15 +61,63 @@ func (m *machine) step(a Action) (violations []string) {
 // states.
 func Run(opts Options) (*Result, error) {
 	o := opts.withDefaults()
+	if err := validate(o); err != nil {
+		return nil, err
+	}
+	if o.POR {
+		return runPOR(o)
+	}
+	res, _, err := runCore(o, -1)
+	return res, err
+}
+
+func validate(o Options) error {
 	if o.Protocol == nil {
-		return nil, fmt.Errorf("mcheck: Options.Protocol is required")
+		return fmt.Errorf("mcheck: Options.Protocol is required")
 	}
 	if o.Procs < 1 || o.Procs > 8 {
-		return nil, fmt.Errorf("mcheck: procs %d out of range [1,8]", o.Procs)
+		return fmt.Errorf("mcheck: procs %d out of range [1,8]", o.Procs)
 	}
 	if o.Blocks < 1 || o.Blocks > 4 {
-		return nil, fmt.Errorf("mcheck: blocks %d out of range [1,4]", o.Blocks)
+		return fmt.Errorf("mcheck: blocks %d out of range [1,4]", o.Blocks)
 	}
+	return nil
+}
+
+// cexOrd orders a violating transition the way the unreduced BFS
+// breaks ties between simultaneous violations: first by depth (BFS
+// finds shortest first), then by the parent's frontier position —
+// which is (visited-table shard, parent key) since frontiers are
+// shard-major and key-sorted — then by the action's index in the
+// parent's full action list. Per-block POR sub-runs keep full-list
+// action indices even though they expand a filtered subset, so these
+// ordinals are comparable across sub-runs and the cross-run least is
+// exactly the violation the unreduced run would report.
+type cexOrd struct {
+	depth     int
+	tshard    int
+	parentKey []uint64
+	ai        int32
+}
+
+func (c cexOrd) before(o cexOrd) bool {
+	if c.depth != o.depth {
+		return c.depth < o.depth
+	}
+	if c.tshard != o.tshard {
+		return c.tshard < o.tshard
+	}
+	if !equalKey(c.parentKey, o.parentKey) {
+		return lessKey(c.parentKey, o.parentKey)
+	}
+	return c.ai < o.ai
+}
+
+// runCore is one unreduced BFS. porBlock < 0 explores every action;
+// porBlock >= 0 restricts expansion to actions on that block (the
+// POR sub-run), keeping action indices relative to the full list. The
+// returned cexOrd is non-nil iff a counterexample was found.
+func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 	ctx := o.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -104,7 +152,7 @@ func Run(opts Options) (*Result, error) {
 	if v := machines[0].checkInvariants(Action{}, stepResult{}); len(v) > 0 {
 		res.Counterexample = &Counterexample{Violations: v}
 		res.States = 1
-		return finalize(), nil
+		return finalize(), &cexOrd{}, nil
 	}
 
 	visited := make([]*shardTable, shardCount)
@@ -121,6 +169,7 @@ func Run(opts Options) (*Result, error) {
 
 	frontier := []stateID{rootID}
 	var transitions int64
+	var ord *cexOrd
 
 	for depth := 1; depth <= o.Depth && len(frontier) > 0; depth++ {
 		nw := o.Workers
@@ -161,10 +210,15 @@ func Run(opts Options) (*Result, error) {
 					enc := visited[id.shard()].key(id.index())
 					m.restoreKey(enc)
 					acts := m.actions()
+					dirty := false
 					for j, a := range acts {
-						if j > 0 {
+						if porBlock >= 0 && a.Block != uint64(porBlock) {
+							continue
+						}
+						if dirty {
 							m.restoreKey(enc)
 						}
+						dirty = true
 						localTransitions++
 						if v := m.step(a); len(v) > 0 {
 							c := candidate{pi: int32(i), ai: int32(j), parent: id, act: a}
@@ -199,7 +253,7 @@ func Run(opts Options) (*Result, error) {
 		}
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("mcheck: exploration canceled at depth %d after %d states: %w",
+			return nil, nil, fmt.Errorf("mcheck: exploration canceled at depth %d after %d states: %w",
 				depth, res.States, err)
 		}
 
@@ -210,6 +264,13 @@ func Run(opts Options) (*Result, error) {
 			}
 		}
 		if best != nil {
+			pk := visited[best.parent.shard()].key(best.parent.index())
+			ord = &cexOrd{
+				depth:     depth,
+				tshard:    best.parent.shard(),
+				parentKey: append([]uint64(nil), pk...),
+				ai:        best.ai,
+			}
 			trace := rebuildTrace(visited, rootID, best.parent)
 			trace = append(trace, best.act)
 			viols := best.violations
@@ -282,7 +343,7 @@ func Run(opts Options) (*Result, error) {
 		}
 		res.Arcs = merged.sortedArcs()
 	}
-	return finalize(), nil
+	return finalize(), ord, nil
 }
 
 // mergeShard folds every worker's candidates for shard s into the

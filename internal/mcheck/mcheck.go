@@ -72,6 +72,17 @@ type Options struct {
 	// canon.go). Counterexample traces are de-canonicalized, so they
 	// replay unchanged.
 	Symmetry bool
+	// POR enables partial-order reduction: actions on different blocks
+	// commute (each touches only its own block's caches lines, memory
+	// words, lock tag, and shadow, and every invariant is per-block),
+	// so instead of exploring their interleavings the checker explores
+	// each block's subsystem separately and never visits a state with
+	// two modified blocks. Verdicts and counterexamples are identical
+	// to the unreduced run (see por.go for the argument and the
+	// differential test for the proof); state/transition counts and
+	// Exhausted/DepthReached cover the union of the per-block runs.
+	// Composes with Symmetry.
+	POR bool
 	// Context, when non-nil, cancels the exploration: every BFS worker
 	// polls it per frontier state, so a deadline or Ctrl-C aborts
 	// mid-level rather than after the frontier drains. Run then returns
@@ -182,6 +193,7 @@ type Result struct {
 	Depth          int             `json:"depth"`
 	Workers        int             `json:"workers"`
 	Symmetry       bool            `json:"symmetry"`
+	POR            bool            `json:"por,omitempty"`
 	States         int64           `json:"states"`
 	Transitions    int64           `json:"transitions"`
 	DepthReached   int             `json:"depth_reached"`

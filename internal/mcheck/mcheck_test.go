@@ -99,6 +99,11 @@ func TestMutantsCaughtMinimally(t *testing.T) {
 		{"bitar", "drop-invalidate", "sole-access holders"},
 		{"bitar", "skip-writeback", "conservation violated"},
 		{"bitar", "ignore-lock", "sole-access holders"},
+		{"bitar", "stale-lock-grant", "sole-access holders"},
+		{"locke", "drop-invalidate", "sole-access holders"},
+		{"locke", "skip-writeback", "conservation violated"},
+		{"locke", "ignore-lock", "sole-access holders"},
+		{"locke", "stale-lock-grant", "sole-access holders"},
 	}
 	for _, c := range cases {
 		c := c

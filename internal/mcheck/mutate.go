@@ -15,6 +15,7 @@ import (
 //	drop-invalidate  — a snooped invalidation is ignored        (serialization)
 //	skip-writeback   — dirty evictions skip the flush           (conservation / latest version)
 //	ignore-lock      — a locked line never asserts the lock     (lock mutual exclusion)
+//	stale-lock-grant — the requester disregards a busy signal   (lock mutual exclusion)
 type mutant struct {
 	protocol.Protocol
 	kind string
@@ -22,18 +23,18 @@ type mutant struct {
 
 // MutantNames lists the available seeded-bug mutations.
 func MutantNames() []string {
-	out := []string{"drop-invalidate", "skip-writeback", "ignore-lock"}
+	out := []string{"drop-invalidate", "skip-writeback", "ignore-lock", "stale-lock-grant"}
 	sort.Strings(out)
 	return out
 }
 
 // Mutate wraps p with the named seeded bug. It returns an error for
-// an unknown name, or for "ignore-lock" on a protocol without
-// hardware locks.
+// an unknown name, or for a lock-targeting mutation on a protocol
+// without hardware locks.
 func Mutate(p protocol.Protocol, name string) (protocol.Protocol, error) {
 	switch name {
 	case "drop-invalidate", "skip-writeback":
-	case "ignore-lock":
+	case "ignore-lock", "stale-lock-grant":
 		if !p.Features().HardwareLock {
 			return nil, fmt.Errorf("mcheck: mutation %q needs a hardware-lock protocol, %s has none", name, p.Name())
 		}
@@ -66,6 +67,21 @@ func (m *mutant) Snoop(s protocol.State, t *bus.Transaction) protocol.SnoopResul
 			r.Locked = false
 			r.NewState = s
 		}
+	}
+	return r
+}
+
+// Complete implements protocol.Protocol, applying the requester-side
+// lock bug.
+func (m *mutant) Complete(s protocol.State, op protocol.Op, t *bus.Transaction) protocol.CompleteResult {
+	r := m.Protocol.Complete(s, op, t)
+	if m.kind == "stale-lock-grant" && r.BusyWait {
+		// The requester misses the lock line on the bus and installs
+		// the line as if the grant succeeded: a second cache acquires
+		// an already-held lock.
+		tt := *t
+		tt.Lines.Locked = false
+		return m.Protocol.Complete(s, op, &tt)
 	}
 	return r
 }

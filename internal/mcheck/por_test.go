@@ -1,0 +1,143 @@
+package mcheck
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cachesync/internal/protocol"
+	_ "cachesync/internal/protocol/all"
+)
+
+// modifiedBlocks counts the block sections of key that differ from the
+// root key (the packed key is block-major, so block b owns the word
+// range [b·stride, (b+1)·stride)).
+func modifiedBlocks(lay keyLayout, root, key []uint64) int {
+	n := 0
+	for b := 0; b < lay.blocks; b++ {
+		lo, hi := b*lay.blockStride, (b+1)*lay.blockStride
+		for w := lo; w < hi; w++ {
+			if key[w] != root[w] {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// TestPOREquivalence is the POR analogue of TestSymmetryEquivalence:
+// for every registered protocol it runs the blocks=2 exploration with
+// and without partial-order reduction, at several worker counts, and
+// checks (a) identical verdicts and byte-identical counterexamples,
+// (b) a genuine reduction — at blocks=2 the reduced run must explore
+// under half the states — and (c) the reduction is exact: the reduced
+// state set is precisely the full run's states with at most one block
+// section differing from the root.
+func TestPOREquivalence(t *testing.T) {
+	for _, name := range protocol.Names() {
+		for _, sym := range []bool{false, true} {
+			name, sym := name, sym
+			t.Run(fmt.Sprintf("%s/sym=%v", name, sym), func(t *testing.T) {
+				t.Parallel()
+				o := Options{Protocol: protocol.MustNew(name), Procs: 3, Blocks: 2, Depth: 4, Symmetry: sym, Workers: 2}
+				full := reachedKeys(t, o)
+				fres, err := Run(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				od := o.withDefaults()
+				lay := makeKeyLayout(od.Procs, od.Blocks, od.Words)
+				root := append([]uint64(nil), newMachine(od).encodeKey()...)
+				pure := 0
+				for _, k := range full {
+					if modifiedBlocks(lay, root, k) <= 1 {
+						pure++
+					}
+				}
+
+				for _, w := range []int{1, 2, 8} {
+					po := o
+					po.POR = true
+					po.Workers = w
+					po.Protocol = protocol.MustNew(name)
+					var visited [][]uint64
+					po.stateHook = func(k []uint64) { visited = append(visited, append([]uint64(nil), k...)) }
+					pres, err := Run(po)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if pres.Counterexample != nil {
+						t.Fatalf("workers=%d: violation only under POR: %v", w, pres.Counterexample.Violations)
+					}
+					if fres.Counterexample != nil {
+						t.Fatalf("violation only without POR: %v", fres.Counterexample.Violations)
+					}
+					if pres.Exhausted != fres.Exhausted {
+						t.Errorf("workers=%d: exhausted %v under POR, %v without", w, pres.Exhausted, fres.Exhausted)
+					}
+					if int64(len(visited)) != pres.States {
+						t.Fatalf("workers=%d: stateHook saw %d states, Result says %d", w, len(visited), pres.States)
+					}
+					if pres.States != int64(pure) {
+						t.Errorf("workers=%d: reduction inexact: POR visited %d states, full run has %d pure states",
+							w, pres.States, pure)
+					}
+					for _, k := range visited {
+						if modifiedBlocks(lay, root, k) > 1 {
+							t.Fatalf("workers=%d: POR visited a state with two modified blocks", w)
+						}
+					}
+					if pres.States > int64(len(full))/2 {
+						t.Errorf("workers=%d: POR saved too little: %d of %d states", w, pres.States, len(full))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPORMutant checks that fault injection under POR yields the
+// byte-identical minimal counterexample the unreduced run reports, for
+// every worker count and both symmetry modes — the de-reduced-trace
+// half of the equivalence proof.
+func TestPORMutant(t *testing.T) {
+	for _, mc := range []struct{ proto, mut string }{
+		{"bitar", "ignore-lock"},
+		{"bitar", "drop-invalidate"},
+		{"illinois", "drop-invalidate"},
+		{"berkeley", "skip-writeback"},
+		{"locke", "stale-lock-grant"},
+	} {
+		mc := mc
+		t.Run(mc.proto+"+"+mc.mut, func(t *testing.T) {
+			t.Parallel()
+			for _, sym := range []bool{false, true} {
+				var want *Counterexample
+				for _, por := range []bool{false, true} {
+					for _, w := range []int{1, 2, 8} {
+						mut, err := Mutate(protocol.MustNew(mc.proto), mc.mut)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := Run(Options{Protocol: mut, Procs: 2, Blocks: 2, Depth: 6,
+							Workers: w, Symmetry: sym, POR: por})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if res.Counterexample == nil {
+							t.Fatalf("por=%v workers=%d sym=%v: mutant not caught", por, w, sym)
+						}
+						if want == nil {
+							want = res.Counterexample
+						} else if !reflect.DeepEqual(want, res.Counterexample) {
+							t.Fatalf("por=%v workers=%d sym=%v: counterexample differs:\n got %+v\nwant %+v",
+								por, w, sym, res.Counterexample, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,485 @@
+package mcheck
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cachesync/internal/protocol"
+)
+
+// Distributed exploration.
+//
+// The visited set is partitioned across N session shards by state
+// hash (sessionShardOf); each shard holds the states it owns, expands
+// its slice of the global frontier, and mails newly discovered states
+// to their owners. A coordinator (RunSharded) drives the shards
+// through level-synchronized phases — expand, then absorb — so the
+// global exploration is the same BFS runCore performs, with the level
+// barrier stretched over the network.
+//
+// Equivalence with the single-process run rests on the same idea as
+// partial-order reduction's counterexample proof: every tiebreak the
+// single-process BFS makes by frontier position is re-expressed in
+// intrinsic state data. The global frontier at each level is ordered
+// (visited-table shard, key); a shard's slice of it is a subsequence,
+// so a candidate's ordinal (parent table shard, parent key, action
+// index) — wireOrd — compares across shards exactly as the global
+// (frontier index, action index) pair does. Duplicate discoveries
+// resolve to the least ordinal wherever they land (absorb), and
+// simultaneous violations resolve to the least ordinal at the
+// coordinator, which rebuilds the trace by following parent pointers
+// across shards and de-canonicalizes it exactly as runCore would. The
+// HTTP-level differential test asserts the merged Result is
+// byte-identical to a single-replica run.
+//
+// Sharded expansion is deliberately single-threaded per session —
+// the in-order scan is what makes first-seen-wins equal
+// least-ordinal-wins — so fleet throughput comes from running the
+// shards on different machines, not from intra-shard workers. POR
+// does not compose with sharding (per-block sub-runs would each need
+// their own fleet pass); RunSharded and NewShardSession reject it.
+
+// sessionShardOf maps a state hash to its owning session shard. It
+// must stay independent of shardOfHash (which takes the top 6 bits),
+// so it folds the low bits.
+func sessionShardOf(h uint64, total int) int {
+	return int((h ^ h>>17) % uint64(total))
+}
+
+// WireAction is Action in a JSON-round-trippable shape (Action's own
+// MarshalJSON renders the human trace string, which does not parse
+// back).
+type WireAction struct {
+	Proc  int         `json:"proc"`
+	Kind  ActionKind  `json:"kind"`
+	Op    protocol.Op `json:"op"`
+	Block uint64      `json:"block"`
+	Word  int         `json:"word"`
+	Value uint64      `json:"value"`
+}
+
+func toWire(a Action) WireAction {
+	return WireAction{Proc: a.Proc, Kind: a.Kind, Op: a.Op, Block: a.Block, Word: a.Word, Value: a.Value}
+}
+
+func fromWire(w WireAction) Action {
+	return Action{Proc: w.Proc, Kind: w.Kind, Op: w.Op, Block: w.Block, Word: w.Word, Value: w.Value}
+}
+
+// WireOrd is a transition's global tiebreak ordinal: the discovering
+// parent's visited-table shard and key (its position in the global
+// frontier order) plus the action's index in the parent's full action
+// list.
+type WireOrd struct {
+	TShard    int      `json:"tshard"`
+	ParentKey []uint64 `json:"pkey"`
+	AI        int32    `json:"ai"`
+}
+
+func (o WireOrd) before(p WireOrd) bool {
+	if o.TShard != p.TShard {
+		return o.TShard < p.TShard
+	}
+	if !equalKey(o.ParentKey, p.ParentKey) {
+		return lessKey(o.ParentKey, p.ParentKey)
+	}
+	return o.AI < p.AI
+}
+
+// WireCand is one newly discovered state in flight to its owning
+// session shard.
+type WireCand struct {
+	Key        []uint64   `json:"key"`
+	Hash       uint64     `json:"hash"`
+	Ord        WireOrd    `json:"ord"`
+	ParentSess int        `json:"psess"`
+	Parent     uint64     `json:"parent"` // packed stateID in the parent's session
+	Act        WireAction `json:"act"`
+}
+
+// ShardOpenReply reports a session's view after seeding.
+type ShardOpenReply struct {
+	Root           bool     `json:"root"` // this session owns the initial state
+	Workers        int      `json:"workers"`
+	RootViolations []string `json:"root_violations,omitempty"`
+}
+
+// ShardViolation is a violating transition found during expansion.
+type ShardViolation struct {
+	Ord        WireOrd    `json:"ord"`
+	ParentSess int        `json:"psess"`
+	Parent     uint64     `json:"parent"`
+	Act        WireAction `json:"act"`
+	Violations []string   `json:"violations"`
+}
+
+// ShardExpandReply is one session's expansion of its frontier slice:
+// candidates grouped by destination session shard, plus the least
+// violating transition, if any.
+type ShardExpandReply struct {
+	Out         [][]WireCand    `json:"out"`
+	Transitions int64           `json:"transitions"`
+	Violation   *ShardViolation `json:"violation,omitempty"`
+}
+
+// ShardAbsorbReply reports how many mailed candidates were new.
+type ShardAbsorbReply struct {
+	Added int64 `json:"added"`
+}
+
+// ShardHopReply is one backward step of cross-shard trace rebuilding.
+type ShardHopReply struct {
+	Root       bool       `json:"root"`
+	Act        WireAction `json:"act"`
+	ParentSess int        `json:"psess"`
+	Parent     uint64     `json:"parent"`
+}
+
+// ShardPeer is one session shard as the coordinator sees it — either
+// a local ShardSession or a remote replica spoken to over HTTP.
+type ShardPeer interface {
+	Open() (*ShardOpenReply, error)
+	Expand() (*ShardExpandReply, error)
+	Absorb(cands []WireCand) (*ShardAbsorbReply, error)
+	TraceHop(id uint64) (*ShardHopReply, error)
+	Close() error
+}
+
+// extEdge is a visited state's parent pointer across session shards.
+type extEdge struct {
+	parentSess int32 // -1 marks the root
+	parent     stateID
+	act        Action
+}
+
+// ShardSession is one session shard's state: the slice of the visited
+// set it owns, its frontier, and a machine for expansion.
+type ShardSession struct {
+	o       Options
+	self    int
+	total   int
+	m       *machine
+	kw      int
+	visited []*shardTable
+	ext     [][]extEdge // parallel to each shardTable's entries
+	front   []stateID
+	seen    *keySet
+}
+
+// NewShardSession builds session shard self of total for one
+// exploration. The configuration must be identical on every shard.
+func NewShardSession(opts Options, self, total int) (*ShardSession, error) {
+	o := opts.withDefaults()
+	if err := validate(o); err != nil {
+		return nil, err
+	}
+	if o.POR {
+		return nil, fmt.Errorf("mcheck: POR does not compose with sharded exploration")
+	}
+	if total < 1 || self < 0 || self >= total {
+		return nil, fmt.Errorf("mcheck: shard %d/%d out of range", self, total)
+	}
+	s := &ShardSession{o: o, self: self, total: total, m: newMachine(o)}
+	s.kw = s.m.lay.total
+	s.visited = make([]*shardTable, shardCount)
+	s.ext = make([][]extEdge, shardCount)
+	for i := range s.visited {
+		s.visited[i] = newShardTable(s.kw)
+	}
+	s.seen = newKeySet(s.kw)
+	return s, nil
+}
+
+// Open seeds the initial state into its owning session and reports
+// root invariant violations.
+func (s *ShardSession) Open() (*ShardOpenReply, error) {
+	reply := &ShardOpenReply{Workers: s.o.Workers}
+	root := s.m.encodeKey()
+	if s.m.canon != nil {
+		root, _ = s.m.canon.canonicalize(root)
+	}
+	if v := s.m.checkInvariants(Action{}, stepResult{}); len(v) > 0 {
+		reply.RootViolations = v
+	}
+	h := hashKey(root)
+	if sessionShardOf(h, s.total) == s.self {
+		ts := shardOfHash(h)
+		idx := s.visited[ts].insert(root, h, edge{parent: noParent})
+		s.ext[ts] = append(s.ext[ts], extEdge{parentSess: -1})
+		s.front = []stateID{packID(ts, idx)}
+		reply.Root = true
+	}
+	return reply, nil
+}
+
+// Expand walks the session's frontier slice in (table shard, key)
+// order — the global frontier order restricted to owned states — and
+// returns the discovered candidates routed by owner. Because the scan
+// is in ordinal order, first-seen intra-level dedup keeps the
+// least-ordinal discoverer, matching runCore's merge.
+func (s *ShardSession) Expand() (*ShardExpandReply, error) {
+	reply := &ShardExpandReply{Out: make([][]WireCand, s.total)}
+	s.seen.reset()
+	for _, id := range s.front {
+		enc := s.visited[id.shard()].key(id.index())
+		s.m.restoreKey(enc)
+		acts := s.m.actions()
+		dirty := false
+		for j, a := range acts {
+			if dirty {
+				s.m.restoreKey(enc)
+			}
+			dirty = true
+			reply.Transitions++
+			if v := s.m.step(a); len(v) > 0 {
+				ord := WireOrd{TShard: id.shard(), ParentKey: append([]uint64(nil), enc...), AI: int32(j)}
+				if reply.Violation == nil || ord.before(reply.Violation.Ord) {
+					reply.Violation = &ShardViolation{
+						Ord: ord, ParentSess: s.self, Parent: uint64(id),
+						Act: toWire(a), Violations: v,
+					}
+				}
+				continue
+			}
+			nk := s.m.encodeKey()
+			if s.m.canon != nil {
+				nk, _ = s.m.canon.canonicalize(nk)
+			}
+			h := hashKey(nk)
+			dest := sessionShardOf(h, s.total)
+			if dest == s.self && s.visited[shardOfHash(h)].lookup(nk, h) >= 0 {
+				continue
+			}
+			if _, fresh := s.seen.add(nk, h); !fresh {
+				continue
+			}
+			reply.Out[dest] = append(reply.Out[dest], WireCand{
+				Key:  append([]uint64(nil), nk...),
+				Hash: h,
+				Ord: WireOrd{
+					TShard: id.shard(), ParentKey: append([]uint64(nil), enc...), AI: int32(j),
+				},
+				ParentSess: s.self, Parent: uint64(id), Act: toWire(a),
+			})
+		}
+	}
+	return reply, nil
+}
+
+// Absorb folds the level's candidates owned by this session into its
+// visited slice: per state the least-ordinal discoverer wins, new
+// states insert in (table shard, key) order, and they become the next
+// frontier slice.
+func (s *ShardSession) Absorb(cands []WireCand) (*ShardAbsorbReply, error) {
+	for i := range cands {
+		if len(cands[i].Key) != s.kw || len(cands[i].Ord.ParentKey) != s.kw {
+			return nil, fmt.Errorf("mcheck: shard %d: candidate key width mismatch", s.self)
+		}
+		if sessionShardOf(cands[i].Hash, s.total) != s.self {
+			return nil, fmt.Errorf("mcheck: shard %d: misrouted candidate", s.self)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		si, sj := shardOfHash(cands[i].Hash), shardOfHash(cands[j].Hash)
+		if si != sj {
+			return si < sj
+		}
+		if !equalKey(cands[i].Key, cands[j].Key) {
+			return lessKey(cands[i].Key, cands[j].Key)
+		}
+		return cands[i].Ord.before(cands[j].Ord)
+	})
+	s.front = s.front[:0]
+	for i := range cands {
+		c := &cands[i]
+		if i > 0 && cands[i-1].Hash == c.Hash && equalKey(cands[i-1].Key, c.Key) {
+			continue // duplicate; the sort put the least ordinal first
+		}
+		ts := shardOfHash(c.Hash)
+		if s.visited[ts].lookup(c.Key, c.Hash) >= 0 {
+			continue
+		}
+		idx := s.visited[ts].insert(c.Key, c.Hash, edge{})
+		s.ext[ts] = append(s.ext[ts], extEdge{
+			parentSess: int32(c.ParentSess), parent: stateID(c.Parent), act: fromWire(c.Act),
+		})
+		s.front = append(s.front, packID(ts, idx))
+	}
+	return &ShardAbsorbReply{Added: int64(len(s.front))}, nil
+}
+
+// TraceHop resolves one owned state to its discovering action and
+// parent, for cross-shard counterexample reconstruction.
+func (s *ShardSession) TraceHop(id uint64) (*ShardHopReply, error) {
+	sid := stateID(id)
+	ts, idx := sid.shard(), sid.index()
+	if ts < 0 || ts >= shardCount || idx >= len(s.ext[ts]) {
+		return nil, fmt.Errorf("mcheck: shard %d: unknown state %#x", s.self, id)
+	}
+	e := s.ext[ts][idx]
+	return &ShardHopReply{
+		Root: e.parentSess < 0, Act: toWire(e.act),
+		ParentSess: int(e.parentSess), Parent: uint64(e.parent),
+	}, nil
+}
+
+// Close implements ShardPeer; an in-process session has nothing to
+// release.
+func (s *ShardSession) Close() error { return nil }
+
+// RunSharded explores opts across the given session shards and merges
+// the per-level results into the Result a single-process Run of the
+// same options would produce (timing fields aside). The peers must
+// have been created for this configuration with matching (self,
+// total) indices; RunSharded calls Open on each.
+func RunSharded(opts Options, peers []ShardPeer) (*Result, error) {
+	o := opts.withDefaults()
+	if err := validate(o); err != nil {
+		return nil, err
+	}
+	if o.POR {
+		return nil, fmt.Errorf("mcheck: POR does not compose with sharded exploration")
+	}
+	if len(peers) < 1 {
+		return nil, fmt.Errorf("mcheck: no shard peers")
+	}
+
+	start := time.Now()
+	res := &Result{
+		Protocol: o.Protocol.Name(),
+		Procs:    o.Procs, Blocks: o.Blocks, Words: o.Words,
+		Depth: o.Depth, Workers: o.Workers, Symmetry: o.Symmetry,
+	}
+	finalize := func() *Result {
+		res.Elapsed = time.Since(start)
+		if s := res.Elapsed.Seconds(); s > 0 {
+			res.StatesPerSec = float64(res.States) / s
+		}
+		return res
+	}
+
+	rooted := false
+	for i, p := range peers {
+		reply, err := p.Open()
+		if err != nil {
+			return nil, fmt.Errorf("mcheck: shard %d open: %w", i, err)
+		}
+		if i == 0 {
+			if reply.Workers > 0 {
+				res.Workers = reply.Workers
+			}
+			if len(reply.RootViolations) > 0 {
+				res.Counterexample = &Counterexample{Violations: reply.RootViolations}
+				res.States = 1
+				return finalize(), nil
+			}
+		}
+		if reply.Root {
+			rooted = true
+		}
+	}
+	if !rooted {
+		return nil, fmt.Errorf("mcheck: no shard owns the initial state")
+	}
+	res.States = 1
+
+	frontier := int64(1)
+	for depth := 1; depth <= o.Depth && frontier > 0; depth++ {
+		expands := make([]*ShardExpandReply, len(peers))
+		errs := make([]error, len(peers))
+		var wg sync.WaitGroup
+		for i, p := range peers {
+			wg.Add(1)
+			go func(i int, p ShardPeer) {
+				defer wg.Done()
+				expands[i], errs[i] = p.Expand()
+			}(i, p)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("mcheck: shard %d expand at depth %d: %w", i, depth, err)
+			}
+		}
+		var viol *ShardViolation
+		for _, er := range expands {
+			res.Transitions += er.Transitions
+			if er.Violation != nil && (viol == nil || er.Violation.Ord.before(viol.Ord)) {
+				viol = er.Violation
+			}
+		}
+		if viol != nil {
+			trace, err := rebuildShardTrace(peers, viol)
+			if err != nil {
+				return nil, err
+			}
+			viols := viol.Violations
+			if o.Symmetry {
+				dtrace, dviols := decanonicalizeTrace(o, trace)
+				trace = dtrace
+				if len(dviols) > 0 {
+					viols = dviols
+				}
+			}
+			res.Counterexample = &Counterexample{Trace: trace, Violations: viols}
+			res.DepthReached = depth
+			break
+		}
+
+		frontier = 0
+		for d, p := range peers {
+			var in []WireCand
+			for _, er := range expands {
+				in = append(in, er.Out[d]...)
+			}
+			reply, err := p.Absorb(in)
+			if err != nil {
+				return nil, fmt.Errorf("mcheck: shard %d absorb at depth %d: %w", d, depth, err)
+			}
+			frontier += reply.Added
+		}
+		res.States += frontier
+		res.DepthReached = depth
+		if o.Progress != nil {
+			o.Progress(depth, res.States, res.Transitions)
+		}
+		if res.States >= int64(o.MaxStates) {
+			res.Truncated = true
+			break
+		}
+	}
+
+	res.Exhausted = res.Counterexample == nil && !res.Truncated && frontier == 0
+	return finalize(), nil
+}
+
+// rebuildShardTrace follows parent pointers from the violating
+// transition back to the root, hopping between session shards.
+func rebuildShardTrace(peers []ShardPeer, viol *ShardViolation) ([]Action, error) {
+	var rev []Action
+	sess, id := viol.ParentSess, viol.Parent
+	for {
+		if sess < 0 || sess >= len(peers) {
+			return nil, fmt.Errorf("mcheck: trace walks into unknown shard %d", sess)
+		}
+		hop, err := peers[sess].TraceHop(id)
+		if err != nil {
+			return nil, fmt.Errorf("mcheck: shard %d trace hop: %w", sess, err)
+		}
+		if hop.Root {
+			break
+		}
+		rev = append(rev, fromWire(hop.Act))
+		sess, id = hop.ParentSess, hop.Parent
+		if len(rev) > 1<<16 {
+			return nil, fmt.Errorf("mcheck: trace rebuild did not reach the root")
+		}
+	}
+	trace := make([]Action, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		trace = append(trace, rev[i])
+	}
+	return append(trace, fromWire(viol.Act)), nil
+}

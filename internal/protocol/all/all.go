@@ -12,6 +12,7 @@ import (
 	_ "cachesync/internal/protocol/firefly"
 	_ "cachesync/internal/protocol/goodman"
 	_ "cachesync/internal/protocol/illinois"
+	_ "cachesync/internal/protocol/locke"
 	_ "cachesync/internal/protocol/rudolph"
 	_ "cachesync/internal/protocol/synapse"
 	_ "cachesync/internal/protocol/writethrough"
@@ -27,5 +28,5 @@ var Table1Order = []string{
 var Everything = []string{
 	"writethrough", "censier", "goodman", "dragon", "firefly",
 	"rudolph", "synapse", "illinois", "yen", "berkeley", "bitar",
-	"bitar-memsrc",
+	"bitar-memsrc", "locke",
 }

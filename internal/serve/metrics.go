@@ -35,6 +35,7 @@ type metrics struct {
 	peerHits     atomic.Int64 // cache entries fetched from fleet peers
 	artifactHits atomic.Int64 // GET /v1/artifact answered 200
 	artifactMiss atomic.Int64 // GET /v1/artifact answered 404
+	shardOpens   atomic.Int64 // distributed-check shard sessions opened
 	cacheMisses  atomic.Int64 // requests that executed fresh (X-Cache: miss)
 	reqMicros    atomic.Int64 // summed request latency
 	reqCount     atomic.Int64
@@ -120,6 +121,7 @@ func (m *metrics) render(g *gate, jobs int) string {
 	fmt.Fprintf(&b, "# TYPE cachesyncd_peer_hits_total counter\ncachesyncd_peer_hits_total %d\n", m.peerHits.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncd_artifact_hits_total counter\ncachesyncd_artifact_hits_total %d\n", m.artifactHits.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncd_artifact_misses_total counter\ncachesyncd_artifact_misses_total %d\n", m.artifactMiss.Load())
+	fmt.Fprintf(&b, "# TYPE cachesyncd_shard_sessions_total counter\ncachesyncd_shard_sessions_total %d\n", m.shardOpens.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncd_jobs_stored gauge\ncachesyncd_jobs_stored %d\n", jobs)
 	fmt.Fprintf(&b, "# TYPE cachesyncd_request_seconds_sum counter\ncachesyncd_request_seconds_sum %.6f\n",
 		float64(m.reqMicros.Load())/1e6)

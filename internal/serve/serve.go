@@ -119,12 +119,13 @@ type execOut struct {
 // Server is the daemon. Create with New, mount Handler, and Close when
 // done.
 type Server struct {
-	cfg  Config
-	pool *runner.Pool
-	gate *gate
-	jobs *jobStore
-	met  *metrics
-	fl   flight.Group[execOut]
+	cfg    Config
+	pool   *runner.Pool
+	gate   *gate
+	jobs   *jobStore
+	met    *metrics
+	shards *shardStore
+	fl     flight.Group[execOut]
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -136,11 +137,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		pool: runner.NewPool(cfg.Workers, cfg.Cache),
-		gate: newGate(cfg.Workers, cfg.Queue),
-		jobs: newJobStore(cfg.MaxJobs),
-		met:  newMetrics(),
+		cfg:    cfg,
+		pool:   runner.NewPool(cfg.Workers, cfg.Cache),
+		gate:   newGate(cfg.Workers, cfg.Queue),
+		jobs:   newJobStore(cfg.MaxJobs),
+		met:    newMetrics(),
+		shards: newShardStore(),
 	}
 	if cfg.Cache != nil && cfg.Peers != nil {
 		// Count fleet hits here so /metrics reports them; the cache
@@ -185,6 +187,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/shard/open", s.handleShardOpen)
+	mux.HandleFunc("POST /v1/shard/expand", s.handleShardExpand)
+	mux.HandleFunc("POST /v1/shard/absorb", s.handleShardAbsorb)
+	mux.HandleFunc("POST /v1/shard/trace", s.handleShardTrace)
+	mux.HandleFunc("POST /v1/shard/close", s.handleShardClose)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/artifact/{key}", s.handleArtifact)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -331,7 +338,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 
 // decodeBody parses one JSON request body strictly.
 func decodeBody(r *http.Request, into any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	return decodeBodyLimit(r, into, 1<<20)
+}
+
+// decodeBodyLimit is decodeBody with a caller-chosen size cap — the
+// shard endpoints move frontier-sized candidate lists.
+func decodeBodyLimit(r *http.Request, into any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		return fmt.Errorf("bad request body: %w", err)
@@ -532,6 +545,7 @@ type CheckRequest struct {
 	Words     int    `json:"words,omitempty"`
 	Depth     int    `json:"depth,omitempty"`
 	Symmetry  bool   `json:"symmetry,omitempty"`
+	POR       bool   `json:"por,omitempty"`
 	MaxStates int    `json:"maxstates,omitempty"`
 }
 
@@ -584,11 +598,33 @@ func (cr CheckRequest) validate() error {
 	return nil
 }
 
+// Options resolves a normalized request into the model checker's
+// options: validation, protocol construction, and mutant injection in
+// one place. The replica uses it for /v1/check and /v1/shard/open;
+// the cluster coordinator uses it to drive a distributed check with
+// exactly the configuration a single replica would run.
+func (cr CheckRequest) Options() (mcheck.Options, error) {
+	if err := cr.validate(); err != nil {
+		return mcheck.Options{}, err
+	}
+	p := protocol.MustNew(cr.Protocol)
+	if cr.Inject != "" {
+		var err error
+		if p, err = mcheck.Mutate(p, cr.Inject); err != nil {
+			return mcheck.Options{}, err
+		}
+	}
+	return mcheck.Options{
+		Protocol: p, Procs: cr.Procs, Blocks: cr.Blocks, Words: cr.Words,
+		Depth: cr.Depth, Symmetry: cr.Symmetry, POR: cr.POR, MaxStates: cr.MaxStates,
+	}, nil
+}
+
 // Hash is the request's cache/single-flight/routing key. Hash a
 // normalized request so equivalent bodies collide.
 func (cr CheckRequest) Hash() string {
-	return fmt.Sprintf("check|%s inject=%s p=%d b=%d w=%d d=%d sym=%v max=%d",
-		cr.Protocol, cr.Inject, cr.Procs, cr.Blocks, cr.Words, cr.Depth, cr.Symmetry, cr.MaxStates)
+	return fmt.Sprintf("check|%s inject=%s p=%d b=%d w=%d d=%d sym=%v por=%v max=%d",
+		cr.Protocol, cr.Inject, cr.Procs, cr.Blocks, cr.Words, cr.Depth, cr.Symmetry, cr.POR, cr.MaxStates)
 }
 
 // CheckResponse is the /v1/check response body; Result is the
@@ -613,21 +649,16 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	run := func(ctx context.Context, jb *jobRec) (runner.Artifact, error) {
-		p := protocol.MustNew(cr.Protocol)
-		if cr.Inject != "" {
-			var err error
-			if p, err = mcheck.Mutate(p, cr.Inject); err != nil {
-				return runner.Artifact{}, err
-			}
+		opts, err := cr.Options()
+		if err != nil {
+			return runner.Artifact{}, err
 		}
-		res, err := mcheck.Run(mcheck.Options{
-			Protocol: p, Procs: cr.Procs, Blocks: cr.Blocks, Words: cr.Words,
-			Depth: cr.Depth, Symmetry: cr.Symmetry, MaxStates: cr.MaxStates,
-			Workers: s.cfg.Workers, Context: ctx,
-			Progress: func(depth int, states, transitions int64) {
-				jb.emitf("progress", "depth %d: %d states, %d transitions", depth, states, transitions)
-			},
-		})
+		opts.Workers = s.cfg.Workers
+		opts.Context = ctx
+		opts.Progress = func(depth int, states, transitions int64) {
+			jb.emitf("progress", "depth %d: %d states, %d transitions", depth, states, transitions)
+		}
+		res, err := mcheck.Run(opts)
 		if err != nil {
 			return runner.Artifact{}, err
 		}

@@ -21,6 +21,7 @@ func FuzzWorkloadReplay(f *testing.F) {
 	f.Add(uint8(1), uint8(0), uint16(1), uint8(0), uint8(255), int64(7))
 	f.Add(uint8(3), uint8(5), uint16(200), uint8(255), uint8(0), int64(42))
 	f.Add(uint8(8), uint8(3), uint16(33), uint8(128), uint8(128), int64(-9))
+	f.Add(uint8(2), uint8(12), uint16(80), uint8(200), uint8(120), int64(5)) // protoRaw 12 = locke
 
 	f.Fuzz(func(t *testing.T, procsRaw, protoRaw uint8, opsRaw uint16, sharedRaw, writeRaw uint8, seed int64) {
 		procs := 1 + int(procsRaw)%4

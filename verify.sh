@@ -1,10 +1,13 @@
 #!/bin/sh
 # Repository verification: formatting, static checks, the full test
 # suite, race-detector passes over every internally concurrent path
-# (model-checker BFS, sim engine, runner worker pool, parallel sweep
-# executor, bus, scheduler queue, serving daemon, single-flight
-# group), the fuzz targets in seed-corpus mode, the differential
-# sim<->mcheck harness, the table-vs-method differential plus the
+# (model-checker BFS, partial-order reduction, sharded exploration,
+# sim engine, runner worker pool, parallel sweep executor, bus,
+# scheduler queue, serving daemon, single-flight group), the fuzz
+# targets in seed-corpus mode, the differential sim<->mcheck harness,
+# the distributed-check differential (a /v1/check sharded across a
+# 3-replica fleet must be byte-identical to a single replica's
+# answer, counterexamples included), the table-vs-method differential plus the
 # transition-table freshness gate (committed goldens must match the
 # tables compiled from the protocol code), a live
 # cachesyncd smoke (start, probe — including the -pprof diagnostic
@@ -36,7 +39,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (mcheck + sim smoke)"
-go test -race -short -run 'TestSmokeAllProtocols|TestDeterministicAcrossWorkers|TestSymmetryEquivalence|TestDeterministicWorkersMutant' ./internal/mcheck/
+go test -race -short -run 'TestSmokeAllProtocols|TestDeterministicAcrossWorkers|TestSymmetryEquivalence|TestDeterministicWorkersMutant|TestPOREquivalence|TestPORMutant|TestShardedEquivalence|TestShardedTruncation|TestShardedRejectsPOR' ./internal/mcheck/
 go test -race -short ./internal/sim/
 
 echo "== go test -race (runner pool, parallel sweep executor, bus, scheduler queue)"
@@ -47,6 +50,9 @@ go test -race -short ./internal/serve/ ./internal/flight/
 
 echo "== go test -race (cluster coordinator, portfile handshake)"
 go test -race -short ./internal/cluster/ ./internal/portfile/
+
+echo "== distributed-check differential (sharded /v1/check vs one replica)"
+go test -run 'TestShardedCheckMatchesSingle|TestShardedCheckValidation' ./internal/cluster/
 
 echo "== differential sim<->mcheck harness"
 go test -short -run 'TestDifferentialSimMcheck|TestDifferentialHarnessDetectsSeededBug' ./internal/ptest/
@@ -61,7 +67,7 @@ echo "== fuzz targets (seed-corpus mode: f.Add seeds + testdata/fuzz)"
 go test -run 'FuzzTraceBinaryRoundTrip|FuzzTraceTextDecode' ./internal/trace/
 go test -run 'FuzzWorkloadReplay' ./internal/workload/
 
-echo "== direct-vs-shim differential gate (12 protocols x generators)"
+echo "== direct-vs-shim differential gate (13 protocols x generators)"
 go test -run 'TestDirectMatchesShim' ./internal/workload/
 
 echo "== steady-state allocation gate (0 allocs/op in the sim hot loop)"
