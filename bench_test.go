@@ -146,6 +146,10 @@ func BenchmarkE16WorkWhileWaiting(b *testing.B) { benchExperiment(b, report.E16W
 func BenchmarkE17SleepWait(b *testing.B)        { benchExperiment(b, report.E17SleepWait) }
 func BenchmarkE18DualBus(b *testing.B)          { benchExperiment(b, report.E18DualBus) }
 func BenchmarkE19Aquarius(b *testing.B)         { benchExperiment(b, report.E19Aquarius) }
+func BenchmarkE20BroadcastFraction(b *testing.B) {
+	benchExperiment(b, report.E20BroadcastFraction)
+}
+func BenchmarkE21Disaggregated(b *testing.B) { benchExperiment(b, report.E21Disaggregated) }
 
 // Ablations of the proposal's individual design choices.
 func BenchmarkAblationWaiterPriority(b *testing.B)  { benchExperiment(b, report.A1WaiterPriority) }

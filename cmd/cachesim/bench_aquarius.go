@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cachesync/internal/aquarius"
+	"cachesync/internal/sim"
+	"cachesync/internal/syncprim"
+	"cachesync/internal/workload"
+)
+
+// The two-tier machine benchmark gate: `cachesim -bench-aquarius FILE`
+// runs a fixed suite of routed Aquarius simulations and gates them the
+// way -bench-json gates the one-tier engine. Final cycle counts AND
+// the broadcast-fraction numerator/denominator are compared exactly: a
+// change in either means the machine model changed, which must be a
+// deliberate baseline refresh (-bench-update), never drift. Ops/s is
+// gated by the shared -bench-gate fraction.
+
+var aqBenchJSON = flag.String("bench-aquarius", "", "run the two-tier Aquarius benchmark suite against this baseline file (see cmd/cachesim/bench_aquarius.go)")
+
+// aqBenchConfig is one fixed two-tier simulation the suite measures.
+type aqBenchConfig struct {
+	Name     string `json:"name"`
+	Workload string `json:"workload"` // mixed | lockdata
+	Procs    int    `json:"procs"`
+	Ops      int    `json:"ops,omitempty"`        // per-processor operations (mixed)
+	LockIter int    `json:"lock_iters,omitempty"` // lockdata iterations
+	Remote   int    `json:"remote,omitempty"`     // lower-tier one-way latency
+}
+
+// aqBenchEntry is one measured result; everything but OpsPerSec is
+// exact-match gated.
+type aqBenchEntry struct {
+	aqBenchConfig
+	Iters         int     `json:"iters"`
+	Cycles        int64   `json:"cycles"`
+	BroadcastRefs int64   `json:"broadcast_refs"`
+	TotalRefs     int64   `json:"total_refs"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+}
+
+type aqBenchFile struct {
+	Updated string         `json:"updated"`
+	Go      string         `json:"go"`
+	Gate    float64        `json:"gate"`
+	Entries []aqBenchEntry `json:"entries"`
+}
+
+var aqBenchSuite = []aqBenchConfig{
+	{Name: "twotier-mixed-p8", Workload: "mixed", Procs: 8, Ops: 2000},
+	{Name: "remote-lockdata-p8", Workload: "lockdata", Procs: 8, LockIter: 100, Remote: 64},
+}
+
+func aqMeasureOne(c aqBenchConfig) (aqBenchEntry, error) {
+	var (
+		totalTime time.Duration
+		best      float64
+		repeats   int
+		last      aqBenchEntry
+	)
+	for totalTime < 500*time.Millisecond {
+		repeats++
+		cfg := aquarius.DefaultConfig(c.Procs)
+		cfg.Routed = true
+		cfg.RemoteCycles = c.Remote
+		a := aquarius.New(cfg)
+		l := workload.Layout{G: a.Sync.Geometry()}
+		scheme := syncprim.SchemeFor(a.Sync.Protocol())
+		var progs []sim.Program
+		var ops int64
+		switch c.Workload {
+		case "lockdata":
+			ld := workload.LockedData{Locks: 1, Iters: c.LockIter, Records: 6,
+				Instrs: 4, Think: 20, Scheme: scheme, Seed: 1}
+			progs, ops = ld.Programs(l, c.Procs), int64(c.Procs*c.LockIter)
+		default:
+			m := workload.Mixed{Ops: c.Ops, SharedBlocks: 8, PrivBlocks: 24,
+				SharedFrac: 0.3, WriteFrac: 0.35, Seed: 1}
+			progs, ops = m.Programs(l, c.Procs), int64(c.Procs*c.Ops)
+		}
+		start := time.Now()
+		if err := a.RunPrograms(progs); err != nil {
+			return aqBenchEntry{}, fmt.Errorf("bench %s: %w", c.Name, err)
+		}
+		d := time.Since(start)
+		totalTime += d
+		if r := float64(ops) / d.Seconds(); r > best {
+			best = r
+		}
+		sync, total := a.BroadcastFraction()
+		last = aqBenchEntry{aqBenchConfig: c, Cycles: a.Clock(),
+			BroadcastRefs: sync, TotalRefs: total}
+	}
+	last.Iters = repeats
+	last.OpsPerSec = best
+	return last, nil
+}
+
+func runAquariusBench(path string) int {
+	cur := make([]aqBenchEntry, 0, len(aqBenchSuite))
+	for _, c := range aqBenchSuite {
+		e, err := aqMeasureOne(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		cur = append(cur, e)
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		if werr := writeAquariusBaseline(path, cur); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			return 2
+		}
+		fmt.Printf("bench: baseline %s written (%d entries)\n", path, len(cur))
+		return 0
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var base aqBenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench baseline %s: %v\n", path, err)
+		return 2
+	}
+	baseline := map[string]aqBenchEntry{}
+	for _, e := range base.Entries {
+		baseline[e.Name] = e
+	}
+	failed := false
+	for _, e := range cur {
+		b, ok := baseline[e.Name]
+		switch {
+		case !ok:
+			fmt.Printf("bench: %-22s NEW       %10.0f ops/s (no baseline)\n", e.Name, e.OpsPerSec)
+		case e.Cycles != b.Cycles:
+			failed = true
+			fmt.Printf("bench: %-22s FAIL      simulation changed: final cycles %d→%d\n",
+				e.Name, b.Cycles, e.Cycles)
+		case e.BroadcastRefs != b.BroadcastRefs || e.TotalRefs != b.TotalRefs:
+			failed = true
+			fmt.Printf("bench: %-22s FAIL      broadcast fraction changed: %d/%d → %d/%d\n",
+				e.Name, b.BroadcastRefs, b.TotalRefs, e.BroadcastRefs, e.TotalRefs)
+		case e.OpsPerSec < *simBenchGate*b.OpsPerSec:
+			failed = true
+			fmt.Printf("bench: %-22s FAIL      %10.0f ops/s, below %.0f%% of baseline %.0f\n",
+				e.Name, e.OpsPerSec, 100**simBenchGate, b.OpsPerSec)
+		default:
+			fmt.Printf("bench: %-22s OK        %10.0f ops/s (baseline %.0f, %+.0f%%)\n",
+				e.Name, e.OpsPerSec, b.OpsPerSec, 100*(e.OpsPerSec/b.OpsPerSec-1))
+		}
+	}
+	if *simBenchUpdate {
+		if err := writeAquariusBaseline(path, cur); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Printf("bench: baseline %s updated\n", path)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func writeAquariusBaseline(path string, entries []aqBenchEntry) error {
+	f := aqBenchFile{
+		Updated: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		Gate:    *simBenchGate,
+		Entries: entries,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

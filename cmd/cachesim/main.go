@@ -42,7 +42,7 @@ var (
 	blockW     = flag.Int("block", 4, "block size in words")
 	unitW      = flag.Int("unit", 0, "transfer unit in words (0 = whole block)")
 	unitMode   = flag.Bool("unitmode", false, "enable transfer-unit cost accounting")
-	wname      = flag.String("workload", "mixed", "workload: mixed | lock | pc | queues | statesave | trace")
+	wname      = flag.String("workload", "mixed", "workload: mixed | lock | pc | queues | statesave | lockdata | trace")
 	ops        = flag.Int("ops", 500, "operations per processor (mixed)")
 	iters      = flag.Int("iters", 25, "iterations (lock, pc, queues)")
 	hold       = flag.Int64("hold", 20, "critical-section cycles (lock)")
@@ -53,6 +53,9 @@ var (
 	logN       = flag.Int("log", 0, "print the first N bus transactions (0 = off)")
 	check      = flag.Bool("check", true, "run the online coherence checker after every bus transaction; violations make the run exit nonzero")
 	sweepProcs = flag.String("sweep-procs", "", "processor counts to sweep, e.g. 2..8 or 1,2,4,8: run every selected protocol at each count on the in-process parallel cell executor (width -j), output merged in cell order")
+	tiers      = flag.Int("tiers", 1, "memory tiers: 1 = classic one-bus system, 2 = routed two-tier Aquarius machine (sync bus + crossbar)")
+	remoteCyc  = flag.Int("remote-cycles", 0, "with -tiers 2, one-way latency to a disaggregated lower tier (0 = local crossbar)")
+	sweepRem   = flag.String("sweep-remote", "", "remote-latency values to sweep with -tiers 2, e.g. 0,16,64,256 (same cell executor as -sweep-procs; axes cross)")
 )
 
 // parseProcCounts accepts "a..b" ranges and comma lists.
@@ -80,22 +83,30 @@ func parseProcCounts(spec string) ([]int, error) {
 	return out, nil
 }
 
-// runSweep fans protos × counts over the in-process parallel cell
-// executor. Cells merge in submission order, so the printed output is
-// byte-identical to a sequential loop at any worker count.
-func runSweep(base simrun.Config, protos []string, counts []int) int {
+// runSweep fans protos × counts × remote latencies over the
+// in-process parallel cell executor. Cells merge in submission order,
+// so the printed output is byte-identical to a sequential loop at any
+// worker count.
+func runSweep(base simrun.Config, protos []string, counts, remotes []int) int {
 	var cfgs []simrun.Config
 	for _, p := range protos {
 		for _, n := range counts {
-			cfg := base
-			cfg.Protocol = p
-			cfg.Procs = n
-			cfgs = append(cfgs, cfg.Normalize())
+			for _, r := range remotes {
+				cfg := base
+				cfg.Protocol = p
+				cfg.Procs = n
+				cfg.RemoteCycles = r
+				cfgs = append(cfgs, cfg.Normalize())
+			}
 		}
 	}
 	pass := true
 	err := simrun.RunCells(context.Background(), cfgs, *workers, func(i int, res simrun.Result) {
-		fmt.Printf("=== %s procs=%d ===\n%s\n", cfgs[i].Protocol, cfgs[i].Procs, res.Output)
+		hdr := fmt.Sprintf("%s procs=%d", cfgs[i].Protocol, cfgs[i].Procs)
+		if len(remotes) > 1 || cfgs[i].RemoteCycles > 0 {
+			hdr += fmt.Sprintf(" remote=%d", cfgs[i].RemoteCycles)
+		}
+		fmt.Printf("=== %s ===\n%s\n", hdr, res.Output)
 		pass = pass && res.Pass
 	})
 	if err != nil {
@@ -107,6 +118,19 @@ func runSweep(base simrun.Config, protos []string, counts []int) int {
 		return 1
 	}
 	return 0
+}
+
+// parseRemoteCycles accepts a comma list of latencies (0 allowed).
+func parseRemoteCycles(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -sweep-remote entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // runOne executes one configured simulation and renders its report —
@@ -166,6 +190,9 @@ func main() {
 	if *simBenchJSON != "" {
 		os.Exit(runSimBench(*simBenchJSON))
 	}
+	if *aqBenchJSON != "" {
+		os.Exit(runAquariusBench(*aqBenchJSON))
+	}
 	if *list {
 		for _, n := range cachesync.Protocols() {
 			fmt.Println(n)
@@ -187,6 +214,7 @@ func main() {
 		Hold: *hold, Seed: *seed,
 		TraceFile: *traceFile, Scheme: *schemeStr,
 		LogN: *logN, NoCheck: !*check,
+		Tiers: *tiers, RemoteCycles: *remoteCyc,
 	}
 	protos := []string{*protoName}
 	if *protoList != "" {
@@ -200,13 +228,24 @@ func main() {
 		}
 	}
 
-	if *sweepProcs != "" {
-		counts, err := parseProcCounts(*sweepProcs)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+	if *sweepProcs != "" || *sweepRem != "" {
+		counts := []int{base.Procs}
+		if *sweepProcs != "" {
+			var err error
+			if counts, err = parseProcCounts(*sweepProcs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
 		}
-		os.Exit(runSweep(base, protos, counts))
+		remotes := []int{base.RemoteCycles}
+		if *sweepRem != "" {
+			var err error
+			if remotes, err = parseRemoteCycles(*sweepRem); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		os.Exit(runSweep(base, protos, counts, remotes))
 	}
 
 	// No result cache here: cachesim is the interactive exploration

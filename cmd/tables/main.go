@@ -1,7 +1,7 @@
 // Command tables regenerates the paper's Table 1 (the protocol
 // evolution matrix, cross-checked against the published values) and
 // Table 2 (the innovation summary), and runs the quantitative
-// experiment sweeps E1-E19 that ground the paper's qualitative
+// experiment sweeps E1-E21 that ground the paper's qualitative
 // claims. All regeneration goes through the parallel experiment
 // engine (internal/runner): jobs fan out over a worker pool, results
 // merge in job order (parallel output is byte-identical to
@@ -27,7 +27,7 @@ import (
 )
 
 var (
-	only    = flag.String("only", "", "run only the named experiment (E1..E19), 'ablations', or 'tables'")
+	only    = flag.String("only", "", "run only the named experiment (E1..E21), 'ablations', or 'tables'")
 	csv     = flag.Bool("csv", false, "emit experiment tables as CSV")
 	workers = flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
 	noCache = flag.Bool("nocache", false, "disable the .runnercache/ result cache")
@@ -129,7 +129,7 @@ func main() {
 	case *only != "":
 		id := strings.ToUpper(*only)
 		if _, ok := report.Experiments[id]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have E1..E19)\n", *only)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have E1..E21)\n", *only)
 			os.Exit(2)
 		}
 		for _, j := range report.ExperimentJobs(*csv) {

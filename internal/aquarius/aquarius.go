@@ -7,13 +7,19 @@
 // will only need to provide the latest version of each block"
 // (Section G.1).
 //
-// The upper tier is a full sim.System. The lower tier is modeled as a
-// contention-costed crossbar: each access queues on its bank and
-// advances the issuing processor's clock via Compute, composing the
-// two tiers on one timeline. Latest-version delivery in the lower
-// tier is trivially exact because every access reaches its bank (a
-// small per-processor instruction buffer captures the read-only
-// instruction stream).
+// The upper tier is a full sim.System. The lower tier is built from
+// internal/interconnect cost models: a contention-costed crossbar,
+// optionally placed a network hop away behind a RemoteLink (the
+// Soul/GCS disaggregated-memory configuration, PAPERS.md
+// arXiv:2301.02576). With Routed set, the machine attaches itself as
+// the sim engine's lower tier and classified references (sync vs
+// instruction vs plain data) route automatically; the explicit
+// DataRead/DataWrite/InstrFetch methods remain for workloads that
+// drive the split by hand.
+//
+// Lower-tier values are applied in the engine's deterministic event
+// order at issue time — the "latest version of each block" delivery
+// of Section G.1, with bank occupancy as the only contention.
 package aquarius
 
 import (
@@ -21,6 +27,8 @@ import (
 
 	"cachesync/internal/addr"
 	"cachesync/internal/core"
+	"cachesync/internal/interconnect"
+	"cachesync/internal/protocol"
 	"cachesync/internal/sim"
 	"cachesync/internal/stats"
 )
@@ -35,6 +43,17 @@ type Config struct {
 	BankCycles  int // bank service time per access
 	WireCycles  int // crossbar traversal
 	IBufEntries int // per-processor instruction-buffer entries (read-only stream)
+	// RemoteCycles, when positive, places the whole lower tier a
+	// network hop away: one-way propagation latency in cycles.
+	RemoteCycles int
+	// RemoteOccupancy is the per-message channel occupancy of the
+	// remote link (per direction); used only with RemoteCycles > 0.
+	RemoteOccupancy int
+	// Routed attaches the machine as the sim engine's lower tier, so
+	// Instr/Data-class references route there automatically and
+	// unclassified references are rejected. Leave false to drive the
+	// split by hand through DataRead/DataWrite/InstrFetch.
+	Routed bool
 }
 
 // DefaultConfig returns a machine shaped like Figure 11: PPs on a
@@ -43,13 +62,53 @@ func DefaultConfig(procs int) Config {
 	sc := sim.DefaultConfig(core.Protocol{})
 	sc.Procs = procs
 	return Config{
-		Procs:       procs,
-		Sync:        sc,
-		Banks:       8,
-		BankCycles:  4,
-		WireCycles:  1,
-		IBufEntries: 16,
+		Procs:           procs,
+		Sync:            sc,
+		Banks:           8,
+		BankCycles:      4,
+		WireCycles:      1,
+		IBufEntries:     16,
+		RemoteOccupancy: 2,
 	}
+}
+
+// ibuf is a per-processor FIFO instruction buffer. Eviction order is
+// insertion order — a deterministic function of the fetch stream, so
+// repeated runs produce byte-identical hit/miss/crossbar counters.
+type ibuf struct {
+	present map[addr.Addr]struct{}
+	order   []addr.Addr
+	head    int
+	n       int
+}
+
+func newIbuf(entries int) *ibuf {
+	if entries <= 0 {
+		entries = 1
+	}
+	return &ibuf{
+		present: make(map[addr.Addr]struct{}, entries),
+		order:   make([]addr.Addr, entries),
+	}
+}
+
+func (b *ibuf) has(a addr.Addr) bool {
+	_, ok := b.present[a]
+	return ok
+}
+
+// insert adds a missing address, evicting the oldest entry when full.
+func (b *ibuf) insert(a addr.Addr) {
+	if b.n == len(b.order) {
+		old := b.order[b.head]
+		delete(b.present, old)
+		b.order[b.head] = a
+		b.head = (b.head + 1) % len(b.order)
+	} else {
+		b.order[(b.head+b.n)%len(b.order)] = a
+		b.n++
+	}
+	b.present[a] = struct{}{}
 }
 
 // System is the two-tier Aquarius machine.
@@ -59,11 +118,14 @@ type System struct {
 	// protocol, where all hard atoms live.
 	Sync *sim.System
 
-	bankFree []int64
-	ibuf     []map[addr.Addr]bool
-	mem      map[addr.Addr]uint64 // lower-tier storage
+	xbar *interconnect.Crossbar
+	data interconnect.Interconnect // xbar, or the remote link in front of it
+	ibuf []*ibuf
+	mem  map[addr.Addr]uint64 // lower-tier storage
 
-	Counts stats.Counters
+	Counts    stats.Counters
+	ibufHitH  *int64
+	ibufMissH *int64
 }
 
 // New builds the two-tier system.
@@ -72,72 +134,92 @@ func New(cfg Config) *System {
 		panic("aquarius: need at least one bank")
 	}
 	s := &System{
-		cfg:      cfg,
-		Sync:     sim.New(cfg.Sync),
-		bankFree: make([]int64, cfg.Banks),
-		ibuf:     make([]map[addr.Addr]bool, cfg.Procs),
-		mem:      make(map[addr.Addr]uint64),
+		cfg:  cfg,
+		Sync: sim.New(cfg.Sync),
+		ibuf: make([]*ibuf, cfg.Procs),
+		mem:  make(map[addr.Addr]uint64),
+	}
+	s.xbar = interconnect.NewCrossbar(cfg.Banks, cfg.BankCycles, cfg.WireCycles, &s.Counts)
+	s.data = s.xbar
+	if cfg.RemoteCycles > 0 {
+		s.data = interconnect.NewRemoteLink(s.xbar, int64(cfg.RemoteCycles), int64(cfg.RemoteOccupancy), &s.Counts)
 	}
 	for i := range s.ibuf {
-		s.ibuf[i] = make(map[addr.Addr]bool)
+		s.ibuf[i] = newIbuf(cfg.IBufEntries)
 	}
+	// The lower tier is always attached so every fabric access runs
+	// inside the engine's single-threaded event loop (shim workload
+	// goroutines run concurrently between blocking calls — touching
+	// crossbar/ibuf state from them would race). Routed additionally
+	// makes classification mandatory: unclassified references are
+	// rejected instead of staying on the synchronization bus.
+	s.Sync.AttachLower(s, cfg.Routed)
 	return s
 }
 
 // Run executes the workloads on the synchronization tier's
-// processors; lower-tier accesses are issued through DataRead,
-// DataWrite, and InstrFetch.
+// processors. With Routed, classified references route to the lower
+// tier automatically; otherwise lower-tier accesses are issued
+// through DataRead, DataWrite, and InstrFetch.
 func (s *System) Run(ws []func(*sim.Proc)) error { return s.Sync.Run(ws) }
 
-func (s *System) bankOf(a addr.Addr) int { return int(uint64(a) % uint64(s.cfg.Banks)) }
+// RunPrograms executes one direct-execution Program per processor.
+func (s *System) RunPrograms(progs []sim.Program) error { return s.Sync.RunPrograms(progs) }
 
-// crossbar charges the crossbar-plus-bank cost of one lower-tier
-// access issued by p at its current time.
-func (s *System) crossbar(p *sim.Proc, a addr.Addr) {
-	bank := s.bankOf(a)
-	start := p.Now() + int64(s.cfg.WireCycles)
-	if s.bankFree[bank] > start {
-		s.Counts.Add("xbar.bank-wait", s.bankFree[bank]-start)
-		start = s.bankFree[bank]
+// LowerAccess implements sim.LowerTier: the engine hands over every
+// Instr/Data-class reference in deterministic event order.
+func (s *System) LowerAccess(ref sim.LowerRef) (int64, uint64, error) {
+	if ref.Class == interconnect.Instr {
+		b := s.ibuf[ref.Proc]
+		if b.has(ref.Addr) {
+			bump(&s.Counts, &s.ibufHitH, "ibuf.hit")
+			return ref.Now + 1, s.mem[ref.Addr], nil
+		}
+		bump(&s.Counts, &s.ibufMissH, "ibuf.miss")
+		done := s.data.Access(ref.Proc, ref.Addr, ref.Now)
+		b.insert(ref.Addr)
+		return done, s.mem[ref.Addr], nil
 	}
-	end := start + int64(s.cfg.BankCycles)
-	s.bankFree[bank] = end
-	s.Counts.Inc(fmt.Sprintf("xbar.bank%d", bank))
-	s.Counts.Inc("xbar.access")
-	p.Compute(end + int64(s.cfg.WireCycles) - p.Now())
+	done := s.data.Access(ref.Proc, ref.Addr, ref.Now)
+	switch ref.Op {
+	case protocol.OpRead, protocol.OpReadEx:
+		return done, s.mem[ref.Addr], nil
+	case protocol.OpWrite:
+		s.mem[ref.Addr] = ref.Value
+		return done, 0, nil
+	case protocol.OpWriteBlock:
+		for i, v := range ref.Vals {
+			s.mem[ref.Addr+addr.Addr(i)] = v
+		}
+		return done, 0, nil
+	}
+	return 0, 0, fmt.Errorf("aquarius: unsupported lower-tier op %v", ref.Op)
+}
+
+func bump(c *stats.Counters, h **int64, name string) {
+	if *h == nil {
+		*h = c.Handle(name)
+	}
+	**h++
 }
 
 // DataRead reads non-synchronization data through the crossbar:
-// always the latest version, straight from the bank.
+// always the latest version, straight from the bank. It issues an
+// engine-routed Data-class read, so the fabric bookkeeping happens in
+// deterministic event order even from shim workload goroutines.
 func (s *System) DataRead(p *sim.Proc, a addr.Addr) uint64 {
-	s.crossbar(p, a)
-	return s.mem[a]
+	return p.ReadClass(a, interconnect.Data)
 }
 
 // DataWrite writes non-synchronization data through the crossbar.
 func (s *System) DataWrite(p *sim.Proc, a addr.Addr, v uint64) {
-	s.crossbar(p, a)
-	s.mem[a] = v
+	p.WriteClass(a, v, interconnect.Data)
 }
 
 // InstrFetch fetches an instruction word: the read-only stream hits a
 // small per-processor buffer; misses go through the crossbar.
 func (s *System) InstrFetch(p *sim.Proc, a addr.Addr) {
-	buf := s.ibuf[p.ID()]
-	if buf[a] {
-		s.Counts.Inc("ibuf.hit")
-		p.Compute(1)
-		return
-	}
-	s.Counts.Inc("ibuf.miss")
-	s.crossbar(p, a)
-	if len(buf) >= s.cfg.IBufEntries {
-		for k := range buf {
-			delete(buf, k)
-			break
-		}
-	}
-	buf[a] = true
+	p.InstrFetch(a)
 }
 
 // BankLoads reports per-bank access counts (to observe interleaving).
@@ -146,5 +228,27 @@ func (s *System) BankLoads() []int64 {
 	for i := range out {
 		out[i] = s.Counts.Get(fmt.Sprintf("xbar.bank%d", i))
 	}
+	return out
+}
+
+// Clock returns the machine's global time: the synchronization tier's
+// high-water mark, which covers lower-tier completion times because
+// every routed reference completes its processor's operation there.
+func (s *System) Clock() int64 { return s.Sync.Clock() }
+
+// BroadcastFraction reports how many routed references needed the
+// full-broadcast synchronization tier versus the total routed — the
+// paper's Section G claim quantified. Meaningful on Routed machines.
+func (s *System) BroadcastFraction() (syncRefs, totalRefs int64) {
+	syncRefs = s.Sync.Counts.Get("route.sync")
+	totalRefs = syncRefs + s.Sync.Counts.Get("route.instr") + s.Sync.Counts.Get("route.data")
+	return syncRefs, totalRefs
+}
+
+// Stats merges the synchronization tier's counters with the lower
+// tier's (crossbar, instruction buffers, remote link).
+func (s *System) Stats() *stats.Counters {
+	out := s.Sync.Stats()
+	out.Merge(&s.Counts)
 	return out
 }

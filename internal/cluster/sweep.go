@@ -101,13 +101,14 @@ func (c *Cluster) shardSweep(sr serve.SweepRequest, cfgs []simrun.Config) []*swe
 				prefs: prefs,
 				req: serve.SweepRequest{
 					Workload: sr.Workload, Ops: sr.Ops, Iters: sr.Iters, Seed: sr.Seed,
+					Tiers: sr.Tiers,
 				},
 			}
 			byOwner[owner] = sh
 			order = append(order, sh)
 		}
 		sh.indices = append(sh.indices, i)
-		sh.req.Cells = append(sh.req.Cells, serve.SweepCell{Protocol: cfg.Protocol, Procs: cfg.Procs})
+		sh.req.Cells = append(sh.req.Cells, serve.SweepCell{Protocol: cfg.Protocol, Procs: cfg.Procs, Remote: cfg.RemoteCycles})
 	}
 	return order
 }

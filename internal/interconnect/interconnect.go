@@ -1,0 +1,234 @@
+// Package interconnect models the interconnection networks a
+// reference can travel over, separated from the coherence engine so a
+// machine can be composed out of tiers (Figure 11, Section G.1):
+//
+//   - Bus: a single serializing channel — the cost-model form used as
+//     a building block (the snooping coherence bus of the upper tier
+//     is internal/bus, driven by the sim engine's arbitration);
+//   - Crossbar: contention-costed interleaved memory banks, the lower
+//     tier of the Aquarius machine ("will not need to serialize
+//     accesses to a block, but will only need to provide the latest
+//     version of each block");
+//   - RemoteLink: a latency/bandwidth-costed network hop in front of
+//     another interconnect — the Soul/GCS-style disaggregated-memory
+//     tier (PAPERS.md, arXiv:2301.02576).
+//
+// Every model is deterministic: completion times are a pure function
+// of the access sequence, so repeated runs of the same workload are
+// byte-identical.
+//
+// The package also defines Class, the per-reference classification
+// (sync vs instruction vs plain data) that workload generators and the
+// trace format carry and the sim engine routes on.
+package interconnect
+
+import (
+	"fmt"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/stats"
+)
+
+// Class tags one memory reference with the tier it belongs on.
+// Unclassified is the zero value so untagged references are
+// distinguishable: a single-tier machine ignores classes, and a
+// tiered machine rejects unclassified references instead of silently
+// routing them.
+type Class uint8
+
+const (
+	// Unclassified marks a reference with no routing information.
+	Unclassified Class = iota
+	// Sync is a hard atom or program synchronization datum: it needs
+	// the full-broadcast synchronization protocol (Section G.1).
+	Sync
+	// Instr is an instruction fetch: read-only, served by the lower
+	// tier (with a per-processor instruction buffer in front).
+	Instr
+	// Data is plain non-synchronization data: latest-version delivery
+	// from the lower tier suffices.
+	Data
+)
+
+var classNames = [...]string{"unclassified", "sync", "instr", "data"}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ParseClass parses the textual form used by the trace format.
+func ParseClass(s string) (Class, error) {
+	for i, n := range classNames {
+		if s == n {
+			return Class(i), nil
+		}
+	}
+	return Unclassified, fmt.Errorf("interconnect: unknown class %q", s)
+}
+
+// Interconnect prices one access: a reference by processor proc to
+// word a issued at local time now, returning its completion time.
+// Implementations keep their own occupancy state, so accesses must be
+// issued in the deterministic event order of the driving engine.
+type Interconnect interface {
+	Access(proc int, a addr.Addr, now int64) int64
+}
+
+// bump increments the counter behind *h, resolving the handle on
+// first use — counters register only once actually incremented, so a
+// run that never waits renders no zero-valued wait line.
+func bump(c *stats.Counters, h **int64, name string, delta int64) {
+	if *h == nil {
+		*h = c.Handle(name)
+	}
+	**h += delta
+}
+
+// Bus is a single serializing channel: one access at a time, each
+// occupying the channel for Occupancy cycles. Accesses queue in issue
+// order (the driving engine's event order).
+type Bus struct {
+	occupancy int64
+	free      int64
+	counts    *stats.Counters
+	prefix    string
+	accessH   *int64
+	waitH     *int64
+}
+
+// NewBus returns a serializing channel with the given per-access
+// occupancy, counting into counts under prefix (".access", ".wait").
+func NewBus(occupancy int64, counts *stats.Counters, prefix string) *Bus {
+	if occupancy < 0 {
+		occupancy = 0
+	}
+	return &Bus{occupancy: occupancy, counts: counts, prefix: prefix}
+}
+
+// Access implements Interconnect.
+func (b *Bus) Access(_ int, _ addr.Addr, now int64) int64 {
+	start := now
+	if b.free > start {
+		bump(b.counts, &b.waitH, b.prefix+".wait", b.free-start)
+		start = b.free
+	}
+	end := start + b.occupancy
+	b.free = end
+	bump(b.counts, &b.accessH, b.prefix+".access", 1)
+	return end
+}
+
+// Crossbar is the Aquarius lower tier: interleaved memory banks
+// behind a crossbar. Each access traverses the crossbar (WireCycles),
+// queues on its word-interleaved bank (BankCycles service time), and
+// traverses back. Per-bank occupancy is the only contention: accesses
+// to different banks proceed in parallel.
+type Crossbar struct {
+	banks      int
+	bankCycles int64
+	wireCycles int64
+	free       []int64
+	counts     *stats.Counters
+
+	// Stats handles are resolved once per counter — the per-access
+	// fast path touches no map and formats no bank name.
+	accessH *int64
+	waitH   *int64
+	bankH   []*int64
+}
+
+// NewCrossbar builds a crossbar over banks interleaved banks,
+// counting into counts ("xbar.access", "xbar.bank-wait",
+// "xbar.bank<i>").
+func NewCrossbar(banks, bankCycles, wireCycles int, counts *stats.Counters) *Crossbar {
+	if banks <= 0 {
+		panic("interconnect: need at least one bank")
+	}
+	return &Crossbar{
+		banks:      banks,
+		bankCycles: int64(bankCycles),
+		wireCycles: int64(wireCycles),
+		free:       make([]int64, banks),
+		counts:     counts,
+		bankH:      make([]*int64, banks),
+	}
+}
+
+// Banks returns the bank count.
+func (x *Crossbar) Banks() int { return x.banks }
+
+// BankOf returns the bank serving word address a (word-interleaved).
+func (x *Crossbar) BankOf(a addr.Addr) int { return int(uint64(a) % uint64(x.banks)) }
+
+// Access implements Interconnect.
+func (x *Crossbar) Access(_ int, a addr.Addr, now int64) int64 {
+	bank := x.BankOf(a)
+	start := now + x.wireCycles
+	if f := x.free[bank]; f > start {
+		bump(x.counts, &x.waitH, "xbar.bank-wait", f-start)
+		start = f
+	}
+	end := start + x.bankCycles
+	x.free[bank] = end
+	if x.bankH[bank] == nil {
+		x.bankH[bank] = x.counts.Handle(fmt.Sprintf("xbar.bank%d", bank))
+	}
+	*x.bankH[bank]++
+	bump(x.counts, &x.accessH, "xbar.access", 1)
+	return end + x.wireCycles
+}
+
+// RemoteLink places another interconnect a network hop away: the
+// disaggregated-memory configuration. A request serializes onto the
+// outbound channel (Occupancy cycles), propagates for Latency cycles,
+// is served by the inner interconnect, and the response serializes
+// onto the inbound channel and propagates back. The two channel
+// directions are independent (full duplex).
+type RemoteLink struct {
+	inner     Interconnect
+	latency   int64
+	occupancy int64
+	reqFree   int64
+	respFree  int64
+	counts    *stats.Counters
+	accessH   *int64
+	reqWaitH  *int64
+	respWaitH *int64
+}
+
+// NewRemoteLink wraps inner behind a link with one-way propagation
+// latency and per-message channel occupancy, counting into counts
+// ("remote.access", "remote.req-wait", "remote.resp-wait").
+func NewRemoteLink(inner Interconnect, latency, occupancy int64, counts *stats.Counters) *RemoteLink {
+	if latency < 0 {
+		latency = 0
+	}
+	if occupancy < 0 {
+		occupancy = 0
+	}
+	return &RemoteLink{inner: inner, latency: latency, occupancy: occupancy, counts: counts}
+}
+
+// Access implements Interconnect.
+func (r *RemoteLink) Access(proc int, a addr.Addr, now int64) int64 {
+	depart := now
+	if r.reqFree > depart {
+		bump(r.counts, &r.reqWaitH, "remote.req-wait", r.reqFree-depart)
+		depart = r.reqFree
+	}
+	r.reqFree = depart + r.occupancy
+	arrive := depart + r.occupancy + r.latency
+	served := r.inner.Access(proc, a, arrive)
+	back := served
+	if r.respFree > back {
+		bump(r.counts, &r.respWaitH, "remote.resp-wait", r.respFree-back)
+		back = r.respFree
+	}
+	r.respFree = back + r.occupancy
+	bump(r.counts, &r.accessH, "remote.access", 1)
+	return back + r.occupancy + r.latency
+}

@@ -1,0 +1,186 @@
+package interconnect
+
+import (
+	"fmt"
+	"testing"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/stats"
+)
+
+func TestClassString(t *testing.T) {
+	cases := []struct {
+		c    Class
+		want string
+	}{
+		{Unclassified, "unclassified"},
+		{Sync, "sync"},
+		{Instr, "instr"},
+		{Data, "data"},
+		{Class(9), "class(9)"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("Class(%d).String() = %q, want %q", c.c, got, c.want)
+		}
+	}
+}
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for _, c := range []Class{Unclassified, Sync, Instr, Data} {
+		got, err := ParseClass(c.String())
+		if err != nil {
+			t.Fatalf("ParseClass(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Errorf("ParseClass(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+	if _, err := ParseClass("bogus"); err == nil {
+		t.Error("ParseClass(\"bogus\") succeeded, want error")
+	}
+}
+
+func TestBusSerializes(t *testing.T) {
+	cs := &stats.Counters{}
+	b := NewBus(3, cs, "bus")
+	if got := b.Access(0, 1, 10); got != 13 {
+		t.Errorf("first access done at %d, want 13", got)
+	}
+	// Issued while the bus is busy: waits until 13, then 3 cycles.
+	if got := b.Access(1, 2, 11); got != 16 {
+		t.Errorf("second access done at %d, want 16", got)
+	}
+	// Issued after the bus drained: no wait.
+	if got := b.Access(0, 3, 20); got != 23 {
+		t.Errorf("third access done at %d, want 23", got)
+	}
+	if got := cs.Get("bus.access"); got != 3 {
+		t.Errorf("bus.access = %d, want 3", got)
+	}
+	if got := cs.Get("bus.wait"); got != 2 {
+		t.Errorf("bus.wait = %d, want 2", got)
+	}
+}
+
+func TestCrossbarBankContention(t *testing.T) {
+	cs := &stats.Counters{}
+	x := NewCrossbar(4, 4, 1, cs)
+	// Same bank back-to-back: second waits for the first's service.
+	if got := x.Access(0, 0, 0); got != 6 { // 1 wire + 4 bank + 1 wire
+		t.Errorf("access 1 done at %d, want 6", got)
+	}
+	if got := x.Access(1, 4, 0); got != 10 { // waits until 5, +4 +1
+		t.Errorf("access 2 (same bank) done at %d, want 10", got)
+	}
+	// Different bank at the same time: full parallelism.
+	if got := x.Access(2, 1, 0); got != 6 {
+		t.Errorf("access 3 (other bank) done at %d, want 6", got)
+	}
+	if got := cs.Get("xbar.access"); got != 3 {
+		t.Errorf("xbar.access = %d, want 3", got)
+	}
+	if got := cs.Get("xbar.bank-wait"); got != 4 {
+		t.Errorf("xbar.bank-wait = %d, want 4", got)
+	}
+	if got := cs.Get("xbar.bank0"); got != 2 {
+		t.Errorf("xbar.bank0 = %d, want 2", got)
+	}
+	if got := cs.Get("xbar.bank1"); got != 1 {
+		t.Errorf("xbar.bank1 = %d, want 1", got)
+	}
+}
+
+func TestCrossbarDeterministic(t *testing.T) {
+	run := func() map[string]int64 {
+		cs := &stats.Counters{}
+		x := NewCrossbar(8, 4, 1, cs)
+		now := int64(0)
+		for i := 0; i < 1000; i++ {
+			a := addr.Addr((i * 7) % 64)
+			now = x.Access(i%4, a, now-2)
+		}
+		return cs.Snapshot()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot sizes differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("counter %s: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+// TestCrossbarAccessAllocs pins the hot path at zero allocations once
+// every bank's stats handle is warm (satellite: no per-access
+// fmt.Sprintf on the crossbar path).
+func TestCrossbarAccessAllocs(t *testing.T) {
+	cs := &stats.Counters{}
+	x := NewCrossbar(8, 4, 1, cs)
+	for b := 0; b < 8; b++ { // warm all bank handles + wait handle
+		x.Access(0, addr.Addr(b), 0)
+		x.Access(1, addr.Addr(b), 0)
+	}
+	var now int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		now = x.Access(0, addr.Addr(now)%64, now)
+	})
+	if allocs != 0 {
+		t.Errorf("crossbar Access allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestRemoteLinkLatency(t *testing.T) {
+	cs := &stats.Counters{}
+	x := NewCrossbar(4, 4, 1, cs)
+	r := NewRemoteLink(x, 100, 2, cs)
+	// depart 0, req channel until 2, arrive 102, xbar 102->108,
+	// resp channel 108->110, arrive back 210.
+	if got := r.Access(0, 0, 0); got != 210 {
+		t.Errorf("remote access done at %d, want 210", got)
+	}
+	// Second access right behind: req channel busy until 2.
+	// depart 2, arrive 104, same bank busy until 107 -> wait,
+	// served 112, resp 112->114, back 214.
+	if got := r.Access(1, 4, 1); got != 214 {
+		t.Errorf("second remote access done at %d, want 214", got)
+	}
+	if got := cs.Get("remote.access"); got != 2 {
+		t.Errorf("remote.access = %d, want 2", got)
+	}
+	if got := cs.Get("remote.req-wait"); got != 1 {
+		t.Errorf("remote.req-wait = %d, want 1", got)
+	}
+}
+
+func TestRemoteLinkZeroCostIsTransparent(t *testing.T) {
+	csA := &stats.Counters{}
+	xa := NewCrossbar(4, 4, 1, csA)
+	csB := &stats.Counters{}
+	xb := NewCrossbar(4, 4, 1, csB)
+	r := NewRemoteLink(xb, 0, 0, csB)
+	for i := 0; i < 100; i++ {
+		a := addr.Addr(i % 16)
+		da := xa.Access(i%4, a, int64(i))
+		db := r.Access(i%4, a, int64(i))
+		if da != db {
+			t.Fatalf("access %d: direct %d vs zero-cost remote %d", i, da, db)
+		}
+	}
+}
+
+func TestBankCounterNames(t *testing.T) {
+	cs := &stats.Counters{}
+	x := NewCrossbar(3, 4, 1, cs)
+	for i := 0; i < 3; i++ {
+		x.Access(0, addr.Addr(i), 0)
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("xbar.bank%d", i)
+		if got := cs.Get(name); got != 1 {
+			t.Errorf("%s = %d, want 1", name, got)
+		}
+	}
+}

@@ -693,6 +693,100 @@ func AllExperiments() []*stats.Table {
 		E8WriteNoFetch(), E9Protocols(), E10RudolphSegall(),
 		E11Directory(), E12RMWMethods(), E13IO(), E14LockPurge(),
 		E15Broadcast(), E16WorkWhileWaiting(), E17SleepWait(),
-		E18DualBus(), E19Aquarius(),
+		E18DualBus(), E19Aquarius(), E20BroadcastFraction(),
+		E21Disaggregated(),
 	}
+}
+
+// mustRunPrograms is mustRun for direct-execution programs.
+func mustRunPrograms(s *sim.System, progs []sim.Program) {
+	if err := s.RunPrograms(progs); err != nil {
+		panic(fmt.Sprintf("report: experiment run failed: %v", err))
+	}
+}
+
+// E20BroadcastFraction is Section G's quantitative core: once every
+// reference carries a routing class, only the synchronization
+// references need the full-broadcast bus — the crossbar absorbs the
+// rest. The same classified programs run on the routed two-tier
+// machine and, unchanged, on a one-bus baseline (classes are inert
+// without a lower tier), so the cycle columns compare matched
+// reference streams.
+func E20BroadcastFraction() *stats.Table {
+	t := stats.NewTable("E20. Broadcast fraction on the two-tier machine (Section G): classified workloads vs one-bus baseline",
+		"workload", "references", "broadcast refs", "fraction", "two-tier cycles", "one-bus cycles")
+	const procs = 4
+	cases := []struct {
+		name string
+		gen  interface {
+			Programs(workload.Layout, int) []sim.Program
+		}
+	}{
+		{"mixed", workload.Mixed{Ops: 300, SharedBlocks: 8, PrivBlocks: 24,
+			SharedFrac: 0.3, WriteFrac: 0.35, Seed: 59}},
+		{"lockdata", workload.LockedData{Locks: 2, Iters: 15, Records: 6,
+			Instrs: 4, Think: 10, Scheme: syncprim.CacheLock, Seed: 61}},
+	}
+	for _, c := range cases {
+		cfg := aquarius.DefaultConfig(procs)
+		cfg.Routed = true
+		a := aquarius.New(cfg)
+		l := workload.Layout{G: a.Sync.Geometry()}
+		mustRunPrograms(a.Sync, c.gen.Programs(l, procs))
+		syncRefs, total := a.BroadcastFraction()
+
+		s1 := sim.New(aquarius.DefaultConfig(procs).Sync)
+		l1 := workload.Layout{G: s1.Geometry()}
+		mustRunPrograms(s1, c.gen.Programs(l1, procs))
+
+		t.AddRow(c.name,
+			fmt.Sprintf("%d", total),
+			fmt.Sprintf("%d", syncRefs),
+			fmt.Sprintf("%.1f%%", 100*float64(syncRefs)/float64(total)),
+			fmt.Sprintf("%d", a.Clock()),
+			fmt.Sprintf("%d", s1.Clock()))
+	}
+	return t
+}
+
+// E21Disaggregated is the Soul/GCS stretch: the crossbar tier moves
+// behind a latency- and occupancy-costed remote link, and lock
+// hand-off degrades as the link gets slower — the data a critical
+// section touches now crosses the link even though the lock word
+// itself stays on the local broadcast bus.
+func E21Disaggregated() *stats.Table {
+	t := stats.NewTable("E21. Disaggregated lower tier (Soul/GCS): lock hand-off vs remote-link latency",
+		"remote cycles", "scheme", "total cycles", "mean lock acquire", "spin retries", "remote waits")
+	const procs = 4
+	schemes := []struct {
+		name string
+		s    syncprim.Scheme
+	}{
+		{"cachelock", syncprim.CacheLock},
+		{"ttas", syncprim.TTAS},
+	}
+	for _, remote := range []int{0, 16, 64, 256} {
+		for _, sch := range schemes {
+			cfg := aquarius.DefaultConfig(procs)
+			cfg.Routed = true
+			cfg.RemoteCycles = remote
+			a := aquarius.New(cfg)
+			l := workload.Layout{G: a.Sync.Geometry()}
+			ld := workload.LockedData{Locks: 1, Iters: 15, Records: 6,
+				Instrs: 4, Think: 10, Scheme: sch.s, Seed: 61}
+			mustRunPrograms(a.Sync, ld.Programs(l, procs))
+
+			mean := "-"
+			if a.Sync.LockLatency.Count() > 0 {
+				mean = fmt.Sprintf("%.1f", a.Sync.LockLatency.Mean())
+			}
+			st := a.Stats()
+			retries := st.Get("sync.tas-retry") + st.Get("sync.optimistic-retry")
+			waits := st.Get("remote.req-wait") + st.Get("remote.resp-wait")
+			t.AddRow(fmt.Sprintf("%d", remote), sch.name,
+				fmt.Sprintf("%d", a.Clock()), mean,
+				fmt.Sprintf("%d", retries), fmt.Sprintf("%d", waits))
+		}
+	}
+	return t
 }

@@ -29,13 +29,15 @@ var Experiments = map[string]func() *stats.Table{
 	"E13": E13IO, "E14": E14LockPurge,
 	"E15": E15Broadcast, "E16": E16WorkWhileWaiting,
 	"E17": E17SleepWait, "E18": E18DualBus,
-	"E19": E19Aquarius,
+	"E19": E19Aquarius, "E20": E20BroadcastFraction,
+	"E21": E21Disaggregated,
 }
 
 // ExperimentOrder lists the quantitative experiments in print order.
 var ExperimentOrder = []string{
 	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
 	"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19",
+	"E20", "E21",
 }
 
 // tableArtifact renders a table exactly the way the sequential driver

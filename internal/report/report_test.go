@@ -60,8 +60,8 @@ func TestExperimentsProduceTables(t *testing.T) {
 		t.Skip("experiment sweeps are not short")
 	}
 	tables := AllExperiments()
-	if len(tables) != 19 {
-		t.Fatalf("got %d experiment tables, want 19", len(tables))
+	if len(tables) != 21 {
+		t.Fatalf("got %d experiment tables, want 21", len(tables))
 	}
 	for _, tb := range tables {
 		if tb.NumRows() == 0 {

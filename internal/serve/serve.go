@@ -692,12 +692,18 @@ type SweepRequest struct {
 	Ops       int         `json:"ops,omitempty"`
 	Iters     int         `json:"iters,omitempty"`
 	Seed      int64       `json:"seed,omitempty"`
+	// Tiers selects the machine for every cell (2 = routed two-tier
+	// Aquarius); Remotes adds an inner sweep axis of lower-tier
+	// latencies (requires Tiers 2; empty means {0}).
+	Tiers   int   `json:"tiers,omitempty"`
+	Remotes []int `json:"remotes,omitempty"`
 }
 
 // SweepCell is one explicit sweep coordinate.
 type SweepCell struct {
 	Protocol string `json:"protocol"`
 	Procs    int    `json:"procs"`
+	Remote   int    `json:"remote,omitempty"`
 }
 
 // Expand resolves the request into its normalized, validated cell
@@ -721,9 +727,15 @@ func (sr SweepRequest) Expand() ([]simrun.Config, error) {
 		if len(procs) == 0 {
 			procs = []int{1, 2, 4, 8}
 		}
+		remotes := sr.Remotes
+		if len(remotes) == 0 {
+			remotes = []int{0}
+		}
 		for _, p := range protos {
 			for _, n := range procs {
-				cells = append(cells, SweepCell{Protocol: p, Procs: n})
+				for _, r := range remotes {
+					cells = append(cells, SweepCell{Protocol: p, Procs: n, Remote: r})
+				}
 			}
 		}
 	}
@@ -737,6 +749,7 @@ func (sr SweepRequest) Expand() ([]simrun.Config, error) {
 		cfg := simrun.Config{
 			Protocol: c.Protocol, Procs: c.Procs,
 			Workload: sr.Workload, Ops: sr.Ops, Iters: sr.Iters, Seed: sr.Seed,
+			Tiers: sr.Tiers, RemoteCycles: c.Remote,
 		}.Normalize()
 		if err := cfg.Validate(); err != nil {
 			return nil, err
@@ -750,6 +763,7 @@ func (sr SweepRequest) Expand() ([]simrun.Config, error) {
 type SweepPoint struct {
 	Protocol string `json:"protocol"`
 	Procs    int    `json:"procs"`
+	Remote   int    `json:"remote,omitempty"`
 	Pass     bool   `json:"pass"`
 	Cycles   int64  `json:"cycles"`
 }
@@ -791,7 +805,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		pass := true
 		err := simrun.RunCells(ctx, cfgs, s.cfg.SweepWorkers, func(i int, res simrun.Result) {
 			cfg := cfgs[i]
-			points = append(points, SweepPoint{Protocol: cfg.Protocol, Procs: cfg.Procs, Pass: res.Pass, Cycles: res.Cycles})
+			points = append(points, SweepPoint{Protocol: cfg.Protocol, Procs: cfg.Procs,
+				Remote: cfg.RemoteCycles, Pass: res.Pass, Cycles: res.Cycles})
 			pass = pass && res.Pass
 			jb.emitf("progress", "%d/%d %s p=%d: cycles=%d pass=%v",
 				i+1, len(cfgs), cfg.Protocol, cfg.Procs, res.Cycles, res.Pass)

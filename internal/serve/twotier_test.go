@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cachesync/internal/simrun"
+)
+
+// TestSimulateTwoTier: /v1/simulate accepts tiers/remote and reports
+// the broadcast fraction of the routed Aquarius machine.
+func TestSimulateTwoTier(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	code, _, body := postJSON(t, ts.URL+"/v1/simulate",
+		simrun.Config{Protocol: "bitar", Tiers: 2, Workload: "lockdata", Iters: 10})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Pass {
+		t.Fatalf("two-tier simulate failed:\n%s", resp.Output)
+	}
+	if !strings.Contains(resp.Output, "broadcast fraction:") {
+		t.Errorf("output missing broadcast fraction:\n%s", resp.Output)
+	}
+
+	// Remote latency without the two-tier machine is a 400.
+	code, _, body = postJSON(t, ts.URL+"/v1/simulate",
+		simrun.Config{Protocol: "bitar", RemoteCycles: 64})
+	if code != http.StatusBadRequest {
+		t.Fatalf("remote without tiers=2: status %d (%s), want 400", code, body)
+	}
+}
+
+// TestSweepRemoteAxis: the remotes axis expands as an inner loop and
+// each point carries its remote latency back.
+func TestSweepRemoteAxis(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	code, _, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Protocols: []string{"bitar"}, Procs: []int{2}, Workload: "lockdata",
+		Iters: 6, Tiers: 2, Remotes: []int{0, 64},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(resp.Points))
+	}
+	if !resp.Pass {
+		t.Fatalf("sweep failed: %+v", resp.Points)
+	}
+	if resp.Points[0].Remote != 0 || resp.Points[1].Remote != 64 {
+		t.Fatalf("remote axis lost: %+v", resp.Points)
+	}
+	if resp.Points[1].Cycles <= resp.Points[0].Cycles {
+		t.Errorf("remote tier at 64 cycles (%d total) not slower than local (%d)",
+			resp.Points[1].Cycles, resp.Points[0].Cycles)
+	}
+}

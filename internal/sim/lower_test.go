@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cachesync/internal/addr"
+	"cachesync/internal/interconnect"
+	"cachesync/internal/protocol"
+)
+
+// fakeLower records routed references and serves them from a flat map
+// with a fixed per-access cost.
+type fakeLower struct {
+	mem  map[addr.Addr]uint64
+	refs []LowerRef
+	cost int64
+	err  error
+}
+
+func (f *fakeLower) LowerAccess(ref LowerRef) (int64, uint64, error) {
+	if f.err != nil {
+		return 0, 0, f.err
+	}
+	f.refs = append(f.refs, ref)
+	if f.mem == nil {
+		f.mem = make(map[addr.Addr]uint64)
+	}
+	var v uint64
+	switch ref.Op {
+	case protocol.OpRead, protocol.OpReadEx:
+		v = f.mem[ref.Addr]
+	case protocol.OpWrite:
+		f.mem[ref.Addr] = ref.Value
+	case protocol.OpWriteBlock:
+		for i, w := range ref.Vals {
+			f.mem[ref.Addr+addr.Addr(i)] = w
+		}
+	}
+	return ref.Now + f.cost, v, nil
+}
+
+func TestRouteByClass(t *testing.T) {
+	s := coreSystem(2)
+	lt := &fakeLower{cost: 5}
+	s.AttachLower(lt, true)
+	run(t, s, []func(*Proc){
+		func(p *Proc) {
+			p.WriteClass(100, 7, interconnect.Data)
+			if got := p.ReadClass(100, interconnect.Data); got != 7 {
+				t.Errorf("data read = %d, want 7", got)
+			}
+			p.InstrFetch(200)
+			p.WriteClass(0, 1, interconnect.Sync) // sync: coherent bus path
+			if got := p.ReadClass(0, interconnect.Sync); got != 1 {
+				t.Errorf("sync read = %d, want 1", got)
+			}
+		},
+		func(p *Proc) {
+			if got := p.ReadClass(0, interconnect.Sync); got > 1 {
+				t.Errorf("sync read = %d, want 0 or 1", got)
+			}
+		},
+	})
+	st := s.Stats()
+	if got := st.Get("route.data"); got != 2 {
+		t.Errorf("route.data = %d, want 2", got)
+	}
+	if got := st.Get("route.instr"); got != 1 {
+		t.Errorf("route.instr = %d, want 1", got)
+	}
+	if got := st.Get("route.sync"); got != 3 {
+		t.Errorf("route.sync = %d, want 3", got)
+	}
+	if len(lt.refs) != 3 {
+		t.Fatalf("lower tier saw %d refs, want 3", len(lt.refs))
+	}
+	// Sync traffic must not have reached the lower tier.
+	for _, r := range lt.refs {
+		if r.Class == interconnect.Sync {
+			t.Errorf("sync reference leaked to the lower tier: %+v", r)
+		}
+	}
+}
+
+func TestRouteSyncDefaultsOnLockOps(t *testing.T) {
+	s := coreSystem(2)
+	lt := &fakeLower{cost: 5}
+	s.AttachLower(lt, true)
+	run(t, s, []func(*Proc){
+		func(p *Proc) {
+			v := p.LockRead(0)
+			p.UnlockWrite(0, v+1)
+			p.RMW(4, func(v uint64) uint64 { return v + 1 })
+		},
+		nil,
+	})
+	st := s.Stats()
+	if got := st.Get("route.sync"); got != 3 {
+		t.Errorf("route.sync = %d, want 3", got)
+	}
+	if len(lt.refs) != 0 {
+		t.Errorf("lower tier saw %d refs, want 0", len(lt.refs))
+	}
+}
+
+func TestUnclassifiedRejectedOnTieredMachine(t *testing.T) {
+	s := coreSystem(1)
+	s.AttachLower(&fakeLower{}, true)
+	err := s.Run([]func(*Proc){func(p *Proc) {
+		p.Write(10, 1) // no class
+	}})
+	if err == nil {
+		t.Fatal("unclassified reference on a tiered machine did not error")
+	}
+	if !strings.Contains(err.Error(), "unclassified") {
+		t.Errorf("error %q does not mention the unclassified reference", err)
+	}
+}
+
+func TestUnclassifiedRejectedDirectPath(t *testing.T) {
+	s := coreSystem(1)
+	s.AttachLower(&fakeLower{}, true)
+	prog := progFunc(func(p *Proc, last Result) (Op, bool) {
+		if last.Now == 0 && last.Value == 0 && !last.OK {
+			return ReadOp(10), true // no class
+		}
+		return Op{}, false
+	})
+	if err := s.RunPrograms([]Program{prog}); err == nil {
+		t.Fatal("unclassified direct-path reference did not error")
+	}
+}
+
+type progFunc func(p *Proc, last Result) (Op, bool)
+
+func (f progFunc) Next(p *Proc, last Result) (Op, bool) { return f(p, last) }
+
+func TestLowerTierErrorAborts(t *testing.T) {
+	s := coreSystem(2)
+	sentinel := errors.New("bank on fire")
+	s.AttachLower(&fakeLower{err: sentinel}, true)
+	err := s.Run([]func(*Proc){
+		func(p *Proc) { p.ReadClass(10, interconnect.Data) },
+		func(p *Proc) { p.Compute(100) },
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("run error = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestLowerCompletionAdvancesClock(t *testing.T) {
+	s := coreSystem(1)
+	s.AttachLower(&fakeLower{cost: 1000}, true)
+	run(t, s, []func(*Proc){func(p *Proc) {
+		p.ReadClass(10, interconnect.Data)
+	}})
+	if c := s.Clock(); c < 1000 {
+		t.Errorf("clock = %d, want >= 1000 (lower-tier completion time)", c)
+	}
+}
+
+func TestAttachLowerAfterStartPanics(t *testing.T) {
+	s := coreSystem(1)
+	run(t, s, []func(*Proc){func(p *Proc) { p.Write(0, 1) }})
+	defer func() {
+		if recover() == nil {
+			t.Error("AttachLower after start did not panic")
+		}
+	}()
+	s.AttachLower(&fakeLower{}, true)
+}
+
+func TestClassesInertWithoutLowerTier(t *testing.T) {
+	runOne := func(classify bool) (int64, map[string]int64) {
+		s := coreSystem(2)
+		run(t, s, []func(*Proc){
+			func(p *Proc) {
+				for i := 0; i < 20; i++ {
+					a := addr.Addr(i % 8)
+					if classify {
+						p.WriteClass(a, uint64(i), interconnect.Data)
+						p.ReadClass(a, interconnect.Sync)
+					} else {
+						p.Write(a, uint64(i))
+						p.Read(a)
+					}
+				}
+			},
+			func(p *Proc) {
+				for i := 0; i < 20; i++ {
+					if classify {
+						p.ReadClass(addr.Addr(i%8), interconnect.Instr)
+					} else {
+						p.Read(addr.Addr(i % 8))
+					}
+				}
+			},
+		})
+		return s.Clock(), s.Stats().Snapshot()
+	}
+	c1, s1 := runOne(false)
+	c2, s2 := runOne(true)
+	if c1 != c2 {
+		t.Errorf("clock differs with classes: %d vs %d", c1, c2)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("stats sizes differ: %d vs %d", len(s1), len(s2))
+	}
+	for k, v := range s1 {
+		if s2[k] != v {
+			t.Errorf("counter %s: %d (unclassified) vs %d (classified)", k, v, s2[k])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cachesync/internal/addr"
+	"cachesync/internal/interconnect"
 	"cachesync/internal/protocol"
 	"cachesync/internal/stats"
 )
@@ -45,7 +46,8 @@ type procOp struct {
 	kind  opKind
 	op    protocol.Op
 	io    ioKind
-	idx   int32 // progress index of a lowered block write
+	class interconnect.Class // routing class on a tiered machine
+	idx   int32              // progress index of a lowered block write
 	addr  addr.Addr
 	value uint64   // written word, or opCompute cycles
 	vals  []uint64 // opBlockWrite
@@ -172,6 +174,29 @@ func (p *Proc) Write(a addr.Addr, v uint64) {
 	p.do(procOp{kind: opMem, op: protocol.OpWrite, addr: a, value: v})
 }
 
+// ReadClass is Read tagged with a routing class for tiered machines;
+// on a single-tier machine the class is inert.
+func (p *Proc) ReadClass(a addr.Addr, c interconnect.Class) uint64 {
+	return p.do(procOp{kind: opMem, op: protocol.OpRead, addr: a, class: c}).value
+}
+
+// ReadExClass is ReadEx tagged with a routing class.
+func (p *Proc) ReadExClass(a addr.Addr, c interconnect.Class) uint64 {
+	return p.do(procOp{kind: opMem, op: protocol.OpReadEx, addr: a, class: c}).value
+}
+
+// WriteClass is Write tagged with a routing class.
+func (p *Proc) WriteClass(a addr.Addr, v uint64, c interconnect.Class) {
+	p.do(procOp{kind: opMem, op: protocol.OpWrite, addr: a, value: v, class: c})
+}
+
+// InstrFetch loads the instruction word at a (class Instr): on a
+// tiered machine it is served by the instruction buffer and the lower
+// tier rather than the synchronization bus.
+func (p *Proc) InstrFetch(a addr.Addr) uint64 {
+	return p.do(procOp{kind: opMem, op: protocol.OpRead, addr: a, class: interconnect.Instr}).value
+}
+
 // LockRead performs the paper's lock operation (Section E.3): a read
 // of the word at a with the processor lock line asserted. It blocks —
 // busy-waiting via the busy-wait register, with no bus retries —
@@ -181,13 +206,13 @@ func (p *Proc) LockRead(a addr.Addr) uint64 {
 	if !p.sys.proto.Features().HardwareLock {
 		panic(fmt.Sprintf("sim: protocol %q has no hardware lock; lower locking via syncprim", p.sys.proto.Name()))
 	}
-	return p.do(procOp{kind: opMem, op: protocol.OpLock, addr: a}).value
+	return p.do(procOp{kind: opMem, op: protocol.OpLock, addr: a, class: interconnect.Sync}).value
 }
 
 // UnlockWrite performs the paper's unlock operation: a store of v at
 // a with the unlock line asserted (Figure 8).
 func (p *Proc) UnlockWrite(a addr.Addr, v uint64) {
-	p.do(procOp{kind: opMem, op: protocol.OpUnlock, addr: a, value: v})
+	p.do(procOp{kind: opMem, op: protocol.OpUnlock, addr: a, value: v, class: interconnect.Sync})
 }
 
 // LockPrefetch requests the lock at a and returns immediately so the
@@ -199,7 +224,7 @@ func (p *Proc) LockPrefetch(a addr.Addr) {
 	if !p.sys.proto.Features().HardwareLock {
 		panic(fmt.Sprintf("sim: protocol %q has no hardware lock", p.sys.proto.Name()))
 	}
-	p.do(procOp{kind: opLockPrefetch, op: protocol.OpLock, addr: a})
+	p.do(procOp{kind: opLockPrefetch, op: protocol.OpLock, addr: a, class: interconnect.Sync})
 }
 
 // LockWait blocks until the lock requested by LockPrefetch is held
@@ -209,14 +234,14 @@ func (p *Proc) LockWait(a addr.Addr) uint64 {
 	if !p.sys.proto.Features().HardwareLock {
 		panic(fmt.Sprintf("sim: protocol %q has no hardware lock", p.sys.proto.Name()))
 	}
-	return p.do(procOp{kind: opLockWait, op: protocol.OpLock, addr: a}).value
+	return p.do(procOp{kind: opLockWait, op: protocol.OpLock, addr: a, class: interconnect.Sync}).value
 }
 
 // RMW atomically applies f to the word at a and returns the old
 // value. The block is fetched with write privilege and the cache held
 // for the duration (Feature 6, method 2).
 func (p *Proc) RMW(a addr.Addr, f func(uint64) uint64) uint64 {
-	return p.do(procOp{kind: opRMW, addr: a, f: f}).value
+	return p.do(procOp{kind: opRMW, addr: a, f: f, class: interconnect.Sync}).value
 }
 
 // RMWMemory atomically applies f to the word at a while holding the
@@ -224,7 +249,7 @@ func (p *Proc) RMW(a addr.Addr, f func(uint64) uint64) uint64 {
 // bypassed; cached copies are invalidated or updated by the write
 // broadcast.
 func (p *Proc) RMWMemory(a addr.Addr, f func(uint64) uint64) uint64 {
-	return p.do(procOp{kind: opRMWMem, addr: a, f: f}).value
+	return p.do(procOp{kind: opRMWMem, addr: a, f: f, class: interconnect.Sync}).value
 }
 
 // TryWrite stores v at a only if the cache still holds the block; it
@@ -232,7 +257,7 @@ func (p *Proc) RMWMemory(a addr.Addr, f func(uint64) uint64) uint64 {
 // method 3: a miss means the block was stolen between the read and
 // the write, and the instruction must be aborted and retried.
 func (p *Proc) TryWrite(a addr.Addr, v uint64) bool {
-	return p.do(procOp{kind: opTryWrite, addr: a, value: v}).ok
+	return p.do(procOp{kind: opTryWrite, addr: a, value: v, class: interconnect.Sync}).ok
 }
 
 // WriteBlock overwrites the whole block containing a with vals
@@ -241,6 +266,13 @@ func (p *Proc) WriteBlock(a addr.Addr, vals []uint64) {
 	cp := make([]uint64, len(vals))
 	copy(cp, vals)
 	p.do(procOp{kind: opBlockWrite, addr: a, vals: cp})
+}
+
+// WriteBlockClass is WriteBlock tagged with a routing class.
+func (p *Proc) WriteBlockClass(a addr.Addr, vals []uint64, c interconnect.Class) {
+	cp := make([]uint64, len(vals))
+	copy(cp, vals)
+	p.do(procOp{kind: opBlockWrite, addr: a, vals: cp, class: c})
 }
 
 // Compute advances the processor's local clock by n cycles of
@@ -260,5 +292,5 @@ func (p *Proc) IO(kind ioKind, a addr.Addr, vals []uint64) {
 		cp = make([]uint64, len(vals))
 		copy(cp, vals)
 	}
-	p.do(procOp{kind: opIO, io: kind, addr: a, vals: cp})
+	p.do(procOp{kind: opIO, io: kind, addr: a, vals: cp, class: interconnect.Sync})
 }

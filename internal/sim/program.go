@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cachesync/internal/addr"
+	"cachesync/internal/interconnect"
 	"cachesync/internal/protocol"
 )
 
@@ -47,6 +48,28 @@ type Result struct {
 // with the package-level *Op constructors; the zero Op is invalid.
 type Op struct{ raw procOp }
 
+// InstrFetchOp loads the instruction word at a (class Instr): on a
+// tiered machine it is served by the instruction buffer and the lower
+// tier rather than the synchronization bus.
+func InstrFetchOp(a addr.Addr) Op {
+	return Op{procOp{kind: opMem, op: protocol.OpRead, addr: a, class: interconnect.Instr}}
+}
+
+// WithClass returns o tagged with routing class c for tiered
+// machines. The lock, RMW, and I/O constructors are Sync already; a
+// single-tier machine ignores classes entirely.
+func (o Op) WithClass(c interconnect.Class) Op {
+	o.raw.class = c
+	return o
+}
+
+// Class returns o's routing class.
+func (o Op) Class() interconnect.Class { return o.raw.class }
+
+// IsRef reports whether o references memory (everything except pure
+// compute advances).
+func (o Op) IsRef() bool { return o.raw.kind != opCompute && o.raw.kind != opDone }
+
 // ReadOp loads the word at a.
 func ReadOp(a addr.Addr) Op {
 	return Op{procOp{kind: opMem, op: protocol.OpRead, addr: a}}
@@ -66,42 +89,42 @@ func WriteOp(a addr.Addr, v uint64) Op {
 // LockReadOp is the paper's lock operation (Section E.3); the Result
 // carries the locked word. Requires a HardwareLock protocol.
 func LockReadOp(a addr.Addr) Op {
-	return Op{procOp{kind: opMem, op: protocol.OpLock, addr: a}}
+	return Op{procOp{kind: opMem, op: protocol.OpLock, addr: a, class: interconnect.Sync}}
 }
 
 // UnlockWriteOp stores v at a with the unlock line asserted.
 func UnlockWriteOp(a addr.Addr, v uint64) Op {
-	return Op{procOp{kind: opMem, op: protocol.OpUnlock, addr: a, value: v}}
+	return Op{procOp{kind: opMem, op: protocol.OpUnlock, addr: a, value: v, class: interconnect.Sync}}
 }
 
 // LockPrefetchOp requests the lock at a and completes immediately
 // (Section E.4's ready section); join with LockWaitOp.
 func LockPrefetchOp(a addr.Addr) Op {
-	return Op{procOp{kind: opLockPrefetch, op: protocol.OpLock, addr: a}}
+	return Op{procOp{kind: opLockPrefetch, op: protocol.OpLock, addr: a, class: interconnect.Sync}}
 }
 
 // LockWaitOp joins a prefetched lock (plain LockRead without a prior
 // prefetch); the Result carries the locked word.
 func LockWaitOp(a addr.Addr) Op {
-	return Op{procOp{kind: opLockWait, op: protocol.OpLock, addr: a}}
+	return Op{procOp{kind: opLockWait, op: protocol.OpLock, addr: a, class: interconnect.Sync}}
 }
 
 // RMWOp atomically applies f to the word at a, cache-held (Feature 6
 // method 2); the Result carries the old value.
 func RMWOp(a addr.Addr, f func(uint64) uint64) Op {
-	return Op{procOp{kind: opRMW, addr: a, f: f}}
+	return Op{procOp{kind: opRMW, addr: a, f: f, class: interconnect.Sync}}
 }
 
 // RMWMemoryOp atomically applies f to the word at a while holding the
 // memory module (Feature 6 method 1); the Result carries the old value.
 func RMWMemoryOp(a addr.Addr, f func(uint64) uint64) Op {
-	return Op{procOp{kind: opRMWMem, addr: a, f: f}}
+	return Op{procOp{kind: opRMWMem, addr: a, f: f, class: interconnect.Sync}}
 }
 
 // TryWriteOp stores v at a only if the block is still cached; the
 // Result's OK reports success (Feature 6 method 3).
 func TryWriteOp(a addr.Addr, v uint64) Op {
-	return Op{procOp{kind: opTryWrite, addr: a, value: v}}
+	return Op{procOp{kind: opTryWrite, addr: a, value: v, class: interconnect.Sync}}
 }
 
 // WriteBlockOp overwrites the whole block containing a with vals. The
@@ -122,7 +145,7 @@ func ComputeOp(n int64) Op {
 // IOOp issues an I/O-processor transfer against the block containing
 // a (Section E.2); vals is the IOInput data.
 func IOOp(kind ioKind, a addr.Addr, vals []uint64) Op {
-	return Op{procOp{kind: opIO, io: kind, addr: a, vals: vals}}
+	return Op{procOp{kind: opIO, io: kind, addr: a, vals: vals, class: interconnect.Sync}}
 }
 
 // RunPrograms executes one Program per processor on the direct

@@ -161,6 +161,14 @@ type System struct {
 	txnScratch  bus.Transaction
 	txnScratch2 bus.Transaction
 
+	// lower, when attached, makes the machine two-tier: Instr/Data
+	// class references route to it instead of the coherent bus path.
+	lower       LowerTier
+	strictClass bool
+	routeSyncH  *int64
+	routeInstrH *int64
+	routeDataH  *int64
+
 	Counts      stats.Counters
 	busCyclesH  *int64 // cached handles for the per-transaction
 	busWordsH   *int64 // bus.cycles / bus.words accounting
@@ -397,7 +405,9 @@ func (s *System) run(ctx context.Context) error {
 		case rp != -1 && (s.nextBus == -1 || rt <= s.nextGrant):
 			s.ready.remove(rp)
 			s.clock = rt
-			s.step(s.Procs[rp], rt)
+			if err := s.step(s.Procs[rp], rt); err != nil {
+				return s.failRun(err)
+			}
 		case s.nextBus != -1:
 			s.clock = s.nextGrant
 			id, ok := s.Buses[s.nextBus].ArbitrateAt(s.nextGrant)
@@ -431,6 +441,22 @@ func (s *System) cancelRun(ctx context.Context) error {
 		}
 	}
 	return fmt.Errorf("sim: run canceled at cycle %d: %w", s.Clock(), ctx.Err())
+}
+
+// failRun aborts a run on a routing or lower-tier error. Like
+// cancelRun, every live shim goroutine is parked on its result
+// channel, so a canceled reply unwinds each one; the direct path has
+// nothing to unwind.
+func (s *System) failRun(err error) error {
+	for _, p := range s.Procs {
+		if p.prog == nil && p.resCh != nil && p.status != statusDone {
+			select {
+			case p.resCh <- procRes{canceled: true}:
+			default:
+			}
+		}
+	}
+	return err
 }
 
 func (s *System) deadlockError() error {
@@ -477,8 +503,10 @@ func (s *System) slot(p *Proc) *opCtx {
 // step dispatches a processor's pending operation at time t. The
 // pending op is read through a pointer — procOp is too wide to copy on
 // every event — so callees must finish with it before respond installs
-// the next one.
-func (s *System) step(p *Proc, t int64) {
+// the next one. On a tiered machine (lower attached) memory
+// references route by class first; an unroutable reference is an
+// error that aborts the run.
+func (s *System) step(p *Proc, t int64) error {
 	op := &p.pending
 	switch op.kind {
 	case opDone:
@@ -490,34 +518,62 @@ func (s *System) step(p *Proc, t int64) {
 		s.respond(p, t+n, procRes{})
 	case opMem:
 		p.opStart = t
+		if s.lower != nil {
+			handled, err := s.routeLower(p, t, op)
+			if handled || err != nil {
+				return err
+			}
+		}
 		s.startMemOp(p, t, op, op.op)
 	case opRMW:
 		p.opStart = t
+		if s.lower != nil {
+			s.countRoute(&s.routeSyncH, "route.sync")
+		}
 		s.startRMW(p, t, op)
 	case opRMWMem:
 		p.opStart = t
+		if s.lower != nil {
+			s.countRoute(&s.routeSyncH, "route.sync")
+		}
 		ctx := s.slot(p)
 		ctx.op = *op
 		ctx.protoOp = protocol.OpWrite
 		s.queueBus(ctx, false)
 	case opTryWrite:
 		p.opStart = t
+		if s.lower != nil {
+			s.countRoute(&s.routeSyncH, "route.sync")
+		}
 		s.startTryWrite(p, t, op)
 	case opBlockWrite:
 		p.opStart = t
+		if s.lower != nil {
+			handled, err := s.routeLower(p, t, op)
+			if handled || err != nil {
+				return err
+			}
+		}
 		s.startBlockWrite(p, t, op)
 	case opIO:
 		p.opStart = t
+		if s.lower != nil {
+			s.countRoute(&s.routeSyncH, "route.sync")
+		}
 		ctx := s.slot(p)
 		ctx.op = *op
 		s.queueBus(ctx, false)
 	case opLockPrefetch:
+		if s.lower != nil {
+			s.countRoute(&s.routeSyncH, "route.sync")
+		}
 		s.startLockPrefetch(p, t, op)
 	case opLockWait:
 		s.startLockWait(p, t, op)
 	default:
 		panic(fmt.Sprintf("sim: unknown op kind %d", op.kind))
 	}
+	return nil
 }
 
 // startMemOp probes the cache for a protocol operation; hits complete

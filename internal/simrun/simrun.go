@@ -14,6 +14,7 @@ import (
 
 	"cachesync"
 	"cachesync/internal/addr"
+	"cachesync/internal/aquarius"
 	"cachesync/internal/cache"
 	"cachesync/internal/coherence"
 	"cachesync/internal/mcheck"
@@ -40,14 +41,21 @@ type Config struct {
 	UnitWords  int    `json:"unit,omitempty"`
 	UnitMode   bool   `json:"unitmode,omitempty"`
 	Buses      int    `json:"buses,omitempty"`
-	Workload   string `json:"workload,omitempty"`
-	Ops        int    `json:"ops,omitempty"`
-	Iters      int    `json:"iters,omitempty"`
-	Hold       int64  `json:"hold,omitempty"`
-	Seed       int64  `json:"seed,omitempty"`
-	TraceFile  string `json:"trace,omitempty"`
-	Scheme     string `json:"scheme,omitempty"`
-	LogN       int    `json:"log,omitempty"`
+	// Tiers selects the machine: 1 (default) is the classic one-bus
+	// system; 2 is the routed two-tier Aquarius machine (sync bus +
+	// crossbar over interleaved banks).
+	Tiers int `json:"tiers,omitempty"`
+	// RemoteCycles, with Tiers 2, places the lower tier a network hop
+	// away: one-way latency in cycles (the disaggregated configuration).
+	RemoteCycles int    `json:"remote,omitempty"`
+	Workload     string `json:"workload,omitempty"`
+	Ops          int    `json:"ops,omitempty"`
+	Iters        int    `json:"iters,omitempty"`
+	Hold         int64  `json:"hold,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+	TraceFile    string `json:"trace,omitempty"`
+	Scheme       string `json:"scheme,omitempty"`
+	LogN         int    `json:"log,omitempty"`
 	// NoCheck disables the online coherence checker (the CLI's -check
 	// flag, inverted so the JSON zero value keeps checking on).
 	NoCheck bool `json:"nocheck,omitempty"`
@@ -75,6 +83,9 @@ func (c Config) Normalize() Config {
 	if c.Buses == 0 {
 		c.Buses = 1
 	}
+	if c.Tiers == 0 {
+		c.Tiers = 1
+	}
 	if c.Workload == "" {
 		c.Workload = "mixed"
 	}
@@ -97,8 +108,8 @@ func (c Config) Normalize() Config {
 // ConfigHash for caching and the daemon's single-flight key. Callers
 // should hash the normalized config so equivalent requests collide.
 func (c Config) Hash() string {
-	return fmt.Sprintf("%s inject=%s p=%d w=%d b=%d u=%d um=%v buses=%d %s ops=%d it=%d hold=%d seed=%d trace=%s scheme=%s log=%d check=%v tables=%v",
-		c.Protocol, c.Inject, c.Procs, c.Ways, c.BlockWords, c.UnitWords, c.UnitMode, c.Buses,
+	return fmt.Sprintf("%s inject=%s p=%d w=%d b=%d u=%d um=%v buses=%d tiers=%d remote=%d %s ops=%d it=%d hold=%d seed=%d trace=%s scheme=%s log=%d check=%v tables=%v",
+		c.Protocol, c.Inject, c.Procs, c.Ways, c.BlockWords, c.UnitWords, c.UnitMode, c.Buses, c.Tiers, c.RemoteCycles,
 		c.Workload, c.Ops, c.Iters, c.Hold, c.Seed, c.TraceFile, c.Scheme, c.LogN, !c.NoCheck, !c.NoTables)
 }
 
@@ -120,8 +131,17 @@ func (c Config) Validate() error {
 	if c.Buses < 1 || c.Buses > 2 {
 		return fmt.Errorf("simrun: buses must be 1 or 2, got %d", c.Buses)
 	}
+	if c.Tiers < 1 || c.Tiers > 2 {
+		return fmt.Errorf("simrun: tiers must be 1 or 2, got %d", c.Tiers)
+	}
+	if c.RemoteCycles < 0 || c.RemoteCycles > 1_000_000 {
+		return fmt.Errorf("simrun: remote cycles %d out of range [0,1000000]", c.RemoteCycles)
+	}
+	if c.RemoteCycles > 0 && c.Tiers != 2 {
+		return fmt.Errorf("simrun: remote cycles need tiers=2")
+	}
 	switch c.Workload {
-	case "mixed", "lock", "pc", "queues", "statesave":
+	case "mixed", "lock", "pc", "queues", "statesave", "lockdata":
 	case "trace":
 		if c.TraceFile == "" {
 			return fmt.Errorf("simrun: workload trace needs a trace file")
@@ -157,18 +177,18 @@ type Hooks struct {
 	BusTxn func(line string)
 }
 
-// BuildSystem assembles the simulator for cfg (normalized), wrapping
-// the protocol with an injected bug when requested — which is why this
-// does not go through the cachesync facade: mutants are not registered
-// names.
-func BuildSystem(cfg Config) (*sim.System, error) {
+// buildSimConfig assembles the synchronization-tier sim.Config for cfg
+// (normalized), wrapping the protocol with an injected bug when
+// requested — which is why this does not go through the cachesync
+// facade: mutants are not registered names.
+func buildSimConfig(cfg Config) (sim.Config, error) {
 	p, err := protocol.New(cfg.Protocol)
 	if err != nil {
-		return nil, err
+		return sim.Config{}, err
 	}
 	if cfg.Inject != "" {
 		if p, err = mcheck.Mutate(p, cfg.Inject); err != nil {
-			return nil, err
+			return sim.Config{}, err
 		}
 	}
 	bw := cfg.BlockWords
@@ -184,19 +204,47 @@ func BuildSystem(cfg Config) (*sim.System, error) {
 	}
 	g, err := addr.NewGeometry(bw, unit)
 	if err != nil {
-		return nil, err
+		return sim.Config{}, err
 	}
 	if cfg.Buses < 1 || cfg.Buses > 2 {
-		return nil, fmt.Errorf("simrun: buses must be 1 or 2, got %d", cfg.Buses)
+		return sim.Config{}, fmt.Errorf("simrun: buses must be 1 or 2, got %d", cfg.Buses)
 	}
-	return sim.New(sim.Config{
+	return sim.Config{
 		Procs:    cfg.Procs,
 		Protocol: p,
 		Geometry: g,
 		Cache:    cache.Config{Sets: 1, Ways: cfg.Ways, UnitMode: cfg.UnitMode, NoTables: cfg.NoTables},
 		Timing:   sim.DefaultTiming(),
 		NumBuses: cfg.Buses,
-	}), nil
+	}, nil
+}
+
+// BuildSystem assembles the one-tier simulator for cfg (normalized).
+func BuildSystem(cfg Config) (*sim.System, error) {
+	sc, err := buildSimConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(sc), nil
+}
+
+// BuildMachine assembles the machine cfg asks for: always the
+// synchronization-tier sim.System, plus — with Tiers 2 — the routed
+// two-tier Aquarius system wrapped around it.
+func BuildMachine(cfg Config) (*sim.System, *aquarius.System, error) {
+	sc, err := buildSimConfig(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Tiers < 2 {
+		return sim.New(sc), nil, nil
+	}
+	ac := aquarius.DefaultConfig(cfg.Procs)
+	ac.Sync = sc
+	ac.RemoteCycles = cfg.RemoteCycles
+	ac.Routed = true
+	aq := aquarius.New(ac)
+	return aq.Sync, aq, nil
 }
 
 // buildPrograms constructs the direct-execution Program form of the
@@ -217,6 +265,9 @@ func buildPrograms(cfg Config, l workload.Layout, scheme syncprim.Scheme) []sim.
 		return workload.ServiceQueues{Requests: cfg.Iters, Scheme: scheme, Seed: cfg.Seed}.Programs(l, cfg.Procs)
 	case "statesave":
 		return workload.StateSave{Switches: cfg.Iters, StateBlocks: 4}.Programs(l, cfg.Procs)
+	case "lockdata":
+		return workload.LockedData{Locks: 1, Iters: cfg.Iters, Records: 6, Instrs: 4,
+			Think: cfg.Hold, Scheme: scheme, Seed: cfg.Seed}.Programs(l, cfg.Procs)
 	default:
 		return nil
 	}
@@ -237,6 +288,9 @@ func buildWorkload(cfg Config, l workload.Layout, scheme syncprim.Scheme) ([]fun
 		return workload.ServiceQueues{Requests: cfg.Iters, Scheme: scheme, Seed: cfg.Seed}.Build(l, cfg.Procs), nil
 	case "statesave":
 		return workload.StateSave{Switches: cfg.Iters, StateBlocks: 4}.Build(l, cfg.Procs), nil
+	case "lockdata":
+		return workload.LockedData{Locks: 1, Iters: cfg.Iters, Records: 6, Instrs: 4,
+			Think: cfg.Hold, Scheme: scheme, Seed: cfg.Seed}.Build(l, cfg.Procs), nil
 	case "trace":
 		f, err := os.Open(cfg.TraceFile)
 		if err != nil {
@@ -262,7 +316,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 // aborts the simulation mid-run (sim.System.RunContext) and returns
 // the context's error.
 func RunWithHooks(ctx context.Context, cfg Config, h Hooks) (Result, error) {
-	sys, err := BuildSystem(cfg)
+	sys, aq, err := BuildMachine(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -331,12 +385,25 @@ func RunWithHooks(ctx context.Context, cfg Config, h Hooks) (Result, error) {
 		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "protocol=%s procs=%d workload=%s scheme=%v\n", sys.Protocol().Name(), cfg.Procs, cfg.Workload, scheme)
+	if aq != nil {
+		fmt.Fprintf(&b, "tiers=2 remote=%d\n", cfg.RemoteCycles)
+	}
 	fmt.Fprintf(&b, "finished at cycle %d\n\n", sys.Clock())
 	hist := &sys.LockLatency
 	if hist.Count() > 0 {
 		fmt.Fprintf(&b, "hardware lock acquisitions: %d (mean %.1f cycles, max %d)\n\n", hist.Count(), hist.Mean(), hist.Max())
 	}
-	b.WriteString(cachesync.RenderStats(sys.Stats().Snapshot()))
+	if aq != nil {
+		if syncRefs, total := aq.BroadcastFraction(); total > 0 {
+			fmt.Fprintf(&b, "broadcast fraction: %d/%d references (%.1f%%) needed the synchronization bus\n\n",
+				syncRefs, total, 100*float64(syncRefs)/float64(total))
+		}
+	}
+	if aq != nil {
+		b.WriteString(cachesync.RenderStats(aq.Stats().Snapshot()))
+	} else {
+		b.WriteString(cachesync.RenderStats(sys.Stats().Snapshot()))
+	}
 	b.WriteString("\n")
 	res := Result{Cycles: sys.Clock()}
 	if len(violations) > 0 {

@@ -1,0 +1,81 @@
+package simrun
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestTwoTierRun: tiers=2 runs existing workloads end-to-end on the
+// routed Aquarius machine and reports the broadcast fraction.
+func TestTwoTierRun(t *testing.T) {
+	for _, wl := range []string{"mixed", "lock", "lockdata"} {
+		wl := wl
+		t.Run(wl, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Tiers: 2, Workload: wl, Ops: 300, Iters: 10}.Normalize()
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Pass {
+				t.Fatalf("two-tier %s run failed:\n%s", wl, res.Output)
+			}
+			if !strings.Contains(res.Output, "broadcast fraction:") {
+				t.Errorf("report missing broadcast fraction:\n%s", res.Output)
+			}
+			if !strings.Contains(res.Output, "tiers=2") {
+				t.Errorf("report missing tier header:\n%s", res.Output)
+			}
+		})
+	}
+}
+
+// TestTwoTierDeterministicAcrossWorkers is the sweep-reproducibility
+// gate for the new machine: a batch of two-tier cells (including
+// remote configurations) must render byte-identical output at any
+// worker count.
+func TestTwoTierDeterministicAcrossWorkers(t *testing.T) {
+	var cfgs []Config
+	for _, remote := range []int{0, 32, 128} {
+		for _, wl := range []string{"mixed", "lockdata"} {
+			cfgs = append(cfgs, Config{Tiers: 2, RemoteCycles: remote,
+				Workload: wl, Ops: 200, Iters: 8}.Normalize())
+		}
+	}
+	collect := func(workers int) []string {
+		out := make([]string, len(cfgs))
+		if err := RunCells(context.Background(), cfgs, workers, func(i int, r Result) {
+			out[i] = r.Output
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := collect(1)
+	par := collect(4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("cell %d differs between 1 and 4 workers:\n--- seq ---\n%s\n--- par ---\n%s", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestValidateTiers pins the tier validation rules.
+func TestValidateTiers(t *testing.T) {
+	if err := (Config{Tiers: 3}).Normalize().Validate(); err == nil {
+		t.Error("tiers=3 accepted")
+	}
+	if err := (Config{RemoteCycles: 10}).Normalize().Validate(); err == nil {
+		t.Error("remote cycles without tiers=2 accepted")
+	}
+	if err := (Config{Tiers: 2, RemoteCycles: 10}).Normalize().Validate(); err != nil {
+		t.Errorf("valid two-tier config rejected: %v", err)
+	}
+	if err := (Config{Workload: "lockdata"}).Normalize().Validate(); err != nil {
+		t.Errorf("lockdata on one tier rejected: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cachesync/internal/addr"
+	"cachesync/internal/interconnect"
 	"cachesync/internal/sim"
 )
 
@@ -81,7 +82,7 @@ func (l *LockAcquire) Step(p *sim.Proc, last sim.Result) (op sim.Op, done bool) 
 			// Loop on the copy in the cache until the holder's
 			// release invalidates (or updates) it.
 			l.phase = acqRead
-			return sim.ReadOp(l.addr), false
+			return sim.ReadOp(l.addr).WithClass(interconnect.Sync), false
 		}
 		l.phase = acqPause
 		return sim.ComputeOp(spinPause), false
@@ -97,7 +98,7 @@ func (l *LockAcquire) Step(p *sim.Proc, last sim.Result) (op sim.Op, done bool) 
 		return l.rmwOp(), false
 	case acqReadPause:
 		l.phase = acqRead
-		return sim.ReadOp(l.addr), false
+		return sim.ReadOp(l.addr).WithClass(interconnect.Sync), false
 	}
 	panic("syncprim: LockAcquire.Step without Start")
 }
@@ -108,7 +109,7 @@ func StartRelease(s Scheme, a addr.Addr) sim.Op {
 	if s == CacheLock {
 		return sim.UnlockWriteOp(a, 0)
 	}
-	return sim.WriteOp(a, 0)
+	return sim.WriteOp(a, 0).WithClass(interconnect.Sync)
 }
 
 // FinishRelease records a completed release.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"cachesync/internal/addr"
+	"cachesync/internal/interconnect"
 	"cachesync/internal/protocol"
 	"cachesync/internal/sim"
 )
@@ -95,7 +96,7 @@ func Acquire(p *sim.Proc, s Scheme, a addr.Addr) {
 			p.Counts.Inc("sync.tas-retry")
 			// Loop on the copy in the cache until the holder's
 			// release invalidates (or updates) it.
-			for p.Read(a) != 0 {
+			for p.ReadClass(a, interconnect.Sync) != 0 {
 				p.Compute(spinPause)
 			}
 		}
@@ -116,7 +117,7 @@ func Release(p *sim.Proc, s Scheme, a addr.Addr) {
 	case CacheLock:
 		p.UnlockWrite(a, 0)
 	default:
-		p.Write(a, 0)
+		p.WriteClass(a, 0, interconnect.Sync)
 	}
 	p.Counts.Inc("sync.release")
 }
@@ -165,7 +166,7 @@ func AtomicApply(p *sim.Proc, m RMWMethod, a addr.Addr, f func(uint64) uint64) u
 		return p.RMW(a, f)
 	case MethodOptimistic:
 		for {
-			v := p.Read(a)
+			v := p.ReadClass(a, interconnect.Sync)
 			if p.TryWrite(a, f(v)) {
 				return v
 			}
@@ -209,21 +210,21 @@ func NewBarrier(n int, scheme Scheme, lock, state addr.Addr) *Barrier {
 
 // Wait blocks (in simulated time) until all n participants arrive.
 func (b *Barrier) Wait(p *sim.Proc) {
-	gen := p.Read(b.sense)
+	gen := p.ReadClass(b.sense, interconnect.Sync)
 	Acquire(p, b.scheme, b.lock)
-	arrived := p.Read(b.count) + 1
+	arrived := p.ReadClass(b.count, interconnect.Sync) + 1
 	if int(arrived) == b.n {
 		// Last arrival: reset the count and flip the sense,
 		// releasing everyone spinning on it.
-		p.Write(b.count, 0)
-		p.Write(b.sense, gen+1)
+		p.WriteClass(b.count, 0, interconnect.Sync)
+		p.WriteClass(b.sense, gen+1, interconnect.Sync)
 		Release(p, b.scheme, b.lock)
 		p.Counts.Inc("sync.barrier")
 		return
 	}
-	p.Write(b.count, arrived)
+	p.WriteClass(b.count, arrived, interconnect.Sync)
 	Release(p, b.scheme, b.lock)
-	for p.Read(b.sense) == gen {
+	for p.ReadClass(b.sense, interconnect.Sync) == gen {
 		p.Compute(spinPause)
 	}
 	p.Counts.Inc("sync.barrier")
@@ -266,7 +267,7 @@ func (l *RWLock) RUnlock(p *sim.Proc) {
 // serializes competing writers).
 func (l *RWLock) Lock(p *sim.Proc) {
 	Acquire(p, l.scheme, l.guard)
-	for p.Read(l.count) != 0 {
+	for p.ReadClass(l.count, interconnect.Sync) != 0 {
 		p.Compute(spinPause)
 	}
 	p.Counts.Inc("sync.wlock")

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"cachesync/internal/addr"
+	"cachesync/internal/interconnect"
 )
 
 // Binary trace format: a compact varint encoding for large traces.
@@ -18,9 +19,14 @@ import (
 //	R/E/L/A: uvarint addr
 //	W/U:     uvarint addr, uvarint value
 //	C:       uvarint cycles
+//
+// Version 2 appends one routing-class byte to every event
+// (interconnect.Class). The encoder emits version 1 whenever no event
+// is classified, so classic traces stay byte-identical.
 const (
-	binaryMagic   = "CSTR"
-	binaryVersion = 1
+	binaryMagic    = "CSTR"
+	binaryVersion  = 1
+	binaryVersion2 = 2
 
 	// Decode-side sanity bounds (corrupt streams must produce errors,
 	// never out-of-range Event fields).
@@ -34,7 +40,14 @@ func (t *Trace) EncodeBinary(w io.Writer) error {
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err
 	}
-	if err := bw.WriteByte(binaryVersion); err != nil {
+	ver := byte(binaryVersion)
+	for _, e := range t.Events {
+		if e.Class != interconnect.Unclassified {
+			ver = binaryVersion2
+			break
+		}
+	}
+	if err := bw.WriteByte(ver); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -69,6 +82,14 @@ func (t *Trace) EncodeBinary(w io.Writer) error {
 		default:
 			return fmt.Errorf("trace: cannot encode kind %q", e.Kind)
 		}
+		if ver == binaryVersion2 {
+			if e.Class > interconnect.Data {
+				return fmt.Errorf("trace: cannot encode class %d", e.Class)
+			}
+			if err := bw.WriteByte(byte(e.Class)); err != nil {
+				return err
+			}
+		}
 	}
 	return bw.Flush()
 }
@@ -87,7 +108,7 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != binaryVersion {
+	if ver != binaryVersion && ver != binaryVersion2 {
 		return nil, fmt.Errorf("trace: unsupported version %d", ver)
 	}
 	t := &Trace{}
@@ -139,6 +160,16 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 			e.Cycles = int64(c)
 		default:
 			return nil, fmt.Errorf("trace: unknown kind byte %#x", kb)
+		}
+		if ver == binaryVersion2 {
+			cb, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: truncated class byte: %w", err)
+			}
+			if cb > byte(interconnect.Data) {
+				return nil, fmt.Errorf("trace: unknown class byte %#x", cb)
+			}
+			e.Class = interconnect.Class(cb)
 		}
 		t.Events = append(t.Events, e)
 	}

@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"testing"
+
+	"cachesync/internal/interconnect"
 )
 
 // FuzzTraceBinaryRoundTrip drives DecodeBinary with arbitrary bytes:
@@ -36,6 +38,23 @@ func FuzzTraceBinaryRoundTrip(f *testing.F) {
 	f.Add([]byte("CSTR\x01Z\x00\x05"))                                                                   // unknown kind
 	f.Add([]byte("CSTR\x01W\x01\x05\x2a"))                                                               // single write
 	f.Add(append([]byte("CSTR\x01R"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x05)) // huge proc uvarint
+
+	// Version 2: per-event routing-class byte.
+	classTrace := &Trace{Events: []Event{
+		{Proc: 0, Kind: Read, Addr: 5, Class: interconnect.Instr},
+		{Proc: 1, Kind: Write, Addr: 9, Value: 3, Class: interconnect.Data},
+		{Proc: 2, Kind: Lock, Addr: 8, Class: interconnect.Sync},
+		{Proc: 3, Kind: Compute, Cycles: 40},
+	}}
+	var cbuf bytes.Buffer
+	if err := classTrace.EncodeBinary(&cbuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cbuf.Bytes())
+	f.Add([]byte("CSTR\x02"))                                  // valid empty v2 trace
+	f.Add([]byte("CSTR\x02R\x00\x05"))                         // v2 event missing its class byte
+	f.Add([]byte("CSTR\x02R\x00\x05\x07"))                     // class byte out of range
+	f.Add([]byte("CSTR\x02R\x00\x05\x02\x57\x01\x09\x03\x03")) // instr read + data write
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := DecodeBinary(bytes.NewReader(data))
@@ -75,6 +94,9 @@ func FuzzTraceTextDecode(f *testing.F) {
 	f.Add("not a trace")
 	f.Add("0 W 5")    // write without value
 	f.Add("-1 R 5\n") // negative proc
+	f.Add("0 R 5 instr\n1 W 5 42 data\n2 L 8 sync\n")
+	f.Add("0 R 5 bogus\n")        // unknown class token
+	f.Add("0 W 5 42 data junk\n") // trailing junk after the class
 	f.Fuzz(func(t *testing.T, text string) {
 		tr, err := Decode(bytes.NewReader([]byte(text)))
 		if err != nil {

@@ -13,6 +13,10 @@
 //	<proc> A <addr>          atomic increment (RMW)
 //	<proc> C <cycles>        compute
 //
+// Any event may carry an optional trailing routing-class token —
+// "sync", "instr", or "data" — for replay on tiered machines; events
+// without one are unclassified, and classic traces parse unchanged.
+//
 // '#' starts a comment; blank lines are ignored.
 package trace
 
@@ -23,6 +27,7 @@ import (
 	"strings"
 
 	"cachesync/internal/addr"
+	"cachesync/internal/interconnect"
 	"cachesync/internal/sim"
 )
 
@@ -47,18 +52,24 @@ type Event struct {
 	Addr   addr.Addr
 	Value  uint64
 	Cycles int64
+	Class  interconnect.Class // routing class; zero = unclassified
 }
 
 // String renders the event in trace format.
 func (e Event) String() string {
+	var s string
 	switch e.Kind {
 	case Write, Unlock:
-		return fmt.Sprintf("%d %c %d %d", e.Proc, e.Kind, e.Addr, e.Value)
+		s = fmt.Sprintf("%d %c %d %d", e.Proc, e.Kind, e.Addr, e.Value)
 	case Compute:
-		return fmt.Sprintf("%d C %d", e.Proc, e.Cycles)
+		s = fmt.Sprintf("%d C %d", e.Proc, e.Cycles)
 	default:
-		return fmt.Sprintf("%d %c %d", e.Proc, e.Kind, e.Addr)
+		s = fmt.Sprintf("%d %c %d", e.Proc, e.Kind, e.Addr)
 	}
+	if e.Class != interconnect.Unclassified {
+		s += " " + e.Class.String()
+	}
+	return s
 }
 
 // Trace is an ordered sequence of per-processor events. Events of
@@ -115,6 +126,7 @@ func Decode(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: line %d: bad kind %q", lineNo, kind)
 		}
 		e.Kind = Kind(kind[0])
+		used := 3
 		switch e.Kind {
 		case Read, ReadEx, Lock, Atomic:
 			if _, err := fmt.Sscanf(fields[2], "%d", &e.Addr); err != nil {
@@ -130,12 +142,23 @@ func Decode(r io.Reader) (*Trace, error) {
 			if _, err := fmt.Sscanf(fields[3], "%d", &e.Value); err != nil {
 				return nil, fmt.Errorf("trace: line %d: bad value: %q", lineNo, line)
 			}
+			used = 4
 		case Compute:
 			if _, err := fmt.Sscanf(fields[2], "%d", &e.Cycles); err != nil {
 				return nil, fmt.Errorf("trace: line %d: bad cycle count: %q", lineNo, line)
 			}
 		default:
 			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, kind)
+		}
+		if len(fields) > used {
+			if len(fields) > used+1 {
+				return nil, fmt.Errorf("trace: line %d: too many fields: %q", lineNo, line)
+			}
+			c, err := interconnect.ParseClass(fields[used])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			e.Class = c
 		}
 		t.Events = append(t.Events, e)
 	}
@@ -163,11 +186,23 @@ func (t *Trace) Workloads(procs int) []func(*sim.Proc) {
 			for _, e := range evs {
 				switch e.Kind {
 				case Read:
-					p.Read(e.Addr)
+					if e.Class != interconnect.Unclassified {
+						p.ReadClass(e.Addr, e.Class)
+					} else {
+						p.Read(e.Addr)
+					}
 				case ReadEx:
-					p.ReadEx(e.Addr)
+					if e.Class != interconnect.Unclassified {
+						p.ReadExClass(e.Addr, e.Class)
+					} else {
+						p.ReadEx(e.Addr)
+					}
 				case Write:
-					p.Write(e.Addr, e.Value)
+					if e.Class != interconnect.Unclassified {
+						p.WriteClass(e.Addr, e.Value, e.Class)
+					} else {
+						p.Write(e.Addr, e.Value)
+					}
 				case Lock:
 					p.LockRead(e.Addr)
 				case Unlock:

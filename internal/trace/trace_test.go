@@ -9,6 +9,7 @@ import (
 
 	"cachesync/internal/addr"
 	"cachesync/internal/core"
+	"cachesync/internal/interconnect"
 	"cachesync/internal/sim"
 )
 
@@ -93,6 +94,7 @@ func TestRoundTripProperty(t *testing.T) {
 			default:
 				e.Addr = addr.Addr(rng.Intn(4096))
 			}
+			e.Class = interconnect.Class(rng.Intn(4))
 			in.Events = append(in.Events, e)
 		}
 		var buf bytes.Buffer
@@ -219,6 +221,7 @@ func TestBinaryRoundTripProperty(t *testing.T) {
 			default:
 				e.Addr = addr.Addr(rng.Uint64() >> 16)
 			}
+			e.Class = interconnect.Class(rng.Intn(4))
 			in.Events = append(in.Events, e)
 		}
 		var buf bytes.Buffer

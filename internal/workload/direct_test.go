@@ -155,5 +155,10 @@ func TestDirectMatchesShim(t *testing.T) {
 			t.Parallel()
 			runDiff(t, name, procs, workload.StateSave{Switches: 10, StateBlocks: 4})
 		})
+		t.Run(name+"/lockdata", func(t *testing.T) {
+			t.Parallel()
+			runDiff(t, name, procs, workload.LockedData{Locks: 2, Iters: 12,
+				Records: 4, Instrs: 3, Think: 8, Scheme: scheme, Seed: 11})
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"cachesync/internal/addr"
+	"cachesync/internal/interconnect"
 	"cachesync/internal/sim"
 	"cachesync/internal/syncprim"
 )
@@ -42,16 +43,18 @@ func (g *mixedProg) Next(p *sim.Proc, _ sim.Result) (sim.Op, bool) {
 	k := g.k
 	g.k++
 	var b addr.Block
+	cl := interconnect.Data
 	if g.rng.Float64() < g.w.SharedFrac {
 		b = g.l.SharedBlock(g.rng.Intn(g.w.SharedBlocks))
+		cl = interconnect.Sync
 	} else {
 		b = g.l.PrivateBlock(g.id, g.rng.Intn(g.w.PrivBlocks))
 	}
 	a := g.l.G.Base(b) + addr.Addr(g.rng.Intn(g.l.G.BlockWords))
 	if g.rng.Float64() < g.w.WriteFrac {
-		return sim.WriteOp(a, uint64(k)), true
+		return sim.WriteOp(a, uint64(k)).WithClass(cl), true
 	}
-	return sim.ReadOp(a), true
+	return sim.ReadOp(a).WithClass(cl), true
 }
 
 // Programs returns the direct-execution form of the workload.
@@ -134,7 +137,7 @@ func (g *lockContProg) emitCS() sim.Op {
 			a = g.l.G.Base(g.l.SharedBlock(512 + g.li))
 		}
 		g.pc = lcCS
-		return sim.WriteOp(a, uint64(g.k))
+		return sim.WriteOp(a, uint64(g.k)).WithClass(interconnect.Sync)
 	}
 	if g.w.HoldCycles > 0 {
 		g.pc = lcHold
@@ -189,10 +192,10 @@ func (g *producerProg) Next(p *sim.Proc, last sim.Result) (sim.Op, bool) {
 	case ppRel:
 		syncprim.FinishRelease(p)
 		g.pc = ppFlag
-		return sim.WriteOp(g.flag, uint64(g.i)), true // publish
+		return sim.WriteOp(g.flag, uint64(g.i)).WithClass(interconnect.Sync), true // publish
 	case ppFlag:
 		g.pc = ppSpinRead
-		return sim.ReadOp(g.flag), true
+		return sim.ReadOp(g.flag).WithClass(interconnect.Sync), true
 	case ppSpinRead:
 		if last.Value != 0 {
 			g.pc = ppSpinPause
@@ -201,7 +204,7 @@ func (g *producerProg) Next(p *sim.Proc, last sim.Result) (sim.Op, bool) {
 		g.i++ // acknowledged; next item
 	case ppSpinPause:
 		g.pc = ppSpinRead
-		return sim.ReadOp(g.flag), true
+		return sim.ReadOp(g.flag).WithClass(interconnect.Sync), true
 	}
 	if g.i > g.w.Items {
 		return sim.Op{}, false
@@ -213,7 +216,7 @@ func (g *producerProg) Next(p *sim.Proc, last sim.Result) (sim.Op, bool) {
 func (g *producerProg) emitWrite() sim.Op {
 	if g.k < g.w.WritesPerItem {
 		g.pc = ppWrite
-		return sim.WriteOp(g.atom+addr.Addr(g.k%g.bw), uint64(g.i))
+		return sim.WriteOp(g.atom+addr.Addr(g.k%g.bw), uint64(g.i)).WithClass(interconnect.Sync)
 	}
 	g.pc = ppRel
 	return syncprim.StartRelease(g.w.Scheme, g.lock)
@@ -249,7 +252,7 @@ func (g *consumerProg) Next(p *sim.Proc, last sim.Result) (sim.Op, bool) {
 		return g.lk.Start(g.w.Scheme, g.lock), true
 	case cpSpinPause:
 		g.pc = cpSpinRead
-		return sim.ReadOp(g.flag), true
+		return sim.ReadOp(g.flag).WithClass(interconnect.Sync), true
 	case cpAcq:
 		if op, done := g.lk.Step(p, last); !done {
 			return op, true
@@ -262,7 +265,7 @@ func (g *consumerProg) Next(p *sim.Proc, last sim.Result) (sim.Op, bool) {
 	case cpRel:
 		syncprim.FinishRelease(p)
 		g.pc = cpAck
-		return sim.WriteOp(g.flag, 0), true // acknowledge
+		return sim.WriteOp(g.flag, 0).WithClass(interconnect.Sync), true // acknowledge
 	case cpAck:
 		g.i++
 	}
@@ -270,13 +273,13 @@ func (g *consumerProg) Next(p *sim.Proc, last sim.Result) (sim.Op, bool) {
 		return sim.Op{}, false
 	}
 	g.pc = cpSpinRead
-	return sim.ReadOp(g.flag), true
+	return sim.ReadOp(g.flag).WithClass(interconnect.Sync), true
 }
 
 func (g *consumerProg) emitRead() sim.Op {
 	if g.k < g.w.WritesPerItem {
 		g.pc = cpRead
-		return sim.ReadOp(g.atom + addr.Addr(g.k%g.bw))
+		return sim.ReadOp(g.atom + addr.Addr(g.k%g.bw)).WithClass(interconnect.Sync)
 	}
 	g.pc = cpRel
 	return syncprim.StartRelease(g.w.Scheme, g.lock)
@@ -343,12 +346,12 @@ func (g *serviceQueuesProg) Next(p *sim.Proc, last sim.Result) (sim.Op, bool) {
 			return op, true
 		}
 		g.pc = sqPostLen
-		return sim.ReadOp(g.desc), true // queue length
+		return sim.ReadOp(g.desc).WithClass(interconnect.Sync), true // queue length
 	case sqPostLen:
 		if n := last.Value; int(n) < g.cap {
 			g.n = n
 			g.pc = sqPostSlot
-			return sim.WriteOp(g.desc+addr.Addr(1+int(n)%g.cap), uint64(g.id*1000+g.posted)), true
+			return sim.WriteOp(g.desc+addr.Addr(1+int(n)%g.cap), uint64(g.id*1000+g.posted)).WithClass(interconnect.Sync), true
 		}
 		// A full queue drops the request (bounded queue), so no
 		// processor can wedge on a finished peer.
@@ -357,7 +360,7 @@ func (g *serviceQueuesProg) Next(p *sim.Proc, last sim.Result) (sim.Op, bool) {
 		return syncprim.StartRelease(g.w.Scheme, g.lock), true
 	case sqPostSlot:
 		g.pc = sqPostLen2
-		return sim.WriteOp(g.desc, g.n+1), true
+		return sim.WriteOp(g.desc, g.n+1).WithClass(interconnect.Sync), true
 	case sqPostLen2:
 		g.posted++
 		g.pc = sqPostRel
@@ -371,18 +374,18 @@ func (g *serviceQueuesProg) Next(p *sim.Proc, last sim.Result) (sim.Op, bool) {
 			return op, true
 		}
 		g.pc = sqDrainLen
-		return sim.ReadOp(g.myDesc), true
+		return sim.ReadOp(g.myDesc).WithClass(interconnect.Sync), true
 	case sqDrainLen:
 		if n := last.Value; n > 0 {
 			g.n = n
 			g.pc = sqDrainSlot
-			return sim.ReadOp(g.myDesc + addr.Addr(1+int(n-1)%g.cap)), true
+			return sim.ReadOp(g.myDesc + addr.Addr(1+int(n-1)%g.cap)).WithClass(interconnect.Sync), true
 		}
 		g.pc = sqDrainRel
 		return syncprim.StartRelease(g.w.Scheme, g.myLock), true
 	case sqDrainSlot:
 		g.pc = sqDrainWr
-		return sim.WriteOp(g.myDesc, g.n-1), true
+		return sim.WriteOp(g.myDesc, g.n-1).WithClass(interconnect.Sync), true
 	case sqDrainWr:
 		g.pc = sqDrainRel
 		return syncprim.StartRelease(g.w.Scheme, g.myLock), true
@@ -397,11 +400,11 @@ func (g *serviceQueuesProg) Next(p *sim.Proc, last sim.Result) (sim.Op, bool) {
 			return op, true
 		}
 		g.pc = sqFinalLen
-		return sim.ReadOp(g.myDesc), true
+		return sim.ReadOp(g.myDesc).WithClass(interconnect.Sync), true
 	case sqFinalLen:
 		if n := last.Value; n > 0 {
 			g.pc = sqFinalWr
-			return sim.WriteOp(g.myDesc, n-1), true
+			return sim.WriteOp(g.myDesc, n-1).WithClass(interconnect.Sync), true
 		}
 		g.pc = sqFinalRel
 		return syncprim.StartRelease(g.w.Scheme, g.myLock), true
@@ -477,7 +480,7 @@ func (g *privateRunsProg) Next(p *sim.Proc, _ sim.Result) (sim.Op, bool) {
 	case prRead:
 		if g.write {
 			g.pc = prWrite
-			return sim.WriteOp(g.a, uint64(g.s)), true
+			return sim.WriteOp(g.a, uint64(g.s)).WithClass(interconnect.Data), true
 		}
 		g.advance()
 	case prWrite:
@@ -490,9 +493,9 @@ func (g *privateRunsProg) Next(p *sim.Proc, _ sim.Result) (sim.Op, bool) {
 	g.write = g.rng.Float64() < g.w.WriteBack
 	g.pc = prRead
 	if g.w.Static && g.write {
-		return sim.ReadExOp(g.a), true
+		return sim.ReadExOp(g.a).WithClass(interconnect.Data), true
 	}
-	return sim.ReadOp(g.a), true
+	return sim.ReadOp(g.a).WithClass(interconnect.Data), true
 }
 
 func (g *privateRunsProg) advance() {
@@ -543,8 +546,111 @@ func (g *stateSaveProg) Next(_ *sim.Proc, _ sim.Result) (sim.Op, bool) {
 			g.vals[k] = uint64(g.s*100 + g.b)
 		}
 		g.pc = ssWrite
-		return sim.WriteBlockOp(g.l.G.Base(g.l.PrivateBlock(g.id, g.b)), g.vals), true
+		return sim.WriteBlockOp(g.l.G.Base(g.l.PrivateBlock(g.id, g.b)), g.vals).WithClass(interconnect.Data), true
 	}
 	g.pc = ssCompute
 	return sim.ComputeOp(20), true
+}
+
+// Programs returns the direct-execution form of the workload.
+func (w LockedData) Programs(l Layout, procs int) []sim.Program {
+	ps := make([]sim.Program, procs)
+	for i := range ps {
+		ps[i] = &lockedDataProg{
+			w: w, l: l, id: i,
+			rng: rand.New(rand.NewSource(w.Seed*17 + int64(i))),
+		}
+	}
+	return ps
+}
+
+// lockedDataProg states name the op in flight.
+const (
+	ldStart uint8 = iota
+	ldInstr       // an instruction fetch
+	ldAcq         // acquire sub-machine running
+	ldRead        // a record-word read
+	ldWrite       // the paired record-word write
+	ldRel         // the release op
+	ldThink       // the think-time Compute
+)
+
+type lockedDataProg struct {
+	w       LockedData
+	l       Layout
+	id      int
+	rng     *rand.Rand
+	lk      syncprim.LockAcquire
+	pc      uint8
+	k, j, c int
+	v       uint64
+	lock    addr.Addr
+	rec     addr.Addr
+}
+
+func (g *lockedDataProg) Next(p *sim.Proc, last sim.Result) (sim.Op, bool) {
+	switch g.pc {
+	case ldInstr:
+		g.j++
+		if g.j < g.w.Instrs {
+			return sim.InstrFetchOp(g.ibase() + addr.Addr(g.j)), true
+		}
+		return g.startAcquire(), true
+	case ldAcq:
+		if op, done := g.lk.Step(p, last); !done {
+			return op, true
+		}
+		g.c = 0
+		return g.emitRecord(), true
+	case ldRead:
+		g.v = last.Value
+		g.pc = ldWrite
+		return sim.WriteOp(g.rec+addr.Addr(g.c), g.v+1).WithClass(interconnect.Data), true
+	case ldWrite:
+		g.c++
+		return g.emitRecord(), true
+	case ldRel:
+		syncprim.FinishRelease(p)
+		if g.w.Think > 0 {
+			g.pc = ldThink
+			return sim.ComputeOp(g.w.Think), true
+		}
+		g.k++
+	case ldThink:
+		g.k++
+	}
+	if g.k >= g.w.Iters {
+		return sim.Op{}, false
+	}
+	if g.w.Instrs > 0 {
+		g.pc = ldInstr
+		g.j = 0
+		return sim.InstrFetchOp(g.ibase()), true
+	}
+	return g.startAcquire(), true
+}
+
+func (g *lockedDataProg) ibase() addr.Addr {
+	return g.l.G.Base(g.l.InstrBlock(g.id, 0))
+}
+
+// startAcquire picks this iteration's lock and its guarded lower-tier
+// record, then starts the acquire sub-machine.
+func (g *lockedDataProg) startAcquire() sim.Op {
+	li := g.rng.Intn(imax(1, g.w.Locks))
+	g.lock = g.l.LockAddr(li)
+	g.rec = g.l.G.Base(g.l.SharedBlock(2048 + li*8))
+	g.pc = ldAcq
+	return g.lk.Start(g.w.Scheme, g.lock)
+}
+
+// emitRecord issues the next record-word read, or the release when the
+// record is done.
+func (g *lockedDataProg) emitRecord() sim.Op {
+	if g.c < g.w.Records {
+		g.pc = ldRead
+		return sim.ReadOp(g.rec + addr.Addr(g.c)).WithClass(interconnect.Data)
+	}
+	g.pc = ldRel
+	return syncprim.StartRelease(g.w.Scheme, g.lock)
 }

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"cachesync/internal/addr"
+	"cachesync/internal/interconnect"
 	"cachesync/internal/sim"
 	"cachesync/internal/syncprim"
 )
@@ -36,6 +37,12 @@ func (l Layout) PrivateBlock(p, i int) addr.Block {
 	return addr.Block(64 + 4096 + p*4096 + i)
 }
 
+// InstrBlock returns processor p's i-th instruction block, placed
+// after the private region (64 processors' worth of private blocks).
+func (l Layout) InstrBlock(p, i int) addr.Block {
+	return addr.Block(64 + 4096 + 64*4096 + p*64 + i)
+}
+
 // ProducerConsumer is the Prolog/dataflow pattern of Section B.1: a
 // producer binds a value (writing the atom WritesPerItem times while
 // holding its lock) and a consumer reads and acknowledges it.
@@ -56,27 +63,27 @@ func (w ProducerConsumer) Build(l Layout, procs int) []func(*sim.Proc) {
 		for i := 1; i <= w.Items; i++ {
 			syncprim.Acquire(p, w.Scheme, lock)
 			for k := 0; k < w.WritesPerItem; k++ {
-				p.Write(atom+addr.Addr(k%l.G.BlockWords), uint64(i))
+				p.WriteClass(atom+addr.Addr(k%l.G.BlockWords), uint64(i), interconnect.Sync)
 			}
 			syncprim.Release(p, w.Scheme, lock)
-			p.Write(flag, uint64(i)) // publish
+			p.WriteClass(flag, uint64(i), interconnect.Sync) // publish
 			// Wait for the acknowledgement.
-			for p.Read(flag) != 0 {
+			for p.ReadClass(flag, interconnect.Sync) != 0 {
 				p.Compute(4)
 			}
 		}
 	}
 	ws[1] = func(p *sim.Proc) {
 		for i := 1; i <= w.Items; i++ {
-			for p.Read(flag) != uint64(i) {
+			for p.ReadClass(flag, interconnect.Sync) != uint64(i) {
 				p.Compute(4)
 			}
 			syncprim.Acquire(p, w.Scheme, lock)
 			for k := 0; k < w.WritesPerItem; k++ {
-				p.Read(atom + addr.Addr(k%l.G.BlockWords))
+				p.ReadClass(atom+addr.Addr(k%l.G.BlockWords), interconnect.Sync)
 			}
 			syncprim.Release(p, w.Scheme, lock)
-			p.Write(flag, 0) // acknowledge
+			p.WriteClass(flag, 0, interconnect.Sync) // acknowledge
 		}
 	}
 	return ws
@@ -117,7 +124,7 @@ func (w LockContention) Build(l Layout, procs int) []func(*sim.Proc) {
 					} else {
 						a = l.G.Base(l.SharedBlock(512 + li))
 					}
-					p.Write(a, uint64(k))
+					p.WriteClass(a, uint64(k), interconnect.Sync)
 				}
 				p.Compute(w.HoldCycles)
 				syncprim.Release(p, w.Scheme, lock)
@@ -170,10 +177,10 @@ func (w ServiceQueues) Build(l Layout, procs int) []func(*sim.Proc) {
 				lock := l.LockAddr(2 + target)
 				desc := l.G.Base(l.SharedBlock(1 + target))
 				syncprim.Acquire(p, w.Scheme, lock)
-				n := p.Read(desc) // queue length
+				n := p.ReadClass(desc, interconnect.Sync) // queue length
 				if int(n) < cap {
-					p.Write(desc+addr.Addr(1+int(n)%cap), uint64(i*1000+posted))
-					p.Write(desc, n+1)
+					p.WriteClass(desc+addr.Addr(1+int(n)%cap), uint64(i*1000+posted), interconnect.Sync)
+					p.WriteClass(desc, n+1, interconnect.Sync)
 				}
 				// A full queue drops the request (bounded queue), so
 				// no processor can wedge on a finished peer.
@@ -184,9 +191,9 @@ func (w ServiceQueues) Build(l Layout, procs int) []func(*sim.Proc) {
 				myLock := l.LockAddr(2 + i)
 				myDesc := l.G.Base(l.SharedBlock(1 + i))
 				syncprim.Acquire(p, w.Scheme, myLock)
-				if n := p.Read(myDesc); n > 0 {
-					p.Read(myDesc + addr.Addr(1+int(n-1)%cap))
-					p.Write(myDesc, n-1)
+				if n := p.ReadClass(myDesc, interconnect.Sync); n > 0 {
+					p.ReadClass(myDesc+addr.Addr(1+int(n-1)%cap), interconnect.Sync)
+					p.WriteClass(myDesc, n-1, interconnect.Sync)
 				}
 				syncprim.Release(p, w.Scheme, myLock)
 				p.Compute(10)
@@ -196,8 +203,8 @@ func (w ServiceQueues) Build(l Layout, procs int) []func(*sim.Proc) {
 			myDesc := l.G.Base(l.SharedBlock(1 + i))
 			for d := 0; d < w.Requests; d++ {
 				syncprim.Acquire(p, w.Scheme, myLock)
-				if n := p.Read(myDesc); n > 0 {
-					p.Write(myDesc, n-1)
+				if n := p.ReadClass(myDesc, interconnect.Sync); n > 0 {
+					p.WriteClass(myDesc, n-1, interconnect.Sync)
 				}
 				syncprim.Release(p, w.Scheme, myLock)
 			}
@@ -227,16 +234,18 @@ func (w Mixed) Build(l Layout, procs int) []func(*sim.Proc) {
 		ws[i] = func(p *sim.Proc) {
 			for k := 0; k < w.Ops; k++ {
 				var b addr.Block
+				cl := interconnect.Data
 				if rng.Float64() < w.SharedFrac {
 					b = l.SharedBlock(rng.Intn(w.SharedBlocks))
+					cl = interconnect.Sync
 				} else {
 					b = l.PrivateBlock(i, rng.Intn(w.PrivBlocks))
 				}
 				a := l.G.Base(b) + addr.Addr(rng.Intn(l.G.BlockWords))
 				if rng.Float64() < w.WriteFrac {
-					p.Write(a, uint64(k))
+					p.WriteClass(a, uint64(k), cl)
 				} else {
-					p.Read(a)
+					p.ReadClass(a, cl)
 				}
 			}
 		}
@@ -268,12 +277,12 @@ func (w PrivateRuns) Build(l Layout, procs int) []func(*sim.Proc) {
 					a := l.G.Base(l.PrivateBlock(i, b))
 					write := rng.Float64() < w.WriteBack
 					if w.Static && write {
-						p.ReadEx(a)
+						p.ReadExClass(a, interconnect.Data)
 					} else {
-						p.Read(a)
+						p.ReadClass(a, interconnect.Data)
 					}
 					if write {
-						p.Write(a, uint64(s))
+						p.WriteClass(a, uint64(s), interconnect.Data)
 					}
 				}
 			}
@@ -302,9 +311,54 @@ func (w StateSave) Build(l Layout, procs int) []func(*sim.Proc) {
 					for k := range vals {
 						vals[k] = uint64(s*100 + b)
 					}
-					p.WriteBlock(l.G.Base(l.PrivateBlock(i, b)), vals)
+					p.WriteBlockClass(l.G.Base(l.PrivateBlock(i, b)), vals, interconnect.Data)
 				}
 				p.Compute(20) // run the switched-in process a little
+			}
+		}
+	}
+	return ws
+}
+
+// LockedData is the two-tier split made explicit (Figure 11): an
+// instruction-fetch burst through the lower tier, then a lock (hard
+// atom, synchronization tier) guarding a plain-data record that lives
+// in the lower tier — the reference mix the Aquarius machine routes
+// across both interconnects, and the workload the disaggregated
+// RemoteCycles sweep stresses (remote cost lands on the guarded
+// record, stretching lock hold times).
+type LockedData struct {
+	Locks   int
+	Iters   int
+	Records int   // record words read+written per critical section
+	Instrs  int   // instruction fetches per iteration
+	Think   int64 // gap between iterations
+	Scheme  syncprim.Scheme
+	Seed    int64
+}
+
+// Build returns a workload per processor.
+func (w LockedData) Build(l Layout, procs int) []func(*sim.Proc) {
+	ws := make([]func(*sim.Proc), procs)
+	for i := range ws {
+		i := i
+		rng := rand.New(rand.NewSource(w.Seed*17 + int64(i)))
+		ws[i] = func(p *sim.Proc) {
+			ibase := l.G.Base(l.InstrBlock(i, 0))
+			for k := 0; k < w.Iters; k++ {
+				for j := 0; j < w.Instrs; j++ {
+					p.InstrFetch(ibase + addr.Addr(j))
+				}
+				li := rng.Intn(imax(1, w.Locks))
+				lock := l.LockAddr(li)
+				rec := l.G.Base(l.SharedBlock(2048 + li*8))
+				syncprim.Acquire(p, w.Scheme, lock)
+				for c := 0; c < w.Records; c++ {
+					v := p.ReadClass(rec+addr.Addr(c), interconnect.Data)
+					p.WriteClass(rec+addr.Addr(c), v+1, interconnect.Data)
+				}
+				syncprim.Release(p, w.Scheme, lock)
+				p.Compute(w.Think)
 			}
 		}
 	}

@@ -12,8 +12,9 @@
 # tables compiled from the protocol code), a live
 # cachesyncd smoke (start, probe — including the -pprof diagnostic
 # mount — graceful stop), the steady-state allocation gate of the
-# direct-execution engine, and the five committed-baseline gates
-# (mcheck perf, sim-engine ops/s, artifact manifest, serving
+# direct-execution engine, and the six committed-baseline gates
+# (mcheck perf, sim-engine ops/s, two-tier Aquarius cycles+broadcast
+# fraction, artifact manifest, serving
 # throughput, and cluster throughput — the last driven through a
 # 3-replica cachesyncc fleet with a mid-run replica SIGKILL that must
 # produce zero responses other than 2xx/clean-429, plus respawn and
@@ -44,6 +45,9 @@ go test -race -short ./internal/sim/
 
 echo "== go test -race (runner pool, parallel sweep executor, bus, scheduler queue)"
 go test -race -short ./internal/runner/ ./internal/simrun/ ./internal/bus/ ./internal/schedqueue/
+
+echo "== go test -race (interconnect fabrics, two-tier Aquarius machine)"
+go test -race -short ./internal/interconnect/ ./internal/aquarius/
 
 echo "== go test -race (serving daemon, single-flight)"
 go test -race -short ./internal/serve/ ./internal/flight/
@@ -85,6 +89,13 @@ if [ -f BENCH_sim.json ]; then
 	go run ./cmd/cachesim -bench-json BENCH_sim.json -bench-gate 0.7
 else
 	echo "no BENCH_sim.json baseline; skipping (create one with: go run ./cmd/cachesim -bench-json BENCH_sim.json)"
+fi
+
+echo "== two-tier Aquarius benchmark gate (cycles + broadcast fraction exact, ops/s)"
+if [ -f BENCH_aquarius.json ]; then
+	go run ./cmd/cachesim -bench-aquarius BENCH_aquarius.json -bench-gate 0.7
+else
+	echo "no BENCH_aquarius.json baseline; skipping (create one with: go run ./cmd/cachesim -bench-aquarius BENCH_aquarius.json)"
 fi
 
 echo "== artifact gate (tables/experiments/figures manifest)"
