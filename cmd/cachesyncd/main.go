@@ -44,17 +44,18 @@ import (
 )
 
 var (
-	addr     = flag.String("addr", "127.0.0.1:8344", "listen address (use :0 for an ephemeral port)")
-	portPath = flag.String("portfile", "", "write the bound host:port to this file once listening (for scripts using -addr :0)")
-	workers  = flag.Int("workers", 0, "concurrent executions (0 = GOMAXPROCS)")
-	sweepW   = flag.Int("sweep-workers", 0, "concurrent cells within one sweep request (0 = workers); output is identical at any setting")
-	queue    = flag.Int("queue", 64, "admitted requests that may wait for a slot; beyond this arrivals get 429")
-	timeout  = flag.Duration("timeout", 60*time.Second, "default per-request execution deadline (callers may lower it with ?timeout=)")
-	maxTime  = flag.Duration("maxtimeout", 5*time.Minute, "upper clamp on caller-requested deadlines")
-	cacheDir = flag.String("cachedir", "", "on-disk result cache directory (empty = no cache)")
-	peerDir  = flag.String("peerdir", "", "shared portfile directory for the fleet artifact exchange: on a local cache miss, ask the replicas registered here before computing (needs -cachedir)")
-	grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
-	pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator diagnostics; enable only on loopback or an admin-restricted listener)")
+	addr      = flag.String("addr", "127.0.0.1:8344", "listen address (use :0 for an ephemeral port)")
+	portPath  = flag.String("portfile", "", "write the bound host:port to this file once listening (for scripts using -addr :0)")
+	workers   = flag.Int("workers", 0, "concurrent executions (0 = GOMAXPROCS)")
+	sweepW    = flag.Int("sweep-workers", 0, "concurrent cells within one sweep request (0 = workers); output is identical at any setting")
+	queue     = flag.Int("queue", 64, "admitted requests that may wait for a slot; beyond this arrivals get 429")
+	timeout   = flag.Duration("timeout", 60*time.Second, "default per-request execution deadline (callers may lower it with ?timeout=)")
+	maxTime   = flag.Duration("maxtimeout", 5*time.Minute, "upper clamp on caller-requested deadlines")
+	cacheDir  = flag.String("cachedir", "", "on-disk result cache directory (empty = no cache)")
+	peerDir   = flag.String("peerdir", "", "shared portfile directory for the fleet artifact exchange: on a local cache miss, ask the replicas registered here before computing (needs -cachedir)")
+	grace     = flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight requests")
+	pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator diagnostics; enable only on loopback or an admin-restricted listener)")
+	shardCkpt = flag.String("shard-checkpoints", "", "directory where hosted shard sessions checkpoint after every level; point the whole fleet at one shared directory and distributed checks survive replica death")
 )
 
 func run() error {
@@ -76,6 +77,7 @@ func run() error {
 		Workers: *workers, SweepWorkers: *sweepW, Queue: *queue,
 		DefaultTimeout: *timeout, MaxTimeout: *maxTime,
 		Cache: cache, Peers: peers, Pprof: *pprofOn,
+		ShardCheckpointRoot: *shardCkpt,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -40,6 +40,14 @@ type benchConfig struct {
 	Depth    int    `json:"depth"`
 	Symmetry bool   `json:"symmetry"`
 	POR      bool   `json:"por,omitempty"`
+	// MemBudget bounds the visited set's RAM; the overflow seals to
+	// compressed runs on disk. SpillOf names the in-memory sibling
+	// entry this spill-mode entry is gated against within the same
+	// run: identical counts, and states/s no worse than -bench-gate ×
+	// the sibling's. The in-run comparison is hardware-independent, so
+	// the spill overhead bound holds even on a fresh baseline.
+	MemBudget int64  `json:"mem_budget,omitempty"`
+	SpillOf   string `json:"spill_of,omitempty"`
 }
 
 // benchEntry is one measured result.
@@ -48,6 +56,12 @@ type benchEntry struct {
 	States       int64   `json:"states"`
 	Transitions  int64   `json:"transitions"`
 	StatesPerSec float64 `json:"states_per_sec"`
+	// Spill-mode evidence: how much of the visited set actually left
+	// RAM. Zero SpilledStates on a MemBudget entry fails the gate —
+	// a budget nothing overflows measures nothing.
+	SpilledStates int64 `json:"spilled_states,omitempty"`
+	SpilledBytes  int64 `json:"spilled_bytes,omitempty"`
+	SpillRuns     int64 `json:"spill_runs,omitempty"`
 }
 
 // benchFile is the JSON baseline artifact.
@@ -76,6 +90,12 @@ var benchSuite = []benchConfig{
 	// EXPERIMENTS.md and must not silently erode).
 	{Name: "bitar-p3-b2-d6", Protocol: "bitar", Procs: 3, Blocks: 2, Words: 2, Depth: 6, Symmetry: true},
 	{Name: "bitar-p3-b2-d6-por", Protocol: "bitar", Procs: 3, Blocks: 2, Words: 2, Depth: 6, Symmetry: true, POR: true},
+	// The spill pair: the same 132k-state exploration under a 6 MiB
+	// visited-set budget — small enough that every closed level seals
+	// (the final frontier always stays live, so ~22% of states end up
+	// on disk here) — gated in-run against its sibling above.
+	{Name: "bitar-p3-b2-d6-spill", Protocol: "bitar", Procs: 3, Blocks: 2, Words: 2, Depth: 6, Symmetry: true,
+		MemBudget: 6 << 20, SpillOf: "bitar-p3-b2-d6"},
 }
 
 func runBench(path string) int {
@@ -123,6 +143,9 @@ func runBench(path string) int {
 				e.Name, e.StatesPerSec, b.StatesPerSec, 100*(e.StatesPerSec/b.StatesPerSec-1))
 		}
 	}
+	if !checkSpillSiblings(cur) {
+		failed = true
+	}
 	if *benchUpdate {
 		if err := writeBaseline(path, cur); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -142,7 +165,7 @@ func measureSuite() ([]benchEntry, error) {
 		res, err := mcheck.Run(mcheck.Options{
 			Protocol: protocol.MustNew(c.Protocol), Procs: c.Procs, Blocks: c.Blocks,
 			Words: c.Words, Depth: c.Depth, Workers: *workers, Symmetry: c.Symmetry,
-			POR: c.POR,
+			POR: c.POR, MemBudget: c.MemBudget,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %w", c.Name, err)
@@ -152,10 +175,50 @@ func measureSuite() ([]benchEntry, error) {
 		}
 		out = append(out, benchEntry{
 			benchConfig: c, States: res.States, Transitions: res.Transitions,
-			StatesPerSec: res.StatesPerSec,
+			StatesPerSec:  res.StatesPerSec,
+			SpilledStates: res.SpilledStates, SpilledBytes: res.SpilledBytes,
+			SpillRuns: int64(res.SpillRuns),
 		})
 	}
 	return out, nil
+}
+
+// checkSpillSiblings gates every spill-mode entry against its
+// in-memory sibling from the same run: the budget must actually force
+// spilling, exploration must be unchanged, and throughput must hold
+// -bench-gate of the sibling's. Returns false on failure.
+func checkSpillSiblings(cur []benchEntry) bool {
+	byName := make(map[string]benchEntry, len(cur))
+	for _, e := range cur {
+		byName[e.Name] = e
+	}
+	ok := true
+	for _, e := range cur {
+		if e.SpillOf == "" {
+			continue
+		}
+		sib, found := byName[e.SpillOf]
+		switch {
+		case !found:
+			ok = false
+			fmt.Printf("bench: %-20s FAIL      spill sibling %q not in suite\n", e.Name, e.SpillOf)
+		case e.SpilledStates == 0:
+			ok = false
+			fmt.Printf("bench: %-20s FAIL      budget %d spilled nothing — not a spill measurement\n", e.Name, e.MemBudget)
+		case e.States != sib.States || e.Transitions != sib.Transitions:
+			ok = false
+			fmt.Printf("bench: %-20s FAIL      spill changed exploration vs %s: states %d→%d transitions %d→%d\n",
+				e.Name, sib.Name, sib.States, e.States, sib.Transitions, e.Transitions)
+		case e.StatesPerSec < *benchGate*sib.StatesPerSec:
+			ok = false
+			fmt.Printf("bench: %-20s FAIL      %8.0f states/s, below %.0f%% of in-memory sibling %.0f\n",
+				e.Name, e.StatesPerSec, 100**benchGate, sib.StatesPerSec)
+		default:
+			fmt.Printf("bench: %-20s OK        %8.0f states/s, %.0f%% of in-memory sibling (%d states spilled in %d runs)\n",
+				e.Name, e.StatesPerSec, 100*e.StatesPerSec/sib.StatesPerSec, e.SpilledStates, e.SpillRuns)
+		}
+	}
+	return ok
 }
 
 func readBaseline(path string) (*benchFile, error) {

@@ -45,6 +45,11 @@ var (
 	jsonOut   = flag.Bool("json", false, "emit one JSON summary per run instead of text")
 	symmetry  = flag.Bool("symmetry", true, "explore modulo processor permutations (identical verdicts, up to procs! fewer states)")
 	por       = flag.Bool("por", false, "partial-order reduction: explore each block's subsystem separately (identical verdicts and counterexamples, far fewer states at blocks>1)")
+	memBudget = flag.Int64("mem-budget", 0, "visited-set RAM budget in bytes (0 = unbounded): over-budget shards seal to compressed sorted runs on disk")
+	ckptDir   = flag.String("checkpoint", "", "directory for level-boundary checkpoints; a killed run restarts from the last completed level with -resume (single protocol only)")
+	resume    = flag.Bool("resume", false, "with -checkpoint: resume the directory's checkpoint if one exists, start fresh otherwise")
+	progress  = flag.Bool("progress", false, "report per-level progress on stderr: states/s plus visited-set bytes in RAM vs spilled runs")
+	outFile   = flag.String("out", "", "also write the JSON summaries to this file (atomic rename; timing fields zeroed so reruns compare byte-for-byte)")
 
 	benchJSON   = flag.String("bench-json", "", "run the fixed perf suite and gate against this baseline file (created when absent)")
 	benchGate   = flag.Float64("bench-gate", 0.7, "with -bench-json: fail when states/s falls below this fraction of the baseline")
@@ -87,6 +92,12 @@ func main() {
 		}
 		names = []string{*protoName}
 	}
+	// One checkpoint directory holds one run's state; a multi-protocol
+	// sweep would clobber it at the second protocol.
+	if *ckptDir != "" && len(names) != 1 {
+		fmt.Fprintln(os.Stderr, "mcheck: -checkpoint requires a single -protocol")
+		os.Exit(2)
+	}
 
 	// Ctrl-C (or SIGTERM) cancels the exploration promptly mid-level
 	// instead of letting a deep run finish its frontier first.
@@ -96,6 +107,7 @@ func main() {
 	violated := false
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
+	var all []*summary
 	for _, name := range names {
 		s, err := runOne(ctx, name)
 		if err != nil {
@@ -109,11 +121,18 @@ func main() {
 		if s.Counterexample != nil {
 			violated = true
 		}
+		all = append(all, s)
 		if *jsonOut {
 			if err := enc.Encode(s); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
+		}
+	}
+	if *outFile != "" {
+		if err := writeSummaries(*outFile, all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
 	}
 	// A violation is the expected outcome of a mutant run; without
@@ -136,6 +155,17 @@ func runOne(ctx context.Context, name string) (*summary, error) {
 		Protocol: p, Procs: *procs, Blocks: *blocks, Words: *words,
 		Depth: *depth, Workers: *workers, MaxStates: *maxStates,
 		RecordArcs: *arcs, Symmetry: *symmetry, POR: *por, Context: ctx,
+		MemBudget: *memBudget, CheckpointDir: *ckptDir, Resume: *resume,
+	}
+	if *progress {
+		opts.Progress = func(pi mcheck.ProgressInfo) {
+			fmt.Fprintf(os.Stderr, "progress: depth %-3d %10d states %12d transitions  %8.0f states/s  %s RAM",
+				pi.Depth, pi.States, pi.Transitions, pi.StatesPerSec, fmtBytes(pi.RAMBytes))
+			if pi.SpilledBytes > 0 {
+				fmt.Fprintf(os.Stderr, " + %s spilled in %d runs", fmtBytes(pi.SpilledBytes), pi.SpillRuns)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 	res, err := mcheck.Run(opts)
 	if err != nil {
@@ -169,7 +199,7 @@ func runOne(ctx context.Context, name string) (*summary, error) {
 		base, err := mcheck.Run(mcheck.Options{
 			Protocol: p, Procs: *procs, Blocks: *blocks, Words: *words,
 			Depth: *depth, Workers: 1, MaxStates: *maxStates, Symmetry: *symmetry,
-			POR: *por, Context: ctx,
+			POR: *por, Context: ctx, MemBudget: *memBudget,
 		})
 		if err != nil {
 			return nil, err
@@ -201,6 +231,9 @@ func handleViolation(opts mcheck.Options, s *summary) {
 	short := opts
 	short.Depth = len(res.Counterexample.Trace) - 1
 	short.RecordArcs = false
+	short.CheckpointDir = ""
+	short.Resume = false
+	short.Progress = nil
 	if short.Depth >= 1 {
 		if r2, err := mcheck.Run(short); err == nil && r2.Counterexample == nil && !r2.Truncated {
 			s.Minimality = fmt.Sprintf("minimal: depth %d is clean (%d states)", short.Depth, r2.States)
@@ -250,5 +283,43 @@ func renderArcs(p protocol.Protocol, s *summary) {
 	}
 	for _, u := range unreached {
 		fmt.Printf("figure 10 unreached: %s\n", u)
+	}
+}
+
+// writeSummaries writes the run summaries as a JSON array with timing
+// fields zeroed, via tmp+rename: a kill-and-resume pair of invocations
+// with the same -out produces byte-identical files iff exploration was
+// byte-identical, which verify.sh asserts with cmp.
+func writeSummaries(path string, all []*summary) error {
+	norm := make([]summary, len(all))
+	for i, s := range all {
+		norm[i] = *s
+		r := *s.Result
+		r.Elapsed = 0
+		r.StatesPerSec = 0
+		norm[i].Result = &r
+		norm[i].Speedup = 0
+	}
+	data, err := json.MarshalIndent(norm, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
 	}
 }

@@ -38,10 +38,13 @@ type shardedCheckRequest struct {
 var checkSeq atomic.Int64
 
 // handleShardedCheck runs one check partitioned over the fleet. Shard
-// i is pinned to the i-th healthy replica (mod fleet size) for the
-// whole run: shard sessions are stateful, so unlike the stateless
-// proxy path there is no mid-run rerouting — a replica lost mid-check
-// fails the request and the client retries.
+// i starts on the i-th healthy replica (mod fleet size); shard
+// sessions are stateful, so they don't reroute per call like the
+// stateless proxy path. When the fleet runs with a shared shard
+// checkpoint root, a session whose replica dies mid-check is instead
+// re-dispatched: the peer re-opens it with resume on a healthy
+// replica, verifies the restored session is at the peer's absorb
+// sequence, and retries the failed call (httpPeer.post).
 func (c *Cluster) handleShardedCheck(w http.ResponseWriter, r *http.Request, cr serve.CheckRequest, shards int) {
 	if shards > maxCheckShards {
 		writeJSON(w, http.StatusBadRequest, map[string]any{
@@ -110,7 +113,8 @@ func (c *Cluster) handleShardedCheck(w http.ResponseWriter, r *http.Request, cr 
 }
 
 // httpPeer is one remote shard session: mcheck.ShardPeer spoken over
-// the owning replica's /v1/shard/* endpoints.
+// the owning replica's /v1/shard/* endpoints. The owning replica can
+// change mid-run: see post.
 type httpPeer struct {
 	c       *Cluster
 	rep     *replica
@@ -119,6 +123,11 @@ type httpPeer struct {
 	cr      serve.CheckRequest
 	self    int
 	total   int
+	// seq is the last level this session absorbed, from its Absorb
+	// replies. A failover re-open must come back at exactly this
+	// sequence before a failed call is retried; RunSharded drives each
+	// peer from one goroutine at a time, so no lock guards it.
+	seq int64
 }
 
 // shardOpenMsg mirrors the replica's open body: the check request
@@ -128,11 +137,13 @@ type shardOpenMsg struct {
 	Session string `json:"session"`
 	Self    int    `json:"self"`
 	Total   int    `json:"total"`
+	Resume  bool   `json:"resume,omitempty"`
 }
 
 // shardCallMsg mirrors the replica's phase-call body.
 type shardCallMsg struct {
 	Session string            `json:"session"`
+	Seq     int64             `json:"seq,omitempty"`
 	Cands   []mcheck.WireCand `json:"cands,omitempty"`
 	ID      uint64            `json:"id,omitempty"`
 }
@@ -156,11 +167,12 @@ func (p *httpPeer) Expand() (*mcheck.ShardExpandReply, error) {
 	return &reply, nil
 }
 
-func (p *httpPeer) Absorb(cands []mcheck.WireCand) (*mcheck.ShardAbsorbReply, error) {
+func (p *httpPeer) Absorb(seq int64, cands []mcheck.WireCand) (*mcheck.ShardAbsorbReply, error) {
 	var reply mcheck.ShardAbsorbReply
-	if err := p.post(p.ctx, "absorb", shardCallMsg{Session: p.session, Cands: cands}, &reply); err != nil {
+	if err := p.post(p.ctx, "absorb", shardCallMsg{Session: p.session, Seq: seq, Cands: cands}, &reply); err != nil {
 		return nil, err
 	}
+	p.seq = reply.Seq
 	return &reply, nil
 }
 
@@ -183,18 +195,38 @@ func (p *httpPeer) Close() error {
 	}{})
 }
 
-// post sends one phase call to the peer's replica and decodes the
-// reply. Any transport error or non-200 fails the call — and with it
-// the whole distributed check — because session state cannot move.
+// post sends one phase call to the session's current replica and
+// decodes the reply. A failure that means the session is gone — a
+// transport error (replica died; it gets marked down) or a 404
+// (replica restarted or pruned the session) — triggers one failover
+// attempt: re-open the session with resume on a healthy replica,
+// verify the restored session is at this peer's absorb sequence, and
+// retry the call there. Everything else fails the distributed check.
+// The initial open has no session to recover, and close is
+// best-effort; neither fails over.
 func (p *httpPeer) post(ctx context.Context, phase string, msg, into any) error {
 	payload, err := json.Marshal(msg)
 	if err != nil {
 		return err
 	}
+	err, lost := p.do(ctx, phase, payload, into)
+	if err == nil || !lost || phase == "open" || phase == "close" || ctx.Err() != nil {
+		return err
+	}
+	if ferr := p.failover(ctx); ferr != nil {
+		return fmt.Errorf("%w (failover: %w)", err, ferr)
+	}
+	err, _ = p.do(ctx, phase, payload, into)
+	return err
+}
+
+// do is one HTTP round trip to the current replica. The second return
+// reports whether the session should be presumed lost.
+func (p *httpPeer) do(ctx context.Context, phase string, payload []byte, into any) (error, bool) {
 	url := "http://" + p.rep.address() + "/v1/shard/" + phase
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
-		return err
+		return err, false
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := p.c.client.Do(req)
@@ -202,7 +234,7 @@ func (p *httpPeer) post(ctx context.Context, phase string, msg, into any) error 
 		if ctx.Err() == nil {
 			p.c.markDown(p.rep)
 		}
-		return fmt.Errorf("shard %d on %s: %s: %w", p.self, p.rep.name, phase, err)
+		return fmt.Errorf("shard %d on %s: %s: %w", p.self, p.rep.name, phase, err), true
 	}
 	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
@@ -213,10 +245,55 @@ func (p *httpPeer) post(ctx context.Context, phase string, msg, into any) error 
 		if e.Error == "" {
 			e.Error = fmt.Sprintf("status %d", resp.StatusCode)
 		}
-		return fmt.Errorf("shard %d on %s: %s: %s", p.self, p.rep.name, phase, e.Error)
+		return fmt.Errorf("shard %d on %s: %s: %s", p.self, p.rep.name, phase, e.Error),
+			resp.StatusCode == http.StatusNotFound
 	}
 	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
-		return fmt.Errorf("shard %d on %s: %s: %w", p.self, p.rep.name, phase, err)
+		return fmt.Errorf("shard %d on %s: %s: %w", p.self, p.rep.name, phase, err), false
 	}
-	return nil
+	return nil, false
+}
+
+// failover re-homes the session: open it with resume on each healthy
+// replica in turn until one restores it at exactly p.seq. At seq 0
+// nothing has been absorbed yet, so a fresh seed (Resumed false, as on
+// a fleet without a shared checkpoint root) reproduces the session
+// state and is accepted too; past that, only a genuine checkpoint
+// restore at the right sequence is.
+func (p *httpPeer) failover(ctx context.Context) error {
+	payload, err := json.Marshal(shardOpenMsg{
+		CheckRequest: p.cr, Session: p.session,
+		Self: p.self, Total: p.total, Resume: true,
+	})
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for _, name := range p.c.order {
+		rep := p.c.replicas[name]
+		if !rep.healthy.Load() {
+			continue
+		}
+		prev := p.rep
+		p.rep = rep
+		var reply mcheck.ShardOpenReply
+		if oerr, _ := p.do(ctx, "open", payload, &reply); oerr != nil {
+			p.rep = prev
+			lastErr = oerr
+			continue
+		}
+		if reply.Seq != p.seq || (p.seq > 0 && !reply.Resumed) {
+			p.rep = prev
+			lastErr = fmt.Errorf("shard %d: %s reopened at seq %d (resumed=%v), want %d — no usable checkpoint",
+				p.self, rep.name, reply.Seq, reply.Resumed, p.seq)
+			continue
+		}
+		p.c.met.checkFailovers.Add(1)
+		p.c.met.route(rep.name)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("shard %d: no healthy replica to fail over to", p.self)
+	}
+	return lastErr
 }

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"cachesync/internal/serve"
@@ -160,5 +163,107 @@ func TestShardedCheckValidation(t *testing.T) {
 	}
 	if pass, _ := checkResult(t, body); !pass {
 		t.Fatalf("shards=1: expected pass: %s", body)
+	}
+}
+
+// killableBackend is a replica that can drop dead mid-check: once the
+// killAt-th /v1/shard/absorb arrives (or dead is set), every request —
+// shard phases and health probes alike — aborts its connection, the
+// closest an httptest server gets to a killed process.
+type killableBackend struct {
+	ts      *httptest.Server
+	addr    string
+	dead    atomic.Bool
+	absorbs atomic.Int64
+	killAt  int64 // 0 = immortal
+}
+
+func newKillableBackend(t *testing.T, ckptRoot string, killAt int64) *killableBackend {
+	t.Helper()
+	srv := serve.New(serve.Config{Workers: 2, ShardCheckpointRoot: ckptRoot})
+	b := &killableBackend{killAt: killAt}
+	inner := srv.Handler()
+	b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if b.dead.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		if b.killAt > 0 && r.URL.Path == "/v1/shard/absorb" && b.absorbs.Add(1) == b.killAt {
+			b.dead.Store(true)
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(b.ts.Close)
+	t.Cleanup(srv.Close)
+	b.addr = strings.TrimPrefix(b.ts.URL, "http://")
+	return b
+}
+
+// TestShardedCheckSurvivesReplicaDeath kills one replica of a
+// three-replica fleet mid-check. With every replica pointed at the
+// same shard checkpoint root, the coordinator re-dispatches the dead
+// replica's session to a healthy one — resumed from its snapshot at
+// the exact absorb sequence — and the merged Result must still be
+// byte-identical to a single replica's.
+func TestShardedCheckSurvivesReplicaDeath(t *testing.T) {
+	cases := []struct {
+		name   string
+		req    map[string]any
+		killAt int64
+		pass   bool
+	}{
+		// killAt 2 dies with one level absorbed: the re-opened session
+		// must restore real state, not reseed.
+		{"clean", map[string]any{
+			"protocol": "bitar", "procs": 3, "blocks": 2, "depth": 4, "symmetry": true,
+		}, 2, true},
+		// A mutant's counterexample trace must survive re-dispatch: the
+		// rebuild hops through the resurrected session. It violates
+		// early, so the kill lands on the first absorb.
+		{"mutant", map[string]any{
+			"protocol": "locke", "inject": "stale-lock-grant", "procs": 2, "blocks": 2, "depth": 6,
+		}, 1, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			single := newBackend(t)
+			code, body := postCheck(t, single.ts.URL, tc.req)
+			if code != http.StatusOK {
+				t.Fatalf("single replica: status %d: %s", code, body)
+			}
+			wantPass, want := checkResult(t, body)
+			if wantPass != tc.pass {
+				t.Fatalf("single replica pass=%v, want %v", wantPass, tc.pass)
+			}
+
+			root := t.TempDir()
+			b0 := newKillableBackend(t, root, tc.killAt)
+			b1 := newKillableBackend(t, root, 0)
+			b2 := newKillableBackend(t, root, 0)
+			c, ts := newAttachCluster(t, b0.addr, b1.addr, b2.addr)
+
+			req := map[string]any{"shards": 3}
+			for k, v := range tc.req {
+				req[k] = v
+			}
+			code, body = postCheck(t, ts.URL, req)
+			if code != http.StatusOK {
+				t.Fatalf("sharded with replica death: status %d: %s", code, body)
+			}
+			gotPass, got := checkResult(t, body)
+			if gotPass != tc.pass {
+				t.Fatalf("sharded pass=%v, want %v", gotPass, tc.pass)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("result differs after replica death\nsingle:   %s\nsurvived: %s", want, got)
+			}
+			if !b0.dead.Load() {
+				t.Fatal("the doomed replica was never hit — the check did not exercise failover")
+			}
+			if c.met.checkFailovers.Load() == 0 {
+				t.Error("no session failover recorded")
+			}
+		})
 	}
 }

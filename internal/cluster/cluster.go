@@ -234,6 +234,11 @@ func (c *Cluster) launch(rep *replica) error {
 		"-cachedir", filepath.Join(c.opts.Dir, "cache-"+rep.name),
 		"-workers", strconv.Itoa(c.opts.ReplicaWorkers),
 		"-queue", strconv.Itoa(c.opts.ReplicaQueue),
+		// All replicas of a spawned fleet share one checkpoint
+		// directory, so a distributed check's sessions survive a
+		// replica dying (the coordinator re-dispatches them; see
+		// check.go failover).
+		"-shard-checkpoints", filepath.Join(c.opts.Dir, "shard-ckpt"),
 	)
 	logf, err := os.OpenFile(filepath.Join(c.opts.Dir, rep.name+".log"),
 		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -29,6 +29,9 @@ type rmetrics struct {
 	respawns     atomic.Int64
 	sweepShards  atomic.Int64
 	checkShards  atomic.Int64 // shard sessions opened for distributed checks
+	// shard sessions re-dispatched to another replica after their
+	// original host died mid-check (resumed from a checkpoint).
+	checkFailovers atomic.Int64
 }
 
 func newRMetrics() *rmetrics {
@@ -304,6 +307,7 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# TYPE cachesyncc_respawns_total counter\ncachesyncc_respawns_total %d\n", c.met.respawns.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncc_sweep_shards_total counter\ncachesyncc_sweep_shards_total %d\n", c.met.sweepShards.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncc_check_shards_total counter\ncachesyncc_check_shards_total %d\n", c.met.checkShards.Load())
+	fmt.Fprintf(&b, "# TYPE cachesyncc_check_failovers_total counter\ncachesyncc_check_failovers_total %d\n", c.met.checkFailovers.Load())
 	fmt.Fprintf(&b, "# TYPE cachesyncc_healthy gauge\ncachesyncc_healthy %d\n", c.healthyCount())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, b.String())

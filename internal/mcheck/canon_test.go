@@ -10,7 +10,7 @@ import (
 )
 
 func TestPermutations(t *testing.T) {
-	for n, want := range map[int]int{1: 1, 2: 2, 3: 6, 4: 24} {
+	for n, want := range map[int]int{1: 1, 2: 2, 3: 6, 4: 24, 5: 120} {
 		perms := permutations(n)
 		if len(perms) != want {
 			t.Errorf("permutations(%d): %d permutations, want %d", n, len(perms), want)
@@ -88,46 +88,63 @@ func TestCanonicalizeOrbit(t *testing.T) {
 	}
 }
 
-// TestSymmetryEquivalence runs every registered protocol with and
-// without symmetry reduction and checks (a) identical verdicts, (b) a
-// genuine reduction — the quotient explores at most half the states at
-// procs=3 — and (c) the quotient is exact: canonicalizing the full
-// run's states yields exactly the reduced run's state count.
+// checkSymmetryEquivalence runs one protocol with and without symmetry
+// reduction and checks (a) identical verdicts, (b) a genuine reduction
+// — the quotient explores at most half the states — and (c) the
+// quotient is exact: canonicalizing the full run's states yields
+// exactly the reduced run's state count.
+func checkSymmetryEquivalence(t *testing.T, name string, procs, depth int) {
+	o := Options{Protocol: protocol.MustNew(name), Procs: procs, Blocks: 1, Depth: depth, Workers: 2}
+	full := reachedKeys(t, o)
+
+	so := o
+	so.Symmetry = true
+	so.Protocol = protocol.MustNew(name)
+	var reduced int64
+	so.stateHook = func([]uint64) { reduced++ }
+	sres, err := Run(so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Counterexample != nil {
+		t.Fatalf("violation only under symmetry: %v", sres.Counterexample.Violations)
+	}
+	if sres.States > int64(len(full))/2 {
+		t.Errorf("symmetry saved too little: %d of %d states", sres.States, len(full))
+	}
+
+	od := o.withDefaults()
+	c := newCanonizer(makeKeyLayout(od.Procs, od.Blocks, od.Words))
+	orbits := map[string]bool{}
+	for _, k := range full {
+		canon, _ := c.canonicalize(k)
+		orbits[keyString(canon)] = true
+	}
+	if int64(len(orbits)) != sres.States {
+		t.Errorf("quotient inexact: full run has %d orbits, symmetry run visited %d states",
+			len(orbits), sres.States)
+	}
+}
+
 func TestSymmetryEquivalence(t *testing.T) {
 	for _, name := range protocol.Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			o := Options{Protocol: protocol.MustNew(name), Procs: 3, Blocks: 1, Depth: 4, Workers: 2}
-			full := reachedKeys(t, o)
+			checkSymmetryEquivalence(t, name, 3, 4)
+		})
+	}
+}
 
-			so := o
-			so.Symmetry = true
-			so.Protocol = protocol.MustNew(name)
-			var reduced int64
-			so.stateHook = func([]uint64) { reduced++ }
-			sres, err := Run(so)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if sres.Counterexample != nil {
-				t.Fatalf("violation only under symmetry: %v", sres.Counterexample.Violations)
-			}
-			if sres.States > int64(len(full))/2 {
-				t.Errorf("symmetry saved too little: %d of %d states", sres.States, len(full))
-			}
-
-			od := o.withDefaults()
-			c := newCanonizer(makeKeyLayout(od.Procs, od.Blocks, od.Words))
-			orbits := map[string]bool{}
-			for _, k := range full {
-				canon, _ := c.canonicalize(k)
-				orbits[keyString(canon)] = true
-			}
-			if int64(len(orbits)) != sres.States {
-				t.Errorf("quotient inexact: full run has %d orbits, symmetry run visited %d states",
-					len(orbits), sres.States)
-			}
+// TestSymmetryEquivalenceP5 covers the widened processor range: the
+// 120-permutation orbit machinery must stay exact past the old p=4
+// cap (shallower depth — the unreduced p5 space grows fast).
+func TestSymmetryEquivalenceP5(t *testing.T) {
+	for _, name := range []string{"bitar", "illinois"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			checkSymmetryEquivalence(t, name, 5, 3)
 		})
 	}
 }

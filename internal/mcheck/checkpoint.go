@@ -1,0 +1,476 @@
+package mcheck
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint/resume. At every completed BFS level, runCore serializes
+// the exploration's resumable state into Options.CheckpointDir:
+//
+//   - snap-<depth>.mcs — binary snapshot of the live visited tables
+//     (the part of the store not yet sealed to disk), the frontier
+//     boundary per shard, and the counters. Bounded by MemBudget when
+//     spilling; the full visited set otherwise.
+//   - run-*.mcr — the sealed runs themselves (spill.go writes them
+//     here when checkpointing is on, so they survive the process).
+//   - MANIFEST.json — names the snapshot and the run files per shard.
+//     Written last via tmp+rename, so the manifest on disk always
+//     describes a complete, consistent set of files: the new snapshot
+//     is durable before the manifest points at it, the previous
+//     snapshot and compacted-away runs are deleted only after the
+//     rename. A kill at any instant leaves either the old or the new
+//     checkpoint intact.
+//
+// Resume (Options.Resume) loads the manifest if present — verifying
+// an options fingerprint, every run's checksum, and the snapshot's —
+// rebuilds the fingerprint sets from the runs' hash sections, and
+// continues from the next level. Because seals and merges are
+// deterministic functions of the explored state space, a resumed run
+// produces a byte-identical Result (timing aside) to an uninterrupted
+// one, at any worker count; violations are never checkpointed (a level
+// that finds one completes the run), so a killed run re-finds its
+// counterexample deterministically. On completion the checkpoint is
+// deleted; only a run killed mid-flight leaves one behind, which is
+// what makes always-pass-Resume kill/retry loops safe.
+//
+// POR runs checkpoint hierarchically: each per-block sub-run keeps its
+// own checkpoint under block-<b>/, and POR_MANIFEST.json accumulates
+// the numeric results of completed clean blocks. A block that finds a
+// violation stops all persistence — the remaining work is bounded by
+// the violation's depth, and a resumed run re-derives it.
+
+const (
+	snapMagic        = 0x3153434d // "MCS1" little-endian
+	ckptManifestName = "MANIFEST.json"
+	porManifestName  = "POR_MANIFEST.json"
+	ckptVersion      = 1
+)
+
+type ckptManifest struct {
+	Version     int        `json:"version"`
+	OptionsHash string     `json:"options_hash"`
+	Snap        string     `json:"snap"`
+	Runs        [][]string `json:"runs"` // per visited shard, in probe order
+}
+
+// optionsHash fingerprints everything that shapes the explored state
+// space, so a checkpoint is never resumed under different options.
+// Workers is deliberately absent: resuming with a different worker
+// count is legal and byte-identical.
+func optionsHash(o Options, porBlock int) string {
+	s := fmt.Sprintf("v%d|%s|p%d b%d w%d d%d|sym=%t tables=%t|por=%d|max=%d|budget=%d",
+		ckptVersion, o.Protocol.Name(), o.Procs, o.Blocks, o.Words, o.Depth,
+		o.Symmetry, !o.NoTables, porBlock, o.MaxStates, o.MemBudget)
+	return fmt.Sprintf("%016x", fnv1a(0, []byte(s)))
+}
+
+// resumePoint is a loaded checkpoint: counters plus the reconstructed
+// frontier.
+type resumePoint struct {
+	depth       int
+	states      int64
+	transitions int64
+	frontier    []stateID
+}
+
+// checkpointer owns one runCore's checkpoint directory.
+type checkpointer struct {
+	dir  string
+	hash string
+	snap string // current snapshot file name; "" before the first save
+	sub  bool   // dir is a per-block subdirectory we created
+}
+
+func newCheckpointer(o Options, porBlock int) (*checkpointer, error) {
+	c := &checkpointer{dir: o.CheckpointDir, hash: optionsHash(o, porBlock)}
+	if porBlock >= 0 {
+		c.dir = filepath.Join(o.CheckpointDir, fmt.Sprintf("block-%d", porBlock))
+		c.sub = true
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("mcheck: checkpoint dir: %w", err)
+	}
+	return c, nil
+}
+
+// load reads the checkpoint in c.dir into st, or returns nil if there
+// is none. A present checkpoint without Options.Resume is an error —
+// starting fresh would clobber it.
+func (c *checkpointer) load(st *spillStore, o Options) (*resumePoint, error) {
+	data, err := os.ReadFile(filepath.Join(c.dir, ckptManifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !o.Resume {
+		return nil, fmt.Errorf("mcheck: %s already holds a checkpoint; pass Resume to continue it or use a fresh directory", c.dir)
+	}
+	var m ckptManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("mcheck: checkpoint manifest: %w", err)
+	}
+	if m.Version != ckptVersion {
+		return nil, fmt.Errorf("mcheck: checkpoint version %d, want %d", m.Version, ckptVersion)
+	}
+	if m.OptionsHash != c.hash {
+		return nil, fmt.Errorf("mcheck: checkpoint was written under different options (hash %s, want %s)", m.OptionsHash, c.hash)
+	}
+	if len(m.Runs) != shardCount {
+		return nil, fmt.Errorf("mcheck: checkpoint manifest has %d shards, want %d", len(m.Runs), shardCount)
+	}
+	rp, _, err := readSnapshot(filepath.Join(c.dir, m.Snap), st)
+	if err != nil {
+		return nil, err
+	}
+	// Adopt the sealed runs: verify checksums (they crossed a process
+	// boundary), check they tile [0, sealed) exactly, and rebuild the
+	// in-memory fingerprint sets from their hash sections.
+	for s := range m.Runs {
+		sh := &st.shards[s]
+		next := uint64(0)
+		for _, name := range m.Runs[s] {
+			r, err := openRun(filepath.Join(c.dir, name), st.kw, true)
+			if err != nil {
+				return nil, err
+			}
+			sh.runs = append(sh.runs, r)
+			if r.base != next {
+				return nil, fmt.Errorf("mcheck: checkpoint shard %d: run %s starts at %d, want %d", s, name, r.base, next)
+			}
+			next = r.base + uint64(r.count)
+			hashes, err := r.readHashes()
+			if err != nil {
+				return nil, err
+			}
+			for _, h := range hashes {
+				sh.fp.add(h)
+			}
+		}
+		if next != uint64(sh.sealed) {
+			return nil, fmt.Errorf("mcheck: checkpoint shard %d: runs cover %d sealed states, snapshot says %d", s, next, sh.sealed)
+		}
+	}
+	c.snap = m.Snap
+	return rp, nil
+}
+
+// save checkpoints a completed level: snapshot first, manifest rename
+// second, garbage (previous snapshot, compacted-away runs) last.
+func (c *checkpointer) save(st *spillStore, depth int, states, transitions int64, frontStart []int) error {
+	snapName := fmt.Sprintf("snap-%06d.mcs", depth)
+	if err := writeSnapshot(filepath.Join(c.dir, snapName), st, depth, states, transitions, frontStart); err != nil {
+		return err
+	}
+	m := ckptManifest{Version: ckptVersion, OptionsHash: c.hash, Snap: snapName, Runs: make([][]string, shardCount)}
+	for s := range st.shards {
+		files := []string{}
+		for _, r := range st.shards[s].runs {
+			files = append(files, filepath.Base(r.path))
+		}
+		m.Runs[s] = files
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	mpath := filepath.Join(c.dir, ckptManifestName)
+	if err := writeFileSync(mpath+".tmp", data); err != nil {
+		return err
+	}
+	if err := os.Rename(mpath+".tmp", mpath); err != nil {
+		return err
+	}
+	syncDir(c.dir)
+	if c.snap != "" && c.snap != snapName {
+		os.Remove(filepath.Join(c.dir, c.snap))
+	}
+	c.snap = snapName
+	st.dropObsolete()
+	return nil
+}
+
+// finish removes the checkpoint after the exploration completes: a
+// finished run must not be resumable into a stale re-exploration.
+func (c *checkpointer) finish(st *spillStore) {
+	st.close()
+	os.Remove(filepath.Join(c.dir, ckptManifestName))
+	for _, pat := range []string{"snap-*.mcs", "snap-*.mcs.tmp", "run-*.mcr", "run-*.mcr.tmp", ckptManifestName + ".tmp"} {
+		matches, _ := filepath.Glob(filepath.Join(c.dir, pat))
+		for _, p := range matches {
+			os.Remove(p)
+		}
+	}
+	if c.sub {
+		os.Remove(c.dir)
+	}
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames within it are durable; best
+// effort (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// writeSnapshot serializes the store's live half plus counters:
+//
+//	u32 magic, u32 kw
+//	u64 depth, states, transitions, seals, nextSeq
+//	64 × shard: u64 sealed, u64 frontStart, u64 liveN,
+//	            liveN × (kw×8 key, u64 hash, 32-byte edge)
+//	u64 fnv-1a checksum of everything above
+func writeSnapshot(path string, st *spillStore, depth int, states, transitions int64, frontStart []int) (retErr error) {
+	f, err := os.OpenFile(path+".tmp", os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if retErr != nil {
+			f.Close()
+			os.Remove(path + ".tmp")
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var sum uint64
+	wr := func(p []byte) {
+		sum = fnv1a(sum, p)
+		bw.Write(p) // sticky error, checked at Flush
+	}
+	buf := make([]byte, 0, 1<<12)
+	buf = binary.LittleEndian.AppendUint32(buf, snapMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.kw))
+	for _, v := range []uint64{uint64(depth), uint64(states), uint64(transitions), uint64(st.seals), uint64(st.nextSeq)} {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	wr(buf)
+	var ebuf [runEdgeSz]byte
+	for s := range st.shards {
+		sh := &st.shards[s]
+		t := sh.live
+		buf = buf[:0]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.sealed))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(frontStart[s]))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.n))
+		wr(buf)
+		for i := 0; i < t.n; i++ {
+			buf = buf[:0]
+			for _, w := range t.key(i) {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, t.hashes[i])
+			putEdge(ebuf[:], t.edges[i])
+			buf = append(buf, ebuf[:]...)
+			wr(buf)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf[:0], sum)
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+// readSnapshot decodes a snapshot into st (live tables, sealed counts,
+// seal/seq counters) and returns the resume point plus the per-shard
+// frontier starts. Every field is bounds-checked against the file size
+// before it drives an allocation, and the checksum is verified first —
+// FuzzRunFileDecode feeds this arbitrary bytes.
+func readSnapshot(path string, st *spillStore) (*resumePoint, []int, error) {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("mcheck: snapshot %s: %s", path, fmt.Sprintf(format, args...))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	const hdrSz = 8 + 5*8
+	if len(data) < hdrSz+shardCount*24+8 {
+		return nil, nil, fail("short file (%d bytes)", len(data))
+	}
+	if got := fnv1a(0, data[:len(data)-8]); got != binary.LittleEndian.Uint64(data[len(data)-8:]) {
+		return nil, nil, fail("checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(data) != snapMagic {
+		return nil, nil, fail("bad magic")
+	}
+	if got := int(binary.LittleEndian.Uint32(data[4:])); got != st.kw {
+		return nil, nil, fail("key width %d, want %d", got, st.kw)
+	}
+	depth := binary.LittleEndian.Uint64(data[8:])
+	states := binary.LittleEndian.Uint64(data[16:])
+	transitions := binary.LittleEndian.Uint64(data[24:])
+	seals := binary.LittleEndian.Uint64(data[32:])
+	nextSeq := binary.LittleEndian.Uint64(data[40:])
+	if depth > 1<<20 || states > 1<<40 || transitions > 1<<50 || seals > 1<<32 || nextSeq > 1<<32 {
+		return nil, nil, fail("implausible counters")
+	}
+	body := data[:len(data)-8]
+	off := hdrSz
+	entSz := st.kw*8 + 8 + runEdgeSz
+	frontStart := make([]int, shardCount)
+	var frontier []stateID
+	for s := 0; s < shardCount; s++ {
+		if off+24 > len(body) {
+			return nil, nil, fail("truncated at shard %d header", s)
+		}
+		sealed := binary.LittleEndian.Uint64(body[off:])
+		fs := binary.LittleEndian.Uint64(body[off+8:])
+		liveN := binary.LittleEndian.Uint64(body[off+16:])
+		off += 24
+		if liveN > uint64((len(body)-off)/entSz) {
+			return nil, nil, fail("shard %d claims %d live entries beyond file size", s, liveN)
+		}
+		total := sealed + liveN
+		if total >= 1<<32 || fs < sealed || fs > total {
+			return nil, nil, fail("shard %d counts out of range (sealed %d, frontier %d, live %d)", s, sealed, fs, liveN)
+		}
+		sh := &st.shards[s]
+		sh.sealed = int(sealed)
+		frontStart[s] = int(fs)
+		key := make([]uint64, st.kw)
+		for i := uint64(0); i < liveN; i++ {
+			for j := 0; j < st.kw; j++ {
+				key[j] = binary.LittleEndian.Uint64(body[off+j*8:])
+			}
+			h := binary.LittleEndian.Uint64(body[off+st.kw*8:])
+			e := getEdge(body[off+st.kw*8+8:])
+			sh.live.insert(key, h, e)
+			off += entSz
+		}
+		for g := fs; g < total; g++ {
+			frontier = append(frontier, packID(s, int(g)))
+		}
+	}
+	if off != len(body) {
+		return nil, nil, fail("%d trailing bytes", len(body)-off)
+	}
+	st.seals = int(seals)
+	st.nextSeq = int(nextSeq)
+	return &resumePoint{
+		depth:       int(depth),
+		states:      int64(states),
+		transitions: int64(transitions),
+		frontier:    frontier,
+	}, frontStart, nil
+}
+
+// POR accumulator: the numeric results of completed clean per-block
+// sub-runs, persisted so a resumed POR check skips them.
+
+type porBlockResult struct {
+	States        int64 `json:"states"`
+	Transitions   int64 `json:"transitions"`
+	DepthReached  int   `json:"depth_reached"`
+	Truncated     bool  `json:"truncated"`
+	Exhausted     bool  `json:"exhausted"`
+	SpilledStates int64 `json:"spilled_states,omitempty"`
+	SpilledBytes  int64 `json:"spilled_bytes,omitempty"`
+	SpillRuns     int   `json:"spill_runs,omitempty"`
+	SpillSeals    int   `json:"spill_seals,omitempty"`
+}
+
+type porManifest struct {
+	Version     int              `json:"version"`
+	OptionsHash string           `json:"options_hash"`
+	Blocks      []porBlockResult `json:"blocks"`
+}
+
+type porAccum struct {
+	dir    string
+	hash   string
+	Blocks []porBlockResult
+}
+
+// loadPORAccum opens (creating if needed) the POR checkpoint directory
+// and loads the accumulated block results, mirroring checkpointer.load's
+// resume-if-present semantics.
+func loadPORAccum(o Options) (*porAccum, error) {
+	if err := os.MkdirAll(o.CheckpointDir, 0o755); err != nil {
+		return nil, fmt.Errorf("mcheck: checkpoint dir: %w", err)
+	}
+	a := &porAccum{dir: o.CheckpointDir, hash: optionsHash(o, -2)}
+	data, err := os.ReadFile(filepath.Join(a.dir, porManifestName))
+	if os.IsNotExist(err) {
+		return a, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !o.Resume {
+		return nil, fmt.Errorf("mcheck: %s already holds a checkpoint; pass Resume to continue it or use a fresh directory", a.dir)
+	}
+	var m porManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("mcheck: POR manifest: %w", err)
+	}
+	if m.Version != ckptVersion {
+		return nil, fmt.Errorf("mcheck: POR checkpoint version %d, want %d", m.Version, ckptVersion)
+	}
+	if m.OptionsHash != a.hash {
+		return nil, fmt.Errorf("mcheck: POR checkpoint was written under different options (hash %s, want %s)", m.OptionsHash, a.hash)
+	}
+	a.Blocks = m.Blocks
+	return a, nil
+}
+
+func (a *porAccum) save() error {
+	m := porManifest{Version: ckptVersion, OptionsHash: a.hash, Blocks: a.Blocks}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	p := filepath.Join(a.dir, porManifestName)
+	if err := writeFileSync(p+".tmp", data); err != nil {
+		return err
+	}
+	if err := os.Rename(p+".tmp", p); err != nil {
+		return err
+	}
+	syncDir(a.dir)
+	return nil
+}
+
+// finishPOR removes the POR checkpoint (manifest and any per-block
+// subdirectories) after the check completes.
+func finishPOR(dir string) {
+	os.Remove(filepath.Join(dir, porManifestName))
+	os.Remove(filepath.Join(dir, porManifestName+".tmp"))
+	matches, _ := filepath.Glob(filepath.Join(dir, "block-*"))
+	for _, p := range matches {
+		os.RemoveAll(p)
+	}
+}

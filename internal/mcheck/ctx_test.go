@@ -74,8 +74,8 @@ func TestProgressReportsEveryLevel(t *testing.T) {
 	res, err := Run(Options{
 		Protocol: protocol.MustNew("bitar"),
 		Procs:    2, Blocks: 1, Depth: 5, Workers: 2,
-		Progress: func(depth int, states, transitions int64) {
-			ticks = append(ticks, tick{depth, states, transitions})
+		Progress: func(p ProgressInfo) {
+			ticks = append(ticks, tick{p.Depth, p.States, p.Transitions})
 		},
 	})
 	if err != nil {

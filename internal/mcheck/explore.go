@@ -3,6 +3,7 @@ package mcheck
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,15 @@ func validate(o Options) error {
 	if o.Blocks < 1 || o.Blocks > 4 {
 		return fmt.Errorf("mcheck: blocks %d out of range [1,4]", o.Blocks)
 	}
+	if o.MemBudget < 0 {
+		return fmt.Errorf("mcheck: negative mem budget %d", o.MemBudget)
+	}
+	if o.Resume && o.CheckpointDir == "" {
+		return fmt.Errorf("mcheck: Resume requires CheckpointDir")
+	}
+	if o.CheckpointDir != "" && o.RecordArcs {
+		return fmt.Errorf("mcheck: RecordArcs does not compose with checkpointing (arcs are not serialized)")
+	}
 	return nil
 }
 
@@ -129,19 +139,63 @@ func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 		Procs:    o.Procs, Blocks: o.Blocks, Words: o.Words,
 		Depth: o.Depth, Workers: o.Workers, Symmetry: o.Symmetry,
 	}
-	finalize := func() *Result {
-		res.Elapsed = time.Since(start)
-		if s := res.Elapsed.Seconds(); s > 0 {
-			res.StatesPerSec = float64(res.States) / s
-		}
-		return res
-	}
 
 	machines := make([]*machine, o.Workers)
 	for i := range machines {
 		machines[i] = newMachine(o)
 	}
 	kw := machines[0].lay.total
+
+	// Visited-store plumbing. With a checkpoint directory, sealed runs
+	// live there so a resumed process can adopt them; with only a
+	// budget, they live in a throwaway temp dir. On completion — any
+	// verdict — the checkpoint is deleted (done flag), so a later
+	// Resume into the same directory starts fresh; on error it stays
+	// for a retry.
+	var ck *checkpointer
+	spillDir := ""
+	if o.CheckpointDir != "" {
+		var err error
+		ck, err = newCheckpointer(o, porBlock)
+		if err != nil {
+			return nil, nil, err
+		}
+		spillDir = ck.dir
+	} else if o.MemBudget > 0 {
+		dir, err := os.MkdirTemp("", "mcheck-spill-")
+		if err != nil {
+			return nil, nil, fmt.Errorf("mcheck: spill dir: %w", err)
+		}
+		spillDir = dir
+		defer os.RemoveAll(dir)
+	}
+	st := newSpillStore(kw, spillDir, o.MemBudget)
+	defer st.close()
+	done := false
+	if ck != nil {
+		defer func() {
+			if done {
+				ck.finish(st)
+			}
+		}()
+	}
+
+	finalize := func() *Result {
+		done = true
+		res.Elapsed = time.Since(start)
+		if s := res.Elapsed.Seconds(); s > 0 {
+			res.StatesPerSec = float64(res.States) / s
+		}
+		if o.MemBudget > 0 {
+			res.MemBudget = o.MemBudget
+			res.SpilledStates = st.spilledStates()
+			res.SpilledBytes = st.spilledBytes()
+			res.SpillRuns = st.runCount()
+			res.SpillSeals = st.seals
+		}
+		return res
+	}
+
 	root := machines[0].encodeKey()
 	if o.Symmetry {
 		// The initial state is fully symmetric, so canonicalization is
@@ -155,23 +209,38 @@ func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 		return finalize(), &cexOrd{}, nil
 	}
 
-	visited := make([]*shardTable, shardCount)
-	for i := range visited {
-		visited[i] = newShardTable(kw)
-	}
 	rootHash := hashKey(root)
-	rootShard := shardOfHash(rootHash)
-	rootID := packID(rootShard, visited[rootShard].insert(root, rootHash, edge{parent: noParent}))
-	res.States = 1
-	if o.stateHook != nil {
-		o.stateHook(root)
-	}
-
-	frontier := []stateID{rootID}
+	rootID := packID(shardOfHash(rootHash), 0) // the root is always its shard's first insert
+	startDepth := 1
+	var frontier []stateID
 	var transitions int64
+	resumed := false
+	if ck != nil {
+		rp, err := ck.load(st, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rp != nil {
+			resumed = true
+			res.States = rp.states
+			transitions = rp.transitions
+			res.DepthReached = rp.depth
+			frontier = rp.frontier
+			startDepth = rp.depth + 1
+		}
+	}
+	if !resumed {
+		st.insert(rootID.shard(), root, rootHash, edge{parent: noParent})
+		res.States = 1
+		frontier = []stateID{rootID}
+		if o.stateHook != nil {
+			o.stateHook(root)
+		}
+	}
+	statesAtStart := res.States
 	var ord *cexOrd
 
-	for depth := 1; depth <= o.Depth && len(frontier) > 0; depth++ {
+	for depth := startDepth; depth <= o.Depth && len(frontier) > 0; depth++ {
 		nw := o.Workers
 		if nw > len(frontier) {
 			nw = len(frontier)
@@ -179,6 +248,7 @@ func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 		workerCands := make([][][]candidate, nw) // [worker][shard][]candidate
 		workerSets := make([]*keySet, nw)
 		workerViol := make([]*violation, nw)
+		workerErr := make([]error, nw)
 		var cursor int64 = -1
 		var wg sync.WaitGroup
 		for w := 0; w < nw; w++ {
@@ -193,8 +263,10 @@ func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 					m.seen = seen
 				}
 				seen.reset()
+				sc := newProbeScratch(kw)
 				var localTransitions int64
 				var best *violation
+			scan:
 				for {
 					i := int(atomic.AddInt64(&cursor, 1))
 					if i >= len(frontier) {
@@ -207,7 +279,7 @@ func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 						break
 					}
 					id := frontier[i]
-					enc := visited[id.shard()].key(id.index())
+					enc := st.key(id)
 					m.restoreKey(enc)
 					acts := m.actions()
 					dirty := false
@@ -231,13 +303,33 @@ func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 						if m.canon != nil {
 							nk, _ = m.canon.canonicalize(nk)
 						}
-						h := hashKey(nk)
-						s := shardOfHash(h)
-						if visited[s].lookup(nk, h) >= 0 {
+						// Self-loop in the (possibly quotiented) state
+						// graph: the successor is the expanding state
+						// itself, visited by construction — skip without
+						// hashing or probing.
+						if equalKey(nk, enc) {
 							continue
 						}
+						h := hashKey(nk)
+						s := shardOfHash(h)
+						// Intra-level dedup before the visited probe: a
+						// key this worker already handled this level —
+						// whether it became a candidate or turned out
+						// visited — never needs a second probe, which
+						// matters once probes can touch sealed runs on
+						// disk. Order is equivalent to probing visited
+						// first: both paths skip, and candidates are
+						// only recorded below.
 						ki, fresh := seen.add(nk, h)
 						if !fresh {
+							continue
+						}
+						ok, err := st.contains(s, nk, h, sc)
+						if err != nil {
+							workerErr[w] = err
+							break scan
+						}
+						if ok {
 							continue
 						}
 						cands[s] = append(cands[s], candidate{
@@ -256,6 +348,11 @@ func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 			return nil, nil, fmt.Errorf("mcheck: exploration canceled at depth %d after %d states: %w",
 				depth, res.States, err)
 		}
+		for _, err := range workerErr {
+			if err != nil {
+				return nil, nil, fmt.Errorf("mcheck: visited-store probe at depth %d: %w", depth, err)
+			}
+		}
 
 		var best *violation
 		for _, v := range workerViol {
@@ -264,14 +361,17 @@ func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 			}
 		}
 		if best != nil {
-			pk := visited[best.parent.shard()].key(best.parent.index())
+			pk := st.key(best.parent)
 			ord = &cexOrd{
 				depth:     depth,
 				tshard:    best.parent.shard(),
 				parentKey: append([]uint64(nil), pk...),
 				ai:        best.ai,
 			}
-			trace := rebuildTrace(visited, rootID, best.parent)
+			trace, terr := rebuildTrace(st, rootID, best.parent)
+			if terr != nil {
+				return nil, nil, terr
+			}
 			trace = append(trace, best.act)
 			viols := best.violations
 			if o.Symmetry {
@@ -293,14 +393,21 @@ func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 		// least (frontier, action) parent wins; each shard then sorts
 		// its winners by key, making the next frontier's order — and
 		// with it every (pi, ai) of the next level — independent of how
-		// workers split this one.
+		// workers split this one. frontStart records each shard's count
+		// before the merge: the new frontier is exactly the global
+		// indices [frontStart[s], count(s)), which is what sealing and
+		// checkpointing key off.
+		frontStart := make([]int, shardCount)
+		for s := range frontStart {
+			frontStart[s] = st.count(s)
+		}
 		newByShard := make([][]stateID, shardCount)
 		var mwg sync.WaitGroup
 		for s := 0; s < shardCount; s++ {
 			mwg.Add(1)
 			go func(s int) {
 				defer mwg.Done()
-				newByShard[s] = mergeShard(visited[s], s, workerCands, workerSets)
+				newByShard[s] = mergeShard(st, s, workerCands, workerSets)
 			}(s)
 		}
 		mwg.Wait()
@@ -315,17 +422,43 @@ func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 		}
 		if o.stateHook != nil {
 			for _, id := range next {
-				o.stateHook(visited[id.shard()].key(id.index()))
+				o.stateHook(st.key(id))
 			}
 		}
 		res.States += added
 		res.DepthReached = depth
 		frontier = next
-		if o.Progress != nil {
-			o.Progress(depth, res.States, atomic.LoadInt64(&transitions))
-		}
 		if res.States >= int64(o.MaxStates) {
 			res.Truncated = true
+		}
+		// Seal over-budget shards now that the frontier boundary is
+		// known, then checkpoint the completed level. A truncated or
+		// drained run is complete — no checkpoint needed; obsolete
+		// compacted files are then dropped immediately.
+		if err := st.sealOver(frontStart); err != nil {
+			return nil, nil, err
+		}
+		if ck != nil && !res.Truncated && len(frontier) > 0 {
+			if err := ck.save(st, depth, res.States, atomic.LoadInt64(&transitions), frontStart); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			st.dropObsolete()
+		}
+		if o.Progress != nil {
+			info := ProgressInfo{
+				Depth: depth, States: res.States,
+				Transitions:  atomic.LoadInt64(&transitions),
+				RAMBytes:     st.ramBytes(),
+				SpilledBytes: st.spilledBytes(),
+				SpillRuns:    st.runCount(),
+			}
+			if s := time.Since(start).Seconds(); s > 0 {
+				info.StatesPerSec = float64(res.States-statesAtStart) / s
+			}
+			o.Progress(info)
+		}
+		if res.Truncated {
 			break
 		}
 	}
@@ -347,11 +480,11 @@ func runCore(o Options, porBlock int) (*Result, *cexOrd, error) {
 }
 
 // mergeShard folds every worker's candidates for shard s into the
-// shard's visited table: duplicates resolve to the least (pi, ai)
+// shard's visited store: duplicates resolve to the least (pi, ai)
 // candidate, winners are inserted in key order, and their state IDs
 // are returned in that order. The result depends only on the candidate
 // sets, not on how workers partitioned the frontier.
-func mergeShard(t *shardTable, s int, workerCands [][][]candidate, workerSets []*keySet) []stateID {
+func mergeShard(st *spillStore, s int, workerCands [][][]candidate, workerSets []*keySet) []stateID {
 	total := 0
 	for w := range workerCands {
 		total += len(workerCands[w][s])
@@ -398,7 +531,7 @@ func mergeShard(t *shardTable, s int, workerCands [][][]candidate, workerSets []
 	})
 	ids := make([]stateID, len(winners))
 	for i, wi := range winners {
-		idx := t.insert(workerSets[wi.w].key(int(wi.cand.keyIdx)), wi.cand.hash,
+		idx := st.insert(s, workerSets[wi.w].key(int(wi.cand.keyIdx)), wi.cand.hash,
 			edge{parent: wi.cand.parent, act: wi.cand.act})
 		ids[i] = packID(s, idx)
 	}
@@ -406,16 +539,21 @@ func mergeShard(t *shardTable, s int, workerCands [][][]candidate, workerSets []
 }
 
 // rebuildTrace walks parent edges from id back to the root and returns
-// the action sequence in execution order.
-func rebuildTrace(visited []*shardTable, rootID, id stateID) []Action {
+// the action sequence in execution order. Edges of sealed entries are
+// read back from their runs — one pread per hop.
+func rebuildTrace(st *spillStore, rootID, id stateID) ([]Action, error) {
+	sc := newProbeScratch(st.kw)
 	var rev []Action
 	for id != rootID {
-		e := visited[id.shard()].edges[id.index()]
+		e, err := st.edgeOf(id, sc)
+		if err != nil {
+			return nil, err
+		}
 		rev = append(rev, e.act)
 		id = e.parent
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev
+	return rev, nil
 }

@@ -1,0 +1,170 @@
+package mcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cachesync/internal/protocol"
+	_ "cachesync/internal/protocol/all"
+)
+
+// fuzzKW is the key width every fuzzed decoder runs at. Width
+// mismatches are part of what the decoders must reject, so corpus
+// bytes written at other widths are still useful inputs.
+const fuzzKW = 3
+
+// fuzzSessionOptions builds the session whose loadSession the fuzzer
+// drives; its key layout must be stable, not pretty (kw here is
+// whatever bitar p2 b2 w2 packs to, not fuzzKW).
+func fuzzSessionOptions() Options {
+	return Options{Protocol: protocol.MustNew("bitar"), Procs: 2, Blocks: 2, Words: 2, Depth: 3, Workers: 1}
+}
+
+// FuzzRunFileDecode throws arbitrary bytes at every on-disk decoder of
+// the spill/checkpoint layer — sealed run files, checkpoint snapshots,
+// and shard-session snapshots, selected by the first input byte. Each
+// decoder may reject the input (they almost always must) but may never
+// panic, hang, or allocate unboundedly: all three read length fields
+// from the file and the bounds checks on those are exactly what this
+// target exercises.
+func FuzzRunFileDecode(f *testing.F) {
+	f.Fuzz(func(t *testing.T, which byte, data []byte) {
+		dir := t.TempDir()
+		switch which % 3 {
+		case 0:
+			path := filepath.Join(dir, "fuzz.mcr")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r, err := openRun(path, fuzzKW, true)
+			if err == nil {
+				// A file that passes verification must also scan cleanly.
+				var sc probeScratch
+				if it, err := newRunIter(r); err == nil {
+					for {
+						key, _, ok, err := it.next()
+						if err != nil || !ok {
+							break
+						}
+						if _, err := r.probe(key, &sc); err != nil {
+							break
+						}
+					}
+				}
+				r.close()
+			}
+		case 1:
+			path := filepath.Join(dir, "fuzz.mcs")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st := newSpillStore(fuzzKW, dir, 0)
+			_, _, _ = readSnapshot(path, st)
+		case 2:
+			s, err := NewShardSession(fuzzSessionOptions(), 0, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetCheckpointDir(dir, true); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, sessFileName), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _ = s.loadSession()
+		}
+	})
+}
+
+// TestRegenerateFuzzSeeds rewrites the committed seed corpus under
+// testdata/fuzz/FuzzRunFileDecode from freshly encoded valid files —
+// one per decoder — so the fuzzer starts from inputs that reach deep
+// past the header checks. Run with MCHECK_WRITE_FUZZ_SEEDS=1 after an
+// on-disk format change; it is a no-op otherwise.
+func TestRegenerateFuzzSeeds(t *testing.T) {
+	if os.Getenv("MCHECK_WRITE_FUZZ_SEEDS") == "" {
+		t.Skip("set MCHECK_WRITE_FUZZ_SEEDS=1 to regenerate the seed corpus")
+	}
+	corpusDir := filepath.Join("testdata", "fuzz", "FuzzRunFileDecode")
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeSeed := func(name string, which byte, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\nbyte(%q)\n[]byte(%q)\n", which, data)
+		if err := os.WriteFile(filepath.Join(corpusDir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+
+	// Seed 0: a sealed run file with enough keys for delta blocks.
+	w, err := newRunWriter(dir, 1, fuzzKW, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []byte
+	var ebuf [runEdgeSz]byte
+	cur := make([]uint64, fuzzKW)
+	for i := 0; i < 200; i++ {
+		cur[0] += 1 + uint64(i%7)
+		cur[1] = uint64(i) * 3
+		if err := w.add(cur, hashKey(cur)); err != nil {
+			t.Fatal(err)
+		}
+		putEdge(ebuf[:], edge{parent: packID(i%shardCount, i), act: Action{Proc: i % 2}})
+		edges = append(edges, ebuf[:]...)
+	}
+	if err := w.finish(edges); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSeed("seed-runfile", 0, data)
+
+	// Seed 1: a checkpoint snapshot of a small live store.
+	st := newSpillStore(fuzzKW, dir, 0)
+	key := make([]uint64, fuzzKW)
+	for i := 0; i < 50; i++ {
+		key[0] = uint64(i) + 1
+		key[2] = uint64(i * i)
+		h := hashKey(key)
+		st.shards[shardOfHash(h)].live.insert(key, h, edge{parent: noParent})
+	}
+	snapPath := filepath.Join(dir, "seed.mcs")
+	if err := writeSnapshot(snapPath, st, 2, 50, 199, make([]int, shardCount)); err != nil {
+		t.Fatal(err)
+	}
+	if data, err = os.ReadFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	writeSeed("seed-snapshot", 1, data)
+
+	// Seed 2: a shard-session snapshot, written by a real Open+Absorb
+	// so it has states, ext edges, and a frontier.
+	sessDir := filepath.Join(dir, "sess")
+	s, err := NewShardSession(fuzzSessionOptions(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetCheckpointDir(sessDir, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Absorb(1, ex.Out[0]); err != nil {
+		t.Fatal(err)
+	}
+	if data, err = os.ReadFile(filepath.Join(sessDir, sessFileName)); err != nil {
+		t.Fatal(err)
+	}
+	writeSeed("seed-session", 2, data)
+}

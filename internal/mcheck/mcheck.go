@@ -45,7 +45,10 @@ type Options struct {
 	// Protocol is the scheme under check (possibly wrapped by Mutate
 	// for fault-injection testing).
 	Protocol protocol.Protocol
-	// Procs is the number of caches/processors (2–4).
+	// Procs is the number of caches/processors (1–8). Symmetry
+	// reduction canonicalizes over all Procs! permutations, so its
+	// per-state cost grows factorially; p=5 (120 orbits) is the widest
+	// configuration exercised by the test suite.
 	Procs int
 	// Blocks is the number of distinct memory blocks in the universe.
 	Blocks int
@@ -83,15 +86,37 @@ type Options struct {
 	// Exhausted/DepthReached cover the union of the per-block runs.
 	// Composes with Symmetry.
 	POR bool
+	// MemBudget, when positive, bounds the visited set's in-memory
+	// bytes: each of the 64 shards gets MemBudget/64, and a shard that
+	// crosses it at a level boundary seals its non-frontier entries
+	// into a sorted, delta+varint-compressed immutable run on disk
+	// (see spill.go), keeping one 64-bit fingerprint per sealed state
+	// in RAM. Verdicts, counterexamples, and counts are identical to
+	// the in-memory run; only disk usage and speed differ. 0 keeps the
+	// whole visited set in memory.
+	MemBudget int64
+	// CheckpointDir, when set, enables checkpoint/resume: after every
+	// completed BFS level the frontier, live visited tables, sealed-run
+	// manifest, and counters are atomically serialized into this
+	// directory (spilled runs live there too). A run killed mid-flight
+	// can be resumed with Resume and produces a byte-identical Result.
+	// Does not compose with RecordArcs.
+	CheckpointDir string
+	// Resume, with CheckpointDir, resumes from the checkpoint in the
+	// directory if one exists (same options required), and starts
+	// fresh otherwise — so a caller can always pass Resume and get
+	// at-most-once exploration of each level.
+	Resume bool
 	// Context, when non-nil, cancels the exploration: every BFS worker
 	// polls it per frontier state, so a deadline or Ctrl-C aborts
 	// mid-level rather than after the frontier drains. Run then returns
 	// an error wrapping ctx.Err() (test with errors.Is).
 	Context context.Context
 	// Progress, when set, is called from the coordinating goroutine
-	// after every completed BFS level with the cumulative state and
-	// transition counts — the daemon streams these to job watchers.
-	Progress func(depth int, states, transitions int64)
+	// after every completed BFS level with the cumulative counts and
+	// the visited-store footprint — the daemon streams these to job
+	// watchers and cmd/mcheck -progress renders them.
+	Progress func(ProgressInfo)
 
 	// stateHook, when set, is called once for every distinct visited
 	// state with its packed key (the canonical key under Symmetry).
@@ -124,6 +149,24 @@ func (o *Options) withDefaults() Options {
 		out.Words = 1
 	}
 	return out
+}
+
+// ProgressInfo is the per-level snapshot passed to Options.Progress.
+type ProgressInfo struct {
+	// Depth is the just-completed BFS level.
+	Depth int
+	// States and Transitions are cumulative (across a resume, too).
+	States      int64
+	Transitions int64
+	// StatesPerSec is the exploration rate of this process (states
+	// explored since start or resume over wall time).
+	StatesPerSec float64
+	// RAMBytes approximates the visited store's in-memory footprint
+	// (live tables + sealed fingerprints); SpilledBytes and SpillRuns
+	// describe the sealed runs on disk (zero without MemBudget).
+	RAMBytes     int64
+	SpilledBytes int64
+	SpillRuns    int
 }
 
 // ActionKind discriminates the two step families.
@@ -203,4 +246,14 @@ type Result struct {
 	StatesPerSec   float64         `json:"states_per_sec"`
 	Counterexample *Counterexample `json:"counterexample,omitempty"`
 	Arcs           []ObservedArc   `json:"-"`
+
+	// Spill statistics, set only when MemBudget was positive. They are
+	// deterministic — seals fire at level boundaries from byte counts
+	// that do not depend on worker scheduling — so they participate in
+	// the byte-identity contracts like every other non-timing field.
+	MemBudget     int64 `json:"mem_budget,omitempty"`
+	SpilledStates int64 `json:"spilled_states,omitempty"` // states sealed to disk at the end
+	SpilledBytes  int64 `json:"spilled_bytes,omitempty"`  // on-disk run bytes at the end
+	SpillRuns     int   `json:"spill_runs,omitempty"`     // run files at the end
+	SpillSeals    int   `json:"spill_seals,omitempty"`    // seal events over the whole run
 }

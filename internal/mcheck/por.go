@@ -78,10 +78,70 @@ func runPOR(o Options) (*Result, error) {
 	depthLimit := o.Depth
 	exhausted := true
 	var arcRuns [][]ObservedArc
-	for b := 0; b < o.Blocks; b++ {
+
+	// Checkpointing: each sub-run checkpoints under block-<b>/ and the
+	// accumulator persists completed clean blocks' numbers, so a
+	// resumed POR check replays neither. On completion (done) the whole
+	// POR checkpoint is removed. A violation stops persistence — see
+	// checkpoint.go.
+	var acc *porAccum
+	done := false
+	if o.CheckpointDir != "" {
+		var err error
+		acc, err = loadPORAccum(o)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			if done {
+				finishPOR(o.CheckpointDir)
+			}
+		}()
+		for i := range acc.Blocks {
+			br := &acc.Blocks[i]
+			if i == 0 {
+				res.States = br.States
+			} else {
+				res.States += br.States - 1
+			}
+			res.Transitions += br.Transitions
+			if br.Truncated {
+				res.Truncated = true
+			}
+			if br.DepthReached > res.DepthReached {
+				res.DepthReached = br.DepthReached
+			}
+			if !br.Exhausted {
+				exhausted = false
+			}
+			res.SpilledStates += br.SpilledStates
+			res.SpilledBytes += br.SpilledBytes
+			res.SpillRuns += br.SpillRuns
+			res.SpillSeals += br.SpillSeals
+		}
+	}
+	finish := func() *Result {
+		done = true
+		if o.MemBudget > 0 {
+			res.MemBudget = o.MemBudget
+		}
+		return finalize()
+	}
+	startBlock := 0
+	if acc != nil {
+		startBlock = len(acc.Blocks)
+	}
+
+	for b := startBlock; b < o.Blocks; b++ {
 		so := o
 		so.POR = false
 		so.Depth = depthLimit
+		if acc == nil {
+			// Either checkpointing is off, or a violation ended
+			// persistence; sub-runs from here on run unchckpointed.
+			so.CheckpointDir = ""
+			so.Resume = false
+		}
 		// Sub-runs share one MaxStates budget; the root is counted
 		// once globally but revisited by every sub-run.
 		so.MaxStates = o.MaxStates - int(res.States) + 1
@@ -107,8 +167,10 @@ func runPOR(o Options) (*Result, error) {
 			if b > 0 {
 				rootDup = 1
 			}
-			so.Progress = func(depth int, states, transitions int64) {
-				o.Progress(depth, prevS+states-rootDup, prevT+transitions)
+			so.Progress = func(p ProgressInfo) {
+				p.States = prevS + p.States - rootDup
+				p.Transitions = prevT + p.Transitions
+				o.Progress(p)
 			}
 		}
 		sub, ord, err := runCore(so, b)
@@ -130,6 +192,10 @@ func runPOR(o Options) (*Result, error) {
 		if sub.Counterexample == nil && !sub.Exhausted {
 			exhausted = false
 		}
+		res.SpilledStates += sub.SpilledStates
+		res.SpilledBytes += sub.SpilledBytes
+		res.SpillRuns += sub.SpillRuns
+		res.SpillSeals += sub.SpillSeals
 		if sub.Arcs != nil {
 			arcRuns = append(arcRuns, sub.Arcs)
 		}
@@ -140,7 +206,7 @@ func runPOR(o Options) (*Result, error) {
 				res.States = 1
 				res.DepthReached = 0
 				res.Truncated = false
-				return finalize(), nil
+				return finish(), nil
 			}
 			if best == nil || ord.before(best.ord) {
 				best = &found{ord: *ord, cex: sub.Counterexample}
@@ -149,6 +215,18 @@ func runPOR(o Options) (*Result, error) {
 			// one at a greater depth, so tighten the bound.
 			if ord.depth < depthLimit {
 				depthLimit = ord.depth
+			}
+			acc = nil
+		} else if acc != nil {
+			acc.Blocks = append(acc.Blocks, porBlockResult{
+				States: sub.States, Transitions: sub.Transitions,
+				DepthReached: sub.DepthReached, Truncated: sub.Truncated,
+				Exhausted:     sub.Exhausted,
+				SpilledStates: sub.SpilledStates, SpilledBytes: sub.SpilledBytes,
+				SpillRuns: sub.SpillRuns, SpillSeals: sub.SpillSeals,
+			})
+			if err := acc.save(); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -162,7 +240,7 @@ func runPOR(o Options) (*Result, error) {
 	if o.RecordArcs {
 		res.Arcs = mergeArcs(arcRuns)
 	}
-	return finalize(), nil
+	return finish(), nil
 }
 
 // mergeArcs unions per-run observed arcs, first sighting winning —

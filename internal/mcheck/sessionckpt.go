@@ -1,0 +1,225 @@
+package mcheck
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Shard-session checkpointing. A distributed check's sessions are
+// in-memory state pinned to one replica each; losing the replica used
+// to lose the whole fleet check. With a checkpoint directory set
+// (serve wires Config.ShardCheckpointRoot through; the root must be
+// storage every replica can reach), a session snapshots itself after
+// Open and after every Absorb — the only mutating phases — so the
+// coordinator can re-open it with resume on a healthy replica and
+// retry the failed call. The snapshot is one file, replaced by
+// tmp+rename, holding everything Expand/Absorb/TraceHop read: the
+// visited tables in insertion order (state IDs must survive the move —
+// other sessions hold them as parent pointers), the cross-session
+// parent edges, the frontier, and the (seq, lastAdded) pair that makes
+// an Absorb retry idempotent.
+
+const (
+	sessMagic    = 0x3353434d // "MCS3"
+	sessFileName = "session.mss"
+)
+
+// sessionHash pins a snapshot to its exploration: the single-run
+// options hash extended with the session coordinates. A snapshot
+// written by a different configuration or a different shard index
+// must never restore.
+func sessionHash(o Options, self, total int) string {
+	return fmt.Sprintf("%s|sess%d/%d", optionsHash(o, -1), self, total)
+}
+
+// SetCheckpointDir enables checkpointing into dir; resume makes the
+// next Open restore an existing snapshot instead of seeding. Must be
+// called before Open.
+func (s *ShardSession) SetCheckpointDir(dir string, resume bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("mcheck: session checkpoint dir: %w", err)
+	}
+	s.ckptDir = dir
+	s.resume = resume
+	return nil
+}
+
+// DiscardCheckpoint removes the session's snapshot and its directory;
+// called when the distributed check completes and the session closes.
+func (s *ShardSession) DiscardCheckpoint() {
+	if s.ckptDir == "" {
+		return
+	}
+	s.removeSessionFile()
+	os.Remove(s.ckptDir)
+}
+
+func (s *ShardSession) removeSessionFile() {
+	os.Remove(filepath.Join(s.ckptDir, sessFileName))
+	os.Remove(filepath.Join(s.ckptDir, sessFileName+".tmp"))
+}
+
+// saveSession writes the snapshot:
+//
+//	u32 magic, u32 kw
+//	u32 hashLen, hashLen bytes  session hash
+//	u64 seq, u64 lastAdded
+//	64 × shard: u64 n, n × (kw×8 key, u64 hash,
+//	            32-byte edge, u32 parentSess two's-complement)
+//	u32 frontLen, frontLen × u64 packed state IDs
+//	u64 fnv-1a checksum of everything above
+func (s *ShardSession) saveSession() error {
+	hash := sessionHash(s.o, s.self, s.total)
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, sessMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.kw))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hash)))
+	buf = append(buf, hash...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.seq))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.lastAdded))
+	var ebuf [runEdgeSz]byte
+	for ts := 0; ts < shardCount; ts++ {
+		t := s.visited[ts]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.n))
+		for i := 0; i < t.n; i++ {
+			for _, w := range t.key(i) {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, t.hashes[i])
+			e := s.ext[ts][i]
+			putEdge(ebuf[:], edge{parent: e.parent, act: e.act})
+			buf = append(buf, ebuf[:]...)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.parentSess))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.front)))
+	for _, id := range s.front {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, fnv1a(0, buf))
+
+	path := filepath.Join(s.ckptDir, sessFileName)
+	if err := writeFileSync(path+".tmp", buf); err != nil {
+		return err
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return err
+	}
+	syncDir(s.ckptDir)
+	return nil
+}
+
+// loadSession restores a snapshot if one exists. Returns false when
+// the directory holds none. Every field is bounds-checked before it
+// drives an allocation, and the checksum is verified first —
+// FuzzRunFileDecode feeds this arbitrary bytes.
+func (s *ShardSession) loadSession() (bool, error) {
+	path := filepath.Join(s.ckptDir, sessFileName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("mcheck: session snapshot %s: %s", path, fmt.Sprintf(format, args...))
+	}
+	if len(data) < 32 {
+		return false, fail("truncated (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-8], data[len(data)-8:]
+	if got, want := binary.LittleEndian.Uint64(tail), fnv1a(0, body); got != want {
+		return false, fail("checksum mismatch")
+	}
+	off := 0
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(body[off:]); off += 4; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(body[off:]); off += 8; return v }
+	need := func(n int) bool { return len(body)-off >= n }
+	if u32() != sessMagic {
+		return false, fail("bad magic")
+	}
+	if kw := u32(); int(kw) != s.kw {
+		return false, fail("key width %d, want %d", kw, s.kw)
+	}
+	hlen := u32()
+	if hlen > 4096 || !need(int(hlen)) {
+		return false, fail("bad hash length %d", hlen)
+	}
+	wantHash := sessionHash(s.o, s.self, s.total)
+	if got := string(body[off : off+int(hlen)]); got != wantHash {
+		return false, fmt.Errorf("mcheck: session snapshot %s was written under different options or coordinates (hash %s, want %s)", path, got, wantHash)
+	}
+	off += int(hlen)
+	if !need(16) {
+		return false, fail("truncated counters")
+	}
+	seq := int64(u64())
+	lastAdded := int64(u64())
+	if seq < 0 || lastAdded < 0 {
+		return false, fail("negative counters")
+	}
+
+	entSz := s.kw*8 + 8 + runEdgeSz + 4
+	total := 0
+	for ts := 0; ts < shardCount; ts++ {
+		if !need(8) {
+			return false, fail("truncated shard header %d", ts)
+		}
+		n := u64()
+		if n > uint64((len(body)-off)/entSz) {
+			return false, fail("shard %d claims %d entries", ts, n)
+		}
+		total += int(n)
+		if total >= 1<<32 {
+			return false, fail("implausible entry total")
+		}
+		t := newShardTable(s.kw)
+		ext := make([]extEdge, 0, n)
+		key := make([]uint64, s.kw)
+		for i := uint64(0); i < n; i++ {
+			for w := range key {
+				key[w] = u64()
+			}
+			h := u64()
+			e := getEdge(body[off:])
+			off += runEdgeSz
+			ps := int32(u32())
+			if ps < -1 || int(ps) >= s.total {
+				return false, fail("shard %d entry %d: parent session %d", ts, i, ps)
+			}
+			if t.lookup(key, h) >= 0 {
+				return false, fail("shard %d entry %d: duplicate key", ts, i)
+			}
+			t.insert(key, h, edge{})
+			ext = append(ext, extEdge{parentSess: ps, parent: e.parent, act: e.act})
+		}
+		s.visited[ts] = t
+		s.ext[ts] = ext
+	}
+	if !need(4) {
+		return false, fail("truncated frontier header")
+	}
+	fn := u32()
+	if !need(int(fn)*8) || int64(fn) != lastAdded && seq > 0 {
+		return false, fail("frontier length %d, lastAdded %d", fn, lastAdded)
+	}
+	front := make([]stateID, 0, fn)
+	for i := uint32(0); i < fn; i++ {
+		id := stateID(u64())
+		ts, idx := id.shard(), id.index()
+		if ts < 0 || ts >= shardCount || idx >= s.visited[ts].n {
+			return false, fail("frontier entry %d out of range", i)
+		}
+		front = append(front, id)
+	}
+	if off != len(body) {
+		return false, fail("%d trailing bytes", len(body)-off)
+	}
+	s.front = front
+	s.seq = seq
+	s.lastAdded = lastAdded
+	return true, nil
+}

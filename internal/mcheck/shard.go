@@ -104,6 +104,12 @@ type ShardOpenReply struct {
 	Root           bool     `json:"root"` // this session owns the initial state
 	Workers        int      `json:"workers"`
 	RootViolations []string `json:"root_violations,omitempty"`
+	// Resumed reports that the session restored itself from a
+	// checkpoint instead of seeding fresh; Seq is the last absorbed
+	// level. A coordinator re-dispatching a dead replica's session
+	// verifies Seq against its own progress before trusting the peer.
+	Resumed bool  `json:"resumed,omitempty"`
+	Seq     int64 `json:"seq,omitempty"`
 }
 
 // ShardViolation is a violating transition found during expansion.
@@ -124,9 +130,11 @@ type ShardExpandReply struct {
 	Violation   *ShardViolation `json:"violation,omitempty"`
 }
 
-// ShardAbsorbReply reports how many mailed candidates were new.
+// ShardAbsorbReply reports how many mailed candidates were new. Seq
+// echoes the absorbed level so a coordinator can detect replays.
 type ShardAbsorbReply struct {
 	Added int64 `json:"added"`
+	Seq   int64 `json:"seq"`
 }
 
 // ShardHopReply is one backward step of cross-shard trace rebuilding.
@@ -142,7 +150,9 @@ type ShardHopReply struct {
 type ShardPeer interface {
 	Open() (*ShardOpenReply, error)
 	Expand() (*ShardExpandReply, error)
-	Absorb(cands []WireCand) (*ShardAbsorbReply, error)
+	// Absorb folds one level's candidates in; seq is the level number
+	// (1-based), making retries after a session re-dispatch idempotent.
+	Absorb(seq int64, cands []WireCand) (*ShardAbsorbReply, error)
 	TraceHop(id uint64) (*ShardHopReply, error)
 	Close() error
 }
@@ -166,6 +176,16 @@ type ShardSession struct {
 	ext     [][]extEdge // parallel to each shardTable's entries
 	front   []stateID
 	seen    *keySet
+
+	// Checkpointing (sessionckpt.go): with ckptDir set, the session
+	// snapshots itself after Open and after every Absorb, so a
+	// coordinator can re-dispatch it to another replica when this one
+	// dies. seq counts absorbed levels; lastAdded makes an Absorb
+	// retry after a re-dispatch idempotent.
+	ckptDir   string
+	resume    bool
+	seq       int64
+	lastAdded int64
 }
 
 // NewShardSession builds session shard self of total for one
@@ -177,6 +197,9 @@ func NewShardSession(opts Options, self, total int) (*ShardSession, error) {
 	}
 	if o.POR {
 		return nil, fmt.Errorf("mcheck: POR does not compose with sharded exploration")
+	}
+	if o.MemBudget > 0 {
+		return nil, fmt.Errorf("mcheck: MemBudget does not compose with sharded exploration (spilling is per-process)")
 	}
 	if total < 1 || self < 0 || self >= total {
 		return nil, fmt.Errorf("mcheck: shard %d/%d out of range", self, total)
@@ -193,7 +216,9 @@ func NewShardSession(opts Options, self, total int) (*ShardSession, error) {
 }
 
 // Open seeds the initial state into its owning session and reports
-// root invariant violations.
+// root invariant violations. With a checkpoint directory set and
+// resume requested, an existing session snapshot is restored instead
+// of seeding — the re-dispatch path after a replica death.
 func (s *ShardSession) Open() (*ShardOpenReply, error) {
 	reply := &ShardOpenReply{Workers: s.o.Workers}
 	root := s.m.encodeKey()
@@ -204,12 +229,36 @@ func (s *ShardSession) Open() (*ShardOpenReply, error) {
 		reply.RootViolations = v
 	}
 	h := hashKey(root)
-	if sessionShardOf(h, s.total) == s.self {
+	owns := sessionShardOf(h, s.total) == s.self
+	if s.ckptDir != "" {
+		if s.resume {
+			ok, err := s.loadSession()
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				reply.Root = owns
+				reply.Resumed = true
+				reply.Seq = s.seq
+				return reply, nil
+			}
+		} else {
+			// A fresh open owns the directory: drop any stale snapshot a
+			// crashed earlier session with the same name left behind.
+			s.removeSessionFile()
+		}
+	}
+	if owns {
 		ts := shardOfHash(h)
 		idx := s.visited[ts].insert(root, h, edge{parent: noParent})
 		s.ext[ts] = append(s.ext[ts], extEdge{parentSess: -1})
 		s.front = []stateID{packID(ts, idx)}
 		reply.Root = true
+	}
+	if s.ckptDir != "" {
+		if err := s.saveSession(); err != nil {
+			return nil, err
+		}
 	}
 	return reply, nil
 }
@@ -271,8 +320,17 @@ func (s *ShardSession) Expand() (*ShardExpandReply, error) {
 // Absorb folds the level's candidates owned by this session into its
 // visited slice: per state the least-ordinal discoverer wins, new
 // states insert in (table shard, key) order, and they become the next
-// frontier slice.
-func (s *ShardSession) Absorb(cands []WireCand) (*ShardAbsorbReply, error) {
+// frontier slice. seq is the level number: a retry of the last
+// absorbed level (after a coordinator re-dispatched this session)
+// returns the recorded reply without reapplying; anything else out of
+// order is an error.
+func (s *ShardSession) Absorb(seq int64, cands []WireCand) (*ShardAbsorbReply, error) {
+	if seq == s.seq && seq > 0 {
+		return &ShardAbsorbReply{Added: s.lastAdded, Seq: s.seq}, nil
+	}
+	if seq != s.seq+1 {
+		return nil, fmt.Errorf("mcheck: shard %d: absorb seq %d, session at %d", s.self, seq, s.seq)
+	}
 	for i := range cands {
 		if len(cands[i].Key) != s.kw || len(cands[i].Ord.ParentKey) != s.kw {
 			return nil, fmt.Errorf("mcheck: shard %d: candidate key width mismatch", s.self)
@@ -307,7 +365,14 @@ func (s *ShardSession) Absorb(cands []WireCand) (*ShardAbsorbReply, error) {
 		})
 		s.front = append(s.front, packID(ts, idx))
 	}
-	return &ShardAbsorbReply{Added: int64(len(s.front))}, nil
+	s.seq = seq
+	s.lastAdded = int64(len(s.front))
+	if s.ckptDir != "" {
+		if err := s.saveSession(); err != nil {
+			return nil, err
+		}
+	}
+	return &ShardAbsorbReply{Added: s.lastAdded, Seq: s.seq}, nil
 }
 
 // TraceHop resolves one owned state to its discovering action and
@@ -434,7 +499,7 @@ func RunSharded(opts Options, peers []ShardPeer) (*Result, error) {
 			for _, er := range expands {
 				in = append(in, er.Out[d]...)
 			}
-			reply, err := p.Absorb(in)
+			reply, err := p.Absorb(int64(depth), in)
 			if err != nil {
 				return nil, fmt.Errorf("mcheck: shard %d absorb at depth %d: %w", d, depth, err)
 			}
@@ -443,7 +508,11 @@ func RunSharded(opts Options, peers []ShardPeer) (*Result, error) {
 		res.States += frontier
 		res.DepthReached = depth
 		if o.Progress != nil {
-			o.Progress(depth, res.States, res.Transitions)
+			info := ProgressInfo{Depth: depth, States: res.States, Transitions: res.Transitions}
+			if s := time.Since(start).Seconds(); s > 0 {
+				info.StatesPerSec = float64(res.States) / s
+			}
+			o.Progress(info)
 		}
 		if res.States >= int64(o.MaxStates) {
 			res.Truncated = true

@@ -81,6 +81,13 @@ type Config struct {
 	// while the daemon drains — exactly what debugging an overloaded
 	// or draining daemon needs.
 	Pprof bool
+	// ShardCheckpointRoot, when set, makes hosted shard sessions
+	// checkpoint themselves under <root>/<session>/ after every
+	// mutating phase, and lets an open with "resume" restore a
+	// session another replica lost. Point every replica in a fleet at
+	// the same (shared) root to make distributed checks survive
+	// replica death.
+	ShardCheckpointRoot string
 }
 
 func (c Config) withDefaults() Config {
@@ -580,8 +587,8 @@ func (cr CheckRequest) validate() error {
 			return err
 		}
 	}
-	if cr.Procs < 2 || cr.Procs > 4 {
-		return fmt.Errorf("procs %d out of range [2,4]", cr.Procs)
+	if cr.Procs < 2 || cr.Procs > 5 {
+		return fmt.Errorf("procs %d out of range [2,5]", cr.Procs)
 	}
 	if cr.Blocks < 1 || cr.Blocks > 2 {
 		return fmt.Errorf("blocks %d out of range [1,2]", cr.Blocks)
@@ -655,8 +662,8 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Workers = s.cfg.Workers
 		opts.Context = ctx
-		opts.Progress = func(depth int, states, transitions int64) {
-			jb.emitf("progress", "depth %d: %d states, %d transitions", depth, states, transitions)
+		opts.Progress = func(p mcheck.ProgressInfo) {
+			jb.emitf("progress", "depth %d: %d states, %d transitions", p.Depth, p.States, p.Transitions)
 		}
 		res, err := mcheck.Run(opts)
 		if err != nil {

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -104,11 +105,16 @@ type shardOpenRequest struct {
 	Session string `json:"session"`
 	Self    int    `json:"self"`
 	Total   int    `json:"total"`
+	// Resume asks the session to restore itself from a checkpoint
+	// under the server's ShardCheckpointRoot — the coordinator's
+	// re-dispatch path after this session's previous replica died.
+	Resume bool `json:"resume,omitempty"`
 }
 
 // shardCallRequest addresses a phase call to an open session.
 type shardCallRequest struct {
 	Session string            `json:"session"`
+	Seq     int64             `json:"seq,omitempty"`
 	Cands   []mcheck.WireCand `json:"cands,omitempty"`
 	ID      uint64            `json:"id,omitempty"`
 }
@@ -133,6 +139,13 @@ func (s *Server) handleShardOpen(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
 		return
+	}
+	if root := s.cfg.ShardCheckpointRoot; root != "" {
+		dir := filepath.Join(root, sanitizeSession(req.Session))
+		if err := sess.SetCheckpointDir(dir, req.Resume); err != nil {
+			s.writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()}, false)
+			return
+		}
 	}
 	if err := s.shards.put(req.Session, sess); err != nil {
 		s.met.rejected.Add(1)
@@ -191,7 +204,7 @@ func (s *Server) handleShardExpand(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleShardAbsorb(w http.ResponseWriter, r *http.Request) {
 	s.shardPhase(w, r, true, func(sess *mcheck.ShardSession, req *shardCallRequest) (any, error) {
-		return sess.Absorb(req.Cands)
+		return sess.Absorb(req.Seq, req.Cands)
 	})
 }
 
@@ -207,6 +220,26 @@ func (s *Server) handleShardClose(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()}, false)
 		return
 	}
+	if ss := s.shards.get(req.Session); ss != nil {
+		ss.mu.Lock()
+		ss.sess.DiscardCheckpoint()
+		ss.mu.Unlock()
+	}
 	s.shards.drop(req.Session)
 	s.writeJSON(w, http.StatusOK, map[string]any{"closed": true}, false)
+}
+
+// sanitizeSession flattens a coordinator session id ("check-3/1") into
+// a single directory name: anything outside [A-Za-z0-9_-] becomes '_',
+// so an id can never traverse out of the checkpoint root.
+func sanitizeSession(id string) string {
+	b := []byte(id)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
 }

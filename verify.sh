@@ -7,7 +7,11 @@
 # targets in seed-corpus mode, the differential sim<->mcheck harness,
 # the distributed-check differential (a /v1/check sharded across a
 # 3-replica fleet must be byte-identical to a single replica's
-# answer, counterexamples included), the table-vs-method differential plus the
+# answer, counterexamples included — and stay so when a replica is
+# killed mid-check and its session fails over via the shared
+# checkpoint root), the mcheck kill-and-resume smoke (SIGKILL a
+# checkpointing run, resume it, byte-identical summary) plus the
+# pinned disk-backed bitar p4 exhaustive check, the table-vs-method differential plus the
 # transition-table freshness gate (committed goldens must match the
 # tables compiled from the protocol code), a live
 # cachesyncd smoke (start, probe — including the -pprof diagnostic
@@ -40,7 +44,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (mcheck + sim smoke)"
-go test -race -short -run 'TestSmokeAllProtocols|TestDeterministicAcrossWorkers|TestSymmetryEquivalence|TestDeterministicWorkersMutant|TestPOREquivalence|TestPORMutant|TestShardedEquivalence|TestShardedTruncation|TestShardedRejectsPOR' ./internal/mcheck/
+go test -race -short -run 'TestSmokeAllProtocols|TestDeterministicAcrossWorkers|TestSymmetryEquivalence|TestDeterministicWorkersMutant|TestPOREquivalence|TestPORMutant|TestShardedEquivalence|TestShardedTruncation|TestShardedRejectsPOR|TestSpillEquivalence|TestPORSpillBudget|TestKillResumeByteIdentical|TestKillResumePOR|TestShardSessionCheckpointResume' ./internal/mcheck/
 go test -race -short ./internal/sim/
 
 echo "== go test -race (runner pool, parallel sweep executor, bus, scheduler queue)"
@@ -55,8 +59,8 @@ go test -race -short ./internal/serve/ ./internal/flight/
 echo "== go test -race (cluster coordinator, portfile handshake)"
 go test -race -short ./internal/cluster/ ./internal/portfile/
 
-echo "== distributed-check differential (sharded /v1/check vs one replica)"
-go test -run 'TestShardedCheckMatchesSingle|TestShardedCheckValidation' ./internal/cluster/
+echo "== distributed-check differential (sharded /v1/check vs one replica, with and without a replica dying mid-check)"
+go test -run 'TestShardedCheckMatchesSingle|TestShardedCheckValidation|TestShardedCheckSurvivesReplicaDeath' ./internal/cluster/
 
 echo "== differential sim<->mcheck harness"
 go test -short -run 'TestDifferentialSimMcheck|TestDifferentialHarnessDetectsSeededBug' ./internal/ptest/
@@ -70,6 +74,7 @@ go run ./cmd/tables -check-transition-goldens
 echo "== fuzz targets (seed-corpus mode: f.Add seeds + testdata/fuzz)"
 go test -run 'FuzzTraceBinaryRoundTrip|FuzzTraceTextDecode' ./internal/trace/
 go test -run 'FuzzWorkloadReplay' ./internal/workload/
+go test -run 'FuzzRunFileDecode' ./internal/mcheck/
 
 echo "== direct-vs-shim differential gate (13 protocols x generators)"
 go test -run 'TestDirectMatchesShim' ./internal/workload/
@@ -83,6 +88,43 @@ if [ -f BENCH_mcheck.json ]; then
 else
 	echo "no BENCH_mcheck.json baseline; skipping (create one with: go run ./cmd/mcheck -bench-json BENCH_mcheck.json)"
 fi
+
+echo "== mcheck kill-and-resume smoke + deep-check gate"
+mctmp=$(mktemp -d)
+go build -o "$mctmp/mcheck" ./cmd/mcheck
+
+# SIGKILL a checkpointing run mid-exploration; the resumed run's -out
+# summary must be byte-identical to an uninterrupted run's.
+mcargs="-protocol bitar -procs 3 -blocks 2 -words 2 -depth 6 -workers 2 -mem-budget 6291456 -nospeedup -json"
+"$mctmp/mcheck" $mcargs -out "$mctmp/full.json" >/dev/null
+"$mctmp/mcheck" $mcargs -checkpoint "$mctmp/ck" -out "$mctmp/resumed.json" >/dev/null 2>&1 &
+mcpid=$!
+i=0
+while [ ! -f "$mctmp/ck/MANIFEST.json" ] && [ "$i" -lt 200 ]; do
+	sleep 0.05
+	i=$((i + 1))
+done
+kill -9 "$mcpid" 2>/dev/null || true
+wait "$mcpid" 2>/dev/null || true
+"$mctmp/mcheck" $mcargs -checkpoint "$mctmp/ck" -resume -out "$mctmp/resumed.json" >/dev/null
+cmp "$mctmp/full.json" "$mctmp/resumed.json"
+echo "mcheck: resumed run byte-identical after SIGKILL"
+
+# The pinned disk-backed exhaustive check: bitar at p=4 (symmetry +
+# POR) under a 256 KiB visited-set budget — far below the ~1 MiB the
+# visited set compresses to on disk, so exploration provably ran
+# disk-backed. Verdict, states, and transitions must reproduce the
+# committed artifact byte for byte.
+if [ -f DEEP_mcheck.json ]; then
+	grep -q '"exhausted": true' DEEP_mcheck.json
+	"$mctmp/mcheck" -protocol bitar -procs 4 -blocks 2 -words 2 -depth 14 -workers 2 \
+		-por -mem-budget 262144 -nospeedup -json -out "$mctmp/deep.json" >/dev/null
+	cmp DEEP_mcheck.json "$mctmp/deep.json"
+	echo "mcheck: bitar p4 exhaustive (disk-backed) matches pinned DEEP_mcheck.json"
+else
+	echo "no DEEP_mcheck.json artifact; skipping (create one with the same mcheck command plus -out DEEP_mcheck.json)"
+fi
+rm -rf "$mctmp"
 
 echo "== sim-engine benchmark gate (direct-execution ops/s)"
 if [ -f BENCH_sim.json ]; then
